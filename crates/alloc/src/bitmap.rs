@@ -1,0 +1,146 @@
+//! A plain bitmap over block slots.
+//!
+//! §4.2: "A bit map is used to record the state (free or used) of every
+//! maximum sized block in the system." The restricted buddy policy keeps one
+//! of these per bookkeeping region for its largest block class; smaller
+//! classes use sorted free lists.
+
+use serde::{Deserialize, Serialize};
+
+/// Fixed-size bitmap; bit set ⇒ slot free.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FreeBitmap {
+    words: Vec<u64>,
+    len: usize,
+    free_count: usize,
+}
+
+impl FreeBitmap {
+    /// Creates a bitmap of `len` slots, all initially **used** (clear).
+    pub fn new(len: usize) -> Self {
+        FreeBitmap { words: vec![0; len.div_ceil(64)], len, free_count: 0 }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of free slots.
+    pub fn free_count(&self) -> usize {
+        self.free_count
+    }
+
+    /// Whether slot `i` is free.
+    pub fn is_free(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Marks slot `i` free. Panics in debug builds on double-free.
+    pub fn set_free(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        debug_assert!(!self.is_free(i), "slot {i} already free");
+        self.words[i / 64] |= 1 << (i % 64);
+        self.free_count += 1;
+    }
+
+    /// Marks slot `i` used. Panics in debug builds when not free.
+    pub fn set_used(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        debug_assert!(self.is_free(i), "slot {i} not free");
+        self.words[i / 64] &= !(1 << (i % 64));
+        self.free_count -= 1;
+    }
+
+    /// Index of the first free slot at or after `from`, if any.
+    pub fn first_free_at_or_after(&self, from: usize) -> Option<usize> {
+        if from >= self.len {
+            return None;
+        }
+        let mut w = from / 64;
+        let mut masked = self.words[w] & (u64::MAX << (from % 64));
+        loop {
+            if masked != 0 {
+                let i = w * 64 + masked.trailing_zeros() as usize;
+                return (i < self.len).then_some(i);
+            }
+            w += 1;
+            if w >= self.words.len() {
+                return None;
+            }
+            masked = self.words[w];
+        }
+    }
+
+    /// Index of the first free slot, if any.
+    pub fn first_free(&self) -> Option<usize> {
+        self.first_free_at_or_after(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_all_used() {
+        let b = FreeBitmap::new(100);
+        assert_eq!(b.free_count(), 0);
+        assert_eq!(b.first_free(), None);
+        assert!(!b.is_free(0));
+    }
+
+    #[test]
+    fn set_and_find() {
+        let mut b = FreeBitmap::new(200);
+        b.set_free(5);
+        b.set_free(130);
+        assert_eq!(b.free_count(), 2);
+        assert_eq!(b.first_free(), Some(5));
+        assert_eq!(b.first_free_at_or_after(6), Some(130));
+        assert_eq!(b.first_free_at_or_after(131), None);
+        b.set_used(5);
+        assert_eq!(b.first_free(), Some(130));
+    }
+
+    #[test]
+    fn boundary_at_word_edges() {
+        let mut b = FreeBitmap::new(128);
+        b.set_free(63);
+        b.set_free(64);
+        b.set_free(127);
+        assert_eq!(b.first_free_at_or_after(63), Some(63));
+        assert_eq!(b.first_free_at_or_after(64), Some(64));
+        assert_eq!(b.first_free_at_or_after(65), Some(127));
+    }
+
+    #[test]
+    fn out_of_range_from_is_none() {
+        let mut b = FreeBitmap::new(10);
+        b.set_free(9);
+        assert_eq!(b.first_free_at_or_after(10), None);
+        assert_eq!(b.first_free_at_or_after(9), Some(9));
+    }
+
+    #[test]
+    fn bits_beyond_len_are_ignored() {
+        // len not a multiple of 64: ensure search never reports ghost slots.
+        let b = FreeBitmap::new(70);
+        assert_eq!(b.first_free(), None);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn double_free_panics_in_debug() {
+        let mut b = FreeBitmap::new(4);
+        b.set_free(1);
+        b.set_free(1);
+    }
+}

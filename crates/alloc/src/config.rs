@@ -1,0 +1,320 @@
+//! Declarative, serializable policy configurations.
+//!
+//! Experiment drivers describe policies in **bytes** (the paper's language:
+//! "1K, 8K, 64K, 1M, 16M"); [`PolicyConfig::build`] converts to disk units
+//! for the concrete policy.
+
+use crate::buddy::BuddyPolicy;
+use crate::extent::ExtentPolicy;
+use crate::ffs::{FfsConfig, FfsPolicy};
+pub use crate::extent::FitStrategy;
+use crate::fixed::FixedPolicy;
+use crate::policy::Policy;
+use crate::restricted::RestrictedPolicy;
+use serde::{Deserialize, Serialize};
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * KB;
+
+/// Koch buddy policy parameters (§4.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BuddyConfig {
+    /// Largest extent the doubling rule may produce (bytes). §5 observes
+    /// 64 MB blocks for files over 100 MB.
+    pub max_extent_bytes: u64,
+}
+
+impl Default for BuddyConfig {
+    fn default() -> Self {
+        BuddyConfig { max_extent_bytes: 64 * MB }
+    }
+}
+
+/// Restricted buddy parameters (§4.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RestrictedConfig {
+    /// Ascending block-size ladder in bytes; each must divide the next.
+    pub block_sizes_bytes: Vec<u64>,
+    /// Grow-policy multiplier `g` (1 or 2 in the paper's sweeps).
+    pub grow_factor: u64,
+    /// Cluster allocations into bookkeeping regions?
+    pub clustered: bool,
+    /// Bookkeeping region size in bytes (32 MB in the paper).
+    pub region_bytes: u64,
+}
+
+impl RestrictedConfig {
+    /// The paper's block-size ladder with `n` sizes (2–5):
+    /// 1K/8K, +64K, +1M, +16M.
+    pub fn ladder(n: usize) -> Vec<u64> {
+        let all = [KB, 8 * KB, 64 * KB, MB, 16 * MB];
+        assert!((2..=all.len()).contains(&n), "paper sweeps 2–5 block sizes");
+        all[..n].to_vec()
+    }
+
+    /// One point of the paper's Figure 1/2 sweep.
+    pub fn sweep_point(nsizes: usize, grow_factor: u64, clustered: bool) -> Self {
+        RestrictedConfig {
+            block_sizes_bytes: Self::ladder(nsizes),
+            grow_factor,
+            clustered,
+            region_bytes: 32 * MB,
+        }
+    }
+}
+
+impl Default for RestrictedConfig {
+    /// The configuration §4.2 selects for the final comparison: five block
+    /// sizes, grow factor 1, clustered.
+    fn default() -> Self {
+        RestrictedConfig::sweep_point(5, 1, true)
+    }
+}
+
+/// Extent-based policy parameters (§4.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtentBasedConfig {
+    /// Extent-range means in bytes.
+    pub range_means_bytes: Vec<u64>,
+    /// First-fit or best-fit free-space search.
+    pub fit: FitStrategy,
+    /// σ/µ of each range (0.1 in the paper).
+    pub sigma_frac: f64,
+}
+
+impl ExtentBasedConfig {
+    /// The timesharing extent-range table from §4.3, `n` ∈ 1..=5.
+    pub fn ts_ranges(n: usize) -> Vec<u64> {
+        match n {
+            1 => vec![4 * KB],
+            2 => vec![KB, 8 * KB],
+            3 => vec![KB, 8 * KB, MB],
+            4 => vec![KB, 4 * KB, 8 * KB, MB],
+            5 => vec![KB, 4 * KB, 8 * KB, 16 * KB, MB],
+            _ => panic!("paper sweeps 1–5 extent ranges"),
+        }
+    }
+
+    /// The TP/SC extent-range table from §4.3, `n` ∈ 1..=5.
+    pub fn tpsc_ranges(n: usize) -> Vec<u64> {
+        match n {
+            1 => vec![512 * KB],
+            2 => vec![512 * KB, 16 * MB],
+            3 => vec![512 * KB, MB, 16 * MB],
+            4 => vec![512 * KB, MB, 10 * MB, 16 * MB],
+            5 => vec![10 * KB, 512 * KB, MB, 10 * MB, 16 * MB],
+            _ => panic!("paper sweeps 1–5 extent ranges"),
+        }
+    }
+}
+
+impl Default for ExtentBasedConfig {
+    /// The configuration §4.3 selects for the final comparison: first-fit
+    /// with three ranges (the TP/SC table; the experiment drivers swap in
+    /// the TS ranges for the timesharing workload).
+    fn default() -> Self {
+        ExtentBasedConfig {
+            range_means_bytes: Self::tpsc_ranges(3),
+            fit: FitStrategy::FirstFit,
+            sigma_frac: 0.1,
+        }
+    }
+}
+
+/// Fixed-block baseline parameters (§5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FixedConfig {
+    /// Block size in bytes (4 KB or 16 KB in the paper).
+    pub block_bytes: u64,
+    /// Start from a shuffled (aged) free list instead of a fresh one.
+    pub pre_age: bool,
+}
+
+impl Default for FixedConfig {
+    fn default() -> Self {
+        FixedConfig { block_bytes: 4 * KB, pre_age: false }
+    }
+}
+
+/// Any of the four policy families.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PolicyConfig {
+    /// Koch buddy allocation.
+    Buddy(BuddyConfig),
+    /// Restricted buddy system.
+    Restricted(RestrictedConfig),
+    /// Extent-based system.
+    Extent(ExtentBasedConfig),
+    /// Fixed-block baseline.
+    Fixed(FixedConfig),
+    /// BSD-FFS-style block+fragment baseline (extension; §1's [MCKU84]).
+    Ffs(FfsConfig),
+}
+
+/// Alias matching the paper's terminology.
+pub type ExtentConfig = ExtentBasedConfig;
+
+impl PolicyConfig {
+    /// Koch buddy with the 64 MB extent cap.
+    pub fn paper_buddy() -> Self {
+        PolicyConfig::Buddy(BuddyConfig::default())
+    }
+
+    /// The restricted buddy configuration chosen in §4.2 for the final
+    /// comparison (5 sizes, g = 1, clustered).
+    pub fn paper_restricted() -> Self {
+        PolicyConfig::Restricted(RestrictedConfig::default())
+    }
+
+    /// The extent-based configuration chosen in §4.3 for the final
+    /// comparison (first-fit, 3 ranges).
+    pub fn paper_extent_based() -> Self {
+        PolicyConfig::Extent(ExtentBasedConfig::default())
+    }
+
+    /// The 4 KB fixed-block baseline §5 compares the timesharing workload
+    /// against.
+    pub fn fixed_4k() -> Self {
+        PolicyConfig::Fixed(FixedConfig { block_bytes: 4 * KB, pre_age: false })
+    }
+
+    /// The 16 KB fixed-block baseline §5 compares TP/SC against.
+    pub fn fixed_16k() -> Self {
+        PolicyConfig::Fixed(FixedConfig { block_bytes: 16 * KB, pre_age: false })
+    }
+
+    /// The classic 8 KB-block / 1 KB-fragment FFS configuration (extension).
+    pub fn ffs_classic() -> Self {
+        PolicyConfig::Ffs(FfsConfig::default())
+    }
+
+    /// Short policy-family name for reports.
+    pub fn family(&self) -> &'static str {
+        match self {
+            PolicyConfig::Buddy(_) => "buddy",
+            PolicyConfig::Restricted(_) => "restricted-buddy",
+            PolicyConfig::Extent(_) => "extent",
+            PolicyConfig::Fixed(_) => "fixed",
+            PolicyConfig::Ffs(_) => "ffs",
+        }
+    }
+
+    /// Builds the concrete policy over `capacity_units` disk units of
+    /// `unit_bytes` each. `seed` drives any stochastic choices the policy
+    /// makes (extent-size draws, pre-aging shuffles).
+    pub fn build(&self, capacity_units: u64, unit_bytes: u64, seed: u64) -> Box<dyn Policy> {
+        assert!(unit_bytes > 0);
+        let to_units = |bytes: u64| -> u64 { (bytes / unit_bytes).max(1) };
+        match self {
+            PolicyConfig::Buddy(c) => {
+                Box::new(BuddyPolicy::new(capacity_units, to_units(c.max_extent_bytes)))
+            }
+            PolicyConfig::Restricted(c) => {
+                let sizes: Vec<u64> = c.block_sizes_bytes.iter().map(|&b| to_units(b)).collect();
+                // On heavily scaled (test-size) arrays the upper ladder may
+                // not fit; drop classes larger than the capacity.
+                let sizes: Vec<u64> = sizes.into_iter().filter(|&s| s <= capacity_units).collect();
+                assert!(!sizes.is_empty(), "no block class fits the capacity");
+                let region = if c.clustered {
+                    Some(to_units(c.region_bytes).min(capacity_units.max(*sizes.last().expect("non-empty"))))
+                } else {
+                    None
+                };
+                // Keep the region a multiple of the top class even after
+                // the min() clamp above.
+                let region = region.map(|r| {
+                    let top = *sizes.last().expect("non-empty");
+                    (r / top * top).max(top)
+                });
+                Box::new(RestrictedPolicy::new(capacity_units, &sizes, c.grow_factor, region))
+            }
+            PolicyConfig::Extent(c) => {
+                let means: Vec<u64> = c.range_means_bytes.iter().map(|&b| to_units(b)).collect();
+                Box::new(ExtentPolicy::new(
+                    capacity_units,
+                    &means,
+                    c.fit,
+                    c.sigma_frac,
+                    unit_bytes,
+                    seed,
+                ))
+            }
+            PolicyConfig::Fixed(c) => {
+                Box::new(FixedPolicy::new(capacity_units, to_units(c.block_bytes), c.pre_age, seed))
+            }
+            PolicyConfig::Ffs(c) => {
+                let mut c = c.clone();
+                // The disk unit *is* the fragment in this model.
+                c.fragment_bytes = unit_bytes;
+                Box::new(FfsPolicy::from_config(capacity_units, unit_bytes, &c))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::FileHints;
+
+    #[test]
+    fn ladders_match_the_paper() {
+        assert_eq!(RestrictedConfig::ladder(2), vec![KB, 8 * KB]);
+        assert_eq!(
+            RestrictedConfig::ladder(5),
+            vec![KB, 8 * KB, 64 * KB, MB, 16 * MB]
+        );
+        assert_eq!(ExtentBasedConfig::ts_ranges(3), vec![KB, 8 * KB, MB]);
+        assert_eq!(
+            ExtentBasedConfig::tpsc_ranges(5),
+            vec![10 * KB, 512 * KB, MB, 10 * MB, 16 * MB]
+        );
+    }
+
+    #[test]
+    fn build_produces_working_policies() {
+        let cap = 64 * MB / KB; // 64 K units of 1 KB
+        for config in [
+            PolicyConfig::paper_buddy(),
+            PolicyConfig::paper_restricted(),
+            PolicyConfig::paper_extent_based(),
+            PolicyConfig::fixed_4k(),
+            PolicyConfig::fixed_16k(),
+        ] {
+            let mut p = config.build(cap, KB, 11);
+            assert_eq!(p.capacity_units(), if config.family() == "fixed" { p.capacity_units() } else { cap });
+            let f = p.create(&FileHints::default()).unwrap();
+            p.extend(f, 100).unwrap();
+            assert!(p.allocated_units(f) >= 100, "{}", config.family());
+            p.check_invariants();
+            p.delete(f);
+            p.check_invariants();
+        }
+    }
+
+    #[test]
+    fn restricted_build_drops_oversized_classes() {
+        // A 1024-unit capacity (1 KB units) cannot hold 64 KB+ classes;
+        // the build must still produce a working ladder.
+        let config = PolicyConfig::paper_restricted();
+        let mut p = config.build(1024, KB, 0);
+        let f = p.create(&FileHints::default()).unwrap();
+        p.extend(f, 512).unwrap();
+        p.check_invariants();
+    }
+
+    #[test]
+    fn config_serde_round_trip() {
+        let configs = [
+            PolicyConfig::paper_buddy(),
+            PolicyConfig::paper_restricted(),
+            PolicyConfig::paper_extent_based(),
+            PolicyConfig::fixed_16k(),
+        ];
+        for c in configs {
+            let json = serde_json::to_string(&c).unwrap();
+            let back: PolicyConfig = serde_json::from_str(&json).unwrap();
+            assert_eq!(c, back);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Address-ordered, always-coalesced free-space map for extent systems.
+//!
+//! §4.3: "When an extent is freed, it is coalesced with its adjoining
+//! extents if they are free." The map keeps every free run in a
+//! `BTreeMap<start, len>` (address order, used for first-fit and for
+//! coalescing) plus a `BTreeSet<(len, start)>` index (used for best-fit and
+//! for "largest free run" queries in O(log n)).
+
+use crate::types::Extent;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Coalesced free-extent map over a linear unit address space.
+#[derive(Debug, Clone, Default)]
+pub struct FreeSpaceMap {
+    by_addr: BTreeMap<u64, u64>,
+    by_len: BTreeSet<(u64, u64)>,
+    free_units: u64,
+}
+
+impl FreeSpaceMap {
+    /// An empty map (no free space).
+    pub fn new() -> Self {
+        FreeSpaceMap::default()
+    }
+
+    /// A map with the whole range `[0, capacity)` free.
+    pub fn with_capacity(capacity: u64) -> Self {
+        let mut m = FreeSpaceMap::new();
+        if capacity > 0 {
+            m.insert_raw(0, capacity);
+        }
+        m
+    }
+
+    /// Total free units.
+    pub fn free_units(&self) -> u64 {
+        self.free_units
+    }
+
+    /// Number of distinct free runs.
+    pub fn run_count(&self) -> usize {
+        self.by_addr.len()
+    }
+
+    /// Length of the largest free run (0 when empty).
+    pub fn largest_run(&self) -> u64 {
+        self.by_len.iter().next_back().map_or(0, |&(len, _)| len)
+    }
+
+    /// Iterates free runs in address order.
+    pub fn runs(&self) -> impl Iterator<Item = Extent> + '_ {
+        self.by_addr.iter().map(|(&s, &l)| Extent::new(s, l))
+    }
+
+    fn insert_raw(&mut self, start: u64, len: u64) {
+        self.by_addr.insert(start, len);
+        self.by_len.insert((len, start));
+        self.free_units += len;
+    }
+
+    fn remove_raw(&mut self, start: u64, len: u64) {
+        let removed = self.by_addr.remove(&start);
+        debug_assert_eq!(removed, Some(len));
+        let was = self.by_len.remove(&(len, start));
+        debug_assert!(was);
+        self.free_units -= len;
+    }
+
+    /// Returns a free run to the map, coalescing with neighbours.
+    ///
+    /// The run must not overlap any existing free run (debug-asserted).
+    pub fn release(&mut self, ext: Extent) {
+        debug_assert!(ext.len > 0);
+        let mut start = ext.start;
+        let mut len = ext.len;
+        // Coalesce with the predecessor if it abuts.
+        if let Some((&p_start, &p_len)) = self.by_addr.range(..start).next_back() {
+            debug_assert!(p_start + p_len <= start, "release overlaps predecessor");
+            if p_start + p_len == start {
+                self.remove_raw(p_start, p_len);
+                start = p_start;
+                len += p_len;
+            }
+        }
+        // Coalesce with the successor if it abuts.
+        if let Some((&n_start, &n_len)) = self.by_addr.range(ext.start..).next() {
+            debug_assert!(ext.end() <= n_start, "release overlaps successor");
+            if n_start == ext.end() {
+                self.remove_raw(n_start, n_len);
+                len += n_len;
+            }
+        }
+        self.insert_raw(start, len);
+    }
+
+    /// First-fit: carves `len` units from the lowest-addressed run that can
+    /// hold them.
+    pub fn allocate_first_fit(&mut self, len: u64) -> Option<Extent> {
+        debug_assert!(len > 0);
+        let (start, run_len) = self
+            .by_addr
+            .iter()
+            .find(|&(_, &l)| l >= len)
+            .map(|(&s, &l)| (s, l))?;
+        self.carve(start, run_len, len)
+    }
+
+    /// Best-fit: carves `len` units from the smallest run that can hold
+    /// them (ties broken toward the lower address).
+    pub fn allocate_best_fit(&mut self, len: u64) -> Option<Extent> {
+        debug_assert!(len > 0);
+        let &(run_len, start) = self.by_len.range((len, 0)..).next()?;
+        self.carve(start, run_len, len)
+    }
+
+    /// Allocates exactly `[start, start + len)` if that range is entirely
+    /// free, e.g. for contiguity-preserving placement.
+    pub fn allocate_at(&mut self, start: u64, len: u64) -> Option<Extent> {
+        debug_assert!(len > 0);
+        let (&run_start, &run_len) = self.by_addr.range(..=start).next_back()?;
+        if run_start + run_len < start + len {
+            return None;
+        }
+        self.remove_raw(run_start, run_len);
+        if start > run_start {
+            self.insert_raw(run_start, start - run_start);
+        }
+        let tail = (run_start + run_len) - (start + len);
+        if tail > 0 {
+            self.insert_raw(start + len, tail);
+        }
+        Some(Extent::new(start, len))
+    }
+
+    /// True when `[start, start+len)` is entirely free.
+    pub fn is_free(&self, start: u64, len: u64) -> bool {
+        match self.by_addr.range(..=start).next_back() {
+            Some((&run_start, &run_len)) => run_start + run_len >= start + len,
+            None => false,
+        }
+    }
+
+    fn carve(&mut self, run_start: u64, run_len: u64, len: u64) -> Option<Extent> {
+        self.remove_raw(run_start, run_len);
+        if run_len > len {
+            self.insert_raw(run_start + len, run_len - len);
+        }
+        Some(Extent::new(run_start, len))
+    }
+
+    /// Debug invariant: runs are disjoint, sorted, non-adjacent (maximally
+    /// coalesced) and the two indexes agree.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        let mut prev_end: Option<u64> = None;
+        let mut total = 0;
+        for (&s, &l) in &self.by_addr {
+            assert!(l > 0, "zero-length run at {s}");
+            if let Some(pe) = prev_end {
+                assert!(pe < s, "runs overlap or abut at {s} (prev end {pe})");
+            }
+            assert!(self.by_len.contains(&(l, s)), "missing len index for ({s}, {l})");
+            prev_end = Some(s + l);
+            total += l;
+        }
+        assert_eq!(total, self.free_units, "free_units out of sync");
+        assert_eq!(self.by_len.len(), self.by_addr.len(), "index sizes differ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_capacity_single_run() {
+        let m = FreeSpaceMap::with_capacity(100);
+        assert_eq!(m.free_units(), 100);
+        assert_eq!(m.run_count(), 1);
+        assert_eq!(m.largest_run(), 100);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn first_fit_takes_lowest_address() {
+        let mut m = FreeSpaceMap::new();
+        m.release(Extent::new(50, 10));
+        m.release(Extent::new(0, 5));
+        let e = m.allocate_first_fit(5).unwrap();
+        assert_eq!(e, Extent::new(0, 5));
+        // Next request of 6 only fits in the high run.
+        let e = m.allocate_first_fit(6).unwrap();
+        assert_eq!(e.start, 50);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn best_fit_takes_smallest_run() {
+        let mut m = FreeSpaceMap::new();
+        m.release(Extent::new(0, 100));
+        m.release(Extent::new(200, 6));
+        let e = m.allocate_best_fit(5).unwrap();
+        assert_eq!(e.start, 200, "prefers the 6-unit run over the 100-unit one");
+        assert_eq!(m.largest_run(), 100);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn best_fit_tie_breaks_low_address() {
+        let mut m = FreeSpaceMap::new();
+        m.release(Extent::new(300, 8));
+        m.release(Extent::new(100, 8));
+        let e = m.allocate_best_fit(8).unwrap();
+        assert_eq!(e.start, 100);
+    }
+
+    #[test]
+    fn release_coalesces_both_sides() {
+        let mut m = FreeSpaceMap::new();
+        m.release(Extent::new(0, 10));
+        m.release(Extent::new(20, 10));
+        assert_eq!(m.run_count(), 2);
+        m.release(Extent::new(10, 10));
+        assert_eq!(m.run_count(), 1);
+        assert_eq!(m.largest_run(), 30);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn allocate_at_splits_run() {
+        let mut m = FreeSpaceMap::with_capacity(100);
+        let e = m.allocate_at(40, 20).unwrap();
+        assert_eq!(e, Extent::new(40, 20));
+        assert_eq!(m.run_count(), 2);
+        assert_eq!(m.free_units(), 80);
+        assert!(m.allocate_at(45, 1).is_none(), "already taken");
+        assert!(m.is_free(0, 40));
+        assert!(!m.is_free(39, 2));
+        m.check_invariants();
+    }
+
+    #[test]
+    fn allocate_at_edges() {
+        let mut m = FreeSpaceMap::with_capacity(10);
+        assert!(m.allocate_at(0, 10).is_some());
+        assert_eq!(m.free_units(), 0);
+        assert!(m.allocate_at(0, 1).is_none());
+        m.check_invariants();
+    }
+
+    #[test]
+    fn allocation_fails_when_no_run_large_enough() {
+        let mut m = FreeSpaceMap::new();
+        m.release(Extent::new(0, 4));
+        m.release(Extent::new(10, 4));
+        assert_eq!(m.free_units(), 8);
+        assert!(m.allocate_first_fit(5).is_none(), "external fragmentation");
+        assert!(m.allocate_best_fit(5).is_none());
+    }
+
+    #[test]
+    fn alternating_alloc_free_round_trips() {
+        let mut m = FreeSpaceMap::with_capacity(1000);
+        let a = m.allocate_first_fit(100).unwrap();
+        let b = m.allocate_first_fit(100).unwrap();
+        let c = m.allocate_first_fit(100).unwrap();
+        m.release(b);
+        m.check_invariants();
+        m.release(a);
+        m.check_invariants();
+        m.release(c);
+        m.check_invariants();
+        assert_eq!(m.run_count(), 1);
+        assert_eq!(m.free_units(), 1000);
+    }
+}

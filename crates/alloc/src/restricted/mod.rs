@@ -1,0 +1,528 @@
+//! The restricted buddy system (§4.2).
+//!
+//! "As in the buddy system, the restricted buddy system applies the
+//! principle that as a file's size grows, so does its block size. … small
+//! files are allocated from small blocks and don't suffer high
+//! fragmentation. As files grow, they are allocated in larger and larger
+//! chunks providing the ability to make large sequential transfers."
+//!
+//! The policy is parameterized by (1) the ladder of block sizes, (2) the
+//! *grow policy* multiplier `g` — the allocation unit moves from `a_i` to
+//! `a_{i+1}` once the file holds `g · a_{i+1}` worth of `a_i` blocks — and
+//! (3) whether allocations are *clustered* into 32 MB bookkeeping regions
+//! with per-region free lists and file descriptors.
+//!
+//! Allocation follows the paper's region-selection algorithm:
+//!
+//! 1. **Select the optimal region** — the region of the file's most recent
+//!    block; failing that, the region of its file descriptor; for
+//!    descriptor allocations, the region after the last descriptor
+//!    allocation. Within the region, prefer the block physically following
+//!    the file's last block; split a larger block (preferring the next
+//!    sequential one) when the region has contiguous space but no block of
+//!    the right size.
+//! 2. **Select a region with a block of the correct size.**
+//! 3. **Select the next region with available (contiguous) space** and
+//!    split.
+
+pub mod region;
+
+use crate::filemap::FileMap;
+use crate::policy::Policy;
+use crate::types::{AllocError, Extent, FileHints, FileId};
+use region::Region;
+
+/// One file's state under the restricted buddy policy.
+#[derive(Debug, Clone)]
+struct RFile {
+    map: FileMap,
+    /// Blocks in allocation order: `(address, class)`.
+    blocks: Vec<(u64, usize)>,
+    /// Units allocated per class (drives the grow policy).
+    units_per_class: Vec<u64>,
+    /// File descriptor block address (always class 0).
+    fd_addr: u64,
+}
+
+/// The restricted buddy policy.
+#[derive(Debug, Clone)]
+pub struct RestrictedPolicy {
+    /// Block class sizes in units, ascending, each dividing the next.
+    sizes: Vec<u64>,
+    grow_factor: u64,
+    regions: Vec<Region>,
+    /// Region length in units (`u64::MAX`-like sentinel not needed: equals
+    /// capacity when unclustered).
+    region_units: u64,
+    capacity: u64,
+    files: Vec<Option<RFile>>,
+    free_slots: Vec<u32>,
+    /// Region in which the last file descriptor was allocated.
+    fd_cursor: usize,
+    metadata_units: u64,
+}
+
+impl RestrictedPolicy {
+    /// Builds the policy.
+    ///
+    /// * `sizes_units` — ascending block classes (each must divide the next).
+    /// * `grow_factor` — the grow-policy multiplier `g ≥ 1`.
+    /// * `region_units` — bookkeeping region length; pass `None` for an
+    ///   unclustered configuration (one region spanning the whole space).
+    ///   Must be a multiple of the largest block class.
+    pub fn new(
+        capacity_units: u64,
+        sizes_units: &[u64],
+        grow_factor: u64,
+        region_units: Option<u64>,
+    ) -> Self {
+        assert!(!sizes_units.is_empty(), "at least one block class");
+        assert!(grow_factor >= 1, "grow factor must be ≥ 1");
+        for w in sizes_units.windows(2) {
+            assert!(w[0] < w[1] && w[1] % w[0] == 0, "classes must ascend and divide");
+        }
+        let top = *sizes_units.last().expect("non-empty");
+        if let Some(ru) = region_units {
+            // Clustered: region bases must stay aligned to the top class.
+            assert!(ru >= top, "region smaller than the largest block class");
+            assert_eq!(ru % top, 0, "region must be a multiple of the top class");
+        }
+        let region_units = region_units.unwrap_or(capacity_units);
+        let mut regions = Vec::new();
+        let mut base = 0;
+        while base < capacity_units {
+            let end = (base + region_units).min(capacity_units);
+            regions.push(Region::new(base, end, sizes_units));
+            base = end;
+        }
+        RestrictedPolicy {
+            sizes: sizes_units.to_vec(),
+            grow_factor,
+            regions,
+            region_units,
+            capacity: capacity_units,
+            files: Vec::new(),
+            free_slots: Vec::new(),
+            fd_cursor: 0,
+            metadata_units: 0,
+        }
+    }
+
+    /// Number of bookkeeping regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// The configured block classes, in units.
+    pub fn class_sizes(&self) -> &[u64] {
+        &self.sizes
+    }
+
+    fn file(&self, id: FileId) -> &RFile {
+        self.files[id.0 as usize].as_ref().expect("dead file id")
+    }
+
+    fn file_mut(&mut self, id: FileId) -> &mut RFile {
+        self.files[id.0 as usize].as_mut().expect("dead file id")
+    }
+
+    fn region_of(&self, addr: u64) -> usize {
+        ((addr / self.region_units) as usize).min(self.regions.len() - 1)
+    }
+
+    /// The class the grow policy prescribes for a file's next block: start
+    /// at the smallest class and move up while the per-class quota
+    /// (`g · a_{i+1}`) is met.
+    fn next_class(&self, file: &RFile) -> usize {
+        let mut c = 0;
+        while c + 1 < self.sizes.len()
+            && file.units_per_class[c] >= self.grow_factor * self.sizes[c + 1]
+        {
+            c += 1;
+        }
+        c
+    }
+
+    /// Core block allocation implementing the three-step region selection.
+    ///
+    /// `optimal` is the preferred region; `prefer` the preferred address
+    /// (the unit following the file's last block, rounded up to class
+    /// alignment by the caller).
+    fn allocate_block(&mut self, class: usize, optimal: usize, prefer: Option<u64>) -> Option<u64> {
+        let nregions = self.regions.len();
+        // Perfect contiguity first: the exact preferred block, wherever it
+        // lives (it may sit just past the optimal region's boundary).
+        if let Some(p) = prefer {
+            if p + self.sizes[class] <= self.capacity {
+                let r = self.region_of(p);
+                if self.regions[r].take_exact(&self.sizes, class, p) {
+                    return Some(p);
+                }
+            }
+        }
+        // Step 1: the optimal region — right size, else split larger.
+        if let Some(a) = self.regions[optimal].take_near(&self.sizes, class, prefer) {
+            return Some(a);
+        }
+        if let Some(a) = self.regions[optimal].split_for(&self.sizes, class, prefer) {
+            return Some(a);
+        }
+        // Step 2: any region with a block of the correct size.
+        for k in 1..nregions {
+            let r = (optimal + k) % nregions;
+            if self.regions[r].has_free(&self.sizes, class) {
+                return self.regions[r].take_near(&self.sizes, class, None);
+            }
+        }
+        // Step 3: the next region with adequate contiguous space.
+        for k in 1..nregions {
+            let r = (optimal + k) % nregions;
+            if self.regions[r].has_larger(&self.sizes, class) {
+                return self.regions[r].split_for(&self.sizes, class, None);
+            }
+        }
+        None
+    }
+
+    fn free_block(&mut self, class: usize, addr: u64) {
+        let r = self.region_of(addr);
+        self.regions[r].free_block(&self.sizes, class, addr);
+    }
+
+    /// Preferred placement for a file's next block of `class`: the unit
+    /// after its last block, rounded **up** to the class alignment. When
+    /// the block size has just grown, the file's end is usually not aligned
+    /// to the new size — the Figure 3 effect: the file pays a seek (or at
+    /// least a gap) at every class transition.
+    fn preferred_addr(&self, file: &RFile, class: usize) -> Option<u64> {
+        let next = file.map.next_sequential_unit()?;
+        let size = self.sizes[class];
+        Some(next.div_ceil(size) * size)
+    }
+}
+
+impl Policy for RestrictedPolicy {
+    fn name(&self) -> &'static str {
+        "restricted-buddy"
+    }
+
+    fn capacity_units(&self) -> u64 {
+        self.capacity
+    }
+
+    fn free_units(&self) -> u64 {
+        self.regions.iter().map(Region::free_units).sum()
+    }
+
+    fn metadata_units(&self) -> u64 {
+        self.metadata_units
+    }
+
+    fn create(&mut self, _hints: &FileHints) -> Result<FileId, AllocError> {
+        // "If the allocation request is for a file descriptor, the optimal
+        // region is the region after the region in which the last request
+        // was satisfied."
+        let optimal = (self.fd_cursor + 1) % self.regions.len();
+        let fd_addr = self
+            .allocate_block(0, optimal, None)
+            .ok_or(AllocError::DiskFull(self.sizes[0]))?;
+        self.fd_cursor = self.region_of(fd_addr);
+        self.metadata_units += self.sizes[0];
+        let file = RFile {
+            map: FileMap::new(),
+            blocks: Vec::new(),
+            units_per_class: vec![0; self.sizes.len()],
+            fd_addr,
+        };
+        let id = match self.free_slots.pop() {
+            Some(slot) => {
+                self.files[slot as usize] = Some(file);
+                FileId(slot)
+            }
+            None => {
+                self.files.push(Some(file));
+                FileId(self.files.len() as u32 - 1)
+            }
+        };
+        Ok(id)
+    }
+
+    fn extend(&mut self, file: FileId, units: u64) -> Result<Vec<Extent>, AllocError> {
+        debug_assert!(units > 0);
+        let mut granted: Vec<(u64, usize)> = Vec::new();
+        let mut remaining = units;
+        while remaining > 0 {
+            let (class, prefer, optimal) = {
+                let f = self.file(file);
+                let class = self.next_class(f);
+                let prefer = self.preferred_addr(f, class);
+                // "If the request is for a block of a file, the optimal
+                // region is that region which contains the most recently
+                // allocated block for that file. If no blocks have been
+                // allocated, the optimal region is that [of] the file
+                // descriptor."
+                let optimal = match f.blocks.last() {
+                    Some(&(addr, _)) => self.region_of(addr),
+                    None => self.region_of(f.fd_addr),
+                };
+                (class, prefer, optimal)
+            };
+            let Some(addr) = self.allocate_block(class, optimal, prefer) else {
+                // Unwind this call's blocks: a failed extend is atomic.
+                for &(a, c) in granted.iter().rev() {
+                    self.free_block(c, a);
+                    let sizes_c = self.sizes[c];
+                    let f = self.file_mut(file);
+                    f.blocks.pop();
+                    f.units_per_class[c] -= sizes_c;
+                    f.map.pop_back(sizes_c);
+                }
+                return Err(AllocError::DiskFull(self.sizes[class]));
+            };
+            let size = self.sizes[class];
+            let f = self.file_mut(file);
+            f.blocks.push((addr, class));
+            f.units_per_class[class] += size;
+            f.map.push(Extent::new(addr, size));
+            granted.push((addr, class));
+            remaining = remaining.saturating_sub(size);
+        }
+        Ok(granted
+            .into_iter()
+            .map(|(a, c)| Extent::new(a, self.sizes[c]))
+            .collect())
+    }
+
+    fn truncate(&mut self, file: FileId, units: u64) -> Vec<Extent> {
+        let mut freed = Vec::new();
+        let mut remaining = units;
+        while let Some(&(addr, class)) = self.file(file).blocks.last() {
+            let size = self.sizes[class];
+            if size > remaining {
+                break;
+            }
+            let f = self.file_mut(file);
+            f.blocks.pop();
+            f.units_per_class[class] -= size;
+            f.map.pop_back(size);
+            self.free_block(class, addr);
+            freed.push(Extent::new(addr, size));
+            remaining -= size;
+        }
+        freed
+    }
+
+    fn delete(&mut self, file: FileId) -> u64 {
+        let f = self.files[file.0 as usize].take().expect("dead file id");
+        let mut data = 0;
+        for &(addr, class) in f.blocks.iter().rev() {
+            self.free_block(class, addr);
+            data += self.sizes[class];
+        }
+        self.free_block(0, f.fd_addr);
+        self.metadata_units -= self.sizes[0];
+        self.free_slots.push(file.0);
+        data
+    }
+
+    fn file_map(&self, file: FileId) -> &FileMap {
+        &self.file(file).map
+    }
+
+    fn live_files(&self) -> Vec<FileId> {
+        self.files
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.is_some())
+            .map(|(i, _)| FileId(i as u32))
+            .collect()
+    }
+
+    fn allocation_count(&self, file: FileId) -> usize {
+        self.file(file).blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 1K/8K/64K ladder over 4 × 64 K-unit regions.
+    fn clustered() -> RestrictedPolicy {
+        RestrictedPolicy::new(4 * 64, &[1, 8, 64], 1, Some(64))
+    }
+
+    fn unclustered() -> RestrictedPolicy {
+        RestrictedPolicy::new(4 * 64, &[1, 8, 64], 1, None)
+    }
+
+    #[test]
+    fn construction_shapes() {
+        assert_eq!(clustered().region_count(), 4);
+        assert_eq!(unclustered().region_count(), 1);
+    }
+
+    #[test]
+    fn grow_policy_ladders_up() {
+        let mut p = RestrictedPolicy::new(1 << 14, &[1, 8, 64], 1, None);
+        let f = p.create(&FileHints::default()).unwrap();
+        // g=1: eight 1-unit blocks, then 8-unit blocks.
+        p.extend(f, 8).unwrap();
+        assert_eq!(p.file(f).blocks.len(), 8);
+        assert!(p.file(f).blocks.iter().all(|&(_, c)| c == 0));
+        // Next allocation must be class 1.
+        p.extend(f, 1).unwrap();
+        assert_eq!(p.file(f).blocks.last().unwrap().1, 1);
+        // After eight 8-unit blocks (64 units at class 1), class 2 follows.
+        p.extend(f, 7 * 8 + 1).unwrap();
+        assert_eq!(p.file(f).blocks.last().unwrap().1, 2);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn grow_factor_two_defers_promotion() {
+        let mut p = RestrictedPolicy::new(1 << 14, &[1, 8, 64], 2, None);
+        let f = p.create(&FileHints::default()).unwrap();
+        p.extend(f, 16).unwrap(); // g=2 → sixteen class-0 blocks
+        assert!(p.file(f).blocks.iter().all(|&(_, c)| c == 0));
+        assert_eq!(p.file(f).blocks.len(), 16);
+        p.extend(f, 1).unwrap();
+        assert_eq!(p.file(f).blocks.last().unwrap().1, 1);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn sequential_extension_is_contiguous() {
+        let mut p = unclustered();
+        let f = p.create(&FileHints::default()).unwrap();
+        p.extend(f, 4).unwrap();
+        p.extend(f, 4).unwrap();
+        // fd consumed unit 0; the data blocks run contiguously after it.
+        assert_eq!(p.extent_count(f), 1, "perfectly sequential layout");
+        p.check_invariants();
+    }
+
+    #[test]
+    fn class_transition_creates_aligned_gap() {
+        // The Figure 3 effect: when the class grows from 1 to 8 units, the
+        // next block must be 8-aligned, so a gap (and a seek) appears.
+        let mut p = unclustered();
+        let f = p.create(&FileHints::default()).unwrap();
+        p.extend(f, 8).unwrap(); // eight class-0 blocks: units 1..9 (0 is the fd)
+        let tail_before = p.file_map(f).next_sequential_unit().unwrap();
+        assert_eq!(tail_before, 9);
+        p.extend(f, 8).unwrap(); // class-1 block, preferred addr 16
+        let last = *p.file_map(f).extents().last().unwrap();
+        assert_eq!(last.start % 8, 0, "class-1 block is 8-aligned");
+        assert!(last.start >= 16, "rounded up past the unaligned tail");
+        p.check_invariants();
+    }
+
+    #[test]
+    fn fd_allocation_advances_regions_when_clustered() {
+        let mut p = clustered();
+        let a = p.create(&FileHints::default()).unwrap();
+        let b = p.create(&FileHints::default()).unwrap();
+        let c = p.create(&FileHints::default()).unwrap();
+        let ra = p.region_of(p.file(a).fd_addr);
+        let rb = p.region_of(p.file(b).fd_addr);
+        let rc = p.region_of(p.file(c).fd_addr);
+        assert_ne!(ra, rb, "descriptors spread across regions");
+        assert_ne!(rb, rc);
+        assert_eq!(p.metadata_units(), 3);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn file_blocks_cluster_near_descriptor() {
+        let mut p = clustered();
+        let a = p.create(&FileHints::default()).unwrap();
+        let _b = p.create(&FileHints::default()).unwrap();
+        p.extend(a, 4).unwrap();
+        let fd_region = p.region_of(p.file(a).fd_addr);
+        for &(addr, _) in &p.file(a).blocks {
+            assert_eq!(p.region_of(addr), fd_region, "first block lands by the fd");
+        }
+        p.check_invariants();
+    }
+
+    #[test]
+    fn spills_to_other_regions_when_optimal_full() {
+        let mut p = clustered();
+        let a = p.create(&FileHints::default()).unwrap();
+        // Consume nearly everything; allocation must still succeed by
+        // spilling across regions.
+        p.extend(a, 200).unwrap();
+        p.check_invariants();
+        let util = 1.0 - p.free_units() as f64 / p.capacity_units() as f64;
+        assert!(util > 0.75);
+    }
+
+    #[test]
+    fn allocation_fails_only_when_no_block_available() {
+        let mut p = RestrictedPolicy::new(64, &[1, 8], 1, None);
+        let f = p.create(&FileHints::default()).unwrap();
+        p.extend(f, 56).unwrap();
+        // Remaining ≈ 7 units; class for next block is 1 (8 units) after
+        // the ladder: blocks of 8 needed but only fragments remain → the
+        // request fails, leaving external fragmentation.
+        let err = p.extend(f, 8).unwrap_err();
+        assert!(matches!(err, AllocError::DiskFull(_)));
+        assert!(p.free_units() > 0, "space exists but not at the right size");
+        p.check_invariants();
+    }
+
+    #[test]
+    fn truncate_frees_whole_blocks_and_regresses_class() {
+        let mut p = unclustered();
+        let f = p.create(&FileHints::default()).unwrap();
+        p.extend(f, 9).unwrap(); // 8 class-0 + 1 class-1
+        assert_eq!(p.file(f).blocks.last().unwrap().1, 1);
+        let freed = p.truncate(f, 8);
+        assert_eq!(freed.iter().map(|e| e.len).sum::<u64>(), 8);
+        // With the class-1 block gone, the grow policy is back at class 0...
+        p.extend(f, 1).unwrap();
+        // ...but the quota is still met (eight class-0 blocks) → class 1.
+        assert_eq!(p.file(f).blocks.last().unwrap().1, 1);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn delete_restores_all_space_and_metadata() {
+        let mut p = clustered();
+        let before = p.free_units();
+        let f = p.create(&FileHints::default()).unwrap();
+        p.extend(f, 100).unwrap();
+        p.delete(f);
+        assert_eq!(p.free_units(), before);
+        assert_eq!(p.metadata_units(), 0);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn failed_extend_is_atomic() {
+        let mut p = RestrictedPolicy::new(32, &[1, 8], 1, None);
+        let f = p.create(&FileHints::default()).unwrap();
+        let free_before = p.free_units();
+        let err = p.extend(f, 1000);
+        assert!(err.is_err());
+        assert_eq!(p.free_units(), free_before);
+        assert_eq!(p.allocated_units(f), 0);
+        p.check_invariants();
+    }
+
+    #[test]
+    fn unclustered_still_prefers_contiguity() {
+        // Room to spare: 20 one-unit extends climb the ladder all the way
+        // to class-2 blocks (8 + 8·8 + 4·64 units).
+        let mut p = RestrictedPolicy::new(4096, &[1, 8, 64], 1, None);
+        let f = p.create(&FileHints::default()).unwrap();
+        for _ in 0..20 {
+            p.extend(f, 1).unwrap();
+        }
+        // Blocks within a class are laid out back to back; only the two
+        // class transitions (Figure 3's alignment gaps) break the file.
+        assert!(p.extent_count(f) <= 3, "got {} extents", p.extent_count(f));
+        p.check_invariants();
+    }
+}

@@ -1,0 +1,424 @@
+//! Per-bookkeeping-region free-space management for the restricted buddy
+//! policy (§4.2).
+//!
+//! "Free space is managed both by bit maps and free lists. A bit map is used
+//! to record the state (free or used) of every maximum sized block in the
+//! system. For smaller blocks, a circular doubly linked list of free blocks
+//! is maintained in sorted order."
+//!
+//! A [`Region`] manages the blocks inside one bookkeeping region (32 MB in
+//! the paper's clustered configurations; the whole disk when unclustered).
+//! The largest block class is tracked with a [`FreeBitmap`]; each smaller
+//! class uses an ordered set (the functional equivalent of the paper's
+//! sorted circular list, with O(log n) instead of O(n) operations).
+
+use crate::bitmap::FreeBitmap;
+use std::collections::BTreeSet;
+
+/// Free-block bookkeeping for one region.
+///
+/// `sizes` (shared by all regions, in units, strictly ascending, each
+/// dividing the next) defines the block classes. A block of class `c` is
+/// always aligned to `sizes[c]` in the *global* address space — "a block of
+/// size N always starts at an address which is an integral multiple [of] N".
+#[derive(Debug, Clone)]
+pub struct Region {
+    base: u64,
+    end: u64,
+    /// Free lists for classes `0..top` (the top class lives in the bitmap).
+    lists: Vec<BTreeSet<u64>>,
+    /// Bitmap over top-class slots covering `[base, end)`.
+    top_bitmap: FreeBitmap,
+    free_units: u64,
+}
+
+impl Region {
+    /// Builds a region spanning `[base, end)` with every block free.
+    ///
+    /// `base` must be aligned to the largest class size (true for the
+    /// paper's 32 MB regions with a 16 MB top class, and trivially for the
+    /// single unclustered region at base 0).
+    pub fn new(base: u64, end: u64, sizes: &[u64]) -> Self {
+        assert!(!sizes.is_empty() && base < end);
+        let top = *sizes.last().expect("non-empty sizes");
+        assert_eq!(base % top, 0, "region base must be aligned to the top block class");
+        let top_slots = ((end - base) / top) as usize;
+        let mut region = Region {
+            base,
+            end,
+            lists: vec![BTreeSet::new(); sizes.len() - 1],
+            top_bitmap: FreeBitmap::new(top_slots),
+            free_units: 0,
+        };
+        // Greedy seeding: at each address take the largest class that is
+        // aligned and fits.
+        let mut addr = base;
+        'outer: while addr < end {
+            for c in (0..sizes.len()).rev() {
+                if addr.is_multiple_of(sizes[c]) && addr + sizes[c] <= end {
+                    region.insert(sizes, c, addr);
+                    addr += sizes[c];
+                    continue 'outer;
+                }
+            }
+            // Remainder smaller than the smallest class: unusable slack.
+            break;
+        }
+        region
+    }
+
+    /// First unit of the region.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// One-past-the-end unit.
+    pub fn end(&self) -> u64 {
+        self.end
+    }
+
+    /// Free units in this region.
+    pub fn free_units(&self) -> u64 {
+        self.free_units
+    }
+
+    /// Whether `addr` falls inside this region.
+    pub fn contains(&self, addr: u64) -> bool {
+        (self.base..self.end).contains(&addr)
+    }
+
+    fn top_class(&self, sizes: &[u64]) -> usize {
+        sizes.len() - 1
+    }
+
+    fn slot(&self, sizes: &[u64], addr: u64) -> usize {
+        ((addr - self.base) / sizes[self.top_class(sizes)]) as usize
+    }
+
+    fn slot_addr(&self, sizes: &[u64], slot: usize) -> u64 {
+        self.base + slot as u64 * sizes[self.top_class(sizes)]
+    }
+
+    /// Whether any block of exactly class `c` is free.
+    pub fn has_free(&self, sizes: &[u64], c: usize) -> bool {
+        if c == self.top_class(sizes) {
+            self.top_bitmap.free_count() > 0
+        } else {
+            !self.lists[c].is_empty()
+        }
+    }
+
+    /// Whether any block of a class strictly larger than `c` is free —
+    /// "adequate contiguous space" for a split.
+    pub fn has_larger(&self, sizes: &[u64], c: usize) -> bool {
+        (c + 1..sizes.len()).any(|k| self.has_free(sizes, k))
+    }
+
+    /// Inserts a free block without coalescing (seeding / split remainders).
+    fn insert(&mut self, sizes: &[u64], c: usize, addr: u64) {
+        debug_assert!(self.contains(addr));
+        debug_assert_eq!(addr % sizes[c], 0, "misaligned class-{c} block at {addr}");
+        if c == self.top_class(sizes) {
+            self.top_bitmap.set_free(self.slot(sizes, addr));
+        } else {
+            let fresh = self.lists[c].insert(addr);
+            debug_assert!(fresh, "double insert of class-{c} block at {addr}");
+        }
+        self.free_units += sizes[c];
+    }
+
+    /// Removes a specific free block (must be present).
+    fn remove(&mut self, sizes: &[u64], c: usize, addr: u64) {
+        if c == self.top_class(sizes) {
+            self.top_bitmap.set_used(self.slot(sizes, addr));
+        } else {
+            let was = self.lists[c].remove(&addr);
+            debug_assert!(was, "removing absent class-{c} block at {addr}");
+        }
+        self.free_units -= sizes[c];
+    }
+
+    /// Whether the specific class-`c` block at `addr` is free.
+    pub fn is_block_free(&self, sizes: &[u64], c: usize, addr: u64) -> bool {
+        if !self.contains(addr) {
+            return false;
+        }
+        if c == self.top_class(sizes) {
+            self.top_bitmap.is_free(self.slot(sizes, addr))
+        } else {
+            self.lists[c].contains(&addr)
+        }
+    }
+
+    /// Takes the class-`c` block at exactly `addr`, if free.
+    pub fn take_exact(&mut self, sizes: &[u64], c: usize, addr: u64) -> bool {
+        if self.is_block_free(sizes, c, addr) {
+            self.remove(sizes, c, addr);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Takes a free class-`c` block, preferring the lowest address ≥
+    /// `prefer` ("blocks are arranged sequentially, and the allocator
+    /// attempts to allocate logically sequential blocks of a file to
+    /// physically contiguous regions"), falling back to the lowest address
+    /// in the region.
+    pub fn take_near(&mut self, sizes: &[u64], c: usize, prefer: Option<u64>) -> Option<u64> {
+        let addr = self.peek_near(sizes, c, prefer)?;
+        self.remove(sizes, c, addr);
+        Some(addr)
+    }
+
+    fn peek_near(&self, sizes: &[u64], c: usize, prefer: Option<u64>) -> Option<u64> {
+        if c == self.top_class(sizes) {
+            let from = prefer
+                .filter(|&p| self.contains(p))
+                .map(|p| self.slot(sizes, p.min(self.end - 1)))
+                .unwrap_or(0);
+            let slot = self
+                .top_bitmap
+                .first_free_at_or_after(from)
+                .or_else(|| self.top_bitmap.first_free())?;
+            Some(self.slot_addr(sizes, slot))
+        } else {
+            if let Some(p) = prefer {
+                if let Some(&a) = self.lists[c].range(p..).next() {
+                    return Some(a);
+                }
+            }
+            self.lists[c].iter().next().copied()
+        }
+    }
+
+    /// Splits a larger free block to produce one class-`c` block.
+    ///
+    /// Chooses the smallest larger class with a free block (preferring the
+    /// block at or after `prefer`), carves out the child containing
+    /// `prefer` when possible (else the first child), and returns the
+    /// resulting block's address. Split remainders go onto the free lists —
+    /// "the remaining space is linked into the free lists for the
+    /// appropriate sized blocks".
+    pub fn split_for(&mut self, sizes: &[u64], c: usize, prefer: Option<u64>) -> Option<u64> {
+        let source_class = (c + 1..sizes.len()).find(|&k| self.has_free(sizes, k))?;
+        // Prefer the larger block containing the preferred address.
+        let container = prefer.map(|p| p - p % sizes[source_class]);
+        let addr = container
+            .filter(|&a| self.is_block_free(sizes, source_class, a))
+            .or_else(|| self.peek_near(sizes, source_class, prefer))
+            .expect("has_free implies peek succeeds");
+        self.remove(sizes, source_class, addr);
+        let mut cur_class = source_class;
+        let mut cur_addr = addr;
+        while cur_class > c {
+            let child = sizes[cur_class - 1];
+            let nchildren = sizes[cur_class] / child;
+            let chosen = match prefer {
+                Some(p) if (cur_addr..cur_addr + sizes[cur_class]).contains(&p) => {
+                    cur_addr + (p - cur_addr) / child * child
+                }
+                _ => cur_addr,
+            };
+            for k in 0..nchildren {
+                let a = cur_addr + k * child;
+                if a != chosen {
+                    self.insert(sizes, cur_class - 1, a);
+                }
+            }
+            cur_addr = chosen;
+            cur_class -= 1;
+        }
+        Some(cur_addr)
+    }
+
+    /// Returns a class-`c` block to the region, coalescing complete parent
+    /// blocks upward — "these allocation policies attempt to coalesce
+    /// buddies whenever possible".
+    pub fn free_block(&mut self, sizes: &[u64], c: usize, addr: u64) {
+        self.insert(sizes, c, addr);
+        let mut c = c;
+        let mut addr = addr;
+        while c + 1 < sizes.len() {
+            let parent = addr - addr % sizes[c + 1];
+            if parent < self.base || parent + sizes[c + 1] > self.end {
+                break;
+            }
+            let nchildren = sizes[c + 1] / sizes[c];
+            let all_free = (0..nchildren).all(|k| {
+                self.is_block_free(sizes, c, parent + k * sizes[c])
+            });
+            if !all_free {
+                break;
+            }
+            for k in 0..nchildren {
+                self.remove(sizes, c, parent + k * sizes[c]);
+            }
+            self.insert(sizes, c + 1, parent);
+            addr = parent;
+            c += 1;
+        }
+    }
+
+    /// Debug invariant: every free block aligned, in bounds, disjoint;
+    /// unit count consistent; complete parents always promoted.
+    #[doc(hidden)]
+    pub fn check_invariants(&self, sizes: &[u64]) {
+        let mut spans: Vec<(u64, u64)> = Vec::new();
+        let mut total = 0u64;
+        for (c, list) in self.lists.iter().enumerate() {
+            for &a in list {
+                assert_eq!(a % sizes[c], 0);
+                assert!(a >= self.base && a + sizes[c] <= self.end);
+                spans.push((a, sizes[c]));
+                total += sizes[c];
+            }
+        }
+        let top = sizes.len() - 1;
+        for slot in 0..self.top_bitmap.len() {
+            if self.top_bitmap.is_free(slot) {
+                let a = self.slot_addr(sizes, slot);
+                spans.push((a, sizes[top]));
+                total += sizes[top];
+            }
+        }
+        assert_eq!(total, self.free_units, "region free-unit count out of sync");
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            assert!(w[0].0 + w[0].1 <= w[1].0, "overlapping free blocks in region");
+        }
+        // Maximal promotion: no complete free parent left unpromoted.
+        for c in 0..sizes.len() - 1 {
+            for &a in self.lists[c].iter() {
+                let parent = a - a % sizes[c + 1];
+                if parent >= self.base && parent + sizes[c + 1] <= self.end {
+                    let nchildren = sizes[c + 1] / sizes[c];
+                    let all = (0..nchildren).all(|k| self.is_block_free(sizes, c, parent + k * sizes[c]));
+                    assert!(!all, "unpromoted complete parent at {parent} class {c}");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIZES: &[u64] = &[1, 8, 64]; // 1K/8K/64K in 1 K units
+
+    #[test]
+    fn seeding_fills_with_top_blocks() {
+        let r = Region::new(0, 640, SIZES);
+        assert_eq!(r.free_units(), 640);
+        assert!(r.has_free(SIZES, 2));
+        assert!(!r.has_free(SIZES, 0), "everything promoted to top blocks");
+        r.check_invariants(SIZES);
+    }
+
+    #[test]
+    fn seeding_handles_ragged_tail() {
+        // 100 units: one 64-block, four 8-blocks, four 1-blocks.
+        let r = Region::new(0, 100, SIZES);
+        assert_eq!(r.free_units(), 100);
+        r.check_invariants(SIZES);
+    }
+
+    #[test]
+    fn take_near_prefers_address_at_or_after() {
+        let mut r = Region::new(0, 640, SIZES);
+        let a = r.take_near(SIZES, 2, Some(128)).unwrap();
+        assert_eq!(a, 128);
+        // Last block (576..640) then a repeat of the same preference: the
+        // search wraps to the lowest free block.
+        let b = r.take_near(SIZES, 2, Some(600)).unwrap();
+        assert_eq!(b, 576);
+        let c = r.take_near(SIZES, 2, Some(600)).unwrap();
+        assert_eq!(c, 0, "wraps to lowest when nothing at/after prefer");
+        r.check_invariants(SIZES);
+    }
+
+    #[test]
+    fn split_descends_to_requested_class() {
+        let mut r = Region::new(0, 640, SIZES);
+        assert!(!r.has_free(SIZES, 0));
+        let a = r.split_for(SIZES, 0, None).unwrap();
+        assert_eq!(a, 0);
+        // Remainders: 7 class-0 blocks and 7 class-1 blocks.
+        assert!(r.has_free(SIZES, 0));
+        assert!(r.has_free(SIZES, 1));
+        assert_eq!(r.free_units(), 640 - 1);
+        r.check_invariants(SIZES);
+    }
+
+    #[test]
+    fn split_carves_block_containing_preferred_address() {
+        let mut r = Region::new(0, 640, SIZES);
+        let a = r.split_for(SIZES, 0, Some(70)).unwrap();
+        assert_eq!(a, 70, "the child containing the preferred unit");
+        r.check_invariants(SIZES);
+    }
+
+    #[test]
+    fn free_block_promotes_complete_parents() {
+        let mut r = Region::new(0, 640, SIZES);
+        // Split a top block fully into class-0 pieces.
+        let mut taken = Vec::new();
+        for _ in 0..64 {
+            let a = r
+                .take_near(SIZES, 0, None)
+                .or_else(|| r.split_for(SIZES, 0, None))
+                .unwrap();
+            taken.push(a);
+        }
+        assert_eq!(r.free_units(), 640 - 64);
+        for a in taken {
+            r.free_block(SIZES, 0, a);
+        }
+        assert_eq!(r.free_units(), 640);
+        assert!(!r.has_free(SIZES, 0), "all coalesced back to top blocks");
+        assert!(!r.has_free(SIZES, 1));
+        r.check_invariants(SIZES);
+    }
+
+    #[test]
+    fn take_exact_only_takes_free_blocks() {
+        let mut r = Region::new(0, 640, SIZES);
+        assert!(r.take_exact(SIZES, 2, 64));
+        assert!(!r.take_exact(SIZES, 2, 64), "already taken");
+        assert!(!r.take_exact(SIZES, 0, 64), "not free at that class");
+        r.check_invariants(SIZES);
+    }
+
+    #[test]
+    fn nonzero_base_regions_work() {
+        let mut r = Region::new(640, 1280, SIZES);
+        let a = r.take_near(SIZES, 2, None).unwrap();
+        assert_eq!(a, 640);
+        assert!(r.contains(700));
+        assert!(!r.contains(100));
+        r.free_block(SIZES, 2, a);
+        assert_eq!(r.free_units(), 640);
+        r.check_invariants(SIZES);
+    }
+
+    #[test]
+    fn has_larger_reports_split_potential() {
+        let mut r = Region::new(0, 64, SIZES);
+        assert!(r.has_larger(SIZES, 0));
+        assert!(!r.has_larger(SIZES, 2));
+        let _ = r.take_near(SIZES, 2, None).unwrap();
+        assert!(!r.has_larger(SIZES, 0), "nothing left at all");
+    }
+
+    #[test]
+    fn single_class_region_uses_bitmap_only() {
+        let sizes = &[4u64];
+        let mut r = Region::new(0, 40, sizes);
+        assert_eq!(r.free_units(), 40);
+        let a = r.take_near(sizes, 0, None).unwrap();
+        assert_eq!(a, 0);
+        r.free_block(sizes, 0, a);
+        r.check_invariants(sizes);
+    }
+}

@@ -1,0 +1,114 @@
+//! Shared value types for the allocation layer.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A contiguous run of disk units in the array's logical address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Extent {
+    /// First disk unit of the run.
+    pub start: u64,
+    /// Length in disk units (always > 0 for stored extents).
+    pub len: u64,
+}
+
+impl Extent {
+    /// Builds an extent; `len` must be positive.
+    pub fn new(start: u64, len: u64) -> Self {
+        debug_assert!(len > 0, "zero-length extent");
+        Extent { start, len }
+    }
+
+    /// One-past-the-end unit.
+    pub fn end(&self) -> u64 {
+        self.start + self.len
+    }
+
+    /// True when `other` begins exactly where `self` ends.
+    pub fn abuts(&self, other: &Extent) -> bool {
+        self.end() == other.start
+    }
+
+    /// True when the two extents share at least one unit.
+    pub fn overlaps(&self, other: &Extent) -> bool {
+        self.start < other.end() && other.start < self.end()
+    }
+}
+
+impl fmt::Display for Extent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, +{})", self.start, self.len)
+    }
+}
+
+/// Identifier of a file known to a policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FileId(pub u32);
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Per-file information a policy may use when creating a file.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FileHints {
+    /// Mean extent size for extent-based systems (Table 2's "Allocation
+    /// Size" parameter), in bytes. Other policies ignore it.
+    pub mean_extent_bytes: u64,
+}
+
+impl Default for FileHints {
+    fn default() -> Self {
+        FileHints { mean_extent_bytes: 4 * 1024 }
+    }
+}
+
+/// Why an allocation could not be satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AllocError {
+    /// No block/extent of the required size exists anywhere — the §3
+    /// "disk full condition" that ends an allocation test. The payload is
+    /// the number of units that could not be found.
+    DiskFull(u64),
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::DiskFull(units) => write!(f, "disk full: no room for {units} units"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extent_end_and_abut() {
+        let a = Extent::new(0, 10);
+        let b = Extent::new(10, 5);
+        assert_eq!(a.end(), 10);
+        assert!(a.abuts(&b));
+        assert!(!b.abuts(&a));
+    }
+
+    #[test]
+    fn extent_overlap_cases() {
+        let a = Extent::new(10, 10);
+        assert!(a.overlaps(&Extent::new(15, 1)));
+        assert!(a.overlaps(&Extent::new(5, 6)));
+        assert!(!a.overlaps(&Extent::new(20, 5)));
+        assert!(!a.overlaps(&Extent::new(0, 10)));
+    }
+
+    #[test]
+    fn error_formats() {
+        let e = AllocError::DiskFull(42);
+        assert!(e.to_string().contains("42"));
+    }
+}

@@ -1,0 +1,30 @@
+//! §6 future-work ablations: redundancy layouts, stripe-unit sensitivity,
+//! and file-mix sensitivity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use readopt_bench::bench_context;
+use readopt_core::ablations;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    println!("{}", ablations::run_raid(&ctx));
+    println!("{}", ablations::run_stripe_unit(&ctx));
+    println!("{}", ablations::run_file_mix(&ctx));
+    println!("{}", ablations::run_reallocation(&ctx));
+    println!("{}", ablations::run_ffs_comparison(&ctx));
+    let mut group = c.benchmark_group("ablations");
+    group.bench_function("raid_layouts", |b| b.iter(|| black_box(ablations::run_raid(&ctx))));
+    group.bench_function("stripe_unit", |b| b.iter(|| black_box(ablations::run_stripe_unit(&ctx))));
+    group.bench_function("file_mix", |b| b.iter(|| black_box(ablations::run_file_mix(&ctx))));
+    group.bench_function("reallocation", |b| b.iter(|| black_box(ablations::run_reallocation(&ctx))));
+    group.bench_function("ffs_comparison", |b| b.iter(|| black_box(ablations::run_ffs_comparison(&ctx))));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = readopt_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Table 1 infrastructure: maximum-bandwidth calibration across the four
+//! §2.1 disk configurations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use readopt_bench::bench_context;
+use readopt_core::table1;
+use readopt_disk::{calibrate_max_bandwidth, ArrayConfig, ArrayLayout};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    println!("{}", table1::run(&ctx));
+    let mut group = c.benchmark_group("calibrate");
+    for layout in [
+        ArrayLayout::Striped,
+        ArrayLayout::Mirrored,
+        ArrayLayout::Raid5,
+        ArrayLayout::ParityStriped,
+    ] {
+        let cfg = ArrayConfig { layout, ..ctx.array };
+        group.bench_function(format!("{layout:?}"), |b| {
+            b.iter(|| black_box(calibrate_max_bandwidth(black_box(&cfg))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = readopt_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

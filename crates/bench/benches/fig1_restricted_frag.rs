@@ -1,0 +1,30 @@
+//! Figure 1: restricted-buddy fragmentation sweep (allocation tests).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use readopt_alloc::{PolicyConfig, RestrictedConfig};
+use readopt_bench::bench_context;
+use readopt_core::fig1;
+use readopt_workloads::WorkloadKind;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    println!("{}", fig1::run(&ctx));
+    let mut group = c.benchmark_group("fig1_restricted_frag");
+    for wl in WorkloadKind::all() {
+        for (nsizes, grow) in [(2usize, 1u64), (5, 1), (5, 2)] {
+            let policy = PolicyConfig::Restricted(RestrictedConfig::sweep_point(nsizes, grow, true));
+            group.bench_function(format!("{}/{}sizes-g{}", wl.short_name(), nsizes, grow), |b| {
+                b.iter(|| black_box(ctx.run_allocation(wl, policy.clone())))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = readopt_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

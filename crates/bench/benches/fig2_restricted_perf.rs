@@ -1,0 +1,28 @@
+//! Figure 2: restricted-buddy application/sequential performance sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use readopt_alloc::{PolicyConfig, RestrictedConfig};
+use readopt_bench::bench_context;
+use readopt_core::fig2;
+use readopt_workloads::WorkloadKind;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    println!("{}", fig2::run(&ctx));
+    let mut group = c.benchmark_group("fig2_restricted_perf");
+    for wl in WorkloadKind::all() {
+        let policy = PolicyConfig::Restricted(RestrictedConfig::sweep_point(5, 1, true));
+        group.bench_function(wl.short_name(), |b| {
+            b.iter(|| black_box(ctx.run_performance(wl, policy.clone())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = readopt_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Figure 3: the grow-factor / contiguity interaction trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use readopt_core::fig3;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig3::run());
+    c.bench_function("fig3_grow_seek", |b| b.iter(|| black_box(fig3::run())));
+}
+
+criterion_group! {
+    name = benches;
+    config = readopt_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

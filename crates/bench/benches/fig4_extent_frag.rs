@@ -1,0 +1,30 @@
+//! Figure 4: extent-based fragmentation sweep (allocation tests).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use readopt_alloc::FitStrategy;
+use readopt_bench::bench_context;
+use readopt_core::fig4;
+use readopt_workloads::WorkloadKind;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    println!("{}", fig4::run(&ctx));
+    let mut group = c.benchmark_group("fig4_extent_frag");
+    for wl in WorkloadKind::all() {
+        for fit in [FitStrategy::FirstFit, FitStrategy::BestFit] {
+            let policy = ctx.extent_policy(wl, 3, fit);
+            group.bench_function(format!("{}/{fit:?}", wl.short_name()), |b| {
+                b.iter(|| black_box(ctx.run_allocation(wl, policy.clone())))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = readopt_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 5: extent-based application/sequential performance sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use readopt_alloc::FitStrategy;
+use readopt_bench::bench_context;
+use readopt_core::fig5;
+use readopt_workloads::WorkloadKind;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    println!("{}", fig5::run(&ctx));
+    let mut group = c.benchmark_group("fig5_extent_perf");
+    for wl in WorkloadKind::all() {
+        let policy = ctx.extent_policy(wl, 3, FitStrategy::FirstFit);
+        group.bench_function(wl.short_name(), |b| {
+            b.iter(|| black_box(ctx.run_performance(wl, policy.clone())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = readopt_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 6: the four-policy comparative performance grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use readopt_bench::bench_context;
+use readopt_core::fig6;
+use readopt_workloads::WorkloadKind;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    println!("{}", fig6::run(&ctx));
+    let mut group = c.benchmark_group("fig6_comparison");
+    for wl in WorkloadKind::all() {
+        for (name, policy) in fig6::policies_for(&ctx, wl) {
+            group.bench_function(format!("{}/{name}", wl.short_name()), |b| {
+                b.iter(|| black_box(ctx.run_performance(wl, policy.clone())))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = readopt_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Micro-benchmarks of the `readopt-fs` facade: per-operation simulator
+//! overhead (not simulated time — real wall time per call).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use readopt_alloc::PolicyConfig;
+use readopt_disk::ArrayConfig;
+use readopt_fs::{CacheConfig, FileSystem, FsConfig};
+use std::hint::black_box;
+
+fn fresh(cache: bool) -> FileSystem {
+    FileSystem::format(FsConfig {
+        array: ArrayConfig::scaled(64),
+        policy: PolicyConfig::paper_restricted(),
+        cache: cache.then(CacheConfig::default),
+        seed: 17,
+    })
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fs_ops");
+
+    group.bench_function("create_write_unlink_8k", |b| {
+        let mut fs = fresh(false);
+        let mut i = 0u64;
+        b.iter(|| {
+            let path = format!("/f{i}");
+            i += 1;
+            let fd = fs.create(&path).unwrap();
+            fs.write(fd, 8 * 1024).unwrap();
+            fs.close(fd).unwrap();
+            fs.unlink(&path).unwrap();
+        });
+    });
+
+    group.bench_function("sequential_write_64k", |b| {
+        let mut fs = fresh(false);
+        let fd = fs.create("/stream").unwrap();
+        b.iter(|| {
+            black_box(fs.write(fd, 64 * 1024).unwrap());
+            // Keep the file from consuming the disk.
+            if fs.stat("/stream").unwrap().size_bytes > 16 * 1024 * 1024 {
+                fs.truncate("/stream", 0).unwrap();
+                fs.seek(fd, 0).unwrap();
+            }
+        });
+    });
+
+    group.bench_function("random_pread_8k", |b| {
+        let mut fs = fresh(false);
+        let fd = fs.create("/table").unwrap();
+        fs.write(fd, 8 * 1024 * 1024).unwrap();
+        let mut pos = 0u64;
+        b.iter(|| {
+            pos = (pos.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407))
+                % (8 * 1024 * 1024 - 8192);
+            black_box(fs.pread(fd, pos / 8192 * 8192, 8192).unwrap());
+        });
+    });
+
+    group.bench_function("cached_pread_8k", |b| {
+        let mut fs = fresh(true);
+        let fd = fs.create("/hot").unwrap();
+        fs.write(fd, 1024 * 1024).unwrap();
+        let mut pos = 0u64;
+        b.iter(|| {
+            pos = (pos + 8192) % (1024 * 1024 - 8192);
+            black_box(fs.pread(fd, pos, 8192).unwrap());
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = readopt_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

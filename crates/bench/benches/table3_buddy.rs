@@ -1,0 +1,30 @@
+//! Table 3: the full §3 suite for buddy allocation on each workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use readopt_alloc::PolicyConfig;
+use readopt_bench::bench_context;
+use readopt_core::table3;
+use readopt_workloads::WorkloadKind;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    println!("{}", table3::run(&ctx));
+    let mut group = c.benchmark_group("table3_buddy");
+    for wl in WorkloadKind::all() {
+        group.bench_function(format!("allocation/{}", wl.short_name()), |b| {
+            b.iter(|| black_box(ctx.run_allocation(wl, PolicyConfig::paper_buddy())))
+        });
+        group.bench_function(format!("performance/{}", wl.short_name()), |b| {
+            b.iter(|| black_box(ctx.run_performance(wl, PolicyConfig::paper_buddy())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = readopt_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

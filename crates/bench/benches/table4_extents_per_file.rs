@@ -1,0 +1,22 @@
+//! Table 4: average number of extents per file across the extent-range
+//! sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use readopt_bench::bench_context;
+use readopt_core::table4;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    println!("{}", table4::run(&ctx));
+    c.bench_function("table4_extents_per_file", |b| {
+        b.iter(|| black_box(table4::run(black_box(&ctx))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = readopt_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Shared plumbing for the criterion bench targets.
+//!
+//! Each bench target corresponds to one table or figure of the paper: it
+//! first *prints* the experiment's table (regenerating the paper's rows at
+//! the configured scale), then times the experiment with criterion so
+//! simulator performance regressions are visible.
+//!
+//! Scale is 1/128 of the paper's array by default — small enough that the
+//! full `cargo bench` suite finishes in minutes — and can be overridden
+//! with the `READOPT_BENCH_SCALE` environment variable (`1` = full paper
+//! scale).
+
+use criterion::Criterion;
+use readopt_core::ExperimentContext;
+
+/// The experiment context benches run under.
+pub fn bench_context() -> ExperimentContext {
+    let scale = std::env::var("READOPT_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<u32>().ok())
+        .unwrap_or(128);
+    let mut ctx = if scale <= 1 {
+        ExperimentContext::full()
+    } else {
+        ExperimentContext::fast(scale)
+    };
+    // Benches need tight bounds on measured intervals.
+    ctx.max_intervals = 6;
+    ctx
+}
+
+/// A criterion instance tuned for heavyweight end-to-end benches.
+pub fn criterion() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(4))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .configure_from_args()
+}

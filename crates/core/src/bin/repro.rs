@@ -1,0 +1,225 @@
+//! `repro` — regenerates every table and figure of Seltzer & Stonebraker's
+//! "Read Optimized File System Designs: A Performance Evaluation".
+//!
+//! ```text
+//! usage: repro [EXPERIMENT ...] [--scale N] [--seed S] [--intervals K] [--json DIR]
+//!
+//! EXPERIMENT: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 table4 fig6 ablations diag all
+//!             (default: all)
+//! --scale N:     divide the paper's 2.8 GB array capacity by N (default 1,
+//!                i.e. full paper scale; benches use 64)
+//! --seed S:      base RNG seed (default 1991)
+//! --intervals K: cap on measured 10 s intervals per performance test
+//! --json DIR:    also write each result as DIR/<experiment>.json
+//! ```
+
+use readopt_core::{ablations, diag, fig1, fig2, fig3, fig4, fig5, fig6, table1, table2, table3, table4, ExperimentContext};
+use serde::Serialize;
+use std::io::Write;
+use std::time::Instant;
+
+struct Options {
+    experiments: Vec<String>,
+    scale: u32,
+    seed: u64,
+    intervals: Option<usize>,
+    json_dir: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        experiments: Vec::new(),
+        scale: 1,
+        seed: 1991,
+        intervals: None,
+        json_dir: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                opts.scale = args
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?;
+            }
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--intervals" => {
+                opts.intervals = Some(
+                    args.next()
+                        .ok_or("--intervals needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--intervals: {e}"))?,
+                );
+            }
+            "--json" => {
+                opts.json_dir = Some(args.next().ok_or("--json needs a directory")?);
+            }
+            "--help" | "-h" => {
+                return Err("help".into());
+            }
+            name if !name.starts_with('-') => opts.experiments.push(name.to_string()),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if opts.experiments.is_empty() {
+        opts.experiments.push("all".into());
+    }
+    Ok(opts)
+}
+
+fn write_json<T: Serialize>(dir: &Option<String>, name: &str, value: &T) {
+    let Some(dir) = dir else { return };
+    std::fs::create_dir_all(dir).expect("create json dir");
+    let path = format!("{dir}/{name}.json");
+    let json = serde_json::to_string_pretty(value).expect("serialize result");
+    std::fs::write(&path, json).expect("write json");
+    eprintln!("  wrote {path}");
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            if e != "help" {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!(
+                "usage: repro [EXPERIMENT ...] [--scale N] [--seed S] [--intervals K] [--json DIR]\n\
+                 experiments: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 table4 fig6 ablations diag all"
+            );
+            std::process::exit(if e == "help" { 0 } else { 2 });
+        }
+    };
+
+    let mut ctx = if opts.scale <= 1 {
+        ExperimentContext::full()
+    } else {
+        ExperimentContext::fast(opts.scale)
+    };
+    ctx = ctx.with_seed(opts.seed);
+    if let Some(k) = opts.intervals {
+        ctx.max_intervals = k;
+    }
+
+    println!(
+        "readopt repro — array: {} disks, {:.2} GB usable (scale 1/{}), seed {}\n",
+        ctx.array.ndisks,
+        ctx.array.capacity_bytes() as f64 / 1e9,
+        opts.scale.max(1),
+        ctx.seed
+    );
+
+    let run_all = opts.experiments.iter().any(|e| e == "all");
+    let wants = |name: &str| run_all || opts.experiments.iter().any(|e| e == name);
+    let mut ran = 0;
+
+    macro_rules! experiment {
+        ($name:literal, $body:expr) => {
+            if wants($name) {
+                let t0 = Instant::now();
+                let result = $body;
+                println!("{result}");
+                println!("  [{} finished in {:.1}s]\n", $name, t0.elapsed().as_secs_f64());
+                write_json(&opts.json_dir, $name, &result);
+                ran += 1;
+                let _ = std::io::stdout().flush();
+            }
+        };
+    }
+
+    experiment!("table1", table1::run(&ctx));
+    experiment!("table2", table2::run(&ctx));
+    experiment!("diag", diag::run(&ctx));
+    experiment!("table3", table3::run(&ctx));
+    if wants("fig1") {
+        let t0 = Instant::now();
+        let result = fig1::run(&ctx);
+        println!("{result}");
+        println!("{}", result.chart());
+        println!("  [fig1 finished in {:.1}s]\n", t0.elapsed().as_secs_f64());
+        write_json(&opts.json_dir, "fig1", &result);
+        ran += 1;
+        let _ = std::io::stdout().flush();
+    }
+    if wants("fig2") {
+        let t0 = Instant::now();
+        let result = fig2::run(&ctx);
+        println!("{result}");
+        println!("{}", result.chart());
+        println!("  [fig2 finished in {:.1}s]\n", t0.elapsed().as_secs_f64());
+        write_json(&opts.json_dir, "fig2", &result);
+        ran += 1;
+        let _ = std::io::stdout().flush();
+    }
+    experiment!("fig3", fig3::run());
+    if wants("fig4") {
+        let t0 = Instant::now();
+        let result = fig4::run(&ctx);
+        println!("{result}");
+        println!("{}", result.chart());
+        println!("  [fig4 finished in {:.1}s]\n", t0.elapsed().as_secs_f64());
+        write_json(&opts.json_dir, "fig4", &result);
+        ran += 1;
+        let _ = std::io::stdout().flush();
+    }
+    if wants("fig5") {
+        let t0 = Instant::now();
+        let result = fig5::run(&ctx);
+        println!("{result}");
+        println!("{}", result.chart());
+        println!("  [fig5 finished in {:.1}s]\n", t0.elapsed().as_secs_f64());
+        write_json(&opts.json_dir, "fig5", &result);
+        ran += 1;
+        let _ = std::io::stdout().flush();
+    }
+    experiment!("table4", table4::run(&ctx));
+    if wants("fig6") {
+        let t0 = Instant::now();
+        let result = fig6::run(&ctx);
+        println!("{result}");
+        println!("{}", result.chart());
+        println!("  [fig6 finished in {:.1}s]\n", t0.elapsed().as_secs_f64());
+        write_json(&opts.json_dir, "fig6", &result);
+        ran += 1;
+        let _ = std::io::stdout().flush();
+    }
+    if wants("ablations") {
+        let t0 = Instant::now();
+        let raid = ablations::run_raid(&ctx);
+        println!("{raid}");
+        write_json(&opts.json_dir, "ablation_raid", &raid);
+        let stripe = ablations::run_stripe_unit(&ctx);
+        println!("{stripe}");
+        write_json(&opts.json_dir, "ablation_stripe", &stripe);
+        let mix = ablations::run_file_mix(&ctx);
+        println!("{mix}");
+        write_json(&opts.json_dir, "ablation_file_mix", &mix);
+        let realloc = ablations::run_reallocation(&ctx);
+        println!("{realloc}");
+        write_json(&opts.json_dir, "ablation_realloc", &realloc);
+        let ffs = ablations::run_ffs_comparison(&ctx);
+        println!("{ffs}");
+        write_json(&opts.json_dir, "ablation_ffs", &ffs);
+        let degraded = ablations::run_degraded_raid(&ctx);
+        println!("{degraded}");
+        write_json(&opts.json_dir, "ablation_degraded_raid", &degraded);
+        let generations = ablations::run_disk_generations(&ctx);
+        println!("{generations}");
+        write_json(&opts.json_dir, "ablation_disk_generations", &generations);
+        println!("  [ablations finished in {:.1}s]\n", t0.elapsed().as_secs_f64());
+        ran += 1;
+    }
+
+    if ran == 0 {
+        eprintln!("no experiment matched {:?}", opts.experiments);
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,129 @@
+//! Diagnostics: where does the disk time go?
+//!
+//! Not a paper artifact — this decomposes each (workload, policy)
+//! application run into seek / rotational-latency / transfer shares of disk
+//! busy time, plus utilization. It is the quantitative backing for the
+//! throughput discussion in EXPERIMENTS.md: read-optimized layouts win by
+//! converting seek time into transfer time, and this table shows exactly
+//! how much of each the policies buy.
+
+use crate::context::ExperimentContext;
+use crate::fig6::policies_for;
+use crate::report::{pct, TextTable};
+use readopt_sim::Simulation;
+use readopt_workloads::WorkloadKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One (workload, policy) decomposition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiagRow {
+    /// Workload label.
+    pub workload: String,
+    /// Policy label.
+    pub policy: String,
+    /// Application throughput, % of max.
+    pub application_pct: f64,
+    /// Share of disk busy time spent seeking, %.
+    pub seek_share_pct: f64,
+    /// Share spent in rotational latency, %.
+    pub rotation_share_pct: f64,
+    /// Share spent transferring data, %.
+    pub transfer_share_pct: f64,
+    /// Mean physical request size, KB.
+    pub avg_request_kb: f64,
+    /// Mean disk busy fraction during the measured window.
+    pub disk_utilization: f64,
+}
+
+/// The full diagnostic grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diag {
+    /// 3 workloads × 4 policies.
+    pub rows: Vec<DiagRow>,
+}
+
+/// Runs the application test for every Figure 6 cell and decomposes the
+/// disk time.
+pub fn run(ctx: &ExperimentContext) -> Diag {
+    let mut rows = Vec::new();
+    for wl in [
+        WorkloadKind::Supercomputer,
+        WorkloadKind::TransactionProcessing,
+        WorkloadKind::Timesharing,
+    ] {
+        for (name, policy) in policies_for(ctx, wl) {
+            let cfg = ctx.sim_config(wl, policy);
+            let mut sim = Simulation::new(&cfg, ctx.seed.wrapping_add(1));
+            let app = sim.run_application_test();
+            let stats = sim.storage().stats();
+            let c = stats.combined();
+            let busy = c.busy_ms.max(1e-9);
+            rows.push(DiagRow {
+                workload: wl.short_name().to_string(),
+                policy: name,
+                application_pct: app.throughput_pct,
+                seek_share_pct: 100.0 * c.seek_ms / busy,
+                rotation_share_pct: 100.0 * c.rotational_ms / busy,
+                transfer_share_pct: 100.0 * c.transfer_ms / busy,
+                avg_request_kb: c.bytes_total() as f64 / c.requests.max(1) as f64 / 1024.0,
+                disk_utilization: (c.busy_ms
+                    / (stats.per_disk.len() as f64 * app.measured_ms.max(1e-9)))
+                .min(1.0),
+            });
+        }
+    }
+    Diag { rows }
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = TextTable::new("Diagnostics: disk-time decomposition (application tests)")
+            .headers([
+                "workload", "policy", "app %max", "seek", "rotation", "transfer", "avg req", "disk busy",
+            ]);
+        for r in &self.rows {
+            t.row([
+                r.workload.clone(),
+                r.policy.clone(),
+                pct(r.application_pct),
+                pct(r.seek_share_pct),
+                pct(r.rotation_share_pct),
+                pct(r.transfer_share_pct),
+                format!("{:.1}K", r.avg_request_kb),
+                pct(100.0 * r.disk_utilization),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decomposition_sums_to_one_and_tells_the_story() {
+        let diag = run(&ExperimentContext::fast(64));
+        assert_eq!(diag.rows.len(), 12);
+        for r in &diag.rows {
+            let total = r.seek_share_pct + r.rotation_share_pct + r.transfer_share_pct;
+            assert!((total - 100.0).abs() < 0.5, "{}/{}: shares sum to {total}", r.workload, r.policy);
+        }
+        // SC under a multiblock policy spends most disk time transferring;
+        // TS under any policy is seek/rotation dominated.
+        let sc_buddy = diag.rows.iter().find(|r| r.workload == "SC" && r.policy == "buddy").unwrap();
+        let ts_buddy = diag.rows.iter().find(|r| r.workload == "TS" && r.policy == "buddy").unwrap();
+        assert!(
+            sc_buddy.transfer_share_pct > 55.0,
+            "SC buddy transfer share {}",
+            sc_buddy.transfer_share_pct
+        );
+        assert!(
+            ts_buddy.transfer_share_pct < 50.0,
+            "TS buddy transfer share {}",
+            ts_buddy.transfer_share_pct
+        );
+        assert!(sc_buddy.avg_request_kb > ts_buddy.avg_request_kb);
+    }
+}

@@ -1,0 +1,234 @@
+//! Fixed-width text tables for experiment output.
+
+use std::fmt;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table with a title line.
+    pub fn new(title: impl Into<String>) -> Self {
+        TextTable { title: title.into(), headers: Vec::new(), rows: Vec::new() }
+    }
+
+    /// Sets the header row.
+    pub fn headers<I, S>(mut self, headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.headers = headers.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends a data row.
+    pub fn row<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; ncols];
+        for row in std::iter::once(&self.headers).chain(self.rows.iter()) {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        let total: usize = widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1);
+        writeln!(f, "{}", "=".repeat(self.title.chars().count().max(total)))?;
+        let write_row = |f: &mut fmt::Formatter<'_>, row: &[String]| -> fmt::Result {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect();
+            writeln!(f, "{}", cells.join(" | ").trim_end())
+        };
+        if !self.headers.is_empty() {
+            write_row(f, &self.headers)?;
+            writeln!(f, "{}", "-".repeat(total))?;
+        }
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a percentage with one decimal: `12.3%`.
+pub fn pct(v: f64) -> String {
+    format!("{v:.1}%")
+}
+
+/// A horizontal bar chart, for rendering the paper's figures as text.
+#[derive(Debug, Clone, Default)]
+pub struct BarChart {
+    title: String,
+    bars: Vec<(String, f64)>,
+    /// Fixed scale maximum; `None` auto-scales to the largest bar.
+    max: Option<f64>,
+    /// Minimum full-scale value when auto-scaling.
+    floor: f64,
+    width: usize,
+}
+
+impl BarChart {
+    /// Starts a chart.
+    pub fn new(title: impl Into<String>) -> Self {
+        BarChart { title: title.into(), bars: Vec::new(), max: None, floor: 0.0, width: 40 }
+    }
+
+    /// Fixes the full-scale value (e.g. 100 for percentages).
+    pub fn scale_to(mut self, max: f64) -> Self {
+        self.max = Some(max);
+        self
+    }
+
+    /// Auto-scales, but never below `floor` — keeps near-zero panels from
+    /// blowing tiny noise up to full-width bars.
+    pub fn scale_at_least(mut self, floor: f64) -> Self {
+        self.max = None;
+        self.floor = floor;
+        self
+    }
+
+    /// Appends a bar.
+    pub fn bar(&mut self, label: impl Into<String>, value: f64) {
+        self.bars.push((label.into(), value));
+    }
+
+    /// Inserts a blank separator line between groups.
+    pub fn gap(&mut self) {
+        self.bars.push((String::new(), f64::NAN));
+    }
+}
+
+impl fmt::Display for BarChart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label_w = self.bars.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+        let max = self
+            .max
+            .unwrap_or_else(|| self.bars.iter().map(|&(_, v)| v).fold(self.floor, f64::max))
+            .max(1e-9);
+        writeln!(f, "{}", self.title)?;
+        for (label, value) in &self.bars {
+            if value.is_nan() {
+                writeln!(f)?;
+                continue;
+            }
+            let filled = ((value / max) * self.width as f64).round().clamp(0.0, self.width as f64);
+            writeln!(
+                f,
+                "  {:<label_w$} |{:<bar_w$}| {:.1}",
+                label,
+                "█".repeat(filled as usize),
+                value,
+                label_w = label_w,
+                bar_w = self.width
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a byte count using binary units the paper's style ("8K", "16M").
+pub fn bytes(b: u64) -> String {
+    const KB: u64 = 1024;
+    const MB: u64 = 1024 * KB;
+    const GB: u64 = 1024 * MB;
+    if b >= GB && b.is_multiple_of(GB) {
+        format!("{}G", b / GB)
+    } else if b >= MB && b.is_multiple_of(MB) {
+        format!("{}M", b / MB)
+    } else if b >= KB && b.is_multiple_of(KB) {
+        format!("{}K", b / KB)
+    } else {
+        format!("{b}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new("Demo").headers(["name", "value"]);
+        t.row(["alpha", "1"]);
+        t.row(["b", "22222"]);
+        let s = t.to_string();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("alpha | 1"));
+        assert!(s.contains("b     | 22222"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn pct_and_bytes_formatting() {
+        assert_eq!(pct(88.04), "88.0%");
+        assert_eq!(bytes(1024), "1K");
+        assert_eq!(bytes(16 * 1024 * 1024), "16M");
+        assert_eq!(bytes(3 * 1024 * 1024 * 1024), "3G");
+        assert_eq!(bytes(1500), "1500B");
+    }
+
+    #[test]
+    fn empty_table_renders() {
+        let t = TextTable::new("Empty");
+        assert!(t.to_string().contains("Empty"));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn bar_chart_scales_and_aligns() {
+        let mut c = BarChart::new("demo").scale_to(100.0);
+        c.bar("full", 100.0);
+        c.bar("half", 50.0);
+        c.gap();
+        c.bar("tiny", 1.0);
+        let s = c.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].matches('█').count() == 40, "{}", lines[1]);
+        assert!(lines[2].matches('█').count() == 20, "{}", lines[2]);
+        assert_eq!(lines[3].trim(), "");
+        assert!(lines[4].contains("1.0"));
+    }
+
+    #[test]
+    fn bar_chart_autoscale() {
+        let mut c = BarChart::new("auto");
+        c.bar("a", 10.0);
+        c.bar("b", 5.0);
+        let s = c.to_string();
+        assert!(s.lines().nth(1).unwrap().matches('█').count() == 40);
+    }
+}

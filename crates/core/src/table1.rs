@@ -1,0 +1,85 @@
+//! Table 1: disk drive parameters and the simulated system's maximum
+//! throughput.
+//!
+//! The parameters are inputs, not results — this driver exists so the repro
+//! harness can print them next to the *calibrated* maximum sequential
+//! bandwidth, the 100 % reference every other experiment normalizes by
+//! (paper: 10.8 MB/s for the 8-disk Wren IV system).
+
+use crate::context::ExperimentContext;
+use crate::report::TextTable;
+use readopt_disk::calibrate_max_bandwidth;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Table 1's contents for the configured system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1 {
+    /// Number of disks in the array.
+    pub ndisks: usize,
+    /// Total usable capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Platters (data surfaces) per disk.
+    pub platters: u32,
+    /// Cylinders per disk.
+    pub cylinders: u32,
+    /// Bytes per track.
+    pub track_bytes: u64,
+    /// Single-track seek time, ms.
+    pub single_track_seek_ms: f64,
+    /// Incremental seek time, ms per track.
+    pub incremental_seek_ms: f64,
+    /// Rotation time, ms.
+    pub rotation_ms: f64,
+    /// Calibrated maximum sequential throughput, MB/s.
+    pub calibrated_max_mb_s: f64,
+}
+
+/// Runs the calibration and collects the table.
+pub fn run(ctx: &ExperimentContext) -> Table1 {
+    let g = ctx.array.geometry;
+    let bw = calibrate_max_bandwidth(&ctx.array);
+    Table1 {
+        ndisks: ctx.array.ndisks,
+        capacity_bytes: ctx.array.capacity_bytes(),
+        platters: g.surfaces,
+        cylinders: g.cylinders,
+        track_bytes: g.track_bytes,
+        single_track_seek_ms: g.single_track_seek_ms,
+        incremental_seek_ms: g.incremental_seek_ms,
+        rotation_ms: g.rotation_ms,
+        calibrated_max_mb_s: bw * 1000.0 / (1024.0 * 1024.0),
+    }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = TextTable::new("Table 1: Disk Drive Parameters and Simulator Values")
+            .headers(["parameter", "value"]);
+        t.row(["Number of disks".to_string(), self.ndisks.to_string()]);
+        t.row(["Total capacity".to_string(), format!("{:.2} G", self.capacity_bytes as f64 / 1e9)]);
+        t.row(["Number of platters".to_string(), self.platters.to_string()]);
+        t.row(["Number of cylinders".to_string(), self.cylinders.to_string()]);
+        t.row(["Bytes per track".to_string(), format!("{} K", self.track_bytes / 1024)]);
+        t.row(["Single track seek time".to_string(), format!("{} ms", self.single_track_seek_ms)]);
+        t.row(["Seek incremental time".to_string(), format!("{} ms", self.incremental_seek_ms)]);
+        t.row(["Single rotation time".to_string(), format!("{} ms", self.rotation_ms)]);
+        t.row(["Calibrated max throughput".to_string(), format!("{:.2} MB/s", self.calibrated_max_mb_s)]);
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_calibrates_near_paper_value() {
+        let t = run(&ExperimentContext::full());
+        assert_eq!(t.ndisks, 8);
+        assert!((9.5..12.0).contains(&t.calibrated_max_mb_s), "{}", t.calibrated_max_mb_s);
+        let text = t.to_string();
+        assert!(text.contains("Table 1"));
+        assert!(text.contains("16.67 ms"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Table 2: the file-type parameters.
+//!
+//! Table 2 in the paper is the parameter *schema*; the concrete values per
+//! workload are scattered through §2.2's prose (and some are never given —
+//! see DESIGN.md §"Substitutions" #4–5). This driver prints the exact
+//! values this reproduction uses for each workload at the configured array
+//! capacity, so every simulation input is inspectable.
+
+use crate::context::ExperimentContext;
+use crate::report::{bytes, TextTable};
+use readopt_sim::FileTypeConfig;
+use readopt_workloads::WorkloadKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// All three workloads' concrete parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2 {
+    /// `(workload label, its file types)`.
+    pub workloads: Vec<(String, Vec<FileTypeConfig>)>,
+}
+
+/// Builds each workload at the context's capacity.
+pub fn run(ctx: &ExperimentContext) -> Table2 {
+    let cap = ctx.array.capacity_bytes();
+    Table2 {
+        workloads: WorkloadKind::all()
+            .into_iter()
+            .map(|wl| (wl.short_name().to_string(), wl.build(cap)))
+            .collect(),
+    }
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (wl, types) in &self.workloads {
+            let mut t = TextTable::new(format!("Table 2 ({wl}): file type parameters")).headers([
+                "parameter".to_string(),
+                types.first().map(|t| t.name.clone()).unwrap_or_default(),
+                types.get(1).map(|t| t.name.clone()).unwrap_or_default(),
+                types.get(2).map(|t| t.name.clone()).unwrap_or_default(),
+            ]);
+            let col = |get: &dyn Fn(&FileTypeConfig) -> String| -> Vec<String> {
+                let mut row = Vec::with_capacity(4);
+                for i in 0..3 {
+                    row.push(types.get(i).map(get).unwrap_or_default());
+                }
+                row
+            };
+            let rows: Vec<(&str, Vec<String>)> = vec![
+                ("Number of Files", col(&|t| t.num_files.to_string())),
+                ("Number of Users", col(&|t| t.num_users.to_string())),
+                ("Process Time", col(&|t| format!("{} ms", t.process_time_ms))),
+                ("Hit Frequency", col(&|t| format!("{} ms", t.hit_frequency_ms))),
+                ("Read/Write Size", col(&|t| bytes(t.rw_size_bytes))),
+                ("RW Deviation", col(&|t| bytes(t.rw_deviation_bytes))),
+                ("Allocation Size", col(&|t| bytes(t.allocation_size_bytes))),
+                ("Truncate Size", col(&|t| bytes(t.truncate_size_bytes))),
+                ("Initial Size", col(&|t| bytes(t.initial_size_bytes))),
+                ("Initial Deviation", col(&|t| bytes(t.initial_deviation_bytes))),
+                ("Read Ratio", col(&|t| format!("{}%", t.read_pct))),
+                ("Write Ratio", col(&|t| format!("{}%", t.write_pct))),
+                ("Extend Ratio", col(&|t| format!("{}%", t.extend_pct))),
+                ("Deallocate Ratio", col(&|t| format!("{}%", t.deallocate_pct))),
+                (
+                    "Delete Ratio (of deallocs)",
+                    col(&|t| format!("{:.0}%", 100.0 * t.delete_fraction)),
+                ),
+                (
+                    "Access Pattern",
+                    col(&|t| if t.sequential_access { "sequential".into() } else { "random".into() }),
+                ),
+            ];
+            for (name, mut cells) in rows {
+                let mut row = vec![name.to_string()];
+                row.append(&mut cells);
+                t.row(row);
+            }
+            writeln!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_prints_every_workload_and_parameter() {
+        let t2 = run(&ExperimentContext::full());
+        assert_eq!(t2.workloads.len(), 3);
+        let text = t2.to_string();
+        for label in ["(TS)", "(TP)", "(SC)"] {
+            assert!(text.contains(label), "missing {label}");
+        }
+        for param in ["Hit Frequency", "Allocation Size", "Delete Ratio"] {
+            assert!(text.contains(param), "missing {param}");
+        }
+        // The paper's signature values appear.
+        assert!(text.contains("tp-relation"));
+        assert!(text.contains("210M"), "TP relations are 210 MB at full scale");
+        assert!(text.contains("500M"), "the SC large file is 500 MB");
+    }
+}

@@ -1,0 +1,165 @@
+//! Accounting of per-disk and array-wide activity.
+
+use serde::{Deserialize, Serialize};
+
+/// Activity counters for one physical disk.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DiskStats {
+    /// Number of physical requests serviced.
+    pub requests: u64,
+    /// Bytes read from the media.
+    pub bytes_read: u64,
+    /// Bytes written to the media.
+    pub bytes_written: u64,
+    /// Requests that required the head to move cylinders.
+    pub seeks: u64,
+    /// Total time spent seeking, in milliseconds.
+    pub seek_ms: f64,
+    /// Total rotational latency, in milliseconds.
+    pub rotational_ms: f64,
+    /// Total media transfer time, in milliseconds.
+    pub transfer_ms: f64,
+    /// Total time the disk was busy (seek + latency + transfer).
+    pub busy_ms: f64,
+}
+
+impl DiskStats {
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        *self = DiskStats::default();
+    }
+
+    /// Total bytes moved in either direction.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Fraction of busy time spent actually transferring data (the paper's
+    /// motivation: read-optimized layouts maximize this).
+    pub fn transfer_efficiency(&self) -> f64 {
+        if self.busy_ms <= 0.0 {
+            0.0
+        } else {
+            self.transfer_ms / self.busy_ms
+        }
+    }
+
+    /// Merges another disk's counters into this one.
+    pub fn merge(&mut self, other: &DiskStats) {
+        self.requests += other.requests;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.seeks += other.seeks;
+        self.seek_ms += other.seek_ms;
+        self.rotational_ms += other.rotational_ms;
+        self.transfer_ms += other.transfer_ms;
+        self.busy_ms += other.busy_ms;
+    }
+}
+
+/// Aggregate view over a whole storage configuration.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StorageStats {
+    /// Per-disk counters, indexed by physical disk.
+    pub per_disk: Vec<DiskStats>,
+    /// Logical read requests submitted to the array.
+    pub logical_reads: u64,
+    /// Logical write requests submitted to the array.
+    pub logical_writes: u64,
+    /// Logical bytes read (excludes parity/mirror amplification).
+    pub logical_bytes_read: u64,
+    /// Logical bytes written (excludes parity/mirror amplification).
+    pub logical_bytes_written: u64,
+}
+
+impl StorageStats {
+    /// Creates stats for an array of `ndisks` disks.
+    pub fn new(ndisks: usize) -> Self {
+        StorageStats { per_disk: vec![DiskStats::default(); ndisks], ..Default::default() }
+    }
+
+    /// Resets every counter.
+    pub fn reset(&mut self) {
+        let n = self.per_disk.len();
+        *self = StorageStats::new(n);
+    }
+
+    /// Sum of all per-disk counters.
+    pub fn combined(&self) -> DiskStats {
+        let mut total = DiskStats::default();
+        for d in &self.per_disk {
+            total.merge(d);
+        }
+        total
+    }
+
+    /// Logical bytes moved in either direction.
+    pub fn logical_bytes_total(&self) -> u64 {
+        self.logical_bytes_read + self.logical_bytes_written
+    }
+
+    /// Physical-over-logical write amplification (1.0 for a plain array,
+    /// 2.0 for mirroring, higher for RAID-5 small writes).
+    pub fn write_amplification(&self) -> f64 {
+        let physical: u64 = self.per_disk.iter().map(|d| d.bytes_written).sum();
+        if self.logical_bytes_written == 0 {
+            0.0
+        } else {
+            physical as f64 / self.logical_bytes_written as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = DiskStats { requests: 1, bytes_read: 10, seek_ms: 2.0, busy_ms: 5.0, ..Default::default() };
+        let b = DiskStats { requests: 2, bytes_read: 30, seek_ms: 1.0, busy_ms: 7.0, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.requests, 3);
+        assert_eq!(a.bytes_read, 40);
+        assert_eq!(a.seek_ms, 3.0);
+        assert_eq!(a.busy_ms, 12.0);
+    }
+
+    #[test]
+    fn transfer_efficiency_guards_division() {
+        let d = DiskStats::default();
+        assert_eq!(d.transfer_efficiency(), 0.0);
+        let d = DiskStats { transfer_ms: 8.0, busy_ms: 10.0, ..Default::default() };
+        assert!((d.transfer_efficiency() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combined_sums_disks() {
+        let mut s = StorageStats::new(3);
+        s.per_disk[0].bytes_read = 5;
+        s.per_disk[2].bytes_read = 7;
+        assert_eq!(s.combined().bytes_read, 12);
+    }
+
+    #[test]
+    fn write_amplification_ratio() {
+        let mut s = StorageStats::new(2);
+        s.logical_bytes_written = 100;
+        s.per_disk[0].bytes_written = 100;
+        s.per_disk[1].bytes_written = 100;
+        assert!((s.write_amplification() - 2.0).abs() < 1e-12);
+        s.logical_bytes_written = 0;
+        assert_eq!(s.write_amplification(), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_but_keeps_shape() {
+        let mut s = StorageStats::new(4);
+        s.logical_reads = 9;
+        s.per_disk[1].requests = 3;
+        s.reset();
+        assert_eq!(s.per_disk.len(), 4);
+        assert_eq!(s.logical_reads, 0);
+        assert_eq!(s.per_disk[1].requests, 0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Simulation clock types.
+//!
+//! All event ordering in the simulator uses [`SimTime`], an integral count of
+//! **microseconds** since simulation start. Mechanical quantities (seek,
+//! rotation, transfer) are computed in `f64` milliseconds and rounded to the
+//! microsecond when they become event timestamps, which keeps the event heap
+//! totally ordered and the whole simulation deterministic for a given seed.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Microseconds per millisecond.
+const US_PER_MS: f64 = 1_000.0;
+
+/// An instant on the simulation clock, in microseconds since time zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// A time later than any the simulator will ever schedule.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Builds a time from a raw microsecond count.
+    pub const fn from_us(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Builds a time from (non-negative) milliseconds, rounding to the
+    /// nearest microsecond.
+    pub fn from_ms(ms: f64) -> Self {
+        debug_assert!(ms >= 0.0, "negative timestamp: {ms}");
+        SimTime((ms * US_PER_MS).round() as u64)
+    }
+
+    /// Raw microsecond count.
+    pub const fn as_us(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in milliseconds.
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / US_PER_MS
+    }
+
+    /// This instant expressed in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / (US_PER_MS * 1_000.0)
+    }
+
+    /// Duration elapsed since `earlier`, saturating at zero.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Builds a duration from a raw microsecond count.
+    pub const fn from_us(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Builds a duration from (non-negative) milliseconds, rounding to the
+    /// nearest microsecond.
+    pub fn from_ms(ms: f64) -> Self {
+        debug_assert!(ms >= 0.0, "negative duration: {ms}");
+        SimDuration((ms * US_PER_MS).round() as u64)
+    }
+
+    /// Builds a duration from seconds.
+    pub fn from_secs(secs: f64) -> Self {
+        Self::from_ms(secs * 1_000.0)
+    }
+
+    /// Raw microsecond count.
+    pub const fn as_us(self) -> u64 {
+        self.0
+    }
+
+    /// This duration expressed in milliseconds.
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / US_PER_MS
+    }
+
+    /// This duration expressed in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / (US_PER_MS * 1_000.0)
+    }
+
+    /// True when the duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_ms())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_ms())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ms_round_trips_at_microsecond_resolution() {
+        let t = SimTime::from_ms(16.67);
+        assert_eq!(t.as_us(), 16_670);
+        assert!((t.as_ms() - 16.67).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ordering_follows_microseconds() {
+        assert!(SimTime::from_ms(1.0) < SimTime::from_ms(1.001));
+        assert_eq!(SimTime::from_ms(0.0005), SimTime::from_us(1), "rounds to nearest");
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        let d = SimTime::ZERO.since(SimTime::from_ms(5.0));
+        assert_eq!(d, SimDuration::ZERO);
+        assert_eq!(SimTime::MAX + SimDuration::from_ms(1.0), SimTime::MAX);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut t = SimTime::ZERO;
+        for _ in 0..10 {
+            t += SimDuration::from_ms(0.5);
+        }
+        assert_eq!(t, SimTime::from_ms(5.0));
+    }
+
+    #[test]
+    fn seconds_conversions() {
+        assert!((SimDuration::from_secs(10.0).as_secs() - 10.0).abs() < 1e-9);
+        assert_eq!(SimDuration::from_secs(10.0).as_us(), 10_000_000);
+        assert!((SimTime::from_us(2_500_000).as_secs() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn since_measures_elapsed() {
+        let a = SimTime::from_ms(3.0);
+        let b = SimTime::from_ms(10.5);
+        assert_eq!(b.since(a).as_ms(), 7.5);
+        assert_eq!(b - a, SimDuration::from_ms(7.5));
+    }
+}

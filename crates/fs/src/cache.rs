@@ -1,0 +1,254 @@
+//! A buffer cache (page-granular LRU) between the file API and the disks.
+//!
+//! §1 frames the whole design space as "provid[ing] high bandwidth between
+//! disks and main memory"; a buffer cache is the main-memory half. The
+//! cache indexes *logical* file pages (`(file, page#)`, like a real buffer
+//! cache keyed by inode and offset), so allocation policy changes never
+//! invalidate it. Writes are write-through: every written unit reaches the
+//! disk (and warms the cache); reads touch the disk only for missing pages.
+
+use readopt_alloc::FileId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// Buffer-cache parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total cache capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Page size in bytes (must be a multiple of the disk unit).
+    pub page_bytes: u64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig { capacity_bytes: 8 * 1024 * 1024, page_bytes: 8 * 1024 }
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Units served from the cache.
+    pub hit_units: u64,
+    /// Units that had to come from disk.
+    pub miss_units: u64,
+    /// Pages evicted.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hit_units + self.miss_units;
+        if total == 0 {
+            0.0
+        } else {
+            self.hit_units as f64 / total as f64
+        }
+    }
+}
+
+type Key = (u32, u64); // (file id, page index)
+
+/// LRU page cache over logical file pages.
+#[derive(Debug)]
+pub struct PageCache {
+    page_units: u64,
+    capacity_pages: usize,
+    /// page → LRU stamp.
+    pages: HashMap<Key, u64>,
+    /// LRU stamp → page (oldest first).
+    lru: BTreeMap<u64, Key>,
+    next_stamp: u64,
+    stats: CacheStats,
+}
+
+impl PageCache {
+    /// Builds a cache from the config and the disk-unit size.
+    pub fn new(cfg: &CacheConfig, unit_bytes: u64) -> Self {
+        assert!(cfg.page_bytes >= unit_bytes && cfg.page_bytes % unit_bytes == 0,
+            "page must be a positive multiple of the disk unit");
+        let page_units = cfg.page_bytes / unit_bytes;
+        let capacity_pages = (cfg.capacity_bytes / cfg.page_bytes).max(1) as usize;
+        PageCache {
+            page_units,
+            capacity_pages,
+            pages: HashMap::new(),
+            lru: BTreeMap::new(),
+            next_stamp: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Page size in units.
+    pub fn page_units(&self) -> u64 {
+        self.page_units
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn touch(&mut self, key: Key) {
+        if let Some(old) = self.pages.insert(key, self.next_stamp) {
+            self.lru.remove(&old);
+        }
+        self.lru.insert(self.next_stamp, key);
+        self.next_stamp += 1;
+        while self.pages.len() > self.capacity_pages {
+            let (&stamp, &victim) = self.lru.iter().next().expect("non-empty over capacity");
+            self.lru.remove(&stamp);
+            self.pages.remove(&victim);
+            self.stats.evictions += 1;
+        }
+    }
+
+    fn contains(&self, key: &Key) -> bool {
+        self.pages.contains_key(key)
+    }
+
+    /// Accesses the logical unit range `[start, start + len)` of `file` for
+    /// reading: returns the sub-ranges that missed (must be read from
+    /// disk), merging adjacent missing pages. All touched pages become
+    /// resident and most-recently-used.
+    pub fn read_range(&mut self, file: FileId, start_unit: u64, len_units: u64) -> Vec<(u64, u64)> {
+        let mut missing: Vec<(u64, u64)> = Vec::new();
+        if len_units == 0 {
+            return missing;
+        }
+        let first = start_unit / self.page_units;
+        let last = (start_unit + len_units - 1) / self.page_units;
+        for page in first..=last {
+            let key = (file.0, page);
+            let page_start = page * self.page_units;
+            let lo = page_start.max(start_unit);
+            let hi = ((page + 1) * self.page_units).min(start_unit + len_units);
+            if self.contains(&key) {
+                self.stats.hit_units += hi - lo;
+                self.touch(key);
+            } else {
+                self.stats.miss_units += hi - lo;
+                self.touch(key);
+                match missing.last_mut() {
+                    Some((ms, ml)) if *ms + *ml == lo => *ml += hi - lo,
+                    _ => missing.push((lo, hi - lo)),
+                }
+            }
+        }
+        missing
+    }
+
+    /// Records a write of the range (write-through: the caller still sends
+    /// everything to disk; written pages become resident).
+    pub fn write_range(&mut self, file: FileId, start_unit: u64, len_units: u64) {
+        if len_units == 0 {
+            return;
+        }
+        let first = start_unit / self.page_units;
+        let last = (start_unit + len_units - 1) / self.page_units;
+        for page in first..=last {
+            self.touch((file.0, page));
+        }
+    }
+
+    /// Drops every page of `file` (unlink / truncate).
+    pub fn invalidate_file(&mut self, file: FileId) {
+        let stale: Vec<Key> = self.pages.keys().filter(|(f, _)| *f == file.0).copied().collect();
+        for key in stale {
+            if let Some(stamp) = self.pages.remove(&key) {
+                self.lru.remove(&stamp);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(pages: u64) -> PageCache {
+        PageCache::new(
+            &CacheConfig { capacity_bytes: pages * 8 * 1024, page_bytes: 8 * 1024 },
+            1024,
+        )
+    }
+
+    #[test]
+    fn first_read_misses_second_hits() {
+        let mut c = cache(16);
+        let f = FileId(1);
+        let missing = c.read_range(f, 0, 16); // two 8-unit pages
+        assert_eq!(missing, vec![(0, 16)]);
+        let missing = c.read_range(f, 0, 16);
+        assert!(missing.is_empty());
+        assert_eq!(c.stats().hit_units, 16);
+        assert_eq!(c.stats().miss_units, 16);
+        assert!((c.stats().hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_page_accounting() {
+        let mut c = cache(16);
+        let f = FileId(1);
+        // 4 units in the middle of page 0.
+        let missing = c.read_range(f, 2, 4);
+        assert_eq!(missing, vec![(2, 4)]);
+        // Whole page now resident: reading unit 0 hits.
+        assert!(c.read_range(f, 0, 1).is_empty());
+    }
+
+    #[test]
+    fn missing_runs_merge_across_pages() {
+        let mut c = cache(16);
+        let f = FileId(2);
+        c.read_range(f, 8, 8); // page 1 resident
+        let missing = c.read_range(f, 0, 32); // pages 0..4: 0 miss, 1 hit, 2,3 miss
+        assert_eq!(missing, vec![(0, 8), (16, 16)]);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = cache(2);
+        let f = FileId(1);
+        c.read_range(f, 0, 8); // page 0
+        c.read_range(f, 8, 8); // page 1
+        c.read_range(f, 0, 8); // touch page 0
+        c.read_range(f, 16, 8); // page 2 evicts page 1
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.read_range(f, 0, 8).is_empty(), "page 0 survived");
+        assert!(!c.read_range(f, 8, 8).is_empty(), "page 1 was evicted");
+    }
+
+    #[test]
+    fn writes_warm_the_cache() {
+        let mut c = cache(8);
+        let f = FileId(3);
+        c.write_range(f, 0, 24);
+        assert!(c.read_range(f, 0, 24).is_empty());
+    }
+
+    #[test]
+    fn files_are_isolated_and_invalidable() {
+        let mut c = cache(8);
+        c.read_range(FileId(1), 0, 8);
+        c.read_range(FileId(2), 0, 8);
+        assert!(c.read_range(FileId(1), 0, 8).is_empty());
+        c.invalidate_file(FileId(1));
+        assert!(!c.read_range(FileId(1), 0, 8).is_empty(), "invalidated");
+        assert!(c.read_range(FileId(2), 0, 8).is_empty(), "other file untouched");
+    }
+
+    #[test]
+    fn zero_length_access_is_free() {
+        let mut c = cache(2);
+        assert!(c.read_range(FileId(1), 5, 0).is_empty());
+        assert_eq!(c.stats(), CacheStats::default());
+    }
+}

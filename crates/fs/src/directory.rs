@@ -1,0 +1,175 @@
+//! The in-memory directory tree.
+//!
+//! Directory *contents* are metadata and live in memory (the paper's
+//! simulator likewise charges no I/O for directory lookups; its concern is
+//! data-block allocation). Files are leaves holding the allocator's
+//! [`FileId`] and the logical size.
+
+use crate::error::FsError;
+use readopt_alloc::FileId;
+use std::collections::BTreeMap;
+
+/// One node of the tree.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// A regular file: the policy's handle plus its logical size in bytes.
+    File {
+        /// Allocator handle.
+        id: FileId,
+        /// Logical (written) size in bytes.
+        size_bytes: u64,
+    },
+    /// A directory with named children.
+    Dir(BTreeMap<String, Node>),
+}
+
+impl Node {
+    /// An empty directory.
+    pub fn empty_dir() -> Node {
+        Node::Dir(BTreeMap::new())
+    }
+
+    /// True for directory nodes.
+    pub fn is_dir(&self) -> bool {
+        matches!(self, Node::Dir(_))
+    }
+}
+
+/// Splits and validates an absolute path into components.
+pub fn components(path: &str) -> Result<Vec<&str>, FsError> {
+    if !path.starts_with('/') {
+        return Err(FsError::InvalidPath(path.to_string()));
+    }
+    let mut out = Vec::new();
+    for part in path.split('/').skip(1) {
+        match part {
+            "" => {
+                // Allow a single trailing slash ("/a/b/"), reject "//".
+                continue;
+            }
+            "." | ".." => return Err(FsError::InvalidPath(path.to_string())),
+            p => out.push(p),
+        }
+    }
+    Ok(out)
+}
+
+/// Walks to the node at `path`.
+pub fn lookup<'a>(root: &'a Node, path: &str) -> Result<&'a Node, FsError> {
+    let mut node = root;
+    for part in components(path)? {
+        match node {
+            Node::Dir(children) => {
+                node = children.get(part).ok_or_else(|| FsError::NotFound(path.to_string()))?;
+            }
+            Node::File { .. } => return Err(FsError::NotADirectory(path.to_string())),
+        }
+    }
+    Ok(node)
+}
+
+/// Walks to the *parent directory* of `path`, returning it and the final
+/// component.
+pub fn lookup_parent_mut<'a>(
+    root: &'a mut Node,
+    path: &str,
+) -> Result<(&'a mut BTreeMap<String, Node>, String), FsError> {
+    let parts = components(path)?;
+    let Some((last, dirs)) = parts.split_last() else {
+        return Err(FsError::InvalidPath(path.to_string()));
+    };
+    let mut node = root;
+    for part in dirs {
+        match node {
+            Node::Dir(children) => {
+                node = children
+                    .get_mut(*part)
+                    .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+            }
+            Node::File { .. } => return Err(FsError::NotADirectory(path.to_string())),
+        }
+    }
+    match node {
+        Node::Dir(children) => Ok((children, (*last).to_string())),
+        Node::File { .. } => Err(FsError::NotADirectory(path.to_string())),
+    }
+}
+
+/// Mutable lookup of an existing node.
+pub fn lookup_mut<'a>(root: &'a mut Node, path: &str) -> Result<&'a mut Node, FsError> {
+    let mut node = root;
+    for part in components(path)? {
+        match node {
+            Node::Dir(children) => {
+                node = children
+                    .get_mut(part)
+                    .ok_or_else(|| FsError::NotFound(path.to_string()))?;
+            }
+            Node::File { .. } => return Err(FsError::NotADirectory(path.to_string())),
+        }
+    }
+    Ok(node)
+}
+
+/// Collects every file under `node` (depth-first), as `(path, id, size)`.
+pub fn walk_files(node: &Node, prefix: &str, out: &mut Vec<(String, FileId, u64)>) {
+    match node {
+        Node::File { id, size_bytes } => out.push((prefix.to_string(), *id, *size_bytes)),
+        Node::Dir(children) => {
+            for (name, child) in children {
+                let path = if prefix == "/" { format!("/{name}") } else { format!("{prefix}/{name}") };
+                walk_files(child, &path, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_validate_shape() {
+        assert_eq!(components("/a/b/c").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(components("/").unwrap(), Vec::<&str>::new());
+        assert_eq!(components("/a/").unwrap(), vec!["a"]);
+        assert!(components("relative").is_err());
+        assert!(components("/a/../b").is_err());
+        assert!(components("/a/./b").is_err());
+    }
+
+    #[test]
+    fn lookup_walks_the_tree() {
+        let mut root = Node::empty_dir();
+        let (children, name) = lookup_parent_mut(&mut root, "/etc").unwrap();
+        children.insert(name, Node::empty_dir());
+        let (children, name) = lookup_parent_mut(&mut root, "/etc/passwd").unwrap();
+        children.insert(name, Node::File { id: FileId(1), size_bytes: 42 });
+
+        assert!(lookup(&root, "/etc").unwrap().is_dir());
+        match lookup(&root, "/etc/passwd").unwrap() {
+            Node::File { size_bytes, .. } => assert_eq!(*size_bytes, 42),
+            _ => panic!("expected file"),
+        }
+        assert!(matches!(lookup(&root, "/missing"), Err(FsError::NotFound(_))));
+        assert!(matches!(
+            lookup(&root, "/etc/passwd/inner"),
+            Err(FsError::NotADirectory(_))
+        ));
+    }
+
+    #[test]
+    fn walk_collects_files() {
+        let mut root = Node::empty_dir();
+        let (c, n) = lookup_parent_mut(&mut root, "/x").unwrap();
+        c.insert(n, Node::File { id: FileId(0), size_bytes: 1 });
+        let (c, n) = lookup_parent_mut(&mut root, "/d").unwrap();
+        c.insert(n, Node::empty_dir());
+        let (c, n) = lookup_parent_mut(&mut root, "/d/y").unwrap();
+        c.insert(n, Node::File { id: FileId(1), size_bytes: 2 });
+        let mut out = Vec::new();
+        walk_files(&root, "/", &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().any(|(p, _, _)| p == "/d/y"));
+    }
+}

@@ -1,0 +1,53 @@
+//! File-system error type.
+
+use std::fmt;
+
+/// Errors returned by [`crate::FileSystem`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// The path does not name an existing file or directory.
+    NotFound(String),
+    /// A file or directory with that name already exists.
+    AlreadyExists(String),
+    /// A directory was expected but a file was found (or vice versa).
+    NotADirectory(String),
+    /// The operation targets a directory where a file is required.
+    IsADirectory(String),
+    /// The directory is not empty (rmdir).
+    NotEmpty(String),
+    /// The path is syntactically invalid (must be absolute, no empty
+    /// components).
+    InvalidPath(String),
+    /// The file descriptor is not open.
+    BadDescriptor,
+    /// The disk could not satisfy an allocation ("disk full condition").
+    NoSpace,
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "no such file or directory: {p}"),
+            FsError::AlreadyExists(p) => write!(f, "already exists: {p}"),
+            FsError::NotADirectory(p) => write!(f, "not a directory: {p}"),
+            FsError::IsADirectory(p) => write!(f, "is a directory: {p}"),
+            FsError::NotEmpty(p) => write!(f, "directory not empty: {p}"),
+            FsError::InvalidPath(p) => write!(f, "invalid path: {p}"),
+            FsError::BadDescriptor => write!(f, "bad file descriptor"),
+            FsError::NoSpace => write!(f, "no space left on device"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_format_usefully() {
+        assert!(FsError::NotFound("/a".into()).to_string().contains("/a"));
+        assert!(FsError::NoSpace.to_string().contains("space"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Open-file descriptor table.
+
+use crate::error::FsError;
+use std::collections::BTreeMap;
+
+/// An open file descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fd(pub u32);
+
+/// State kept per open descriptor.
+#[derive(Debug, Clone)]
+pub struct OpenFile {
+    /// Absolute path the descriptor was opened on. Descriptors track paths
+    /// (not inodes): unlinking an open path invalidates its descriptors,
+    /// which is a deliberate simplification over POSIX orphan semantics.
+    pub path: String,
+    /// Read/write cursor in bytes.
+    pub cursor: u64,
+}
+
+/// The descriptor table.
+#[derive(Debug, Default)]
+pub struct HandleTable {
+    open: BTreeMap<u32, OpenFile>,
+    next: u32,
+}
+
+impl HandleTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        HandleTable::default()
+    }
+
+    /// Number of open descriptors.
+    pub fn len(&self) -> usize {
+        self.open.len()
+    }
+
+    /// True when nothing is open.
+    pub fn is_empty(&self) -> bool {
+        self.open.is_empty()
+    }
+
+    /// Opens a descriptor on `path`.
+    pub fn insert(&mut self, path: String) -> Fd {
+        let fd = self.next;
+        self.next += 1;
+        self.open.insert(fd, OpenFile { path, cursor: 0 });
+        Fd(fd)
+    }
+
+    /// Looks up an open descriptor.
+    pub fn get(&self, fd: Fd) -> Result<&OpenFile, FsError> {
+        self.open.get(&fd.0).ok_or(FsError::BadDescriptor)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, fd: Fd) -> Result<&mut OpenFile, FsError> {
+        self.open.get_mut(&fd.0).ok_or(FsError::BadDescriptor)
+    }
+
+    /// Closes a descriptor.
+    pub fn remove(&mut self, fd: Fd) -> Result<OpenFile, FsError> {
+        self.open.remove(&fd.0).ok_or(FsError::BadDescriptor)
+    }
+
+    /// Invalidates every descriptor open on `path` (unlink semantics).
+    pub fn invalidate_path(&mut self, path: &str) {
+        self.open.retain(|_, f| f.path != path);
+    }
+
+    /// Repoints descriptors after a rename.
+    pub fn rename_path(&mut self, from: &str, to: &str) {
+        for f in self.open.values_mut() {
+            if f.path == from {
+                f.path = to.to_string();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptors_are_unique_and_closable() {
+        let mut t = HandleTable::new();
+        let a = t.insert("/a".into());
+        let b = t.insert("/a".into());
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+        t.get_mut(a).unwrap().cursor = 10;
+        assert_eq!(t.get(a).unwrap().cursor, 10);
+        assert_eq!(t.get(b).unwrap().cursor, 0);
+        t.remove(a).unwrap();
+        assert!(matches!(t.get(a), Err(FsError::BadDescriptor)));
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn unlink_invalidates_descriptors() {
+        let mut t = HandleTable::new();
+        let a = t.insert("/x".into());
+        let b = t.insert("/y".into());
+        t.invalidate_path("/x");
+        assert!(t.get(a).is_err());
+        assert!(t.get(b).is_ok());
+    }
+}

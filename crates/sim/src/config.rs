@@ -1,0 +1,122 @@
+//! Top-level simulation configuration.
+
+use crate::filetype::FileTypeConfig;
+use readopt_alloc::PolicyConfig;
+use readopt_disk::{ArrayConfig, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Everything needed to run one simulation: disk system, allocation policy,
+/// workload, and the §3 test parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// The disk system (Table 1 defaults via [`ArrayConfig::paper_default`]).
+    pub array: ArrayConfig,
+    /// The allocation policy under test.
+    pub policy: PolicyConfig,
+    /// The workload's file types (Table 2 parameters each).
+    pub file_types: Vec<FileTypeConfig>,
+    /// Lower utilization bound `N` — "how full the disk system should be
+    /// before measurements begin" (0.90 in §3).
+    pub util_lower: f64,
+    /// Upper utilization bound `M` — extends beyond this convert to
+    /// truncates (0.95 in §3).
+    pub util_upper: f64,
+    /// Throughput-measurement interval (10 s in §2.2).
+    pub interval: SimDuration,
+    /// Stabilization window: this many consecutive intervals must agree
+    /// (3 in §2.2).
+    pub stabilize_window: usize,
+    /// Agreement tolerance between those intervals, in percentage points
+    /// (0.1 in §2.2).
+    pub stabilize_tolerance_pct: f64,
+    /// Hard cap on measured simulated time per test, as a count of
+    /// intervals (termination "by a specified number of milliseconds").
+    pub max_intervals: usize,
+    /// Safety cap on operations for the allocation test.
+    pub max_allocation_ops: u64,
+}
+
+impl SimConfig {
+    /// A configuration with the paper's §3 test parameters.
+    pub fn new(array: ArrayConfig, policy: PolicyConfig, file_types: Vec<FileTypeConfig>) -> Self {
+        SimConfig {
+            array,
+            policy,
+            file_types,
+            util_lower: 0.90,
+            util_upper: 0.95,
+            interval: SimDuration::from_secs(10.0),
+            stabilize_window: 3,
+            stabilize_tolerance_pct: 0.1,
+            max_intervals: 60,
+            max_allocation_ops: 10_000_000,
+        }
+    }
+
+    /// Validates the composite configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        self.array.validate()?;
+        if self.file_types.is_empty() {
+            return Err("workload has no file types".into());
+        }
+        for t in &self.file_types {
+            t.validate()?;
+        }
+        if !(0.0 < self.util_lower && self.util_lower <= self.util_upper && self.util_upper <= 1.0) {
+            return Err(format!(
+                "utilization window [{}, {}] is not sane",
+                self.util_lower, self.util_upper
+            ));
+        }
+        if self.stabilize_window == 0 || self.max_intervals < self.stabilize_window {
+            return Err("interval counts inconsistent".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> SimConfig {
+        SimConfig::new(
+            ArrayConfig::scaled(64),
+            PolicyConfig::paper_extent_based(),
+            vec![FileTypeConfig::default()],
+        )
+    }
+
+    #[test]
+    fn defaults_match_section_3() {
+        let c = config();
+        c.validate().unwrap();
+        assert_eq!(c.util_lower, 0.90);
+        assert_eq!(c.util_upper, 0.95);
+        assert_eq!(c.interval, SimDuration::from_secs(10.0));
+        assert_eq!(c.stabilize_window, 3);
+        assert_eq!(c.stabilize_tolerance_pct, 0.1);
+    }
+
+    #[test]
+    fn validation_composes() {
+        let mut c = config();
+        c.util_lower = 0.99;
+        c.util_upper = 0.95;
+        assert!(c.validate().is_err());
+        let mut c = config();
+        c.file_types.clear();
+        assert!(c.validate().is_err());
+        let mut c = config();
+        c.file_types[0].read_pct += 1.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = config();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,107 @@
+//! The event heap (§2.2).
+//!
+//! "The events are maintained in a heap, sorted by their scheduled time. The
+//! simulation runs by selecting the first event from the heap … After
+//! completion of an operation, the operation completion time is added to an
+//! exponentially distributed value with mean equal to process time and an
+//! event is scheduled at that newly calculated time."
+//!
+//! Ties are broken by a monotone sequence number so runs are deterministic.
+
+use readopt_disk::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Identifies one user (one parallel event stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UserId(pub u32);
+
+/// A scheduled user event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Which user acts.
+    pub user: UserId,
+}
+
+/// Min-heap of events ordered by (time, insertion sequence).
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `user` to act at `time`.
+    pub fn schedule(&mut self, time: SimTime, user: UserId) {
+        self.heap.push(Reverse((time, self.seq, user.0)));
+        self.seq += 1;
+    }
+
+    /// The earliest pending event time, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|Reverse((time, _, user))| Event { time, user: UserId(user) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: f64) -> SimTime {
+        SimTime::from_ms(ms)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30.0), UserId(3));
+        q.schedule(t(10.0), UserId(1));
+        q.schedule(t(20.0), UserId(2));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| e.user.0).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(5.0), UserId(9));
+        q.schedule(t(5.0), UserId(4));
+        q.schedule(t(5.0), UserId(7));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| e.user.0).collect();
+        assert_eq!(order, vec![9, 4, 7], "FIFO among equal timestamps");
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(t(2.0), UserId(0));
+        q.schedule(t(1.0), UserId(1));
+        assert_eq!(q.peek_time(), Some(t(1.0)));
+        assert_eq!(q.pop().unwrap().user, UserId(1));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,286 @@
+//! Workload characterization: the Table 2 file-type parameters.
+//!
+//! "The workload is characterized in terms of file types and their reference
+//! patterns. A simulation configuration may consist of any number of file
+//! types. Each file type defines the size characteristics, access patterns,
+//! and growth characteristics of a set of files."
+
+use crate::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// The operations a user event may perform (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Read `rw size ± deviation` bytes.
+    Read,
+    /// Overwrite `rw size ± deviation` bytes in place.
+    Write,
+    /// Grow the file by `rw size ± deviation` bytes.
+    Extend,
+    /// Shrink the file by `truncate size` bytes.
+    Truncate,
+    /// Delete the file (it is immediately re-created; see the engine docs).
+    Delete,
+}
+
+/// One file type: the paper's Table 2, parameter for parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FileTypeConfig {
+    /// Human-readable label ("relations", "small files", …).
+    pub name: String,
+    /// "Number of Files": how many files of this type are created.
+    pub num_files: u64,
+    /// "Number of Users": how many parallel events access this type.
+    pub num_users: u32,
+    /// "Process Time": mean milliseconds between successive requests from a
+    /// single user (exponentially distributed).
+    pub process_time_ms: f64,
+    /// "Hit Frequency": milliseconds between requests from different users;
+    /// start times are uniform in `[0, num_users × hit_frequency)`.
+    pub hit_frequency_ms: f64,
+    /// "Read/Write Size": mean bytes per read/write/extend operation.
+    pub rw_size_bytes: u64,
+    /// "RW Deviation": standard deviation of the above.
+    pub rw_deviation_bytes: u64,
+    /// "Allocation Size": mean extent size hint for extent-based systems.
+    pub allocation_size_bytes: u64,
+    /// "Truncate Size": bytes deallocated by a truncate request.
+    pub truncate_size_bytes: u64,
+    /// "Initial Size": mean file size at initialization.
+    pub initial_size_bytes: u64,
+    /// "Initial Deviation": spread of the (uniform) initial size.
+    pub initial_deviation_bytes: u64,
+    /// "Read Ratio": percent of operations that are reads.
+    pub read_pct: f64,
+    /// "Write Ratio": percent of operations that are writes.
+    pub write_pct: f64,
+    /// "Extend Ratio": percent of operations that are extends.
+    pub extend_pct: f64,
+    /// Percent of operations that are deallocations (the remainder of the
+    /// three ratios above).
+    pub deallocate_pct: f64,
+    /// "Delete Ratio": of the deallocate operations, the fraction that are
+    /// whole-file deletes (the rest are truncates).
+    pub delete_fraction: f64,
+    /// Whether reads/writes walk the file sequentially (supercomputer-style
+    /// bursts) or land at uniformly random offsets (transaction-style).
+    pub sequential_access: bool,
+    /// Align random offsets down to a multiple of the mean r/w size —
+    /// database-style page access. Without it, a random 16 KB read straddles
+    /// a stripe-unit boundary most of the time and pays two seeks.
+    pub page_aligned: bool,
+}
+
+impl FileTypeConfig {
+    /// Validates ratio arithmetic and basic sanity.
+    pub fn validate(&self) -> Result<(), String> {
+        let total = self.read_pct + self.write_pct + self.extend_pct + self.deallocate_pct;
+        if (total - 100.0).abs() > 1e-6 {
+            return Err(format!("{}: operation ratios sum to {total}, expected 100", self.name));
+        }
+        for (label, v) in [
+            ("read", self.read_pct),
+            ("write", self.write_pct),
+            ("extend", self.extend_pct),
+            ("deallocate", self.deallocate_pct),
+        ] {
+            if !(0.0..=100.0).contains(&v) {
+                return Err(format!("{}: {label} ratio {v} out of range", self.name));
+            }
+        }
+        if !(0.0..=1.0).contains(&self.delete_fraction) {
+            return Err(format!("{}: delete fraction out of range", self.name));
+        }
+        if self.num_files == 0 || self.num_users == 0 {
+            return Err(format!("{}: needs at least one file and one user", self.name));
+        }
+        if self.rw_size_bytes == 0 {
+            return Err(format!("{}: zero rw size", self.name));
+        }
+        Ok(())
+    }
+
+    /// Draws an operation according to the full ratio mix.
+    pub fn choose_op(&self, rng: &mut SimRng) -> OpKind {
+        let roll = rng.percent();
+        if roll < self.read_pct {
+            OpKind::Read
+        } else if roll < self.read_pct + self.write_pct {
+            OpKind::Write
+        } else if roll < self.read_pct + self.write_pct + self.extend_pct {
+            OpKind::Extend
+        } else {
+            self.choose_deallocate(rng)
+        }
+    }
+
+    /// Draws an operation for the allocation test: "only the extend,
+    /// truncate, delete, and create operations in the proportion as
+    /// expressed by the file type parameters" — i.e. the read/write share is
+    /// dropped and the remaining ratios renormalized.
+    pub fn choose_allocation_op(&self, rng: &mut SimRng) -> OpKind {
+        let total = self.extend_pct + self.deallocate_pct;
+        if total <= 0.0 {
+            return OpKind::Extend;
+        }
+        let roll = rng.uniform_f64(0.0, total);
+        if roll < self.extend_pct {
+            OpKind::Extend
+        } else {
+            self.choose_deallocate(rng)
+        }
+    }
+
+    /// Draws whole-file read vs write for the sequential test ("only read
+    /// and write operations are performed"), renormalizing the two ratios.
+    pub fn choose_sequential_op(&self, rng: &mut SimRng) -> OpKind {
+        let total = self.read_pct + self.write_pct;
+        if total <= 0.0 {
+            return OpKind::Read;
+        }
+        if rng.uniform_f64(0.0, total) < self.read_pct {
+            OpKind::Read
+        } else {
+            OpKind::Write
+        }
+    }
+
+    fn choose_deallocate(&self, rng: &mut SimRng) -> OpKind {
+        if rng.uniform_f64(0.0, 1.0) < self.delete_fraction {
+            OpKind::Delete
+        } else {
+            OpKind::Truncate
+        }
+    }
+
+    /// A read/write/extend size draw in bytes (normal, ≥ 1).
+    pub fn sample_rw_bytes(&self, rng: &mut SimRng) -> u64 {
+        rng.size_normal(self.rw_size_bytes, self.rw_deviation_bytes, 1)
+    }
+
+    /// An initial-size draw in bytes (uniform, ≥ 1).
+    pub fn sample_initial_bytes(&self, rng: &mut SimRng) -> u64 {
+        rng.size_uniform(self.initial_size_bytes, self.initial_deviation_bytes, 1)
+    }
+}
+
+/// A builder-style default useful in tests and examples: a single generic
+/// file type with a balanced mix.
+impl Default for FileTypeConfig {
+    fn default() -> Self {
+        FileTypeConfig {
+            name: "generic".into(),
+            num_files: 16,
+            num_users: 4,
+            process_time_ms: 50.0,
+            hit_frequency_ms: 25.0,
+            rw_size_bytes: 8 * 1024,
+            rw_deviation_bytes: 2 * 1024,
+            allocation_size_bytes: 8 * 1024,
+            truncate_size_bytes: 8 * 1024,
+            initial_size_bytes: 64 * 1024,
+            initial_deviation_bytes: 16 * 1024,
+            read_pct: 60.0,
+            write_pct: 20.0,
+            extend_pct: 15.0,
+            deallocate_pct: 5.0,
+            delete_fraction: 0.5,
+            sequential_access: false,
+            page_aligned: false,
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // deliberate mutate-one-field style
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        FileTypeConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_ratios() {
+        let mut t = FileTypeConfig::default();
+        t.read_pct = 90.0; // now sums to 130
+        assert!(t.validate().is_err());
+        let mut t = FileTypeConfig::default();
+        t.delete_fraction = 1.5;
+        assert!(t.validate().is_err());
+        let mut t = FileTypeConfig::default();
+        t.num_files = 0;
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn op_mix_matches_ratios() {
+        let t = FileTypeConfig::default();
+        let mut rng = SimRng::new(12);
+        let n = 50_000;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..n {
+            *counts.entry(t.choose_op(&mut rng)).or_insert(0u32) += 1;
+        }
+        let pct = |k: OpKind| 100.0 * f64::from(counts[&k]) / n as f64;
+        assert!((pct(OpKind::Read) - 60.0).abs() < 1.5);
+        assert!((pct(OpKind::Write) - 20.0).abs() < 1.5);
+        assert!((pct(OpKind::Extend) - 15.0).abs() < 1.5);
+        let dealloc = pct(OpKind::Delete) + pct(OpKind::Truncate);
+        assert!((dealloc - 5.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn allocation_mix_drops_reads_and_writes() {
+        let t = FileTypeConfig::default();
+        let mut rng = SimRng::new(13);
+        for _ in 0..1000 {
+            let op = t.choose_allocation_op(&mut rng);
+            assert!(!matches!(op, OpKind::Read | OpKind::Write));
+        }
+    }
+
+    #[test]
+    fn sequential_mix_is_reads_and_writes_only() {
+        let t = FileTypeConfig::default();
+        let mut rng = SimRng::new(14);
+        let mut reads = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            match t.choose_sequential_op(&mut rng) {
+                OpKind::Read => reads += 1,
+                OpKind::Write => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // 60:20 ratio renormalized → 75 % reads.
+        let pct = 100.0 * f64::from(reads) / f64::from(n);
+        assert!((pct - 75.0).abs() < 1.5, "{pct}");
+    }
+
+    #[test]
+    fn degenerate_mixes_have_fallbacks() {
+        let mut t = FileTypeConfig::default();
+        t.read_pct = 0.0;
+        t.write_pct = 0.0;
+        t.extend_pct = 0.0;
+        t.deallocate_pct = 100.0;
+        let mut rng = SimRng::new(15);
+        assert!(matches!(t.choose_sequential_op(&mut rng), OpKind::Read));
+        let mut t2 = FileTypeConfig::default();
+        t2.extend_pct = 0.0;
+        t2.deallocate_pct = 0.0;
+        t2.read_pct = 80.0;
+        t2.write_pct = 20.0;
+        assert!(matches!(t2.choose_allocation_op(&mut rng), OpKind::Extend));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = FileTypeConfig::default();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: FileTypeConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+}

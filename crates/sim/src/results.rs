@@ -1,0 +1,113 @@
+//! Serializable experiment reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of an allocation test (§3): fragmentation at first failure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FragReport {
+    /// "Internal fragmentation is the amount of space allocated to files,
+    /// but not being used by the file … expressed as a percentage of the
+    /// total allocated space."
+    pub internal_pct: f64,
+    /// "External fragmentation is the amount of space still available in
+    /// the disk system when a request cannot be serviced … expressed as a
+    /// percentage of the total available disk space."
+    pub external_pct: f64,
+    /// Live files at the time of failure.
+    pub live_files: u64,
+    /// Mean extents per live file (Table 4's statistic).
+    pub avg_extents_per_file: f64,
+    /// Fraction of capacity in use when the failing request arrived.
+    pub utilization: f64,
+    /// Operations executed before the failure.
+    pub operations: u64,
+}
+
+/// Outcome of an application or sequential performance test (§3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Throughput as a percentage of the calibrated maximum sequential
+    /// bandwidth of the disk system.
+    pub throughput_pct: f64,
+    /// The calibrated maximum, in MB/s, for absolute context.
+    pub max_bandwidth_mb_s: f64,
+    /// Absolute throughput in MB/s.
+    pub throughput_mb_s: f64,
+    /// Whether the paper's stabilization rule fired (vs the time cap).
+    pub stabilized: bool,
+    /// Simulated milliseconds of measurement.
+    pub measured_ms: f64,
+    /// Logical bytes moved during measurement.
+    pub bytes_moved: u64,
+    /// Operations completed during measurement.
+    pub operations: u64,
+    /// Allocation failures logged ("disk full condition") during the run.
+    pub disk_full_events: u64,
+    /// Median per-operation latency (issue → completion), ms.
+    pub op_latency_p50_ms: f64,
+    /// 99th-percentile per-operation latency, ms.
+    pub op_latency_p99_ms: f64,
+    /// Mean extents per live file at the end of the run.
+    pub avg_extents_per_file: f64,
+}
+
+/// The full §3 evaluation of one (policy, workload) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SuiteReport {
+    /// Policy name.
+    pub policy: String,
+    /// Workload name.
+    pub workload: String,
+    /// Allocation-test fragmentation.
+    pub fragmentation: FragReport,
+    /// Application performance.
+    pub application: PerfReport,
+    /// Sequential performance.
+    pub sequential: PerfReport,
+}
+
+impl std::fmt::Display for SuiteReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} / {}:", self.policy, self.workload)?;
+        writeln!(
+            f,
+            "  fragmentation: {:.1} % internal, {:.1} % external (at {:.1} % utilization)",
+            self.fragmentation.internal_pct,
+            self.fragmentation.external_pct,
+            100.0 * self.fragmentation.utilization
+        )?;
+        writeln!(
+            f,
+            "  application:   {:.1} % of max ({:.2} MB/s), p50 {:.1} ms, p99 {:.1} ms",
+            self.application.throughput_pct,
+            self.application.throughput_mb_s,
+            self.application.op_latency_p50_ms,
+            self.application.op_latency_p99_ms
+        )?;
+        writeln!(
+            f,
+            "  sequential:    {:.1} % of max ({:.2} MB/s)",
+            self.sequential.throughput_pct, self.sequential.throughput_mb_s
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_serialize() {
+        let f = FragReport {
+            internal_pct: 12.5,
+            external_pct: 3.0,
+            live_files: 10,
+            avg_extents_per_file: 2.5,
+            utilization: 0.97,
+            operations: 1000,
+        };
+        let json = serde_json::to_string(&f).unwrap();
+        let back: FragReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(f, back);
+    }
+}

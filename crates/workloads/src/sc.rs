@@ -1,0 +1,135 @@
+//! The supercomputer workload (SC).
+//!
+//! "The super computer environment is characterized by 1 large file (500M)
+//! 15 medium sized files (100M) and 10 small files (10M). The large and
+//! medium files are all read and written in large contiguous bursts (32K
+//! or 512K) with a predominance of reads (60 % reads, 30 % writes, 8 %
+//! extends, and 2 % truncates). The small files are also read and written
+//! in 32K bursts, but are periodically deleted and recreated as well as
+//! being read and written (60 % reads, 30 % writes, 5 % extends, 5 %
+//! deletes)."
+//!
+//! Large/medium files burst 512 KB, small files 32 KB; all access is
+//! sequential (per-file cursor), which is what lets contiguous layouts push
+//! the array toward its full bandwidth (Table 3: 88 % application, 94 %
+//! sequential under buddy allocation).
+
+use crate::scale_size;
+use readopt_sim::FileTypeConfig;
+
+const KB: u64 = 1024;
+const MB: u64 = 1024 * KB;
+
+/// Builds the SC workload for a disk system of `capacity_bytes`.
+pub fn supercomputer(capacity_bytes: u64) -> Vec<FileTypeConfig> {
+    let s = |bytes: u64, min: u64| scale_size(bytes, capacity_bytes, min);
+    vec![
+        FileTypeConfig {
+            name: "sc-large".into(),
+            num_files: 1,
+            num_users: 2,
+            process_time_ms: 25.0,
+            hit_frequency_ms: 25.0,
+            rw_size_bytes: 512 * KB,
+            rw_deviation_bytes: 64 * KB,
+            allocation_size_bytes: s(16 * MB, 64 * KB),
+            truncate_size_bytes: 512 * KB,
+            initial_size_bytes: s(500 * MB, MB),
+            initial_deviation_bytes: s(50 * MB, 128 * KB),
+            read_pct: 60.0,
+            write_pct: 30.0,
+            extend_pct: 8.0,
+            deallocate_pct: 2.0,
+            delete_fraction: 0.0,
+            sequential_access: true,
+            page_aligned: false,
+        },
+        FileTypeConfig {
+            name: "sc-medium".into(),
+            num_files: 15,
+            num_users: 5,
+            process_time_ms: 25.0,
+            hit_frequency_ms: 25.0,
+            rw_size_bytes: 512 * KB,
+            rw_deviation_bytes: 64 * KB,
+            allocation_size_bytes: s(MB, 32 * KB),
+            truncate_size_bytes: 512 * KB,
+            initial_size_bytes: s(100 * MB, 512 * KB),
+            initial_deviation_bytes: s(20 * MB, 64 * KB),
+            read_pct: 60.0,
+            write_pct: 30.0,
+            extend_pct: 8.0,
+            deallocate_pct: 2.0,
+            delete_fraction: 0.0,
+            sequential_access: true,
+            page_aligned: false,
+        },
+        FileTypeConfig {
+            name: "sc-small".into(),
+            num_files: 10,
+            num_users: 3,
+            process_time_ms: 25.0,
+            hit_frequency_ms: 25.0,
+            rw_size_bytes: 32 * KB,
+            rw_deviation_bytes: 8 * KB,
+            allocation_size_bytes: s(512 * KB, 16 * KB),
+            truncate_size_bytes: 32 * KB,
+            initial_size_bytes: s(10 * MB, 64 * KB),
+            initial_deviation_bytes: s(2 * MB, 16 * KB),
+            read_pct: 60.0,
+            write_pct: 30.0,
+            extend_pct: 5.0,
+            deallocate_pct: 5.0,
+            delete_fraction: 1.0, // "periodically deleted and recreated"
+            sequential_access: true,
+            page_aligned: false,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PAPER_CAPACITY_BYTES;
+
+    #[test]
+    fn full_scale_sizes_are_the_papers() {
+        let types = supercomputer(PAPER_CAPACITY_BYTES);
+        assert_eq!(types[0].initial_size_bytes, 500 * MB);
+        assert_eq!(types[1].initial_size_bytes, 100 * MB);
+        assert_eq!(types[2].initial_size_bytes, 10 * MB);
+    }
+
+    #[test]
+    fn burst_sizes_match_quote() {
+        let types = supercomputer(PAPER_CAPACITY_BYTES);
+        assert_eq!(types[0].rw_size_bytes, 512 * KB);
+        assert_eq!(types[1].rw_size_bytes, 512 * KB);
+        assert_eq!(types[2].rw_size_bytes, 32 * KB);
+    }
+
+    #[test]
+    fn ratios_match_quote() {
+        let types = supercomputer(PAPER_CAPACITY_BYTES);
+        for t in &types[..2] {
+            assert_eq!((t.read_pct, t.write_pct, t.extend_pct, t.deallocate_pct), (60.0, 30.0, 8.0, 2.0));
+            assert_eq!(t.delete_fraction, 0.0, "large/medium truncate only");
+        }
+        assert_eq!(types[2].deallocate_pct, 5.0);
+        assert_eq!(types[2].delete_fraction, 1.0);
+    }
+
+    #[test]
+    fn scaled_down_keeps_structure() {
+        let types = supercomputer(PAPER_CAPACITY_BYTES / 64);
+        assert_eq!(types[0].num_files, 1);
+        assert_eq!(types[1].num_files, 15);
+        assert_eq!(types[2].num_files, 10);
+        for t in &types {
+            t.validate().unwrap();
+        }
+        let total: u64 = types.iter().map(|t| t.num_files * t.initial_size_bytes).sum();
+        let frac = total as f64 / (PAPER_CAPACITY_BYTES / 64) as f64;
+        assert!((0.6..0.9).contains(&frac), "population fraction {frac}");
+    }
+}

@@ -1,0 +1,117 @@
+//! A tiny scriptable shell over the simulated file system — poke at any
+//! policy × array combination interactively or from a pipe.
+//!
+//! ```text
+//! cargo run --release --example fs_shell
+//! echo "mkdir /a\ncreate /a/x\nwrite /a/x 65536\nstat /a/x\ndf" | cargo run --release --example fs_shell
+//! ```
+//!
+//! Commands:
+//!   mkdir PATH | create PATH | write PATH BYTES | read PATH BYTES
+//!   stat PATH | ls PATH | rm PATH | mv FROM TO | truncate PATH BYTES
+//!   df | defrag | clock | help | quit
+
+use readopt::alloc::PolicyConfig;
+use readopt::disk::ArrayConfig;
+use readopt::fs::{FileSystem, FsConfig, FsError};
+use std::io::BufRead;
+
+fn io_file(fs: &mut FileSystem, path: &str, bytes: u64, write: bool) -> Result<String, FsError> {
+    let fd = fs.open(path)?;
+    let report = if write {
+        let size = fs.stat(path)?.size_bytes;
+        fs.seek(fd, size)?;
+        fs.write(fd, bytes)?
+    } else {
+        fs.read(fd, bytes)?
+    };
+    fs.close(fd)?;
+    Ok(format!(
+        "{} {} bytes in {:.2} ms ({} from cache)",
+        if write { "wrote" } else { "read" },
+        report.bytes,
+        report.latency_ms(),
+        report.cache_hit_bytes
+    ))
+}
+
+fn execute(fs: &mut FileSystem, line: &str) -> Result<String, String> {
+    let parts: Vec<&str> = line.split_whitespace().collect();
+    let num = |i: usize| -> Result<u64, String> {
+        parts
+            .get(i)
+            .ok_or("missing argument".to_string())?
+            .parse()
+            .map_err(|e| format!("bad number: {e}"))
+    };
+    let path = |i: usize| -> Result<&str, String> {
+        parts.get(i).copied().ok_or("missing path".to_string())
+    };
+    let err = |e: FsError| e.to_string();
+    match parts.first().copied() {
+        None => Ok(String::new()),
+        Some("help") => Ok("mkdir create write read stat ls rm mv truncate df defrag clock quit".into()),
+        Some("mkdir") => fs.mkdir(path(1)?).map(|_| "ok".into()).map_err(err),
+        Some("create") => fs.create(path(1)?).and_then(|fd| fs.close(fd)).map(|_| "ok".into()).map_err(err),
+        Some("write") => io_file(fs, path(1)?, num(2)?, true).map_err(err),
+        Some("read") => io_file(fs, path(1)?, num(2)?, false).map_err(err),
+        Some("stat") => fs
+            .stat(path(1)?)
+            .map(|m| {
+                format!(
+                    "size {} allocated {} extents {}{}",
+                    m.size_bytes,
+                    m.allocated_bytes,
+                    m.extents,
+                    if m.is_dir { " (dir)" } else { "" }
+                )
+            })
+            .map_err(err),
+        Some("ls") => fs.readdir(path(1).unwrap_or("/")).map(|names| names.join("  ")).map_err(err),
+        Some("rm") => fs.unlink(path(1)?).map(|_| "ok".into()).map_err(err),
+        Some("mv") => fs.rename(path(1)?, path(2)?).map(|_| "ok".into()).map_err(err),
+        Some("truncate") => fs.truncate(path(1)?, num(2)?).map(|_| "ok".into()).map_err(err),
+        Some("df") => {
+            let s = fs.statfs();
+            Ok(format!(
+                "{} / {} bytes used ({:.1} %), {} files, cache hit {:.1} %",
+                s.capacity_bytes - s.free_bytes,
+                s.capacity_bytes,
+                100.0 * s.utilization,
+                s.files,
+                100.0 * s.cache.hit_ratio()
+            ))
+        }
+        Some("defrag") => Ok(match fs.defragment() {
+            Some(moved) => format!("rewrote {moved} units"),
+            None => "this policy has no reallocator".into(),
+        }),
+        Some("clock") => Ok(format!("{:.2} ms simulated", fs.now().as_ms())),
+        Some(other) => Err(format!("unknown command {other} (try `help`)")),
+    }
+}
+
+fn main() {
+    let mut fs = FileSystem::format(FsConfig {
+        array: ArrayConfig::scaled(16),
+        policy: PolicyConfig::paper_buddy(),
+        cache: None,
+        seed: 11,
+    });
+    println!(
+        "readopt fs shell — buddy policy on a {:.2} GB array; `help` lists commands",
+        fs.statfs().capacity_bytes as f64 / 1e9
+    );
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim() == "quit" {
+            break;
+        }
+        match execute(&mut fs, &line) {
+            Ok(out) if out.is_empty() => {}
+            Ok(out) => println!("{out}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: build a disk array, pick an allocation policy, run one
+//! workload through the paper's evaluation suite.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use readopt::alloc::{ExtentConfig, FitStrategy, PolicyConfig};
+use readopt::disk::ArrayConfig;
+use readopt::sim::{SimConfig, Simulation};
+use readopt::workloads::timesharing;
+
+fn main() {
+    // The paper's 8-disk, 2.8 GB CDC Wren IV array — scaled down 16× so
+    // this example runs in well under a second. Drop `scaled` for the full
+    // Table 1 system.
+    let array = ArrayConfig::scaled(16);
+
+    // An extent-based policy (§4.3) with ranges sized for the
+    // timesharing workload's small files: 1 KB extents for the 8 KB files,
+    // 8 KB extents for the 96 KB files, 64 KB for anything that grows big.
+    // (`ExperimentContext::extent_policy` builds the paper's sweeps.)
+    let policy = PolicyConfig::Extent(ExtentConfig {
+        range_means_bytes: vec![1024, 8 * 1024, 64 * 1024],
+        fit: FitStrategy::FirstFit,
+        sigma_frac: 0.1,
+    });
+
+    // The §2.2 time-sharing workload, sized to the array.
+    let workload = timesharing(array.capacity_bytes());
+
+    let config = SimConfig::new(array, policy, workload);
+
+    // 1. Allocation test: run extends/truncates/deletes/creates until the
+    //    first allocation fails, then measure fragmentation.
+    let mut sim = Simulation::new(&config, 42);
+    let frag = sim.run_allocation_test();
+    println!("allocation test ({} ops):", frag.operations);
+    println!("  internal fragmentation: {:>6.2} % of allocated space", frag.internal_pct);
+    println!("  external fragmentation: {:>6.2} % of total space", frag.external_pct);
+    println!("  utilization at failure: {:>6.2} %", 100.0 * frag.utilization);
+
+    // 2. Application + sequential performance tests on a fresh simulation
+    //    (the allocation test deliberately fills the disk).
+    let mut sim = Simulation::new(&config, 43);
+    let app = sim.run_application_test();
+    let seq = sim.run_sequential_test();
+    println!("\nperformance (max = {:.2} MB/s sustained sequential):", app.max_bandwidth_mb_s);
+    println!(
+        "  application: {:>6.2} % of max ({:.2} MB/s), stabilized: {}",
+        app.throughput_pct, app.throughput_mb_s, app.stabilized
+    );
+    println!(
+        "  sequential:  {:>6.2} % of max ({:.2} MB/s), stabilized: {}",
+        seq.throughput_pct, seq.throughput_mb_s, seq.stabilized
+    );
+}

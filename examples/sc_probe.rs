@@ -1,0 +1,34 @@
+use readopt::experiments::ExperimentContext;
+use readopt::sim::Simulation;
+use readopt_alloc::PolicyConfig;
+use readopt_workloads::WorkloadKind;
+
+fn main() {
+    let ctx = ExperimentContext::full();
+    for (ul, um, us, think) in [
+        (2u32, 5u32, 3u32, 25.0f64),
+        (4, 10, 6, 25.0),
+        (3, 8, 4, 10.0),
+        (2, 5, 3, 5.0),
+        (4, 10, 6, 5.0),
+        (8, 16, 8, 10.0),
+    ] {
+        let mut cfg = ctx.sim_config(WorkloadKind::Supercomputer, PolicyConfig::paper_buddy());
+        cfg.file_types[0].num_users = ul;
+        cfg.file_types[1].num_users = um;
+        cfg.file_types[2].num_users = us;
+        for t in &mut cfg.file_types {
+            t.process_time_ms = think;
+        }
+        let mut sim = Simulation::new(&cfg, ctx.seed.wrapping_add(1));
+        let app = sim.run_application_test();
+        let c = sim.storage().stats().combined();
+        println!(
+            "users=({ul},{um},{us}) think={think}: app {:.1}%  busy/disk {:.2}  seek/req {:.1}ms xfer/req {:.1}ms",
+            app.throughput_pct,
+            c.busy_ms / 8.0 / app.measured_ms,
+            c.seek_ms / c.requests as f64,
+            c.transfer_ms / c.requests as f64
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! The time-sharing (TS) workload of §2.2 run against all four §5 policy
+//! selections — a one-workload slice of Figure 6.
+//!
+//! ```text
+//! cargo run --release --example timesharing [-- <scale-divisor>]
+//! ```
+
+use readopt::experiments::fig6::policies_for;
+use readopt::experiments::ExperimentContext;
+use readopt_workloads::WorkloadKind;
+
+fn main() {
+    let scale: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let ctx = if scale <= 1 { ExperimentContext::full() } else { ExperimentContext::fast(scale) };
+    let wl = WorkloadKind::Timesharing;
+    println!(
+        "TS workload on {} disks / {:.2} GB (scale 1/{scale})\n",
+        ctx.array.ndisks,
+        ctx.array.capacity_bytes() as f64 / 1e9
+    );
+    println!("{:<20} {:>12} {:>12} {:>11} {:>11}", "policy", "internal%", "external%", "app%", "seq%");
+    for (name, policy) in policies_for(&ctx, wl) {
+        let frag = ctx.run_allocation(wl, policy.clone());
+        let (app, seq) = ctx.run_performance(wl, policy);
+        println!(
+            "{:<20} {:>12.1} {:>12.1} {:>11.1} {:>11.1}",
+            name, frag.internal_pct, frag.external_pct, app.throughput_pct, seq.throughput_pct
+        );
+    }
+    println!(
+        "\nThe paper's TS story: no policy pushes the array past ~20 % (small\n\
+         files bound everything on seeks), but the multiblock policies cost\n\
+         nothing for that flexibility — and the aged fixed-block system\n\
+         scatters even these small files."
+    );
+}

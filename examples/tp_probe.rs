@@ -1,0 +1,21 @@
+use readopt::experiments::ExperimentContext;
+use readopt::sim::Simulation;
+use readopt_alloc::FitStrategy;
+use readopt_workloads::WorkloadKind;
+
+fn main() {
+    let ctx = ExperimentContext::full();
+    let wl = WorkloadKind::TransactionProcessing;
+    let policy = ctx.extent_policy(wl, 3, FitStrategy::FirstFit);
+    let cfg = ctx.sim_config(wl, policy);
+    let mut sim = Simulation::new(&cfg, ctx.seed.wrapping_add(1));
+    let app = sim.run_application_test();
+    println!("app {:.1}% ({:.2} MB/s), ops {}", app.throughput_pct, app.throughput_mb_s, app.operations);
+    let stats = sim.storage().stats();
+    let c = stats.combined();
+    println!("requests={} seeks={} seek_ms/req={:.2} rot_ms/req={:.2} xfer_ms/req={:.2}",
+        c.requests, c.seeks, c.seek_ms / c.requests as f64,
+        c.rotational_ms / c.requests as f64, c.transfer_ms / c.requests as f64);
+    println!("busy fraction per disk ≈ {:.2}", c.busy_ms / 8.0 / app.measured_ms);
+    println!("avg req bytes = {}", c.bytes_total() / c.requests);
+}

@@ -1,0 +1,97 @@
+//! §6's closing wish — "applying the allocation policies to genuine
+//! workloads" — via the trace facility: one recorded operation stream
+//! replayed against every §5 policy (plus the FFS extension), costs
+//! compared end to end.
+//!
+//! The built-in trace imitates a database maintenance window: bulk-load a
+//! table, random page updates, a log that grows and gets truncated, a full
+//! table scan. Swap in your own JSON trace with:
+//!
+//! ```text
+//! cargo run --release --example trace_replay -- my_trace.json
+//! ```
+
+use readopt::alloc::{ExtentConfig, FitStrategy, PolicyConfig};
+use readopt::disk::ArrayConfig;
+use readopt::fs::{FileSystem, FsConfig, Trace, TraceOp};
+
+fn maintenance_window_trace() -> Trace {
+    let mut ops = vec![
+        TraceOp::Mkdir { path: "/db".into() },
+        TraceOp::Create { path: "/db/table".into(), slot: 0 },
+        TraceOp::Create { path: "/db/log".into(), slot: 1 },
+    ];
+    // Bulk load: 8 MB of table in 64 KB batches, log record per batch.
+    for _ in 0..128 {
+        ops.push(TraceOp::Write { slot: 0, bytes: 64 * 1024 });
+        ops.push(TraceOp::Write { slot: 1, bytes: 4 * 1024 });
+    }
+    // Random page updates: seek + 8 KB write + log append + think.
+    for i in 0..200u64 {
+        let page = (i * 2_654_435_761) % (8 * 1024 * 1024 / 8192);
+        ops.push(TraceOp::Seek { slot: 0, pos: page * 8192 });
+        ops.push(TraceOp::Write { slot: 0, bytes: 8192 });
+        ops.push(TraceOp::Write { slot: 1, bytes: 4096 });
+        ops.push(TraceOp::ThinkMs { ms: 2.0 });
+    }
+    // Checkpoint: truncate the log.
+    ops.push(TraceOp::Truncate { path: "/db/log".into(), size: 0 });
+    // Full table scan.
+    ops.push(TraceOp::Seek { slot: 0, pos: 0 });
+    for _ in 0..128 {
+        ops.push(TraceOp::Read { slot: 0, bytes: 64 * 1024 });
+    }
+    ops.push(TraceOp::Close { slot: 0 });
+    ops.push(TraceOp::Close { slot: 1 });
+    Trace { ops }
+}
+
+fn main() {
+    let trace = match std::env::args().nth(1) {
+        Some(path) => {
+            let json = std::fs::read_to_string(&path).expect("read trace file");
+            Trace::from_json(&json).expect("parse trace")
+        }
+        None => maintenance_window_trace(),
+    };
+    println!("replaying {} operations against each policy:\n", trace.ops.len());
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>9}",
+        "policy", "elapsed ms", "MB written", "MB read", "failures"
+    );
+    let policies = [
+        ("buddy".to_string(), PolicyConfig::paper_buddy()),
+        ("restricted-buddy".to_string(), PolicyConfig::paper_restricted()),
+        (
+            "extent first-fit".to_string(),
+            PolicyConfig::Extent(ExtentConfig {
+                range_means_bytes: vec![64 * 1024, 1024 * 1024],
+                fit: FitStrategy::FirstFit,
+                sigma_frac: 0.1,
+            }),
+        ),
+        ("ffs 8K/1K".to_string(), PolicyConfig::ffs_classic()),
+        (
+            "fixed-4K (aged)".to_string(),
+            PolicyConfig::Fixed(readopt::alloc::FixedConfig { block_bytes: 4096, pre_age: true }),
+        ),
+    ];
+    for (name, policy) in policies {
+        let mut fs = FileSystem::format(FsConfig {
+            array: ArrayConfig::scaled(16),
+            policy,
+            cache: None,
+            seed: 9,
+        });
+        let report = trace.replay(&mut fs);
+        println!(
+            "{:<22} {:>12.1} {:>12.2} {:>12.2} {:>9}",
+            name,
+            report.elapsed_ms,
+            report.bytes_written as f64 / 1048576.0,
+            report.bytes_read as f64 / 1048576.0,
+            report.failures
+        );
+    }
+    println!("\n(the read-optimized layouts win on the bulk load and the scan;\n the aged fixed-block system pays a seek per 4 KB block)");
+}

@@ -1,0 +1,54 @@
+//! The transaction-processing (TP) workload of §2.2: 10 large relations
+//! under random 8 KB page I/O plus append-mostly logs.
+//!
+//! Reproduces the TP slice of Figure 6 and demonstrates the §6 prediction
+//! about RAID small-write cost.
+//!
+//! ```text
+//! cargo run --release --example transaction_processing [-- <scale-divisor>]
+//! ```
+
+use readopt::disk::ArrayLayout;
+use readopt::experiments::fig6::policies_for;
+use readopt::experiments::ExperimentContext;
+use readopt_alloc::FitStrategy;
+use readopt_sim::Simulation;
+use readopt_workloads::WorkloadKind;
+
+fn main() {
+    let scale: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let ctx = if scale <= 1 { ExperimentContext::full() } else { ExperimentContext::fast(scale) };
+    let wl = WorkloadKind::TransactionProcessing;
+    println!(
+        "TP workload on {} disks / {:.2} GB (scale 1/{scale})\n",
+        ctx.array.ndisks,
+        ctx.array.capacity_bytes() as f64 / 1e9
+    );
+
+    println!(
+        "{:<20} {:>9} {:>9} {:>12} {:>12}",
+        "policy", "app%", "seq%", "p50 op ms", "p99 op ms"
+    );
+    for (name, policy) in policies_for(&ctx, wl) {
+        let (app, seq) = ctx.run_performance(wl, policy);
+        println!(
+            "{:<20} {:>9.1} {:>9.1} {:>12.1} {:>12.1}",
+            name, app.throughput_pct, seq.throughput_pct, app.op_latency_p50_ms, app.op_latency_p99_ms
+        );
+    }
+
+    // §6: "the impact of a RAID in the underlying disk system will reduce
+    // the small write performance."
+    println!("\nTP under redundancy layouts (extent policy, absolute MB/s):");
+    println!("{:<16} {:>10} {:>11}", "layout", "app MB/s", "write amp");
+    for layout in [ArrayLayout::Striped, ArrayLayout::Raid5, ArrayLayout::Mirrored] {
+        let mut lctx = ctx;
+        lctx.array.layout = layout;
+        let policy = lctx.extent_policy(wl, 3, FitStrategy::FirstFit);
+        let cfg = lctx.sim_config(wl, policy);
+        let mut sim = Simulation::new(&cfg, lctx.seed);
+        let app = sim.run_application_test();
+        let amp = sim.storage().stats().write_amplification();
+        println!("{:<16} {:>10.2} {:>10.2}x", format!("{layout:?}"), app.throughput_mb_s, amp);
+    }
+}

@@ -1,0 +1,213 @@
+//! Differential testing of the simulated file system against a trivial
+//! in-memory reference model: after any operation sequence, file existence,
+//! sizes, cursors, and directory listings must agree, and the allocator's
+//! invariants must hold.
+
+use proptest::prelude::*;
+use readopt::alloc::PolicyConfig;
+use readopt::disk::ArrayConfig;
+use readopt::fs::{CacheConfig, Fd, FileSystem, FsConfig, FsError};
+use std::collections::BTreeMap;
+
+/// The reference model: just names and sizes.
+#[derive(Debug, Default)]
+struct Model {
+    files: BTreeMap<String, u64>,
+    dirs: Vec<String>,
+    handles: BTreeMap<u32, (String, u64)>, // slot -> (path, cursor)
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Mkdir(u8),
+    Create(u8, u32),
+    Open(u8, u32),
+    Close(u32),
+    Write(u32, u64),
+    Read(u32, u64),
+    Seek(u32, u64),
+    Truncate(u8, u64),
+    Unlink(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        1 => any::<u8>().prop_map(Op::Mkdir),
+        3 => (any::<u8>(), 0u32..8).prop_map(|(p, s)| Op::Create(p, s)),
+        2 => (any::<u8>(), 0u32..8).prop_map(|(p, s)| Op::Open(p, s)),
+        1 => (0u32..8).prop_map(Op::Close),
+        5 => (0u32..8, 1u64..100_000).prop_map(|(s, n)| Op::Write(s, n)),
+        4 => (0u32..8, 1u64..100_000).prop_map(|(s, n)| Op::Read(s, n)),
+        2 => (0u32..8, 0u64..200_000).prop_map(|(s, p)| Op::Seek(s, p)),
+        1 => (any::<u8>(), 0u64..100_000).prop_map(|(p, n)| Op::Truncate(p, n)),
+        1 => any::<u8>().prop_map(Op::Unlink),
+    ]
+}
+
+/// Maps a byte to one of a handful of paths so operations collide often.
+fn path_for(p: u8) -> String {
+    match p % 6 {
+        0 => "/a".to_string(),
+        1 => "/b".to_string(),
+        2 => "/dir/c".to_string(),
+        3 => "/dir/d".to_string(),
+        4 => "/dir/sub/e".to_string(),
+        _ => "/f".to_string(),
+    }
+}
+
+fn run_model(ops: &[Op], cache: Option<CacheConfig>) {
+    let mut fs = FileSystem::format(FsConfig {
+        array: ArrayConfig::scaled(64),
+        policy: PolicyConfig::paper_restricted(),
+        cache,
+        seed: 5,
+    });
+    let mut model = Model::default();
+    // Pre-create the directory skeleton in both.
+    for d in ["/dir", "/dir/sub"] {
+        fs.mkdir(d).unwrap();
+        model.dirs.push(d.to_string());
+    }
+    let mut slot_to_fd: BTreeMap<u32, Fd> = BTreeMap::new();
+
+    for op in ops {
+        match op {
+            Op::Mkdir(p) => {
+                let path = format!("{}.d", path_for(*p));
+                let real = fs.mkdir(&path);
+                if model.dirs.contains(&path) || model.files.contains_key(&path) {
+                    assert!(matches!(real, Err(FsError::AlreadyExists(_))));
+                } else {
+                    real.unwrap();
+                    model.dirs.push(path);
+                }
+            }
+            Op::Create(p, slot) => {
+                let path = path_for(*p);
+                let real = fs.create(&path);
+                if model.files.contains_key(&path) || model.dirs.contains(&path) {
+                    assert!(matches!(real, Err(FsError::AlreadyExists(_))), "{path}");
+                } else {
+                    let fd = real.unwrap_or_else(|e| panic!("create {path}: {e}"));
+                    model.files.insert(path.clone(), 0);
+                    if let Some(old) = slot_to_fd.insert(*slot, fd) {
+                        let _ = fs.close(old);
+                    }
+                    model.handles.insert(*slot, (path, 0));
+                }
+            }
+            Op::Open(p, slot) => {
+                let path = path_for(*p);
+                let real = fs.open(&path);
+                if model.files.contains_key(&path) {
+                    let fd = real.unwrap();
+                    if let Some(old) = slot_to_fd.insert(*slot, fd) {
+                        let _ = fs.close(old);
+                    }
+                    model.handles.insert(*slot, (path, 0));
+                } else {
+                    assert!(real.is_err(), "open of absent {path} must fail");
+                }
+            }
+            Op::Close(slot) => {
+                let real = slot_to_fd.remove(slot).map(|fd| fs.close(fd));
+                match (real, model.handles.remove(slot)) {
+                    (Some(Ok(())), Some(_)) => {}
+                    (None, None) => {}
+                    // The fs invalidates descriptors on unlink; the model
+                    // drops them too (see Unlink) — any mix left is a bug.
+                    (a, b) => panic!("close divergence: {a:?} vs {b:?}"),
+                }
+            }
+            Op::Write(slot, n) => {
+                if let (Some(&fd), Some((path, cursor))) =
+                    (slot_to_fd.get(slot), model.handles.get(slot).cloned())
+                {
+                    match fs.write(fd, *n) {
+                        Ok(r) => {
+                            assert_eq!(r.bytes, *n);
+                            let size = model.files.get_mut(&path).expect("model file");
+                            *size = (*size).max(cursor + n);
+                            model.handles.insert(*slot, (path, cursor + n));
+                        }
+                        Err(FsError::NoSpace) => { /* model unchanged: atomic failure */ }
+                        Err(e) => panic!("write: {e}"),
+                    }
+                }
+            }
+            Op::Read(slot, n) => {
+                if let (Some(&fd), Some((path, cursor))) =
+                    (slot_to_fd.get(slot), model.handles.get(slot).cloned())
+                {
+                    let size = model.files[&path];
+                    let expect = (*n).min(size.saturating_sub(cursor));
+                    let r = fs.read(fd, *n).unwrap();
+                    assert_eq!(r.bytes, expect, "read at {cursor} of {size}-byte {path}");
+                    model.handles.insert(*slot, (path, cursor + expect));
+                }
+            }
+            Op::Seek(slot, pos) => {
+                if let Some(&fd) = slot_to_fd.get(slot) {
+                    fs.seek(fd, *pos).unwrap();
+                    let (path, _) = model.handles[slot].clone();
+                    model.handles.insert(*slot, (path, *pos));
+                }
+            }
+            Op::Truncate(p, n) => {
+                let path = path_for(*p);
+                let real = fs.truncate(&path, *n);
+                match model.files.get_mut(&path) {
+                    Some(size) => {
+                        real.unwrap();
+                        *size = (*size).min(*n);
+                    }
+                    None => assert!(real.is_err()),
+                }
+            }
+            Op::Unlink(p) => {
+                let path = path_for(*p);
+                let real = fs.unlink(&path);
+                if model.files.remove(&path).is_some() {
+                    real.unwrap();
+                    // Drop model handles on that path, mirroring descriptor
+                    // invalidation.
+                    let stale: Vec<u32> = model
+                        .handles
+                        .iter()
+                        .filter(|(_, (hp, _))| *hp == path)
+                        .map(|(&s, _)| s)
+                        .collect();
+                    for s in stale {
+                        model.handles.remove(&s);
+                        slot_to_fd.remove(&s);
+                    }
+                } else {
+                    assert!(real.is_err());
+                }
+            }
+        }
+        // Continuous agreement on sizes and existence.
+        for (path, &size) in &model.files {
+            let meta = fs.stat(path).unwrap_or_else(|e| panic!("stat {path}: {e}"));
+            assert_eq!(meta.size_bytes, size, "{path} size");
+            assert!(meta.allocated_bytes >= size.min(meta.allocated_bytes), "sane allocation");
+        }
+    }
+    fs.policy().check_invariants();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn filesystem_matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        run_model(&ops, None);
+    }
+
+    #[test]
+    fn filesystem_matches_reference_model_with_cache(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        // The buffer cache must be semantically invisible.
+        run_model(&ops, Some(CacheConfig { capacity_bytes: 256 * 1024, page_bytes: 8 * 1024 }));
+    }
+}

@@ -1,0 +1,119 @@
+//! Metamorphic tests: physical parameter changes must move simulation
+//! outputs in the physically required direction. These catch sign errors
+//! and unit mix-ups that absolute assertions can't.
+
+use readopt::alloc::PolicyConfig;
+use readopt::disk::{calibrate_max_bandwidth, ArrayConfig, DiskGeometry};
+use readopt::experiments::ExperimentContext;
+use readopt::sim::Simulation;
+use readopt_workloads::WorkloadKind;
+
+/// Faster rotation ⇒ more calibrated bandwidth.
+#[test]
+fn faster_spindles_calibrate_faster() {
+    let base = ArrayConfig::scaled(32);
+    let fast = ArrayConfig {
+        geometry: DiskGeometry { rotation_ms: 8.33, ..base.geometry },
+        ..base
+    };
+    let bw_base = calibrate_max_bandwidth(&base);
+    let bw_fast = calibrate_max_bandwidth(&fast);
+    assert!(
+        bw_fast > 1.7 * bw_base,
+        "halving rotation time should nearly double sustained rate: {bw_base} vs {bw_fast}"
+    );
+}
+
+/// More spindles ⇒ proportionally more calibrated bandwidth.
+#[test]
+fn more_disks_calibrate_faster() {
+    let four = ArrayConfig { ndisks: 4, ..ArrayConfig::scaled(32) };
+    let eight = ArrayConfig { ndisks: 8, ..ArrayConfig::scaled(32) };
+    let bw4 = calibrate_max_bandwidth(&four);
+    let bw8 = calibrate_max_bandwidth(&eight);
+    let ratio = bw8 / bw4;
+    assert!((1.8..2.2).contains(&ratio), "8 disks ≈ 2× 4 disks, got {ratio}");
+}
+
+/// Costlier seeks ⇒ lower random-access (application) throughput, while the
+/// *sequential* test barely notices.
+#[test]
+fn seek_cost_hurts_random_io_most() {
+    let ctx = ExperimentContext::fast(64);
+    let mut slow = ctx;
+    slow.array.geometry.single_track_seek_ms = 22.0; // 4× the Wren IV
+    let wl = WorkloadKind::TransactionProcessing;
+
+    let (app_base, seq_base) = ctx.run_performance(wl, PolicyConfig::paper_restricted());
+    let (app_slow, seq_slow) = slow.run_performance(wl, PolicyConfig::paper_restricted());
+
+    let app_drop = app_slow.throughput_mb_s / app_base.throughput_mb_s;
+    let seq_drop = seq_slow.throughput_mb_s / seq_base.throughput_mb_s;
+    assert!(app_drop < 0.75, "4× seeks must hurt TP random I/O: ratio {app_drop}");
+    assert!(
+        seq_drop > app_drop,
+        "sequential throughput is less seek-bound: seq {seq_drop} vs app {app_drop}"
+    );
+}
+
+/// Longer think times ⇒ lower application throughput (the disks idle).
+#[test]
+fn think_time_throttles_throughput() {
+    let ctx = ExperimentContext::fast(64);
+    let wl = WorkloadKind::Timesharing;
+    let policy = PolicyConfig::paper_restricted();
+
+    let base_cfg = ctx.sim_config(wl, policy.clone());
+    let mut slow_cfg = ctx.sim_config(wl, policy);
+    for t in &mut slow_cfg.file_types {
+        t.process_time_ms *= 8.0;
+    }
+    let app_base = Simulation::new(&base_cfg, 3).run_application_test();
+    let app_slow = Simulation::new(&slow_cfg, 3).run_application_test();
+    assert!(
+        app_slow.throughput_pct < 0.5 * app_base.throughput_pct,
+        "8× think time: {} vs {}",
+        app_slow.throughput_pct,
+        app_base.throughput_pct
+    );
+}
+
+/// A bigger disk (same mechanics) fits proportionally more data before the
+/// allocation test fails, at comparable utilization.
+#[test]
+fn capacity_scales_allocation_results() {
+    let small = ExperimentContext::fast(128);
+    let large = ExperimentContext::fast(32);
+    let wl = WorkloadKind::Supercomputer;
+    let f_small = small.run_allocation(wl, PolicyConfig::paper_buddy());
+    let f_large = large.run_allocation(wl, PolicyConfig::paper_buddy());
+    assert!((f_small.utilization - f_large.utilization).abs() < 0.15,
+        "utilization at failure is scale-free: {} vs {}",
+        f_small.utilization, f_large.utilization);
+}
+
+/// Removing the workload's writes cannot make the sequential test slower
+/// (reads never pay read-modify-write anywhere).
+#[test]
+fn read_only_workload_is_at_least_as_fast() {
+    let ctx = ExperimentContext::fast(64);
+    let wl = WorkloadKind::Supercomputer;
+    let base_cfg = ctx.sim_config(wl, PolicyConfig::paper_buddy());
+    let mut ro_cfg = base_cfg.clone();
+    for t in &mut ro_cfg.file_types {
+        t.read_pct += t.write_pct;
+        t.write_pct = 0.0;
+    }
+    let mut sim = Simulation::new(&base_cfg, 5);
+    let _ = sim.run_application_test();
+    let seq_base = sim.run_sequential_test();
+    let mut sim = Simulation::new(&ro_cfg, 5);
+    let _ = sim.run_application_test();
+    let seq_ro = sim.run_sequential_test();
+    assert!(
+        seq_ro.throughput_pct > 0.9 * seq_base.throughput_pct,
+        "read-only: {} vs mixed: {}",
+        seq_ro.throughput_pct,
+        seq_base.throughput_pct
+    );
+}
