@@ -88,10 +88,19 @@ impl FileMap {
     /// physical runs, in logical order. The range is clamped to the
     /// allocated size.
     pub fn map_range(&self, offset: u64, len: u64) -> Vec<Extent> {
-        let end = (offset + len).min(self.total);
         let mut out = Vec::new();
+        self.map_range_into(offset, len, &mut out);
+        out
+    }
+
+    /// As [`map_range`], writing the runs into `out` (cleared first). Lets
+    /// the simulator's per-operation hot path reuse one scratch buffer
+    /// instead of allocating a fresh `Vec` for every transfer.
+    pub fn map_range_into(&self, offset: u64, len: u64, out: &mut Vec<Extent>) {
+        out.clear();
+        let end = (offset + len).min(self.total);
         if offset >= end {
-            return out;
+            return;
         }
         let mut logical = 0u64;
         for e in &self.extents {
@@ -106,7 +115,6 @@ impl FileMap {
                 break;
             }
         }
-        out
     }
 }
 

@@ -97,6 +97,12 @@ impl FreeSpaceMap {
     /// hold them.
     pub fn allocate_first_fit(&mut self, len: u64) -> Option<Extent> {
         debug_assert!(len > 0);
+        // The address-ordered scan is O(runs) and on a fragmented disk most
+        // oversized requests can't be satisfied at all; the by_len index
+        // answers that in O(log n) before we walk anything.
+        if self.largest_run() < len {
+            return None;
+        }
         let (start, run_len) = self
             .by_addr
             .iter()
@@ -256,6 +262,28 @@ mod tests {
         assert_eq!(m.free_units(), 8);
         assert!(m.allocate_first_fit(5).is_none(), "external fragmentation");
         assert!(m.allocate_best_fit(5).is_none());
+    }
+
+    #[test]
+    fn first_fit_early_exit_leaves_map_intact() {
+        // Requests beyond largest_run() bail out of allocate_first_fit
+        // before the address-ordered scan; the map must be untouched and
+        // boundary sizes (== largest run) must still succeed.
+        let mut m = FreeSpaceMap::new();
+        m.release(Extent::new(0, 4));
+        m.release(Extent::new(10, 16));
+        m.release(Extent::new(100, 8));
+        assert_eq!(m.largest_run(), 16);
+        assert!(m.allocate_first_fit(17).is_none(), "larger than every run");
+        assert_eq!(m.free_units(), 28, "failed allocation must not consume space");
+        assert_eq!(m.run_count(), 3);
+        m.check_invariants();
+        // Exactly the largest run still allocates (no off-by-one in the
+        // early exit), and first-fit semantics are preserved.
+        let e = m.allocate_first_fit(16).unwrap();
+        assert_eq!(e, Extent::new(10, 16));
+        assert_eq!(m.largest_run(), 8);
+        m.check_invariants();
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl PolicyStats {
 /// their block/extent granularity — the source of internal fragmentation);
 /// `truncate` frees **at most** the requested units (policies that cannot
 /// split blocks free only whole tail blocks).
-pub trait Policy {
+///
+/// `Send` is required so boxed policies (and the simulations owning them)
+/// can move to experiment-runner worker threads.
+pub trait Policy: Send {
     /// Short stable name for reports ("buddy", "restricted", …).
     fn name(&self) -> &'static str;
 

@@ -1,0 +1,35 @@
+//! Runner scaling: the same sweep executed at 1, 2, 4, and 8 worker
+//! threads. On a multi-core machine the wall-clock per sweep should drop
+//! roughly linearly until the core count; on a single core the overhead of
+//! the scoped-thread dispatch (vs the inline jobs=1 path) is what's being
+//! measured.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use readopt_bench::bench_context;
+use readopt_core::{fig1, table4};
+use readopt_workloads::WorkloadKind;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let ctx = bench_context();
+    let workloads = [WorkloadKind::Timesharing, WorkloadKind::Supercomputer];
+    let configs = [(2usize, 1u64, true), (3, 1, true), (5, 1, true), (5, 2, false)];
+    let mut group = c.benchmark_group("runner_scaling");
+    for jobs in [1usize, 2, 4, 8] {
+        let jctx = ctx.with_jobs(jobs);
+        group.bench_function(format!("fig1_subset/jobs{jobs}"), |b| {
+            b.iter(|| black_box(fig1::run_sweep(&jctx, &workloads, &configs)))
+        });
+        group.bench_function(format!("table4/jobs{jobs}"), |b| {
+            b.iter(|| black_box(table4::run_profiled(&jctx)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = readopt_bench::criterion();
+    targets = bench
+}
+criterion_main!(benches);

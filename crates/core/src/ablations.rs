@@ -13,6 +13,7 @@
 
 use crate::context::ExperimentContext;
 use crate::report::{bytes, pct, TextTable};
+use crate::runner::{self, Job, JobTiming};
 use readopt_alloc::{FitStrategy, PolicyConfig};
 use readopt_disk::ArrayLayout;
 use readopt_workloads::WorkloadKind;
@@ -44,31 +45,42 @@ pub struct RaidAblation {
 
 /// Runs TP (extent policy, 3 ranges, first-fit) under all four layouts.
 pub fn run_raid(ctx: &ExperimentContext) -> RaidAblation {
-    let mut rows = Vec::new();
-    for layout in [
+    run_raid_profiled(ctx).0
+}
+
+/// As [`run_raid`], also returning per-layout wall-clock timings.
+pub fn run_raid_profiled(ctx: &ExperimentContext) -> (RaidAblation, Vec<JobTiming>) {
+    let ctx = *ctx;
+    let jobs = [
         ArrayLayout::Striped,
         ArrayLayout::Mirrored,
         ArrayLayout::Raid5,
         ArrayLayout::ParityStriped,
-    ] {
-        let mut lctx = *ctx;
-        lctx.array.layout = layout;
-        let wl = WorkloadKind::TransactionProcessing;
-        let policy = lctx.extent_policy(wl, 3, FitStrategy::FirstFit);
-        let cfg = lctx.sim_config(wl, policy);
-        let mut sim = readopt_sim::Simulation::new(&cfg, lctx.seed);
-        let app = sim.run_application_test();
-        let seq = sim.run_sequential_test();
-        let amp = sim.storage().stats().write_amplification();
-        rows.push(RaidRow {
-            layout: format!("{layout:?}"),
-            application_pct: app.throughput_pct,
-            application_mb_s: app.throughput_mb_s,
-            sequential_pct: seq.throughput_pct,
-            write_amplification: amp,
-        });
-    }
-    RaidAblation { rows }
+    ]
+    .into_iter()
+    .map(|layout| {
+        Job::new(format!("ablation-raid/{layout:?}"), move || {
+            let mut lctx = ctx;
+            lctx.array.layout = layout;
+            let wl = WorkloadKind::TransactionProcessing;
+            let policy = lctx.extent_policy(wl, 3, FitStrategy::FirstFit);
+            let cfg = lctx.sim_config(wl, policy);
+            let mut sim = readopt_sim::Simulation::new(&cfg, lctx.seed);
+            let app = sim.run_application_test();
+            let seq = sim.run_sequential_test();
+            let amp = sim.storage().stats().write_amplification();
+            RaidRow {
+                layout: format!("{layout:?}"),
+                application_pct: app.throughput_pct,
+                application_mb_s: app.throughput_mb_s,
+                sequential_pct: seq.throughput_pct,
+                write_amplification: amp,
+            }
+        })
+    })
+    .collect();
+    let out = runner::run_jobs(ctx.jobs, jobs);
+    (RaidAblation { rows: out.results }, out.timings)
 }
 
 impl fmt::Display for RaidAblation {
@@ -108,22 +120,32 @@ pub struct StripeAblation {
 
 /// Runs SC (restricted buddy, §4.2 selection) across stripe units.
 pub fn run_stripe_unit(ctx: &ExperimentContext) -> StripeAblation {
-    let mut rows = Vec::new();
-    for su in [8 * 1024u64, 12 * 1024, 24 * 1024, 72 * 1024, 96 * 1024] {
-        let mut lctx = *ctx;
-        lctx.array.stripe_unit_bytes = su;
-        if !lctx.array.geometry.capacity_bytes().is_multiple_of(su) {
-            continue; // keep whole stripe units per disk
-        }
-        let wl = WorkloadKind::Supercomputer;
-        let (app, seq) = lctx.run_performance(wl, PolicyConfig::paper_restricted());
-        rows.push(StripeRow {
-            stripe_unit_bytes: su,
-            sequential_pct: seq.throughput_pct,
-            application_pct: app.throughput_pct,
-        });
-    }
-    StripeAblation { rows }
+    run_stripe_unit_profiled(ctx).0
+}
+
+/// As [`run_stripe_unit`], also returning per-point wall-clock timings.
+pub fn run_stripe_unit_profiled(ctx: &ExperimentContext) -> (StripeAblation, Vec<JobTiming>) {
+    let ctx = *ctx;
+    let jobs = [8 * 1024u64, 12 * 1024, 24 * 1024, 72 * 1024, 96 * 1024]
+        .into_iter()
+        // Keep whole stripe units per disk.
+        .filter(|&su| ctx.array.geometry.capacity_bytes().is_multiple_of(su))
+        .map(|su| {
+            Job::new(format!("ablation-stripe/{}K", su / 1024), move || {
+                let mut lctx = ctx;
+                lctx.array.stripe_unit_bytes = su;
+                let wl = WorkloadKind::Supercomputer;
+                let (app, seq) = lctx.run_performance(wl, PolicyConfig::paper_restricted());
+                StripeRow {
+                    stripe_unit_bytes: su,
+                    sequential_pct: seq.throughput_pct,
+                    application_pct: app.throughput_pct,
+                }
+            })
+        })
+        .collect();
+    let out = runner::run_jobs(ctx.jobs, jobs);
+    (StripeAblation { rows: out.results }, out.timings)
 }
 
 impl fmt::Display for StripeAblation {
@@ -158,28 +180,40 @@ pub struct FileMixAblation {
 /// Varies the TS small:large capacity split and measures extent-policy
 /// fragmentation.
 pub fn run_file_mix(ctx: &ExperimentContext) -> FileMixAblation {
-    let mut rows = Vec::new();
-    for small_share in [0.05f64, 0.15, 0.30, 0.50] {
-        let capacity = ctx.array.capacity_bytes();
-        let mut types = readopt_workloads::timesharing(capacity);
-        // Rebalance counts: small files take `small_share`, large files
-        // take (0.82 − small_share) of capacity.
-        types[0].num_files =
-            ((capacity as f64 * small_share / types[0].initial_size_bytes as f64) as u64).max(4);
-        types[1].num_files = ((capacity as f64 * (0.82 - small_share)
-            / types[1].initial_size_bytes as f64) as u64)
-            .max(4);
-        let policy = ctx.extent_policy(WorkloadKind::Timesharing, 3, FitStrategy::FirstFit);
-        let mut cfg = ctx.sim_config(WorkloadKind::Timesharing, policy);
-        cfg.file_types = types;
-        let frag = readopt_sim::Simulation::new(&cfg, ctx.seed).run_allocation_test();
-        rows.push(FileMixRow {
-            small_share,
-            internal_pct: frag.internal_pct,
-            external_pct: frag.external_pct,
-        });
-    }
-    FileMixAblation { rows }
+    run_file_mix_profiled(ctx).0
+}
+
+/// As [`run_file_mix`], also returning per-mix wall-clock timings.
+pub fn run_file_mix_profiled(ctx: &ExperimentContext) -> (FileMixAblation, Vec<JobTiming>) {
+    let ctx = *ctx;
+    let jobs = [0.05f64, 0.15, 0.30, 0.50]
+        .into_iter()
+        .map(|small_share| {
+            Job::new(format!("ablation-file-mix/{:.0}pct", 100.0 * small_share), move || {
+                let capacity = ctx.array.capacity_bytes();
+                let mut types = readopt_workloads::timesharing(capacity);
+                // Rebalance counts: small files take `small_share`, large
+                // files take (0.82 − small_share) of capacity.
+                types[0].num_files = ((capacity as f64 * small_share
+                    / types[0].initial_size_bytes as f64) as u64)
+                    .max(4);
+                types[1].num_files = ((capacity as f64 * (0.82 - small_share)
+                    / types[1].initial_size_bytes as f64) as u64)
+                    .max(4);
+                let policy = ctx.extent_policy(WorkloadKind::Timesharing, 3, FitStrategy::FirstFit);
+                let mut cfg = ctx.sim_config(WorkloadKind::Timesharing, policy);
+                cfg.file_types = types;
+                let frag = readopt_sim::Simulation::new(&cfg, ctx.seed).run_allocation_test();
+                FileMixRow {
+                    small_share,
+                    internal_pct: frag.internal_pct,
+                    external_pct: frag.external_pct,
+                }
+            })
+        })
+        .collect();
+    let out = runner::run_jobs(ctx.jobs, jobs);
+    (FileMixAblation { rows: out.results }, out.timings)
 }
 
 impl fmt::Display for FileMixAblation {
@@ -226,27 +260,38 @@ pub struct ReallocAblation {
 /// are allocated in 3 extents and average under 4 % internal
 /// fragmentation".
 pub fn run_reallocation(ctx: &ExperimentContext) -> ReallocAblation {
-    let mut rows = Vec::new();
-    for wl in WorkloadKind::all() {
-        let cfg = ctx.sim_config(wl, PolicyConfig::paper_buddy());
-        let mut sim = readopt_sim::Simulation::new(&cfg, ctx.seed);
-        let _ = sim.run_application_test();
-        let before = sim.fragmentation_report(0);
-        let moved = sim.run_reallocation().expect("buddy has a reallocator");
-        let after = sim.fragmentation_report(0);
-        sim.policy().check_invariants();
-        let seq = sim.run_sequential_test();
-        rows.push(ReallocRow {
-            workload: wl.short_name().to_string(),
-            internal_before_pct: before.internal_pct,
-            internal_after_pct: after.internal_pct,
-            extents_before: before.avg_extents_per_file,
-            extents_after: after.avg_extents_per_file,
-            sequential_after_pct: seq.throughput_pct,
-            units_moved: moved,
-        });
-    }
-    ReallocAblation { rows }
+    run_reallocation_profiled(ctx).0
+}
+
+/// As [`run_reallocation`], also returning per-workload wall-clock timings.
+pub fn run_reallocation_profiled(ctx: &ExperimentContext) -> (ReallocAblation, Vec<JobTiming>) {
+    let ctx = *ctx;
+    let jobs = WorkloadKind::all()
+        .into_iter()
+        .map(|wl| {
+            Job::new(format!("ablation-realloc/{}", wl.short_name()), move || {
+                let cfg = ctx.sim_config(wl, PolicyConfig::paper_buddy());
+                let mut sim = readopt_sim::Simulation::new(&cfg, ctx.seed);
+                let _ = sim.run_application_test();
+                let before = sim.fragmentation_report(0);
+                let moved = sim.run_reallocation().expect("buddy has a reallocator");
+                let after = sim.fragmentation_report(0);
+                sim.policy().check_invariants();
+                let seq = sim.run_sequential_test();
+                ReallocRow {
+                    workload: wl.short_name().to_string(),
+                    internal_before_pct: before.internal_pct,
+                    internal_after_pct: after.internal_pct,
+                    extents_before: before.avg_extents_per_file,
+                    extents_after: after.avg_extents_per_file,
+                    sequential_after_pct: seq.throughput_pct,
+                    units_moved: moved,
+                }
+            })
+        })
+        .collect();
+    let out = runner::run_jobs(ctx.jobs, jobs);
+    (ReallocAblation { rows: out.results }, out.timings)
 }
 
 impl fmt::Display for ReallocAblation {
@@ -295,25 +340,36 @@ pub struct FfsAblation {
 /// FFS block+fragment refinement, and a read-optimized multiblock policy,
 /// all on the small-file timesharing workload FFS was designed for.
 pub fn run_ffs_comparison(ctx: &ExperimentContext) -> FfsAblation {
+    run_ffs_comparison_profiled(ctx).0
+}
+
+/// As [`run_ffs_comparison`], also returning per-policy wall-clock timings.
+pub fn run_ffs_comparison_profiled(ctx: &ExperimentContext) -> (FfsAblation, Vec<JobTiming>) {
+    let ctx = *ctx;
     let wl = WorkloadKind::Timesharing;
     let policies = [
         ("fixed-4K (aged V7)".to_string(), ExperimentContext::fixed_policy(wl)),
         ("ffs 8K/1K".to_string(), PolicyConfig::ffs_classic()),
         ("extent (3 ranges)".to_string(), ctx.extent_policy(wl, 3, readopt_alloc::FitStrategy::FirstFit)),
     ];
-    let mut rows = Vec::new();
-    for (name, policy) in policies {
-        let frag = ctx.run_allocation(wl, policy.clone());
-        let (app, seq) = ctx.run_performance(wl, policy);
-        rows.push(FfsRow {
-            policy: name,
-            internal_pct: frag.internal_pct,
-            external_pct: frag.external_pct,
-            application_pct: app.throughput_pct,
-            sequential_pct: seq.throughput_pct,
-        });
-    }
-    FfsAblation { rows }
+    let jobs = policies
+        .into_iter()
+        .map(|(name, policy)| {
+            Job::new(format!("ablation-ffs/{name}"), move || {
+                let frag = ctx.run_allocation(wl, policy.clone());
+                let (app, seq) = ctx.run_performance(wl, policy);
+                FfsRow {
+                    policy: name,
+                    internal_pct: frag.internal_pct,
+                    external_pct: frag.external_pct,
+                    application_pct: app.throughput_pct,
+                    sequential_pct: seq.throughput_pct,
+                }
+            })
+        })
+        .collect();
+    let out = runner::run_jobs(ctx.jobs, jobs);
+    (FfsAblation { rows: out.results }, out.timings)
 }
 
 impl fmt::Display for FfsAblation {
@@ -355,6 +411,22 @@ pub struct DegradedRaidAblation {
 /// Measures RAID-5 degraded-mode service times and the rebuild cost on the
 /// context's geometry — the operational flip side of §6's RAID caveat.
 pub fn run_degraded_raid(ctx: &ExperimentContext) -> DegradedRaidAblation {
+    run_degraded_raid_profiled(ctx).0
+}
+
+/// As [`run_degraded_raid`], timed through the runner as a single job (the
+/// four service-time probes share one array model and are not worth
+/// splitting).
+pub fn run_degraded_raid_profiled(
+    ctx: &ExperimentContext,
+) -> (DegradedRaidAblation, Vec<JobTiming>) {
+    let ctx = *ctx;
+    let jobs = vec![Job::new("ablation-degraded-raid/probes", move || degraded_raid_probes(&ctx))];
+    let mut out = runner::run_jobs(ctx.jobs, jobs);
+    (out.results.remove(0), out.timings)
+}
+
+fn degraded_raid_probes(ctx: &ExperimentContext) -> DegradedRaidAblation {
     use readopt_disk::{IoRequest, Raid5Array, SimTime, Storage};
     let g = ctx.array.geometry;
     let su = ctx.array.stripe_unit_bytes;
@@ -431,39 +503,51 @@ pub struct DiskGenAblation {
 /// speed). Since seeks got relatively *more* expensive per byte, contiguity
 /// matters more — the fixed-block gap should widen.
 pub fn run_disk_generations(ctx: &ExperimentContext) -> DiskGenAblation {
+    run_disk_generations_profiled(ctx).0
+}
+
+/// As [`run_disk_generations`], also returning per-cell wall-clock timings.
+pub fn run_disk_generations_profiled(ctx: &ExperimentContext) -> (DiskGenAblation, Vec<JobTiming>) {
     use readopt_disk::DiskGeometry;
+    let ctx = *ctx;
     // Keep the 2001 system at a few GB even for full-scale contexts (its
     // raw 64 GB would make the TS population enormous without changing any
     // conclusion).
     let scale = ((readopt_workloads::PAPER_CAPACITY_BYTES
         / ctx.array.capacity_bytes().max(1))
     .max(4)) as u32;
-    let mut rows = Vec::new();
+    let mut jobs = Vec::new();
     for (generation, geometry, stripe) in [
         ("1991 Wren IV", ctx.array.geometry, ctx.array.stripe_unit_bytes),
         // 2001 cylinders are 1 MB; 64 KB stripe units divide them evenly.
         ("2001 desktop", DiskGeometry::desktop_2001_scaled(scale), 64 * 1024),
     ] {
-        let mut gctx = *ctx;
-        gctx.array.geometry = geometry;
-        gctx.array.stripe_unit_bytes = stripe;
         for wl in [WorkloadKind::Supercomputer, WorkloadKind::Timesharing] {
             for (policy_name, policy) in [
                 ("restricted-buddy", PolicyConfig::paper_restricted()),
                 ("fixed (aged)", ExperimentContext::fixed_policy(wl)),
             ] {
-                let (app, seq) = gctx.run_performance(wl, policy);
-                rows.push(DiskGenRow {
-                    generation: generation.to_string(),
-                    workload: wl.short_name().to_string(),
-                    policy: policy_name.to_string(),
-                    sequential_pct: seq.throughput_pct,
-                    application_pct: app.throughput_pct,
-                });
+                jobs.push(Job::new(
+                    format!("ablation-disk-gen/{generation}/{}/{policy_name}", wl.short_name()),
+                    move || {
+                        let mut gctx = ctx;
+                        gctx.array.geometry = geometry;
+                        gctx.array.stripe_unit_bytes = stripe;
+                        let (app, seq) = gctx.run_performance(wl, policy);
+                        DiskGenRow {
+                            generation: generation.to_string(),
+                            workload: wl.short_name().to_string(),
+                            policy: policy_name.to_string(),
+                            sequential_pct: seq.throughput_pct,
+                            application_pct: app.throughput_pct,
+                        }
+                    },
+                ));
             }
         }
     }
-    DiskGenAblation { rows }
+    let out = runner::run_jobs(ctx.jobs, jobs);
+    (DiskGenAblation { rows: out.results }, out.timings)
 }
 
 impl fmt::Display for DiskGenAblation {

@@ -2,7 +2,8 @@
 //! "Read Optimized File System Designs: A Performance Evaluation".
 //!
 //! ```text
-//! usage: repro [EXPERIMENT ...] [--scale N] [--seed S] [--intervals K] [--json DIR]
+//! usage: repro [EXPERIMENT ...] [--scale N] [--seed S] [--intervals K]
+//!              [--jobs J] [--json DIR]
 //!
 //! EXPERIMENT: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 table4 fig6 ablations diag all
 //!             (default: all)
@@ -10,10 +11,19 @@
 //!                i.e. full paper scale; benches use 64)
 //! --seed S:      base RNG seed (default 1991)
 //! --intervals K: cap on measured 10 s intervals per performance test
-//! --json DIR:    also write each result as DIR/<experiment>.json
+//! --jobs J:      worker threads for the sweep-point runner (default: the
+//!                machine's available parallelism; results are bit-identical
+//!                at any J)
+//! --json DIR:    also write each result as DIR/<experiment>.json, plus the
+//!                timing profile as DIR/profile.json
 //! ```
 
-use readopt_core::{ablations, diag, fig1, fig2, fig3, fig4, fig5, fig6, table1, table2, table3, table4, ExperimentContext};
+use readopt_core::report::TextTable;
+use readopt_core::runner::{self, JobTiming};
+use readopt_core::{
+    ablations, diag, fig1, fig2, fig3, fig4, fig5, fig6, table1, table2, table3, table4,
+    ExperimentContext,
+};
 use serde::Serialize;
 use std::io::Write;
 use std::time::Instant;
@@ -23,7 +33,25 @@ struct Options {
     scale: u32,
     seed: u64,
     intervals: Option<usize>,
+    jobs: Option<usize>,
     json_dir: Option<String>,
+}
+
+/// Wall-clock account of one experiment run: total plus per-sweep-point
+/// timings from the runner.
+#[derive(Serialize)]
+struct ExperimentProfile {
+    experiment: String,
+    wall_s: f64,
+    points: Vec<JobTiming>,
+}
+
+/// The whole run's timing profile (written as `profile.json`).
+#[derive(Serialize)]
+struct RunProfile {
+    jobs: usize,
+    total_wall_s: f64,
+    experiments: Vec<ExperimentProfile>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -32,6 +60,7 @@ fn parse_args() -> Result<Options, String> {
         scale: 1,
         seed: 1991,
         intervals: None,
+        jobs: None,
         json_dir: None,
     };
     let mut args = std::env::args().skip(1);
@@ -59,6 +88,17 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|e| format!("--intervals: {e}"))?,
                 );
             }
+            "--jobs" => {
+                let j: usize = args
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+                if j == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+                opts.jobs = Some(j);
+            }
             "--json" => {
                 opts.json_dir = Some(args.next().ok_or("--json needs a directory")?);
             }
@@ -84,6 +124,41 @@ fn write_json<T: Serialize>(dir: &Option<String>, name: &str, value: &T) {
     eprintln!("  wrote {path}");
 }
 
+/// The end-of-run runner report: where the wall-clock went, slowest sweep
+/// points first.
+fn profile_table(profiles: &[ExperimentProfile], jobs: usize) -> String {
+    let mut slowest: Vec<(&str, &JobTiming)> = profiles
+        .iter()
+        .flat_map(|p| p.points.iter().map(move |t| (p.experiment.as_str(), t)))
+        .collect();
+    slowest.sort_by(|a, b| b.1.wall_ms.total_cmp(&a.1.wall_ms));
+    let mut t = TextTable::new(format!("Runner profile: slowest sweep points ({jobs} jobs)"))
+        .headers(["experiment", "point", "wall"]);
+    for (experiment, timing) in slowest.iter().take(12) {
+        t.row([
+            experiment.to_string(),
+            timing.label.clone(),
+            format!("{:.2}s", timing.wall_ms / 1e3),
+        ]);
+    }
+    let mut out = t.to_string();
+    let mut totals = TextTable::new("Per-experiment wall clock")
+        .headers(["experiment", "points", "wall", "cpu (sum of points)"]);
+    for p in profiles {
+        // `+ 0.0` turns the empty sum's -0.0 into 0.0 for display.
+        let cpu_s: f64 = p.points.iter().map(|t| t.wall_ms).sum::<f64>() / 1e3 + 0.0;
+        totals.row([
+            p.experiment.clone(),
+            p.points.len().to_string(),
+            format!("{:.1}s", p.wall_s),
+            format!("{:.1}s", cpu_s),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&totals.to_string());
+    out
+}
+
 fn main() {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -92,134 +167,111 @@ fn main() {
                 eprintln!("error: {e}\n");
             }
             eprintln!(
-                "usage: repro [EXPERIMENT ...] [--scale N] [--seed S] [--intervals K] [--json DIR]\n\
+                "usage: repro [EXPERIMENT ...] [--scale N] [--seed S] [--intervals K] [--jobs J] [--json DIR]\n\
                  experiments: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 table4 fig6 ablations diag all"
             );
             std::process::exit(if e == "help" { 0 } else { 2 });
         }
     };
 
+    let jobs = opts.jobs.unwrap_or_else(runner::default_jobs);
     let mut ctx = if opts.scale <= 1 {
         ExperimentContext::full()
     } else {
         ExperimentContext::fast(opts.scale)
     };
-    ctx = ctx.with_seed(opts.seed);
+    ctx = ctx.with_seed(opts.seed).with_jobs(jobs);
     if let Some(k) = opts.intervals {
         ctx.max_intervals = k;
     }
 
     println!(
-        "readopt repro — array: {} disks, {:.2} GB usable (scale 1/{}), seed {}\n",
+        "readopt repro — array: {} disks, {:.2} GB usable (scale 1/{}), seed {}, {} jobs\n",
         ctx.array.ndisks,
         ctx.array.capacity_bytes() as f64 / 1e9,
         opts.scale.max(1),
-        ctx.seed
+        ctx.seed,
+        jobs
     );
 
     let run_all = opts.experiments.iter().any(|e| e == "all");
     let wants = |name: &str| run_all || opts.experiments.iter().any(|e| e == name);
-    let mut ran = 0;
+    let t_start = Instant::now();
+    let mut profiles: Vec<ExperimentProfile> = Vec::new();
 
+    // Each arm runs one experiment's profiled driver, prints its table (and
+    // chart where the figure has one), records the timing profile, and
+    // writes the JSON artifact.
     macro_rules! experiment {
         ($name:literal, $body:expr) => {
+            experiment!($name, $body, |_result| {});
+        };
+        ($name:literal, $body:expr, $chart:expr) => {
             if wants($name) {
                 let t0 = Instant::now();
-                let result = $body;
+                let (result, timings) = $body;
                 println!("{result}");
+                #[allow(clippy::redundant_closure_call)]
+                ($chart)(&result);
                 println!("  [{} finished in {:.1}s]\n", $name, t0.elapsed().as_secs_f64());
                 write_json(&opts.json_dir, $name, &result);
-                ran += 1;
+                profiles.push(ExperimentProfile {
+                    experiment: $name.to_string(),
+                    wall_s: t0.elapsed().as_secs_f64(),
+                    points: timings,
+                });
                 let _ = std::io::stdout().flush();
             }
         };
     }
 
-    experiment!("table1", table1::run(&ctx));
-    experiment!("table2", table2::run(&ctx));
-    experiment!("diag", diag::run(&ctx));
-    experiment!("table3", table3::run(&ctx));
-    if wants("fig1") {
-        let t0 = Instant::now();
-        let result = fig1::run(&ctx);
-        println!("{result}");
-        println!("{}", result.chart());
-        println!("  [fig1 finished in {:.1}s]\n", t0.elapsed().as_secs_f64());
-        write_json(&opts.json_dir, "fig1", &result);
-        ran += 1;
-        let _ = std::io::stdout().flush();
-    }
-    if wants("fig2") {
-        let t0 = Instant::now();
-        let result = fig2::run(&ctx);
-        println!("{result}");
-        println!("{}", result.chart());
-        println!("  [fig2 finished in {:.1}s]\n", t0.elapsed().as_secs_f64());
-        write_json(&opts.json_dir, "fig2", &result);
-        ran += 1;
-        let _ = std::io::stdout().flush();
-    }
-    experiment!("fig3", fig3::run());
-    if wants("fig4") {
-        let t0 = Instant::now();
-        let result = fig4::run(&ctx);
-        println!("{result}");
-        println!("{}", result.chart());
-        println!("  [fig4 finished in {:.1}s]\n", t0.elapsed().as_secs_f64());
-        write_json(&opts.json_dir, "fig4", &result);
-        ran += 1;
-        let _ = std::io::stdout().flush();
-    }
-    if wants("fig5") {
-        let t0 = Instant::now();
-        let result = fig5::run(&ctx);
-        println!("{result}");
-        println!("{}", result.chart());
-        println!("  [fig5 finished in {:.1}s]\n", t0.elapsed().as_secs_f64());
-        write_json(&opts.json_dir, "fig5", &result);
-        ran += 1;
-        let _ = std::io::stdout().flush();
-    }
-    experiment!("table4", table4::run(&ctx));
-    if wants("fig6") {
-        let t0 = Instant::now();
-        let result = fig6::run(&ctx);
-        println!("{result}");
-        println!("{}", result.chart());
-        println!("  [fig6 finished in {:.1}s]\n", t0.elapsed().as_secs_f64());
-        write_json(&opts.json_dir, "fig6", &result);
-        ran += 1;
-        let _ = std::io::stdout().flush();
-    }
+    // table1/table2 are parameter dumps with no sweep to fan out; they run
+    // inline and appear in the profile with no per-point breakdown.
+    experiment!("table1", (table1::run(&ctx), Vec::new()));
+    experiment!("table2", (table2::run(&ctx), Vec::new()));
+    experiment!("diag", diag::run_profiled(&ctx));
+    experiment!("table3", table3::run_profiled(&ctx));
+    experiment!("fig1", fig1::run_profiled(&ctx), |r: &fig1::Fig1| println!("{}", r.chart()));
+    experiment!("fig2", fig2::run_profiled(&ctx), |r: &fig2::Fig2| println!("{}", r.chart()));
+    experiment!("fig3", fig3::run_profiled(ctx.jobs));
+    experiment!("fig4", fig4::run_profiled(&ctx), |r: &fig4::Fig4| println!("{}", r.chart()));
+    experiment!("fig5", fig5::run_profiled(&ctx), |r: &fig5::Fig5| println!("{}", r.chart()));
+    experiment!("table4", table4::run_profiled(&ctx));
+    experiment!("fig6", fig6::run_profiled(&ctx), |r: &fig6::Fig6| println!("{}", r.chart()));
     if wants("ablations") {
         let t0 = Instant::now();
-        let raid = ablations::run_raid(&ctx);
-        println!("{raid}");
-        write_json(&opts.json_dir, "ablation_raid", &raid);
-        let stripe = ablations::run_stripe_unit(&ctx);
-        println!("{stripe}");
-        write_json(&opts.json_dir, "ablation_stripe", &stripe);
-        let mix = ablations::run_file_mix(&ctx);
-        println!("{mix}");
-        write_json(&opts.json_dir, "ablation_file_mix", &mix);
-        let realloc = ablations::run_reallocation(&ctx);
-        println!("{realloc}");
-        write_json(&opts.json_dir, "ablation_realloc", &realloc);
-        let ffs = ablations::run_ffs_comparison(&ctx);
-        println!("{ffs}");
-        write_json(&opts.json_dir, "ablation_ffs", &ffs);
-        let degraded = ablations::run_degraded_raid(&ctx);
-        println!("{degraded}");
-        write_json(&opts.json_dir, "ablation_degraded_raid", &degraded);
-        let generations = ablations::run_disk_generations(&ctx);
-        println!("{generations}");
-        write_json(&opts.json_dir, "ablation_disk_generations", &generations);
+        let mut timings = Vec::new();
+        macro_rules! ablation {
+            ($json_name:literal, $body:expr) => {{
+                let (result, t) = $body;
+                println!("{result}");
+                write_json(&opts.json_dir, $json_name, &result);
+                timings.extend(t);
+            }};
+        }
+        ablation!("ablation_raid", ablations::run_raid_profiled(&ctx));
+        ablation!("ablation_stripe", ablations::run_stripe_unit_profiled(&ctx));
+        ablation!("ablation_file_mix", ablations::run_file_mix_profiled(&ctx));
+        ablation!("ablation_realloc", ablations::run_reallocation_profiled(&ctx));
+        ablation!("ablation_ffs", ablations::run_ffs_comparison_profiled(&ctx));
+        ablation!("ablation_degraded_raid", ablations::run_degraded_raid_profiled(&ctx));
+        ablation!("ablation_disk_generations", ablations::run_disk_generations_profiled(&ctx));
         println!("  [ablations finished in {:.1}s]\n", t0.elapsed().as_secs_f64());
-        ran += 1;
+        profiles.push(ExperimentProfile {
+            experiment: "ablations".to_string(),
+            wall_s: t0.elapsed().as_secs_f64(),
+            points: timings,
+        });
+        let _ = std::io::stdout().flush();
     }
 
-    if ran == 0 {
+    if profiles.is_empty() {
         eprintln!("no experiment matched {:?}", opts.experiments);
         std::process::exit(2);
     }
+
+    println!("{}", profile_table(&profiles, jobs));
+    let profile =
+        RunProfile { jobs, total_wall_s: t_start.elapsed().as_secs_f64(), experiments: profiles };
+    write_json(&opts.json_dir, "profile", &profile);
 }

@@ -16,23 +16,37 @@ pub struct ExperimentContext {
     pub seed: u64,
     /// Cap on measured intervals per performance test.
     pub max_intervals: usize,
+    /// Worker threads sweep points run across (see `runner`). Results are
+    /// bit-identical at any value; 1 means fully sequential.
+    pub jobs: usize,
 }
 
 impl ExperimentContext {
     /// Full paper scale: the Table 1 system (8 disks, 2.8 GB).
     pub fn full() -> Self {
-        ExperimentContext { array: ArrayConfig::paper_default(), seed: 1991, max_intervals: 30 }
+        ExperimentContext {
+            array: ArrayConfig::paper_default(),
+            seed: 1991,
+            max_intervals: 30,
+            jobs: 1,
+        }
     }
 
     /// Scaled-down arrays for tests and benches (capacity divided by
     /// `factor`, mechanics unchanged).
     pub fn fast(factor: u32) -> Self {
-        ExperimentContext { array: ArrayConfig::scaled(factor), seed: 1991, max_intervals: 12 }
+        ExperimentContext { array: ArrayConfig::scaled(factor), seed: 1991, max_intervals: 12, jobs: 1 }
     }
 
     /// With a different seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// With a different worker-thread count.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
         self
     }
 

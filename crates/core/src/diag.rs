@@ -10,6 +10,7 @@
 use crate::context::ExperimentContext;
 use crate::fig6::policies_for;
 use crate::report::{pct, TextTable};
+use crate::runner::{self, Job, JobTiming};
 use readopt_sim::Simulation;
 use readopt_workloads::WorkloadKind;
 use serde::{Deserialize, Serialize};
@@ -46,34 +47,43 @@ pub struct Diag {
 /// Runs the application test for every Figure 6 cell and decomposes the
 /// disk time.
 pub fn run(ctx: &ExperimentContext) -> Diag {
-    let mut rows = Vec::new();
+    run_profiled(ctx).0
+}
+
+/// As [`run`], also returning per-cell wall-clock timings.
+pub fn run_profiled(ctx: &ExperimentContext) -> (Diag, Vec<JobTiming>) {
+    let ctx = *ctx;
+    let mut jobs = Vec::new();
     for wl in [
         WorkloadKind::Supercomputer,
         WorkloadKind::TransactionProcessing,
         WorkloadKind::Timesharing,
     ] {
-        for (name, policy) in policies_for(ctx, wl) {
-            let cfg = ctx.sim_config(wl, policy);
-            let mut sim = Simulation::new(&cfg, ctx.seed.wrapping_add(1));
-            let app = sim.run_application_test();
-            let stats = sim.storage().stats();
-            let c = stats.combined();
-            let busy = c.busy_ms.max(1e-9);
-            rows.push(DiagRow {
-                workload: wl.short_name().to_string(),
-                policy: name,
-                application_pct: app.throughput_pct,
-                seek_share_pct: 100.0 * c.seek_ms / busy,
-                rotation_share_pct: 100.0 * c.rotational_ms / busy,
-                transfer_share_pct: 100.0 * c.transfer_ms / busy,
-                avg_request_kb: c.bytes_total() as f64 / c.requests.max(1) as f64 / 1024.0,
-                disk_utilization: (c.busy_ms
-                    / (stats.per_disk.len() as f64 * app.measured_ms.max(1e-9)))
-                .min(1.0),
-            });
+        for (name, policy) in policies_for(&ctx, wl) {
+            jobs.push(Job::new(format!("diag/{}/{name}", wl.short_name()), move || {
+                let cfg = ctx.sim_config(wl, policy);
+                let mut sim = Simulation::new(&cfg, ctx.seed.wrapping_add(1));
+                let app = sim.run_application_test();
+                let stats = sim.storage().stats();
+                let c = stats.combined();
+                let busy = c.busy_ms.max(1e-9);
+                DiagRow {
+                    workload: wl.short_name().to_string(),
+                    policy: name,
+                    application_pct: app.throughput_pct,
+                    seek_share_pct: 100.0 * c.seek_ms / busy,
+                    rotation_share_pct: 100.0 * c.rotational_ms / busy,
+                    transfer_share_pct: 100.0 * c.transfer_ms / busy,
+                    avg_request_kb: c.bytes_total() as f64 / c.requests.max(1) as f64 / 1024.0,
+                    disk_utilization: (c.busy_ms
+                        / (stats.per_disk.len() as f64 * app.measured_ms.max(1e-9)))
+                    .min(1.0),
+                }
+            }));
         }
     }
-    Diag { rows }
+    let out = runner::run_jobs(ctx.jobs, jobs);
+    (Diag { rows: out.results }, out.timings)
 }
 
 impl fmt::Display for Diag {

@@ -9,6 +9,7 @@
 
 use crate::context::ExperimentContext;
 use crate::report::{pct, BarChart, TextTable};
+use crate::runner::{self, Job, JobTiming};
 use readopt_alloc::{PolicyConfig, RestrictedConfig};
 use readopt_workloads::WorkloadKind;
 use serde::{Deserialize, Serialize};
@@ -53,22 +54,50 @@ pub fn sweep_configs() -> Vec<(usize, u64, bool)> {
 
 /// Runs the allocation test across the whole sweep.
 pub fn run(ctx: &ExperimentContext) -> Fig1 {
-    let mut points = Vec::new();
-    for wl in WorkloadKind::all() {
-        for (nsizes, grow, clustered) in sweep_configs() {
-            let policy = PolicyConfig::Restricted(RestrictedConfig::sweep_point(nsizes, grow, clustered));
-            let frag = ctx.run_allocation(wl, policy);
-            points.push(Fig1Point {
-                workload: wl.short_name().to_string(),
-                nsizes,
-                grow_factor: grow,
-                clustered,
-                internal_pct: frag.internal_pct,
-                external_pct: frag.external_pct,
-            });
+    run_profiled(ctx).0
+}
+
+/// As [`run`], also returning per-point wall-clock timings.
+pub fn run_profiled(ctx: &ExperimentContext) -> (Fig1, Vec<JobTiming>) {
+    run_sweep(ctx, &WorkloadKind::all(), &sweep_configs())
+}
+
+/// Runs an arbitrary subset of the sweep (used by the determinism tests to
+/// keep runtimes down); `run` covers the full grid.
+pub fn run_sweep(
+    ctx: &ExperimentContext,
+    workloads: &[WorkloadKind],
+    configs: &[(usize, u64, bool)],
+) -> (Fig1, Vec<JobTiming>) {
+    let ctx = *ctx;
+    let mut jobs = Vec::new();
+    for &wl in workloads {
+        for &(nsizes, grow, clustered) in configs {
+            jobs.push(Job::new(
+                format!(
+                    "fig1/{}/n{nsizes}-g{grow}-{}",
+                    wl.short_name(),
+                    if clustered { "c" } else { "u" }
+                ),
+                move || {
+                    let policy = PolicyConfig::Restricted(RestrictedConfig::sweep_point(
+                        nsizes, grow, clustered,
+                    ));
+                    let frag = ctx.run_allocation(wl, policy);
+                    Fig1Point {
+                        workload: wl.short_name().to_string(),
+                        nsizes,
+                        grow_factor: grow,
+                        clustered,
+                        internal_pct: frag.internal_pct,
+                        external_pct: frag.external_pct,
+                    }
+                },
+            ));
         }
     }
-    Fig1 { points }
+    let out = runner::run_jobs(ctx.jobs, jobs);
+    (Fig1 { points: out.results }, out.timings)
 }
 
 impl Fig1 {

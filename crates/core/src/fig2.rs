@@ -8,6 +8,7 @@
 use crate::context::ExperimentContext;
 use crate::fig1::sweep_configs;
 use crate::report::{pct, BarChart, TextTable};
+use crate::runner::{self, Job, JobTiming};
 use readopt_alloc::{PolicyConfig, RestrictedConfig};
 use readopt_workloads::WorkloadKind;
 use serde::{Deserialize, Serialize};
@@ -39,22 +40,50 @@ pub struct Fig2 {
 
 /// Runs the performance tests across the whole sweep.
 pub fn run(ctx: &ExperimentContext) -> Fig2 {
-    let mut points = Vec::new();
-    for wl in WorkloadKind::all() {
-        for (nsizes, grow, clustered) in sweep_configs() {
-            let policy = PolicyConfig::Restricted(RestrictedConfig::sweep_point(nsizes, grow, clustered));
-            let (app, seq) = ctx.run_performance(wl, policy);
-            points.push(Fig2Point {
-                workload: wl.short_name().to_string(),
-                nsizes,
-                grow_factor: grow,
-                clustered,
-                application_pct: app.throughput_pct,
-                sequential_pct: seq.throughput_pct,
-            });
+    run_profiled(ctx).0
+}
+
+/// As [`run`], also returning per-point wall-clock timings.
+pub fn run_profiled(ctx: &ExperimentContext) -> (Fig2, Vec<JobTiming>) {
+    run_sweep(ctx, &WorkloadKind::all(), &sweep_configs())
+}
+
+/// Runs an arbitrary subset of the sweep (used by the determinism tests to
+/// keep runtimes down); `run` covers the full grid.
+pub fn run_sweep(
+    ctx: &ExperimentContext,
+    workloads: &[WorkloadKind],
+    configs: &[(usize, u64, bool)],
+) -> (Fig2, Vec<JobTiming>) {
+    let ctx = *ctx;
+    let mut jobs = Vec::new();
+    for &wl in workloads {
+        for &(nsizes, grow, clustered) in configs {
+            jobs.push(Job::new(
+                format!(
+                    "fig2/{}/n{nsizes}-g{grow}-{}",
+                    wl.short_name(),
+                    if clustered { "c" } else { "u" }
+                ),
+                move || {
+                    let policy = PolicyConfig::Restricted(RestrictedConfig::sweep_point(
+                        nsizes, grow, clustered,
+                    ));
+                    let (app, seq) = ctx.run_performance(wl, policy);
+                    Fig2Point {
+                        workload: wl.short_name().to_string(),
+                        nsizes,
+                        grow_factor: grow,
+                        clustered,
+                        application_pct: app.throughput_pct,
+                        sequential_pct: seq.throughput_pct,
+                    }
+                },
+            ));
         }
     }
-    Fig2 { points }
+    let out = runner::run_jobs(ctx.jobs, jobs);
+    (Fig2 { points: out.results }, out.timings)
 }
 
 impl Fig2 {

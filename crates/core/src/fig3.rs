@@ -13,6 +13,7 @@
 //! single-stream sequential read time of the resulting file.
 
 use crate::report::TextTable;
+use crate::runner::{self, Job, JobTiming};
 use readopt_alloc::{FileHints, Policy, RestrictedPolicy};
 use readopt_disk::{ArrayConfig, IoRequest, SimTime};
 use serde::{Deserialize, Serialize};
@@ -53,55 +54,73 @@ pub fn run() -> Fig3 {
     run_with(&[8 * KB, 64 * KB, 1024 * KB], 128 * KB)
 }
 
+/// As [`run`], fanning the two grow-factor traces across `jobs` threads and
+/// returning per-trace timings.
+pub fn run_profiled(jobs: usize) -> (Fig3, Vec<JobTiming>) {
+    run_with_jobs(&[8 * KB, 64 * KB, 1024 * KB], 128 * KB, jobs)
+}
+
 /// Traces an arbitrary ladder, growing a file 8 KB at a time to
 /// `target_bytes`.
 pub fn run_with(ladder_bytes: &[u64], target_bytes: u64) -> Fig3 {
+    run_with_jobs(ladder_bytes, target_bytes, 1).0
+}
+
+fn run_with_jobs(ladder_bytes: &[u64], target_bytes: u64, jobs: usize) -> (Fig3, Vec<JobTiming>) {
+    let job_list = [1u64, 2]
+        .into_iter()
+        .map(|grow| {
+            let ladder = ladder_bytes.to_vec();
+            Job::new(format!("fig3/g{grow}"), move || trace_grow(&ladder, target_bytes, grow))
+        })
+        .collect();
+    let out = runner::run_jobs(jobs, job_list);
+    (Fig3 { rows: out.results }, out.timings)
+}
+
+fn trace_grow(ladder_bytes: &[u64], target_bytes: u64, grow: u64) -> Fig3Row {
     let array = ArrayConfig::scaled(16);
     let unit = array.disk_unit_bytes;
     let sizes_units: Vec<u64> = ladder_bytes.iter().map(|&b| b / unit).collect();
-    let mut rows = Vec::new();
-    for grow in [1u64, 2] {
-        let mut policy = RestrictedPolicy::new(array.capacity_units(), &sizes_units, grow, None);
-        let file = policy.create(&FileHints::default()).expect("fresh disk");
-        let step = 8 * KB / unit;
-        let mut logical = 0u64;
-        let target_units = target_bytes / unit;
-        let mut break_points = Vec::new();
-        let mut last_extents = policy.extent_count(file);
-        while logical < target_units {
-            let allocated = policy.allocated_units(file);
-            if logical + step > allocated {
-                policy
-                    .extend(file, logical + step - allocated)
-                    .expect("fresh disk cannot fill");
-            }
-            logical += step;
-            let extents = policy.extent_count(file);
-            if extents > last_extents {
-                // The first extent is the file appearing, not a layout
-                // break; every later increment is a forced discontiguity.
-                if last_extents > 0 {
-                    break_points.push(logical * unit);
-                }
-                last_extents = extents;
-            }
+    let mut policy = RestrictedPolicy::new(array.capacity_units(), &sizes_units, grow, None);
+    let file = policy.create(&FileHints::default()).expect("fresh disk");
+    let step = 8 * KB / unit;
+    let mut logical = 0u64;
+    let target_units = target_bytes / unit;
+    let mut break_points = Vec::new();
+    let mut last_extents = policy.extent_count(file);
+    while logical < target_units {
+        let allocated = policy.allocated_units(file);
+        if logical + step > allocated {
+            policy
+                .extend(file, logical + step - allocated)
+                .expect("fresh disk cannot fill");
         }
-        // Measure a single-stream sequential read of the laid-out file.
-        let mut storage = array.build();
-        let mut t = SimTime::ZERO;
-        for e in policy.file_map(file).extents() {
-            t = storage.submit(t, &IoRequest::read(e.start, e.len)).end;
+        logical += step;
+        let extents = policy.extent_count(file);
+        if extents > last_extents {
+            // The first extent is the file appearing, not a layout
+            // break; every later increment is a forced discontiguity.
+            if last_extents > 0 {
+                break_points.push(logical * unit);
+            }
+            last_extents = extents;
         }
-        rows.push(Fig3Row {
-            grow_factor: grow,
-            break_points_bytes: break_points,
-            extents: policy.extent_count(file),
-            file_bytes: logical * unit,
-            allocated_bytes: policy.allocated_units(file) * unit,
-            sequential_read_ms: t.as_ms(),
-        });
     }
-    Fig3 { rows }
+    // Measure a single-stream sequential read of the laid-out file.
+    let mut storage = array.build();
+    let mut t = SimTime::ZERO;
+    for e in policy.file_map(file).extents() {
+        t = storage.submit(t, &IoRequest::read(e.start, e.len)).end;
+    }
+    Fig3Row {
+        grow_factor: grow,
+        break_points_bytes: break_points,
+        extents: policy.extent_count(file),
+        file_bytes: logical * unit,
+        allocated_bytes: policy.allocated_units(file) * unit,
+        sequential_read_ms: t.as_ms(),
+    }
 }
 
 impl fmt::Display for Fig3 {

@@ -8,6 +8,7 @@
 
 use crate::context::ExperimentContext;
 use crate::report::{pct, BarChart, TextTable};
+use crate::runner::{self, Job, JobTiming};
 use readopt_alloc::FitStrategy;
 use readopt_workloads::WorkloadKind;
 use serde::{Deserialize, Serialize};
@@ -39,24 +40,36 @@ pub struct Fig4 {
 
 /// Runs the allocation test across the sweep.
 pub fn run(ctx: &ExperimentContext) -> Fig4 {
-    let mut points = Vec::new();
+    run_profiled(ctx).0
+}
+
+/// As [`run`], also returning per-point wall-clock timings.
+pub fn run_profiled(ctx: &ExperimentContext) -> (Fig4, Vec<JobTiming>) {
+    let ctx = *ctx;
+    let mut jobs = Vec::new();
     for wl in WorkloadKind::all() {
         for n_ranges in 1..=5usize {
             for fit in [FitStrategy::FirstFit, FitStrategy::BestFit] {
-                let policy = ctx.extent_policy(wl, n_ranges, fit);
-                let frag = ctx.run_allocation(wl, policy);
-                points.push(Fig4Point {
-                    workload: wl.short_name().to_string(),
-                    n_ranges,
-                    fit,
-                    internal_pct: frag.internal_pct,
-                    external_pct: frag.external_pct,
-                    avg_extents_per_file: frag.avg_extents_per_file,
-                });
+                jobs.push(Job::new(
+                    format!("fig4/{}/r{n_ranges}-{fit:?}", wl.short_name()),
+                    move || {
+                        let policy = ctx.extent_policy(wl, n_ranges, fit);
+                        let frag = ctx.run_allocation(wl, policy);
+                        Fig4Point {
+                            workload: wl.short_name().to_string(),
+                            n_ranges,
+                            fit,
+                            internal_pct: frag.internal_pct,
+                            external_pct: frag.external_pct,
+                            avg_extents_per_file: frag.avg_extents_per_file,
+                        }
+                    },
+                ));
             }
         }
     }
-    Fig4 { points }
+    let out = runner::run_jobs(ctx.jobs, jobs);
+    (Fig4 { points: out.results }, out.timings)
 }
 
 impl Fig4 {

@@ -8,6 +8,7 @@
 
 use crate::context::ExperimentContext;
 use crate::report::{pct, BarChart, TextTable};
+use crate::runner::{self, Job, JobTiming};
 use readopt_alloc::FitStrategy;
 use readopt_workloads::WorkloadKind;
 use serde::{Deserialize, Serialize};
@@ -39,24 +40,36 @@ pub struct Fig5 {
 
 /// Runs the performance tests across the sweep.
 pub fn run(ctx: &ExperimentContext) -> Fig5 {
-    let mut points = Vec::new();
+    run_profiled(ctx).0
+}
+
+/// As [`run`], also returning per-point wall-clock timings.
+pub fn run_profiled(ctx: &ExperimentContext) -> (Fig5, Vec<JobTiming>) {
+    let ctx = *ctx;
+    let mut jobs = Vec::new();
     for wl in WorkloadKind::all() {
         for n_ranges in 1..=5usize {
             for fit in [FitStrategy::FirstFit, FitStrategy::BestFit] {
-                let policy = ctx.extent_policy(wl, n_ranges, fit);
-                let (app, seq) = ctx.run_performance(wl, policy);
-                points.push(Fig5Point {
-                    workload: wl.short_name().to_string(),
-                    n_ranges,
-                    fit,
-                    application_pct: app.throughput_pct,
-                    sequential_pct: seq.throughput_pct,
-                    avg_extents_per_file: seq.avg_extents_per_file,
-                });
+                jobs.push(Job::new(
+                    format!("fig5/{}/r{n_ranges}-{fit:?}", wl.short_name()),
+                    move || {
+                        let policy = ctx.extent_policy(wl, n_ranges, fit);
+                        let (app, seq) = ctx.run_performance(wl, policy);
+                        Fig5Point {
+                            workload: wl.short_name().to_string(),
+                            n_ranges,
+                            fit,
+                            application_pct: app.throughput_pct,
+                            sequential_pct: seq.throughput_pct,
+                            avg_extents_per_file: seq.avg_extents_per_file,
+                        }
+                    },
+                ));
             }
         }
     }
-    Fig5 { points }
+    let out = runner::run_jobs(ctx.jobs, jobs);
+    (Fig5 { points: out.results }, out.timings)
 }
 
 impl Fig5 {

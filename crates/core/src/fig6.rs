@@ -14,6 +14,7 @@
 
 use crate::context::ExperimentContext;
 use crate::report::{pct, BarChart, TextTable};
+use crate::runner::{self, Job, JobTiming};
 use readopt_alloc::{FitStrategy, PolicyConfig};
 use readopt_workloads::WorkloadKind;
 use serde::{Deserialize, Serialize};
@@ -54,23 +55,32 @@ pub fn policies_for(ctx: &ExperimentContext, wl: WorkloadKind) -> Vec<(String, P
 
 /// Runs the comparison.
 pub fn run(ctx: &ExperimentContext) -> Fig6 {
-    let mut cells = Vec::new();
+    run_profiled(ctx).0
+}
+
+/// As [`run`], also returning per-cell wall-clock timings.
+pub fn run_profiled(ctx: &ExperimentContext) -> (Fig6, Vec<JobTiming>) {
+    let ctx = *ctx;
+    let mut jobs = Vec::new();
     for wl in [
         WorkloadKind::Supercomputer,
         WorkloadKind::TransactionProcessing,
         WorkloadKind::Timesharing,
     ] {
-        for (name, policy) in policies_for(ctx, wl) {
-            let (app, seq) = ctx.run_performance(wl, policy);
-            cells.push(Fig6Cell {
-                workload: wl.short_name().to_string(),
-                policy: name,
-                application_pct: app.throughput_pct,
-                sequential_pct: seq.throughput_pct,
-            });
+        for (name, policy) in policies_for(&ctx, wl) {
+            jobs.push(Job::new(format!("fig6/{}/{name}", wl.short_name()), move || {
+                let (app, seq) = ctx.run_performance(wl, policy);
+                Fig6Cell {
+                    workload: wl.short_name().to_string(),
+                    policy: name,
+                    application_pct: app.throughput_pct,
+                    sequential_pct: seq.throughput_pct,
+                }
+            }));
         }
     }
-    Fig6 { cells }
+    let out = runner::run_jobs(ctx.jobs, jobs);
+    (Fig6 { cells: out.results }, out.timings)
 }
 
 impl Fig6 {

@@ -21,6 +21,12 @@
 //! Every driver takes an [`ExperimentContext`] choosing full (paper-scale)
 //! or scaled-down arrays; results are serde-serializable and printable as
 //! fixed-width text tables (see [`report`]).
+//!
+//! Sweeps execute through [`runner`]: each driver enumerates its points as
+//! labeled jobs, fans them across `ExperimentContext::jobs` OS threads, and
+//! reassembles results in sweep order — bit-identical at any thread count.
+//! The `run_profiled` variants additionally return per-point wall-clock
+//! timings.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -35,6 +41,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod report;
+pub mod runner;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -10,6 +10,7 @@
 
 use crate::context::ExperimentContext;
 use crate::report::{pct, TextTable};
+use crate::runner::{self, Job, JobTiming};
 use readopt_alloc::PolicyConfig;
 use readopt_workloads::WorkloadKind;
 use serde::{Deserialize, Serialize};
@@ -39,24 +40,43 @@ pub struct Table3 {
 
 /// Runs buddy allocation through the §3 suite on all three workloads.
 pub fn run(ctx: &ExperimentContext) -> Table3 {
+    run_profiled(ctx).0
+}
+
+/// As [`run`], also returning per-point wall-clock timings. The allocation
+/// and performance tests of each workload are independent simulations, so
+/// they fan out as separate jobs (6 total).
+pub fn run_profiled(ctx: &ExperimentContext) -> (Table3, Vec<JobTiming>) {
+    let ctx = *ctx;
     let workloads = [
         WorkloadKind::Supercomputer,
         WorkloadKind::TransactionProcessing,
         WorkloadKind::Timesharing,
     ];
-    let mut rows = Vec::new();
+    let mut jobs: Vec<Job<(f64, f64)>> = Vec::new();
     for wl in workloads {
-        let frag = ctx.run_allocation(wl, PolicyConfig::paper_buddy());
-        let (app, seq) = ctx.run_performance(wl, PolicyConfig::paper_buddy());
-        rows.push(Table3Row {
-            workload: wl.short_name().to_string(),
-            internal_pct: frag.internal_pct,
-            external_pct: frag.external_pct,
-            application_pct: app.throughput_pct,
-            sequential_pct: seq.throughput_pct,
-        });
+        jobs.push(Job::new(format!("table3/{}/alloc", wl.short_name()), move || {
+            let frag = ctx.run_allocation(wl, PolicyConfig::paper_buddy());
+            (frag.internal_pct, frag.external_pct)
+        }));
+        jobs.push(Job::new(format!("table3/{}/perf", wl.short_name()), move || {
+            let (app, seq) = ctx.run_performance(wl, PolicyConfig::paper_buddy());
+            (app.throughput_pct, seq.throughput_pct)
+        }));
     }
-    Table3 { rows }
+    let out = runner::run_jobs(ctx.jobs, jobs);
+    let rows = workloads
+        .iter()
+        .zip(out.results.chunks_exact(2))
+        .map(|(wl, pair)| Table3Row {
+            workload: wl.short_name().to_string(),
+            internal_pct: pair[0].0,
+            external_pct: pair[0].1,
+            application_pct: pair[1].0,
+            sequential_pct: pair[1].1,
+        })
+        .collect();
+    (Table3 { rows }, out.timings)
 }
 
 impl fmt::Display for Table3 {

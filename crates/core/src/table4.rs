@@ -14,6 +14,7 @@
 
 use crate::context::ExperimentContext;
 use crate::report::TextTable;
+use crate::runner::{self, Job, JobTiming};
 use readopt_alloc::FitStrategy;
 use readopt_workloads::WorkloadKind;
 use serde::{Deserialize, Serialize};
@@ -43,24 +44,32 @@ pub struct Table4 {
 /// configuration the paper carries into §5) after the allocation test has
 /// filled the disk.
 pub fn run(ctx: &ExperimentContext) -> Table4 {
-    let mut rows = Vec::new();
+    run_profiled(ctx).0
+}
+
+/// As [`run`], also returning per-point wall-clock timings. Each of the 15
+/// (range count, workload) cells is an independent simulation job.
+pub fn run_profiled(ctx: &ExperimentContext) -> (Table4, Vec<JobTiming>) {
+    let ctx = *ctx;
+    let mut jobs = Vec::new();
     for n_ranges in 1..=5usize {
-        let mut values = [0.0f64; 3];
-        for (i, wl) in [
+        for wl in [
             WorkloadKind::Supercomputer,
             WorkloadKind::TransactionProcessing,
             WorkloadKind::Timesharing,
-        ]
-        .into_iter()
-        .enumerate()
-        {
-            let policy = ctx.extent_policy(wl, n_ranges, FitStrategy::FirstFit);
-            let frag = ctx.run_allocation(wl, policy);
-            values[i] = frag.avg_extents_per_file;
+        ] {
+            jobs.push(Job::new(format!("table4/{}/r{n_ranges}", wl.short_name()), move || {
+                let policy = ctx.extent_policy(wl, n_ranges, FitStrategy::FirstFit);
+                ctx.run_allocation(wl, policy).avg_extents_per_file
+            }));
         }
-        rows.push(Table4Row { n_ranges, sc: values[0], tp: values[1], ts: values[2] });
     }
-    Table4 { rows }
+    let out = runner::run_jobs(ctx.jobs, jobs);
+    let rows = (1..=5usize)
+        .zip(out.results.chunks_exact(3))
+        .map(|(n_ranges, v)| Table4Row { n_ranges, sc: v[0], tp: v[1], ts: v[2] })
+        .collect();
+    (Table4 { rows }, out.timings)
 }
 
 impl fmt::Display for Table4 {

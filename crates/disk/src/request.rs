@@ -68,7 +68,10 @@ impl IoSpan {
 /// reflects when bytes actually move). Submissions must be made in
 /// non-decreasing `ready` order per disk for the queueing model to be
 /// meaningful; the simulator's event loop guarantees this globally.
-pub trait Storage {
+///
+/// `Send` is required so boxed storage (and the simulations owning it) can
+/// move to experiment-runner worker threads.
+pub trait Storage: Send {
     /// Size of one disk unit in bytes.
     fn disk_unit_bytes(&self) -> u64;
 

@@ -7,7 +7,7 @@ use crate::filetype::{FileTypeConfig, OpKind};
 use crate::measure::ThroughputMeter;
 use crate::results::{FragReport, PerfReport, SuiteReport};
 use crate::rng::SimRng;
-use readopt_alloc::{AllocError, FileHints, FileId, Policy};
+use readopt_alloc::{AllocError, Extent, FileHints, FileId, Policy};
 use readopt_disk::{calibrate_max_bandwidth, IoKind, IoRequest, SimDuration, SimTime, Storage};
 
 /// Which test procedure the event loop is running.
@@ -70,6 +70,11 @@ pub struct Simulation {
     max_allocation_ops: u64,
     /// Per-operation latencies collected during the current measurement.
     latencies: Vec<f64>,
+    /// Scratch buffer for `transfer`'s extent-map lookups, reused across
+    /// operations so the per-op hot path allocates nothing.
+    runs_scratch: Vec<Extent>,
+    /// Scratch buffer for `run_reallocation`'s live-file snapshot.
+    realloc_scratch: Vec<(FileId, u64)>,
 }
 
 impl Simulation {
@@ -105,7 +110,12 @@ impl Simulation {
             stabilize_tolerance_pct: config.stabilize_tolerance_pct,
             max_intervals: config.max_intervals,
             max_allocation_ops: config.max_allocation_ops,
-            latencies: Vec::new(),
+            // Pre-sized so steady-state measurement never reallocates: the
+            // latency cap is 200k entries but typical runs stay well under
+            // 16k, and push() doubling takes care of the outliers.
+            latencies: Vec::with_capacity(16 * 1024),
+            runs_scratch: Vec::new(),
+            realloc_scratch: Vec::new(),
         };
         sim.initialize_files();
         sim
@@ -363,17 +373,21 @@ impl Simulation {
         if !io || size_units == 0 {
             return self.clock;
         }
-        let runs = self
-            .policy
+        // Reuse one scratch buffer for the extent-map lookup: this runs
+        // once per simulated operation and a fresh Vec here dominated the
+        // allocator profile.
+        let mut runs = std::mem::take(&mut self.runs_scratch);
+        self.policy
             .file_map(self.files[file_idx].policy_id)
-            .map_range(offset_units, size_units);
+            .map_range_into(offset_units, size_units, &mut runs);
         let mut begin = SimTime::MAX;
         let mut completion = self.clock;
-        for r in runs {
+        for r in &runs {
             let span = self.storage.submit(self.clock, &IoRequest { unit: r.start, units: r.len, kind });
             begin = begin.min(span.begin);
             completion = completion.max(span.end);
         }
+        self.runs_scratch = runs;
         if let Some(m) = meter {
             // Bytes are attributed over the *service* window (when disks
             // actually move them), not the queue window — otherwise many
@@ -460,13 +474,12 @@ impl Simulation {
     /// describes it running "at night". Returns the number of units
     /// rewritten, or `None` for policies without a reallocator.
     pub fn run_reallocation(&mut self) -> Option<u64> {
-        let logical: Vec<(FileId, u64)> = self
-            .files
-            .iter()
-            .filter(|f| f.live)
-            .map(|f| (f.policy_id, f.logical_units))
-            .collect();
-        self.policy.reallocate(&logical)
+        let mut logical = std::mem::take(&mut self.realloc_scratch);
+        logical.clear();
+        logical.extend(self.files.iter().filter(|f| f.live).map(|f| (f.policy_id, f.logical_units)));
+        let moved = self.policy.reallocate(&logical);
+        self.realloc_scratch = logical;
+        moved
     }
 
     /// §3's allocation test: "run by performing only the extend, truncate,

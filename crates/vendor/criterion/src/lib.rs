@@ -1,0 +1,180 @@
+//! Offline stand-in for criterion.
+//!
+//! Provides the benchmark-harness surface the workspace's benches use:
+//! `Criterion` with the builder knobs `sample_size` / `measurement_time` /
+//! `warm_up_time` / `configure_from_args`, `benchmark_group` +
+//! `bench_function` + `finish`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros. Timing is a plain
+//! wall-clock loop: warm up, then run batches until the measurement budget
+//! is spent, and print mean time per iteration. No statistics, plots, or
+//! baseline storage — enough to compare hot paths before and after a
+//! change in this offline environment.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// The real crate parses CLI filters/flags here; the stub accepts and
+    /// ignores them so `criterion_group!`-generated mains keep working.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = name.into();
+        run_bench(self, &label, &mut f);
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, name.into());
+        run_bench(self.criterion, &label, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    config: Criterion,
+    /// Mean wall-clock per iteration from the measured batches.
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm-up: run for the configured time, at least once.
+        let warm_start = Instant::now();
+        loop {
+            black_box(f());
+            if warm_start.elapsed() >= self.config.warm_up_time {
+                break;
+            }
+        }
+        // Measure: batches of iterations until the time budget or the
+        // sample count is exhausted.
+        let mut iters: u64 = 0;
+        let mut elapsed = Duration::ZERO;
+        let budget = self.config.measurement_time;
+        let min_samples = self.config.sample_size as u64;
+        while elapsed < budget || iters < min_samples {
+            let t = Instant::now();
+            black_box(f());
+            elapsed += t.elapsed();
+            iters += 1;
+            if iters >= min_samples && elapsed >= budget {
+                break;
+            }
+            // Hard cap so trivially fast bodies terminate promptly.
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+        self.mean = Some(elapsed / iters.max(1) as u32);
+    }
+}
+
+fn run_bench(config: &Criterion, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { config: config.clone(), mean: None };
+    f(&mut b);
+    match b.mean {
+        Some(mean) => println!("bench {label:<48} {}", format_duration(mean)),
+        None => println!("bench {label:<48} (no measurement)"),
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:>10.3} s/iter", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:>10.3} ms/iter", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:>10.3} µs/iter", nanos as f64 / 1e3)
+    } else {
+        format!("{:>10} ns/iter", nanos)
+    }
+}
+
+/// Declares a benchmark group: a configured `Criterion` plus target
+/// functions, wrapped into a single runner fn named `$name`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

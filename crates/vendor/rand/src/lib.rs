@@ -1,0 +1,225 @@
+//! Offline stand-in for rand.
+//!
+//! Provides the deterministic PRNG surface the workspace uses:
+//! `rngs::SmallRng` (xoshiro256++ seeded via SplitMix64), the
+//! `SeedableRng::seed_from_u64` constructor, the [`RngExt`] extension trait
+//! with `random::<T>()` / `random_range(..)`, and `seq::SliceRandom::shuffle`
+//! (Fisher–Yates). The streams are self-consistent and fully deterministic
+//! per seed — which is all the simulation needs — but are *not* the same
+//! streams the real rand crate would produce.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core generator interface: a source of uniformly distributed `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Constructing a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// xoshiro256++ — small, fast, and plenty good for simulation draws.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl RngCore for Xoshiro256PlusPlus {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for Xoshiro256PlusPlus {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, per the xoshiro authors' recommendation.
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Xoshiro256PlusPlus { s: [next(), next(), next(), next()] }
+    }
+}
+
+pub mod rngs {
+    /// The workspace's default small generator.
+    pub type SmallRng = super::Xoshiro256PlusPlus;
+}
+
+/// Marker for types `RngExt::random` can produce uniformly.
+pub trait Standard: Sized {
+    fn from_u64(bits: u64) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_u64(bits: u64) -> Self {
+                bits as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn from_u64(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_u64(bits: u64) -> Self {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges `RngExt::random_range` can sample from.
+pub trait SampleRange {
+    type Output;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty f64 range");
+        let unit = f64::from_u64(rng.next_u64());
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty integer range");
+                let span = (self.end as u128) - (self.start as u128);
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                lo + uniform_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize);
+
+/// Uniform draw in `[0, span)` by widening multiply — avoids modulo bias
+/// skew beyond 2^-64, which is far below simulation noise.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0 && span <= u64::MAX as u128 + 1);
+    if span == u64::MAX as u128 + 1 {
+        return rng.next_u64() as u128;
+    }
+    (rng.next_u64() as u128 * span) >> 64
+}
+
+/// Convenience draws layered over [`RngCore`] — mirrors the method names of
+/// the real crate's `Rng` trait (0.9+ naming).
+pub trait RngExt: RngCore {
+    fn random<T: Standard>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+
+    fn random_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+pub mod seq {
+    use super::RngCore;
+
+    /// Slice shuffling, matching the real crate's trait name.
+    pub trait SliceRandom {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            // Fisher–Yates, high-to-low, matching-span uniform draws.
+            for i in (1..self.len()).rev() {
+                let j = super::uniform_below(rng, (i + 1) as u128) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(
+            SmallRng::seed_from_u64(7).random::<u64>(),
+            c.random::<u64>()
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&x));
+            let n: u64 = rng.random_range(3..=9);
+            assert!((3..=9).contains(&n));
+            let i: usize = rng.random_range(0..5);
+            assert!(i < 5);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut SmallRng::seed_from_u64(1));
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "seed 1 should scramble the order");
+    }
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate (see ROADMAP.md): release build, the root test suite, and a
+# 2-job smoke run of the reproduction at fast scale. The smoke run's timing
+# profile (per-experiment wall clock plus per-sweep-point breakdown) is
+# snapshotted into BENCH_runner.json at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== repro smoke (scale 1/64, 2 jobs) =="
+cargo run --release -p readopt-core --bin repro -- \
+    fig1 fig2 table4 --scale 64 --intervals 4 --jobs 2 --json target/check
+
+cp target/check/profile.json BENCH_runner.json
+echo "== wrote BENCH_runner.json =="

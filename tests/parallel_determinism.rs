@@ -1,0 +1,97 @@
+//! Regression tests for the experiment runner's determinism guarantee:
+//! running a sweep across N worker threads must produce *byte-identical*
+//! serialized results to running it sequentially. Every sweep point builds
+//! its own simulation from the context seed, so results depend only on the
+//! point, never on scheduling — these tests pin that property.
+
+use readopt::experiments::runner::{run_jobs, Job};
+use readopt::experiments::{fig1, fig2, fig3, table4, ExperimentContext};
+use readopt::sim::Simulation;
+use readopt_workloads::WorkloadKind;
+
+fn ctx_with_jobs(jobs: usize) -> ExperimentContext {
+    let mut ctx = ExperimentContext::fast(64).with_jobs(jobs);
+    ctx.max_intervals = 4;
+    ctx
+}
+
+#[test]
+fn simulation_moves_across_threads() {
+    fn assert_send<T: Send>() {}
+    // The runner ships whole simulations to worker threads; this is the
+    // compile-time proof that stays valid as the engine grows fields.
+    assert_send::<Simulation>();
+}
+
+#[test]
+fn fig1_results_are_bit_identical_at_any_job_count() {
+    // A subset of the Figure 1 grid (2 workloads × 2 configs) keeps the
+    // test fast; the sweep machinery is identical for the full grid.
+    let workloads = [WorkloadKind::Timesharing, WorkloadKind::Supercomputer];
+    let configs = [(2usize, 1u64, true), (3, 2, false)];
+    let (seq, seq_timings) = fig1::run_sweep(&ctx_with_jobs(1), &workloads, &configs);
+    let (par, par_timings) = fig1::run_sweep(&ctx_with_jobs(4), &workloads, &configs);
+    assert_eq!(
+        serde_json::to_string(&seq).unwrap(),
+        serde_json::to_string(&par).unwrap(),
+        "fig1 serialized bytes must not depend on the job count"
+    );
+    // Timings differ run to run, but the labels (and their order) must not.
+    let labels = |ts: &[readopt::experiments::runner::JobTiming]| {
+        ts.iter().map(|t| t.label.clone()).collect::<Vec<_>>()
+    };
+    assert_eq!(labels(&seq_timings), labels(&par_timings));
+    assert_eq!(seq.points.len(), 4);
+}
+
+#[test]
+fn fig2_results_are_bit_identical_at_any_job_count() {
+    // Performance runs are the expensive path (application + sequential
+    // tests per point); one workload × two configs suffices.
+    let workloads = [WorkloadKind::Timesharing];
+    let configs = [(2usize, 1u64, true), (5, 1, true)];
+    let (seq, _) = fig2::run_sweep(&ctx_with_jobs(1), &workloads, &configs);
+    let (par, _) = fig2::run_sweep(&ctx_with_jobs(4), &workloads, &configs);
+    assert_eq!(
+        serde_json::to_string(&seq).unwrap(),
+        serde_json::to_string(&par).unwrap(),
+        "fig2 serialized bytes must not depend on the job count"
+    );
+    assert_eq!(seq.points.len(), 2);
+}
+
+#[test]
+fn fig3_and_table4_agree_across_job_counts() {
+    let (f3_seq, _) = fig3::run_profiled(1);
+    let (f3_par, _) = fig3::run_profiled(4);
+    assert_eq!(
+        serde_json::to_string(&f3_seq).unwrap(),
+        serde_json::to_string(&f3_par).unwrap()
+    );
+    let (t4_seq, _) = table4::run_profiled(&ctx_with_jobs(1));
+    let (t4_par, _) = table4::run_profiled(&ctx_with_jobs(3));
+    assert_eq!(
+        serde_json::to_string(&t4_seq).unwrap(),
+        serde_json::to_string(&t4_par).unwrap()
+    );
+}
+
+#[test]
+fn runner_reassembles_in_submission_order_under_contention() {
+    // More workers than jobs, jobs finishing out of order: results must
+    // still come back in submission order.
+    let jobs: Vec<Job<u64>> = (0..24u64)
+        .map(|i| {
+            Job::new(format!("p/{i}"), move || {
+                if i % 3 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                i * 7
+            })
+        })
+        .collect();
+    let out = run_jobs(8, jobs);
+    assert_eq!(out.results, (0..24u64).map(|i| i * 7).collect::<Vec<_>>());
+    assert_eq!(out.timings.len(), 24);
+    assert_eq!(out.timings[23].label, "p/23");
+}
