@@ -51,12 +51,18 @@ impl BuddyPolicy {
         }
     }
 
-    fn file(&self, id: FileId) -> &BuddyFile {
-        self.files[id.0 as usize].as_ref().expect("dead file id")
+    fn file(&self, id: FileId) -> Result<&BuddyFile, AllocError> {
+        self.files
+            .get(id.0 as usize)
+            .and_then(|slot| slot.as_ref())
+            .ok_or(AllocError::DeadFile(id))
     }
 
-    fn file_mut(&mut self, id: FileId) -> &mut BuddyFile {
-        self.files[id.0 as usize].as_mut().expect("dead file id")
+    fn file_mut(&mut self, id: FileId) -> Result<&mut BuddyFile, AllocError> {
+        self.files
+            .get_mut(id.0 as usize)
+            .and_then(|slot| slot.as_mut())
+            .ok_or(AllocError::DeadFile(id))
     }
 
     /// Size in units of the next extent Koch's doubling rule would pick for
@@ -97,8 +103,9 @@ impl Policy for BuddyPolicy {
                 FileId(slot)
             }
             None => {
+                let id = FileId::from_index(self.files.len())?;
                 self.files.push(Some(file));
-                FileId(self.files.len() as u32 - 1)
+                id
             }
         };
         Ok(id)
@@ -109,7 +116,7 @@ impl Policy for BuddyPolicy {
         let mut granted: Vec<Extent> = Vec::new();
         let mut remaining = units;
         while remaining > 0 {
-            let current = self.file(file).map.total_units();
+            let current = self.file(file)?.map.total_units();
             let size = self.next_extent_units(current, remaining);
             let order = order_for_units(size);
             let Some(addr) = self.core.allocate(order) else {
@@ -118,13 +125,13 @@ impl Policy for BuddyPolicy {
                 for e in granted.iter().rev() {
                     // Each granted extent is exactly one buddy block.
                     self.core.free(e.start, order_for_units(e.len));
-                    let f = self.file_mut(file);
+                    let f = self.file_mut(file)?;
                     f.blocks.pop();
                     f.map.pop_back(e.len);
                 }
                 return Err(AllocError::DiskFull(size));
             };
-            let f = self.file_mut(file);
+            let f = self.file_mut(file)?;
             f.blocks.push((addr, order));
             let ext = Extent::new(addr, 1 << order);
             f.map.push(ext);
@@ -134,40 +141,45 @@ impl Policy for BuddyPolicy {
         Ok(granted)
     }
 
-    fn truncate(&mut self, file: FileId, units: u64) -> Vec<Extent> {
+    fn truncate(&mut self, file: FileId, units: u64) -> Result<Vec<Extent>, AllocError> {
         // Buddy blocks cannot be split, so free whole tail blocks that fit
         // entirely within the truncated range.
         let mut freed = Vec::new();
         let mut remaining = units;
-        while let Some(&(addr, order)) = self.file(file).blocks.last() {
+        while let Some(&(addr, order)) = self.file(file)?.blocks.last() {
             let size = 1u64 << order;
             if size > remaining {
                 break;
             }
-            self.file_mut(file).blocks.pop();
+            let f = self.file_mut(file)?;
+            f.blocks.pop();
             self.core.free(addr, order);
-            let f = self.file_mut(file);
+            let f = self.file_mut(file)?;
             let popped = f.map.pop_back(size);
             debug_assert_eq!(popped.iter().map(|e| e.len).sum::<u64>(), size);
             freed.push(Extent::new(addr, size));
             remaining -= size;
         }
-        freed
+        Ok(freed)
     }
 
-    fn delete(&mut self, file: FileId) -> u64 {
-        let f = self.files[file.0 as usize].take().expect("dead file id");
+    fn delete(&mut self, file: FileId) -> Result<u64, AllocError> {
+        let f = self
+            .files
+            .get_mut(file.0 as usize)
+            .and_then(|slot| slot.take())
+            .ok_or(AllocError::DeadFile(file))?;
         let mut freed = 0;
         for (addr, order) in f.blocks {
             self.core.free(addr, order);
             freed += 1u64 << order;
         }
         self.free_slots.push(file.0);
-        freed
+        Ok(freed)
     }
 
-    fn file_map(&self, file: FileId) -> &FileMap {
-        &self.file(file).map
+    fn file_map(&self, file: FileId) -> Result<&FileMap, AllocError> {
+        Ok(&self.file(file)?.map)
     }
 
     fn live_files(&self) -> Vec<FileId> {
@@ -175,12 +187,12 @@ impl Policy for BuddyPolicy {
             .iter()
             .enumerate()
             .filter(|(_, f)| f.is_some())
-            .map(|(i, _)| FileId(i as u32))
+            .filter_map(|(i, _)| FileId::from_index(i).ok())
             .collect()
     }
 
-    fn allocation_count(&self, file: FileId) -> usize {
-        self.file(file).blocks.len()
+    fn allocation_count(&self, file: FileId) -> Result<usize, AllocError> {
+        Ok(self.file(file)?.blocks.len())
     }
 
     /// Koch's nightly reallocator \[KOCH87\]: "this reallocator shuffles
@@ -195,11 +207,16 @@ impl Policy for BuddyPolicy {
     /// addresses. Files whose rounded decomposition no longer fits (the
     /// disk can be that full) fall back to the exact decomposition, which
     /// never needs more space than was just freed.
-    fn reallocate(&mut self, logical_sizes: &[(FileId, u64)]) -> Option<u64> {
+    fn reallocate(&mut self, logical_sizes: &[(FileId, u64)]) -> Result<Option<u64>, AllocError> {
+        // Validate every id up front so a dead entry cannot leave phase 1
+        // half-done (freeing some files' blocks but not others).
+        for &(id, _) in logical_sizes {
+            self.file(id)?;
+        }
         // Phase 1: free every listed file's blocks (the caller lists live
         // files only).
         for &(id, _) in logical_sizes {
-            let f = self.file_mut(id);
+            let f = self.file_mut(id)?;
             let blocks = std::mem::take(&mut f.blocks);
             f.map.take_all();
             for (addr, order) in blocks {
@@ -226,7 +243,7 @@ impl Policy for BuddyPolicy {
             while let Some(order) = work.pop_front() {
                 match self.core.allocate(order) {
                     Some(addr) => {
-                        let f = self.file_mut(id);
+                        let f = self.file_mut(id)?;
                         f.blocks.push((addr, order));
                         f.map.push(Extent::new(addr, 1 << order));
                     }
@@ -237,9 +254,9 @@ impl Policy for BuddyPolicy {
                     None => break, // not a single unit free: stop gracefully
                 }
             }
-            moved += self.file(id).map.total_units();
+            moved += self.file(id)?.map.total_units();
         }
-        Some(moved)
+        Ok(Some(moved))
     }
 }
 
@@ -308,7 +325,7 @@ mod tests {
         let mut p = policy();
         let f = p.create(&FileHints::default()).unwrap();
         p.extend(f, 5).unwrap();
-        assert_eq!(p.allocated_units(f), 8, "5 units round to an 8-block");
+        assert_eq!(p.allocated_units(f).unwrap(), 8, "5 units round to an 8-block");
         p.check_invariants();
     }
 
@@ -318,14 +335,14 @@ mod tests {
         let f = p.create(&FileHints::default()).unwrap();
         p.extend(f, 8).unwrap(); // 8
         p.extend(f, 1).unwrap(); // +8  → 16
-        assert_eq!(p.allocated_units(f), 16);
+        assert_eq!(p.allocated_units(f).unwrap(), 16);
         p.extend(f, 1).unwrap(); // +16 → 32
-        assert_eq!(p.allocated_units(f), 32);
+        assert_eq!(p.allocated_units(f).unwrap(), 32);
         // Doubling continues until the request is covered: +32, +64, then a
         // full +128 even though only 4 more units were needed — the
         // over-allocation Table 3 measures as internal fragmentation.
         p.extend(f, 100).unwrap();
-        assert_eq!(p.allocated_units(f), 256);
+        assert_eq!(p.allocated_units(f).unwrap(), 256);
         p.check_invariants();
     }
 
@@ -334,10 +351,10 @@ mod tests {
         let mut p = BuddyPolicy::new(1 << 20, 1 << 4);
         let f = p.create(&FileHints::default()).unwrap();
         p.extend(f, 1 << 8).unwrap();
-        for &(_, order) in &p.file(f).blocks {
+        for &(_, order) in &p.file(f).unwrap().blocks {
             assert!(order <= 4, "extent above cap");
         }
-        assert_eq!(p.allocated_units(f), 1 << 8, "cap removes over-allocation");
+        assert_eq!(p.allocated_units(f).unwrap(), 1 << 8, "cap removes over-allocation");
         p.check_invariants();
     }
 
@@ -351,7 +368,7 @@ mod tests {
             p.extend(f, 3).unwrap();
             logical += 3;
         }
-        assert!(p.allocated_units(f) > logical, "over-allocation expected");
+        assert!(p.allocated_units(f).unwrap() > logical, "over-allocation expected");
         p.check_invariants();
     }
 
@@ -361,11 +378,11 @@ mod tests {
         let f = p.create(&FileHints::default()).unwrap();
         p.extend(f, 8).unwrap();
         p.extend(f, 1).unwrap(); // blocks: 8, 8
-        let freed = p.truncate(f, 4);
+        let freed = p.truncate(f, 4).unwrap();
         assert!(freed.is_empty(), "4 < tail block of 8");
-        let freed = p.truncate(f, 9);
+        let freed = p.truncate(f, 9).unwrap();
         assert_eq!(freed.len(), 1);
-        assert_eq!(p.allocated_units(f), 8);
+        assert_eq!(p.allocated_units(f).unwrap(), 8);
         p.check_invariants();
     }
 
@@ -376,7 +393,7 @@ mod tests {
         let f = p.create(&FileHints::default()).unwrap();
         p.extend(f, 1000).unwrap();
         assert!(p.free_units() < before);
-        p.delete(f);
+        p.delete(f).unwrap();
         assert_eq!(p.free_units(), before);
         assert!(p.live_files().is_empty());
         p.check_invariants();
@@ -390,7 +407,7 @@ mod tests {
         // Asks for 127 → first block 128 > capacity: immediate failure.
         assert!(p.extend(f, 127).is_err());
         assert_eq!(p.free_units(), free_before);
-        assert_eq!(p.allocated_units(f), 0);
+        assert_eq!(p.allocated_units(f).unwrap(), 0);
         p.check_invariants();
     }
 
@@ -398,7 +415,7 @@ mod tests {
     fn file_ids_are_recycled() {
         let mut p = policy();
         let a = p.create(&FileHints::default()).unwrap();
-        p.delete(a);
+        p.delete(a).unwrap();
         let b = p.create(&FileHints::default()).unwrap();
         assert_eq!(a, b);
     }
@@ -436,7 +453,7 @@ mod tests {
             logicals.push(logical);
         }
         for i in (0..files.len()).step_by(2) {
-            p.delete(files[i]);
+            p.delete(files[i]).unwrap();
         }
         let survivors: Vec<(FileId, u64)> = files
             .iter()
@@ -445,11 +462,11 @@ mod tests {
             .filter(|(i, _)| i % 2 == 1)
             .map(|(_, (&f, &l))| (f, l))
             .collect();
-        let alloc_before: u64 = survivors.iter().map(|&(f, _)| p.allocated_units(f)).sum();
+        let alloc_before: u64 = survivors.iter().map(|&(f, _)| p.allocated_units(f).unwrap()).sum();
         let used: u64 = survivors.iter().map(|&(_, l)| l).sum();
-        let moved = p.reallocate(&survivors).expect("buddy has a reallocator");
+        let moved = p.reallocate(&survivors).unwrap().expect("buddy has a reallocator");
         p.check_invariants();
-        let alloc_after: u64 = survivors.iter().map(|&(f, _)| p.allocated_units(f)).sum();
+        let alloc_after: u64 = survivors.iter().map(|&(f, _)| p.allocated_units(f).unwrap()).sum();
         assert!(moved >= used, "all surviving data was rewritten");
         assert!(
             alloc_after < alloc_before,
@@ -458,11 +475,11 @@ mod tests {
         // Koch: "most files are allocated in 3 extents".
         for &(f, l) in &survivors {
             assert!(
-                p.allocation_count(f) <= REALLOC_MAX_EXTENTS,
+                p.allocation_count(f).unwrap() <= REALLOC_MAX_EXTENTS,
                 "file with {l} units has {} blocks",
-                p.allocation_count(f)
+                p.allocation_count(f).unwrap()
             );
-            assert!(p.allocated_units(f) >= l, "still covers the data");
+            assert!(p.allocated_units(f).unwrap() >= l, "still covers the data");
         }
     }
 
@@ -472,10 +489,10 @@ mod tests {
         let f = p.create(&FileHints::default()).unwrap();
         p.extend(f, 1000).unwrap();
         let files = vec![(f, 1000u64)];
-        p.reallocate(&files).unwrap();
-        let after_first: Vec<_> = p.file_map(f).extents().to_vec();
-        p.reallocate(&files).unwrap();
-        assert_eq!(p.file_map(f).extents(), &after_first[..], "stable fixed point");
+        p.reallocate(&files).unwrap().unwrap();
+        let after_first: Vec<_> = p.file_map(f).unwrap().extents().to_vec();
+        p.reallocate(&files).unwrap().unwrap();
+        assert_eq!(p.file_map(f).unwrap().extents(), &after_first[..], "stable fixed point");
         p.check_invariants();
     }
 
@@ -488,7 +505,7 @@ mod tests {
         p.extend(f, 16).unwrap();
         // Fresh buddy space splits from the lowest address, so the doubling
         // sequence 8,8,16 lands at 0,8,16 — one merged extent.
-        assert_eq!(p.extent_count(f), 1);
-        assert_eq!(p.file_map(f).extents()[0], Extent::new(0, 32));
+        assert_eq!(p.extent_count(f).unwrap(), 1);
+        assert_eq!(p.file_map(f).unwrap().extents()[0], Extent::new(0, 32));
     }
 }

@@ -85,7 +85,11 @@ impl BuddyCore {
         if have > self.max_order {
             return None;
         }
-        let addr = *self.free[have as usize].iter().next().expect("non-empty");
+        // The loop above stopped on a non-empty set, so `next()` is `Some`;
+        // treating `None` as exhaustion keeps this branch panic-free.
+        let Some(&addr) = self.free[have as usize].iter().next() else {
+            return None;
+        };
         self.free[have as usize].remove(&addr);
         // Split down, keeping the lower half each time.
         while have > order {
@@ -123,11 +127,11 @@ impl BuddyCore {
 
     /// Number of free blocks of each order, for diagnostics.
     pub fn free_histogram(&self) -> Vec<(u32, usize)> {
-        self.free
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| !s.is_empty())
-            .map(|(k, s)| (k as u32, s.len()))
+        // Iterate orders (at most `max_order` ≤ 63) rather than casting the
+        // enumerate index down from usize.
+        (0..=self.max_order)
+            .filter(|&k| !self.free[k as usize].is_empty())
+            .map(|k| (k, self.free[k as usize].len()))
             .collect()
     }
 
@@ -145,7 +149,7 @@ impl BuddyCore {
                 blocks.push((a, size));
                 total += size;
                 // Maximal coalescing: the buddy must not also be free.
-                if (k as u32) < self.max_order {
+                if k < self.max_order as usize {
                     let buddy = a ^ size;
                     assert!(
                         !set.contains(&buddy) || buddy + size > self.capacity,

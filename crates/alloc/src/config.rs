@@ -85,25 +85,25 @@ pub struct ExtentBasedConfig {
 impl ExtentBasedConfig {
     /// The timesharing extent-range table from §4.3, `n` ∈ 1..=5.
     pub fn ts_ranges(n: usize) -> Vec<u64> {
+        assert!((1..=5).contains(&n), "paper sweeps 1–5 extent ranges");
         match n {
             1 => vec![4 * KB],
             2 => vec![KB, 8 * KB],
             3 => vec![KB, 8 * KB, MB],
             4 => vec![KB, 4 * KB, 8 * KB, MB],
-            5 => vec![KB, 4 * KB, 8 * KB, 16 * KB, MB],
-            _ => panic!("paper sweeps 1–5 extent ranges"),
+            _ => vec![KB, 4 * KB, 8 * KB, 16 * KB, MB],
         }
     }
 
     /// The TP/SC extent-range table from §4.3, `n` ∈ 1..=5.
     pub fn tpsc_ranges(n: usize) -> Vec<u64> {
+        assert!((1..=5).contains(&n), "paper sweeps 1–5 extent ranges");
         match n {
             1 => vec![512 * KB],
             2 => vec![512 * KB, 16 * MB],
             3 => vec![512 * KB, MB, 16 * MB],
             4 => vec![512 * KB, MB, 10 * MB, 16 * MB],
-            5 => vec![10 * KB, 512 * KB, MB, 10 * MB, 16 * MB],
-            _ => panic!("paper sweeps 1–5 extent ranges"),
+            _ => vec![10 * KB, 512 * KB, MB, 10 * MB, 16 * MB],
         }
     }
 }
@@ -215,17 +215,16 @@ impl PolicyConfig {
                 // not fit; drop classes larger than the capacity.
                 let sizes: Vec<u64> = sizes.into_iter().filter(|&s| s <= capacity_units).collect();
                 assert!(!sizes.is_empty(), "no block class fits the capacity");
+                let top =
+                    *sizes.last().unwrap_or_else(|| unreachable!("asserted non-empty above"));
                 let region = if c.clustered {
-                    Some(to_units(c.region_bytes).min(capacity_units.max(*sizes.last().expect("non-empty"))))
+                    Some(to_units(c.region_bytes).min(capacity_units.max(top)))
                 } else {
                     None
                 };
                 // Keep the region a multiple of the top class even after
                 // the min() clamp above.
-                let region = region.map(|r| {
-                    let top = *sizes.last().expect("non-empty");
-                    (r / top * top).max(top)
-                });
+                let region = region.map(|r| (r / top * top).max(top));
                 Box::new(RestrictedPolicy::new(capacity_units, &sizes, c.grow_factor, region))
             }
             PolicyConfig::Extent(c) => {
@@ -285,9 +284,9 @@ mod tests {
             assert_eq!(p.capacity_units(), if config.family() == "fixed" { p.capacity_units() } else { cap });
             let f = p.create(&FileHints::default()).unwrap();
             p.extend(f, 100).unwrap();
-            assert!(p.allocated_units(f) >= 100, "{}", config.family());
+            assert!(p.allocated_units(f).unwrap() >= 100, "{}", config.family());
             p.check_invariants();
-            p.delete(f);
+            p.delete(f).unwrap();
             p.check_invariants();
         }
     }

@@ -95,15 +95,15 @@ impl ExtentPolicy {
     /// The range mean nearest in log space to `target_units`.
     fn nearest_range(&self, target_units: u64) -> u64 {
         let t = (target_units.max(1) as f64).ln();
-        *self
-            .range_means
+        self.range_means
             .iter()
-            .min_by(|&&a, &&b| {
+            .copied()
+            .min_by(|&a, &b| {
                 let da = ((a as f64).ln() - t).abs();
                 let db = ((b as f64).ln() - t).abs();
-                da.partial_cmp(&db).expect("finite logs")
+                da.total_cmp(&db)
             })
-            .expect("non-empty ranges")
+            .unwrap_or_else(|| unreachable!("constructor requires at least one extent range"))
     }
 
     /// Draws from Normal(mean, sigma_frac·mean) via Box–Muller, clamped to
@@ -124,13 +124,23 @@ impl ExtentPolicy {
         }
     }
 
-    fn file(&self, id: FileId) -> &EFile {
-        self.files[id.0 as usize].as_ref().expect("dead file id")
+    fn file(&self, id: FileId) -> Result<&EFile, AllocError> {
+        self.files
+            .get(id.0 as usize)
+            .and_then(|slot| slot.as_ref())
+            .ok_or(AllocError::DeadFile(id))
+    }
+
+    fn file_mut(&mut self, id: FileId) -> Result<&mut EFile, AllocError> {
+        self.files
+            .get_mut(id.0 as usize)
+            .and_then(|slot| slot.as_mut())
+            .ok_or(AllocError::DeadFile(id))
     }
 
     /// The extent size assigned to `file`, in units.
-    pub fn file_extent_units(&self, file: FileId) -> u64 {
-        self.file(file).extent_units
+    pub fn file_extent_units(&self, file: FileId) -> Result<u64, AllocError> {
+        Ok(self.file(file)?.extent_units)
     }
 
     /// The configured range means, in units.
@@ -163,8 +173,9 @@ impl Policy for ExtentPolicy {
                 FileId(slot)
             }
             None => {
+                let id = FileId::from_index(self.files.len())?;
                 self.files.push(Some(file));
-                FileId(self.files.len() as u32 - 1)
+                id
             }
         };
         Ok(id)
@@ -172,46 +183,38 @@ impl Policy for ExtentPolicy {
 
     fn extend(&mut self, file: FileId, units: u64) -> Result<Vec<Extent>, AllocError> {
         debug_assert!(units > 0);
-        let chunk = self.file(file).extent_units;
+        let chunk = self.file(file)?.extent_units;
         let mut granted: Vec<Extent> = Vec::new();
         let mut remaining = units;
         while remaining > 0 {
             let Some(e) = self.allocate(chunk) else {
                 for &g in granted.iter().rev() {
                     self.free.release(g);
-                    self.files[file.0 as usize]
-                        .as_mut()
-                        .expect("dead file id")
-                        .map
-                        .pop_back(g.len);
+                    self.file_mut(file)?.map.pop_back(g.len);
                 }
                 return Err(AllocError::DiskFull(chunk));
             };
-            self.files[file.0 as usize]
-                .as_mut()
-                .expect("dead file id")
-                .map
-                .push(e);
+            self.file_mut(file)?.map.push(e);
             granted.push(e);
             remaining = remaining.saturating_sub(chunk);
         }
         Ok(granted)
     }
 
-    fn truncate(&mut self, file: FileId, units: u64) -> Vec<Extent> {
-        let freed = self.files[file.0 as usize]
-            .as_mut()
-            .expect("dead file id")
-            .map
-            .pop_back(units);
+    fn truncate(&mut self, file: FileId, units: u64) -> Result<Vec<Extent>, AllocError> {
+        let freed = self.file_mut(file)?.map.pop_back(units);
         for &e in &freed {
             self.free.release(e);
         }
-        freed
+        Ok(freed)
     }
 
-    fn delete(&mut self, file: FileId) -> u64 {
-        let mut f = self.files[file.0 as usize].take().expect("dead file id");
+    fn delete(&mut self, file: FileId) -> Result<u64, AllocError> {
+        let mut f = self
+            .files
+            .get_mut(file.0 as usize)
+            .and_then(|slot| slot.take())
+            .ok_or(AllocError::DeadFile(file))?;
         let extents = f.map.take_all();
         let mut total = 0;
         for e in extents {
@@ -219,11 +222,11 @@ impl Policy for ExtentPolicy {
             self.free.release(e);
         }
         self.free_slots.push(file.0);
-        total
+        Ok(total)
     }
 
-    fn file_map(&self, file: FileId) -> &FileMap {
-        &self.file(file).map
+    fn file_map(&self, file: FileId) -> Result<&FileMap, AllocError> {
+        Ok(&self.file(file)?.map)
     }
 
     fn live_files(&self) -> Vec<FileId> {
@@ -231,13 +234,13 @@ impl Policy for ExtentPolicy {
             .iter()
             .enumerate()
             .filter(|(_, f)| f.is_some())
-            .map(|(i, _)| FileId(i as u32))
+            .filter_map(|(i, _)| FileId::from_index(i).ok())
             .collect()
     }
 
-    fn allocation_count(&self, file: FileId) -> usize {
-        let f = self.file(file);
-        f.map.total_units().div_ceil(f.extent_units) as usize
+    fn allocation_count(&self, file: FileId) -> Result<usize, AllocError> {
+        let f = self.file(file)?;
+        Ok(f.map.total_units().div_ceil(f.extent_units) as usize)
     }
 }
 
@@ -272,8 +275,8 @@ mod tests {
         let mut sizes = Vec::new();
         for _ in 0..200 {
             let f = p.create(&hints(64 * 1024)).unwrap();
-            sizes.push(p.file_extent_units(f));
-            p.delete(f);
+            sizes.push(p.file_extent_units(f).unwrap());
+            p.delete(f).unwrap();
         }
         let mean = sizes.iter().sum::<u64>() as f64 / sizes.len() as f64;
         assert!((mean - 64.0).abs() < 3.0, "mean {mean}");
@@ -286,11 +289,11 @@ mod tests {
     fn extends_allocate_in_extent_chunks() {
         let mut p = policy(FitStrategy::FirstFit);
         let f = p.create(&hints(8 * 1024)).unwrap();
-        let chunk = p.file_extent_units(f);
+        let chunk = p.file_extent_units(f).unwrap();
         p.extend(f, 1).unwrap();
-        assert_eq!(p.allocated_units(f), chunk, "one whole extent");
+        assert_eq!(p.allocated_units(f).unwrap(), chunk, "one whole extent");
         p.extend(f, chunk + 1).unwrap();
-        assert_eq!(p.allocated_units(f), 3 * chunk);
+        assert_eq!(p.allocated_units(f).unwrap(), 3 * chunk);
         p.check_invariants();
     }
 
@@ -301,7 +304,7 @@ mod tests {
         for _ in 0..5 {
             p.extend(f, 1).unwrap();
         }
-        assert_eq!(p.extent_count(f), 1, "first-fit walks forward contiguously");
+        assert_eq!(p.extent_count(f).unwrap(), 1, "first-fit walks forward contiguously");
     }
 
     #[test]
@@ -309,10 +312,10 @@ mod tests {
         let mut p = policy(FitStrategy::FirstFit);
         let f = p.create(&hints(8 * 1024)).unwrap();
         p.extend(f, 100).unwrap();
-        let alloc = p.allocated_units(f);
-        let freed = p.truncate(f, 37);
+        let alloc = p.allocated_units(f).unwrap();
+        let freed = p.truncate(f, 37).unwrap();
         assert_eq!(freed.iter().map(|e| e.len).sum::<u64>(), 37);
-        assert_eq!(p.allocated_units(f), alloc - 37);
+        assert_eq!(p.allocated_units(f).unwrap(), alloc - 37);
         p.check_invariants();
     }
 
@@ -323,8 +326,8 @@ mod tests {
         let b = p.create(&hints(8 * 1024)).unwrap();
         p.extend(a, 50).unwrap();
         p.extend(b, 50).unwrap();
-        p.delete(a);
-        p.delete(b);
+        p.delete(a).unwrap();
+        p.delete(b).unwrap();
         assert_eq!(p.free.run_count(), 1, "everything coalesced back");
         assert_eq!(p.free_units(), p.capacity_units());
         p.check_invariants();
@@ -338,11 +341,11 @@ mod tests {
         let pad = p.create(&hints(8 * 1024)).unwrap();
         p.extend(filler, 8).unwrap(); // sits at the front: [0, 8)
         p.extend(pad, 80).unwrap(); // [8, 88)
-        p.delete(filler); // snug 8-unit hole at the front + huge tail run
+        p.delete(filler).unwrap(); // snug 8-unit hole at the front + huge tail run
         let f = p.create(&hints(8 * 1024)).unwrap();
         p.extend(f, 1).unwrap();
         assert_eq!(
-            p.file_map(f).extents()[0],
+            p.file_map(f).unwrap().extents()[0],
             Extent::new(0, 8),
             "best-fit picks the snug hole over the big tail run"
         );
@@ -353,13 +356,13 @@ mod tests {
     fn failure_reports_disk_full_and_is_atomic() {
         let mut p = ExtentPolicy::new(100, &[40], FitStrategy::FirstFit, 0.0, 1024, 1);
         let f = p.create(&hints(40 * 1024)).unwrap();
-        assert_eq!(p.file_extent_units(f), 40);
+        assert_eq!(p.file_extent_units(f).unwrap(), 40);
         p.extend(f, 80).unwrap(); // two extents of 40
         let free_before = p.free_units();
         let err = p.extend(f, 40).unwrap_err(); // only 20 left
         assert!(matches!(err, AllocError::DiskFull(40)));
         assert_eq!(p.free_units(), free_before);
-        assert_eq!(p.allocated_units(f), 80);
+        assert_eq!(p.allocated_units(f).unwrap(), 80);
         p.check_invariants();
     }
 
@@ -368,7 +371,7 @@ mod tests {
         let mut p = ExtentPolicy::new(1000, &[16], FitStrategy::FirstFit, 0.0, 1024, 3);
         for _ in 0..10 {
             let f = p.create(&hints(16 * 1024)).unwrap();
-            assert_eq!(p.file_extent_units(f), 16);
+            assert_eq!(p.file_extent_units(f).unwrap(), 16);
         }
     }
 }

@@ -136,12 +136,18 @@ impl FfsPolicy {
         ((addr / self.group_units) as usize).min(self.groups.len() - 1)
     }
 
-    fn file(&self, id: FileId) -> &FfsFile {
-        self.files[id.0 as usize].as_ref().expect("dead file id")
+    fn file(&self, id: FileId) -> Result<&FfsFile, AllocError> {
+        self.files
+            .get(id.0 as usize)
+            .and_then(|slot| slot.as_ref())
+            .ok_or(AllocError::DeadFile(id))
     }
 
-    fn file_mut(&mut self, id: FileId) -> &mut FfsFile {
-        self.files[id.0 as usize].as_mut().expect("dead file id")
+    fn file_mut(&mut self, id: FileId) -> Result<&mut FfsFile, AllocError> {
+        self.files
+            .get_mut(id.0 as usize)
+            .and_then(|slot| slot.as_mut())
+            .ok_or(AllocError::DeadFile(id))
     }
 
     /// Takes a fully free block, preferring `prefer`'s exact address, then
@@ -194,7 +200,10 @@ impl FfsPolicy {
                 free_run(bitmap, self.frags_per_block, n).map(|off| (addr, off))
             });
             if let Some((addr, off)) = found {
-                let bm = self.groups[gi].frag_blocks.get_mut(&addr).expect("present");
+                let bm = self.groups[gi]
+                    .frag_blocks
+                    .get_mut(&addr)
+                    .unwrap_or_else(|| unreachable!("block {addr} was just found in this map"));
                 *bm &= !(run_mask(off, n));
                 self.groups[gi].free_units -= n;
                 return Some(addr + off);
@@ -217,11 +226,9 @@ impl FfsPolicy {
         let off = addr - block;
         let gi = self.group_of(block);
         let fully_free = {
-            let bm = self
-                .groups[gi]
-                .frag_blocks
-                .get_mut(&block)
-                .expect("freeing fragments of a non-fragmented block");
+            let bm = self.groups[gi].frag_blocks.get_mut(&block).unwrap_or_else(|| {
+                unreachable!("freeing fragments of a non-fragmented block {block}")
+            });
             debug_assert_eq!(*bm & run_mask(off, n), 0, "double free of fragments");
             *bm |= run_mask(off, n);
             *bm == full_mask(self.frags_per_block)
@@ -236,13 +243,13 @@ impl FfsPolicy {
     }
 
     /// Rebuilds the file's merged extent map from blocks + tail.
-    fn rebuild_map(&mut self, id: FileId) {
+    fn rebuild_map(&mut self, id: FileId) -> Result<(), AllocError> {
         let (blocks, tail) = {
-            let f = self.file(id);
+            let f = self.file(id)?;
             (f.blocks.clone(), f.tail)
         };
         let bu = self.block_units;
-        let f = self.file_mut(id);
+        let f = self.file_mut(id)?;
         f.map = FileMap::new();
         for b in blocks {
             f.map.push(Extent::new(b, bu));
@@ -250,17 +257,26 @@ impl FfsPolicy {
         if let Some((addr, n)) = tail {
             f.map.push(Extent::new(addr, n));
         }
+        Ok(())
     }
 }
 
-/// Bitmap with the low `n` bits set.
+/// Bitmap with the low `n` bits set. Fragment counts are ≤ 32 (asserted at
+/// construction), so the mask is built in the u32 domain — no narrowing.
 fn full_mask(n: u64) -> u32 {
-    ((1u64 << n) - 1) as u32
+    let n = u32::try_from(n).unwrap_or_else(|_| unreachable!("fragment count {n} exceeds u32"));
+    if n >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << n) - 1
+    }
 }
 
 /// Bitmap covering fragments `[off, off + n)`.
 fn run_mask(off: u64, n: u64) -> u32 {
-    (((1u64 << n) - 1) << off) as u32
+    let off =
+        u32::try_from(off).unwrap_or_else(|_| unreachable!("fragment offset {off} exceeds u32"));
+    full_mask(n) << off
 }
 
 /// First offset of a free run of `n` fragments in `bitmap`, if any.
@@ -291,8 +307,9 @@ impl Policy for FfsPolicy {
                 FileId(slot)
             }
             None => {
+                let id = FileId::from_index(self.files.len())?;
                 self.files.push(Some(file));
-                FileId(self.files.len() as u32 - 1)
+                id
             }
         };
         Ok(id)
@@ -302,7 +319,7 @@ impl Policy for FfsPolicy {
         debug_assert!(units > 0);
         let bu = self.block_units;
         let (old_blocks, old_tail, group) = {
-            let f = self.file(file);
+            let f = self.file(file)?;
             (f.blocks.len() as u64, f.tail, f.group)
         };
         let old_tail_units = old_tail.map_or(0, |(_, n)| n);
@@ -315,7 +332,7 @@ impl Policy for FfsPolicy {
         // old tail — so a failure mid-way can roll back without having
         // destroyed anything.
         let mut new_blocks = Vec::new();
-        let mut prefer = self.file(file).blocks.last().map(|&b| b + bu);
+        let mut prefer = self.file(file)?.blocks.last().map(|&b| b + bu);
         for _ in old_blocks..want_blocks {
             match self.alloc_block(group, prefer) {
                 Some(a) => {
@@ -347,11 +364,11 @@ impl Policy for FfsPolicy {
             self.free_frags(addr, n);
         }
         {
-            let f = self.file_mut(file);
+            let f = self.file_mut(file)?;
             f.blocks.extend(&new_blocks);
             f.tail = new_tail;
         }
-        self.rebuild_map(file);
+        self.rebuild_map(file)?;
         // Report the newly covered space: the new blocks plus the new tail
         // (the caller writes `units` new units; the map is authoritative).
         let mut granted: Vec<Extent> = new_blocks.iter().map(|&a| Extent::new(a, bu)).collect();
@@ -361,40 +378,44 @@ impl Policy for FfsPolicy {
         Ok(granted)
     }
 
-    fn truncate(&mut self, file: FileId, units: u64) -> Vec<Extent> {
+    fn truncate(&mut self, file: FileId, units: u64) -> Result<Vec<Extent>, AllocError> {
         let bu = self.block_units;
         let mut freed = Vec::new();
         let mut remaining = units;
         // Free the tail fragments first (they are the logical end).
-        if let Some((addr, n)) = self.file(file).tail {
+        if let Some((addr, n)) = self.file(file)?.tail {
             if n <= remaining {
                 self.free_frags(addr, n);
-                self.file_mut(file).tail = None;
+                self.file_mut(file)?.tail = None;
                 freed.push(Extent::new(addr, n));
                 remaining -= n;
             } else {
                 // Shrink the tail in place: free its uppermost fragments.
                 let keep = n - remaining;
                 self.free_frags(addr + keep, remaining);
-                self.file_mut(file).tail = Some((addr, keep));
+                self.file_mut(file)?.tail = Some((addr, keep));
                 freed.push(Extent::new(addr + keep, remaining));
                 remaining = 0;
             }
         }
         while remaining >= bu {
-            let Some(addr) = self.file_mut(file).blocks.pop() else { break };
+            let Some(addr) = self.file_mut(file)?.blocks.pop() else { break };
             self.free_block(addr);
             freed.push(Extent::new(addr, bu));
             remaining -= bu;
         }
         if !freed.is_empty() {
-            self.rebuild_map(file);
+            self.rebuild_map(file)?;
         }
-        freed
+        Ok(freed)
     }
 
-    fn delete(&mut self, file: FileId) -> u64 {
-        let f = self.files[file.0 as usize].take().expect("dead file id");
+    fn delete(&mut self, file: FileId) -> Result<u64, AllocError> {
+        let f = self
+            .files
+            .get_mut(file.0 as usize)
+            .and_then(|slot| slot.take())
+            .ok_or(AllocError::DeadFile(file))?;
         let mut total = 0;
         for addr in f.blocks {
             self.free_block(addr);
@@ -405,11 +426,11 @@ impl Policy for FfsPolicy {
             total += n;
         }
         self.free_slots.push(file.0);
-        total
+        Ok(total)
     }
 
-    fn file_map(&self, file: FileId) -> &FileMap {
-        &self.file(file).map
+    fn file_map(&self, file: FileId) -> Result<&FileMap, AllocError> {
+        Ok(&self.file(file)?.map)
     }
 
     fn live_files(&self) -> Vec<FileId> {
@@ -417,13 +438,13 @@ impl Policy for FfsPolicy {
             .iter()
             .enumerate()
             .filter(|(_, f)| f.is_some())
-            .map(|(i, _)| FileId(i as u32))
+            .filter_map(|(i, _)| FileId::from_index(i).ok())
             .collect()
     }
 
-    fn allocation_count(&self, file: FileId) -> usize {
-        let f = self.file(file);
-        f.blocks.len() + usize::from(f.tail.is_some())
+    fn allocation_count(&self, file: FileId) -> Result<usize, AllocError> {
+        let f = self.file(file)?;
+        Ok(f.blocks.len() + usize::from(f.tail.is_some()))
     }
 }
 
@@ -449,8 +470,8 @@ mod tests {
         let mut p = policy();
         let f = p.create(&FileHints::default()).unwrap();
         p.extend(f, 3).unwrap();
-        assert_eq!(p.allocated_units(f), 3, "three fragments, no whole block");
-        assert_eq!(p.allocation_count(f), 1, "one fragment tail");
+        assert_eq!(p.allocated_units(f).unwrap(), 3, "three fragments, no whole block");
+        assert_eq!(p.allocation_count(f).unwrap(), 1, "one fragment tail");
         p.check_invariants();
     }
 
@@ -460,8 +481,8 @@ mod tests {
         let f = p.create(&FileHints::default()).unwrap();
         p.extend(f, 3).unwrap();
         p.extend(f, 10).unwrap(); // total 13 = 1 block + 5 frags
-        assert_eq!(p.allocated_units(f), 13);
-        let fl = p.file(f);
+        assert_eq!(p.allocated_units(f).unwrap(), 13);
+        let fl = p.file(f).unwrap();
         assert_eq!(fl.blocks.len(), 1);
         assert_eq!(fl.tail.map(|(_, n)| n), Some(5));
         p.check_invariants();
@@ -472,8 +493,8 @@ mod tests {
         let mut p = policy();
         let f = p.create(&FileHints::default()).unwrap();
         p.extend(f, 16).unwrap();
-        assert!(p.file(f).tail.is_none());
-        assert_eq!(p.allocation_count(f), 2);
+        assert!(p.file(f).unwrap().tail.is_none());
+        assert_eq!(p.allocation_count(f).unwrap(), 2);
         p.check_invariants();
     }
 
@@ -487,7 +508,7 @@ mod tests {
         for _ in 0..64 {
             let f = p.create(&FileHints::default()).unwrap();
             p.extend(f, 3).unwrap();
-            allocated += p.allocated_units(f);
+            allocated += p.allocated_units(f).unwrap();
         }
         assert_eq!(allocated, 64 * 3, "fragments fit exactly");
         p.check_invariants();
@@ -515,9 +536,9 @@ mod tests {
         for n in 1..8u64 {
             let f = p.create(&FileHints::default()).unwrap();
             p.extend(f, n).unwrap();
-            let tail = p.file(f).tail.expect("tail exists");
+            let tail = p.file(f).unwrap().tail.expect("tail exists");
             assert_eq!(tail.1, n);
-            assert_eq!(p.file_map(f).extents().len(), 1, "one contiguous run");
+            assert_eq!(p.file_map(f).unwrap().extents().len(), 1, "one contiguous run");
         }
         p.check_invariants();
     }
@@ -527,13 +548,13 @@ mod tests {
         let mut p = policy();
         let f = p.create(&FileHints::default()).unwrap();
         p.extend(f, 21).unwrap(); // 2 blocks + 5 frags
-        let freed = p.truncate(f, 3); // tail 5 -> 2
+        let freed = p.truncate(f, 3).unwrap(); // tail 5 -> 2
         assert_eq!(freed.iter().map(|e| e.len).sum::<u64>(), 3);
-        assert_eq!(p.file(f).tail.map(|(_, n)| n), Some(2));
-        let freed = p.truncate(f, 2 + 8); // rest of tail + one block
+        assert_eq!(p.file(f).unwrap().tail.map(|(_, n)| n), Some(2));
+        let freed = p.truncate(f, 2 + 8).unwrap(); // rest of tail + one block
         assert_eq!(freed.iter().map(|e| e.len).sum::<u64>(), 10);
-        assert_eq!(p.file(f).blocks.len(), 1);
-        assert!(p.file(f).tail.is_none());
+        assert_eq!(p.file(f).unwrap().blocks.len(), 1);
+        assert!(p.file(f).unwrap().tail.is_none());
         p.check_invariants();
     }
 
@@ -545,8 +566,8 @@ mod tests {
         let b = p.create(&FileHints::default()).unwrap();
         p.extend(a, 13).unwrap();
         p.extend(b, 7).unwrap();
-        p.delete(a);
-        p.delete(b);
+        p.delete(a).unwrap();
+        p.delete(b).unwrap();
         assert_eq!(p.free_units(), before);
         let frag_blocks: usize = p.groups.iter().map(|g| g.frag_blocks.len()).sum();
         assert_eq!(frag_blocks, 0, "all fragment blocks promoted back");
@@ -560,7 +581,7 @@ mod tests {
         for _ in 0..8 {
             p.extend(f, 8).unwrap();
         }
-        assert_eq!(p.extent_count(f), 1, "blocks placed back to back");
+        assert_eq!(p.extent_count(f).unwrap(), 1, "blocks placed back to back");
         p.check_invariants();
     }
 

@@ -62,7 +62,9 @@ impl FileMap {
         let mut remaining = units.min(self.total);
         let mut freed = Vec::new();
         while remaining > 0 {
-            let last = self.extents.last_mut().expect("total > 0 implies extents");
+            let Some(last) = self.extents.last_mut() else {
+                unreachable!("total > 0 implies extents")
+            };
             if last.len <= remaining {
                 remaining -= last.len;
                 self.total -= last.len;

@@ -63,8 +63,11 @@ impl FixedPolicy {
         self.block_units
     }
 
-    fn file_mut(&mut self, id: FileId) -> &mut FFile {
-        self.files[id.0 as usize].as_mut().expect("dead file id")
+    fn file_mut(&mut self, id: FileId) -> Result<&mut FFile, AllocError> {
+        self.files
+            .get_mut(id.0 as usize)
+            .and_then(|slot| slot.as_mut())
+            .ok_or(AllocError::DeadFile(id))
     }
 }
 
@@ -88,8 +91,9 @@ impl Policy for FixedPolicy {
                 FileId(slot)
             }
             None => {
+                let id = FileId::from_index(self.files.len())?;
                 self.files.push(Some(FFile::default()));
-                FileId(self.files.len() as u32 - 1)
+                id
             }
         };
         Ok(id)
@@ -103,20 +107,22 @@ impl Policy for FixedPolicy {
         }
         let mut granted = Vec::with_capacity(nblocks as usize);
         for _ in 0..nblocks {
-            let addr = self.free_list.pop_front().expect("checked length");
+            // Length was checked above, so the list cannot run dry
+            // mid-loop; stopping early would still be accounted correctly.
+            let Some(addr) = self.free_list.pop_front() else { break };
             let e = Extent::new(addr, self.block_units);
-            self.file_mut(file).map.push(e);
+            self.file_mut(file)?.map.push(e);
             granted.push(e);
         }
         Ok(granted)
     }
 
-    fn truncate(&mut self, file: FileId, units: u64) -> Vec<Extent> {
+    fn truncate(&mut self, file: FileId, units: u64) -> Result<Vec<Extent>, AllocError> {
         let whole_blocks = units / self.block_units * self.block_units;
         if whole_blocks == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
-        let freed = self.file_mut(file).map.pop_back(whole_blocks);
+        let freed = self.file_mut(file)?.map.pop_back(whole_blocks);
         for e in &freed {
             // The map may have merged adjacent blocks; return them to the
             // list one block at a time, head-first (V7 behaviour).
@@ -127,11 +133,15 @@ impl Policy for FixedPolicy {
                 a += self.block_units;
             }
         }
-        freed
+        Ok(freed)
     }
 
-    fn delete(&mut self, file: FileId) -> u64 {
-        let mut f = self.files[file.0 as usize].take().expect("dead file id");
+    fn delete(&mut self, file: FileId) -> Result<u64, AllocError> {
+        let mut f = self
+            .files
+            .get_mut(file.0 as usize)
+            .and_then(|slot| slot.take())
+            .ok_or(AllocError::DeadFile(file))?;
         let mut total = 0;
         for e in f.map.take_all() {
             total += e.len;
@@ -142,11 +152,15 @@ impl Policy for FixedPolicy {
             }
         }
         self.free_slots.push(file.0);
-        total
+        Ok(total)
     }
 
-    fn file_map(&self, file: FileId) -> &FileMap {
-        &self.files[file.0 as usize].as_ref().expect("dead file id").map
+    fn file_map(&self, file: FileId) -> Result<&FileMap, AllocError> {
+        self.files
+            .get(file.0 as usize)
+            .and_then(|slot| slot.as_ref())
+            .map(|f| &f.map)
+            .ok_or(AllocError::DeadFile(file))
     }
 
     fn live_files(&self) -> Vec<FileId> {
@@ -154,12 +168,12 @@ impl Policy for FixedPolicy {
             .iter()
             .enumerate()
             .filter(|(_, f)| f.is_some())
-            .map(|(i, _)| FileId(i as u32))
+            .filter_map(|(i, _)| FileId::from_index(i).ok())
             .collect()
     }
 
-    fn allocation_count(&self, file: FileId) -> usize {
-        (self.allocated_units(file) / self.block_units) as usize
+    fn allocation_count(&self, file: FileId) -> Result<usize, AllocError> {
+        Ok((self.allocated_units(file)? / self.block_units) as usize)
     }
 }
 
@@ -176,8 +190,8 @@ mod tests {
         let mut p = policy();
         let f = p.create(&FileHints::default()).unwrap();
         p.extend(f, 16).unwrap();
-        assert_eq!(p.extent_count(f), 1, "fresh free list is address ordered");
-        assert_eq!(p.allocated_units(f), 16);
+        assert_eq!(p.extent_count(f).unwrap(), 1, "fresh free list is address ordered");
+        assert_eq!(p.allocated_units(f).unwrap(), 16);
         p.check_invariants();
     }
 
@@ -186,7 +200,7 @@ mod tests {
         let mut p = policy();
         let f = p.create(&FileHints::default()).unwrap();
         p.extend(f, 5).unwrap();
-        assert_eq!(p.allocated_units(f), 8, "two 4-unit blocks");
+        assert_eq!(p.allocated_units(f).unwrap(), 8, "two 4-unit blocks");
         p.check_invariants();
     }
 
@@ -201,10 +215,10 @@ mod tests {
             p.extend(a, 4).unwrap();
             p.extend(b, 4).unwrap();
         }
-        p.delete(a);
+        p.delete(a).unwrap();
         let c = p.create(&FileHints::default()).unwrap();
         p.extend(c, 40).unwrap();
-        assert!(p.extent_count(c) > 1, "aged layout is discontiguous");
+        assert!(p.extent_count(c).unwrap() > 1, "aged layout is discontiguous");
         p.check_invariants();
     }
 
@@ -216,8 +230,8 @@ mod tests {
         let f2 = p2.create(&FileHints::default()).unwrap();
         p1.extend(f1, 64).unwrap();
         p2.extend(f2, 64).unwrap();
-        assert_eq!(p1.file_map(f1).extents(), p2.file_map(f2).extents());
-        assert!(p1.extent_count(f1) > 2, "shuffled list scatters blocks");
+        assert_eq!(p1.file_map(f1).unwrap().extents(), p2.file_map(f2).unwrap().extents());
+        assert!(p1.extent_count(f1).unwrap() > 2, "shuffled list scatters blocks");
     }
 
     #[test]
@@ -225,10 +239,10 @@ mod tests {
         let mut p = policy();
         let f = p.create(&FileHints::default()).unwrap();
         p.extend(f, 16).unwrap();
-        assert!(p.truncate(f, 3).is_empty(), "less than a block");
-        let freed = p.truncate(f, 9);
+        assert!(p.truncate(f, 3).unwrap().is_empty(), "less than a block");
+        let freed = p.truncate(f, 9).unwrap();
         assert_eq!(freed.iter().map(|e| e.len).sum::<u64>(), 8);
-        assert_eq!(p.allocated_units(f), 8);
+        assert_eq!(p.allocated_units(f).unwrap(), 8);
         p.check_invariants();
     }
 
@@ -237,11 +251,11 @@ mod tests {
         let mut p = policy();
         let a = p.create(&FileHints::default()).unwrap();
         p.extend(a, 4).unwrap();
-        let freed = p.truncate(a, 4);
+        let freed = p.truncate(a, 4).unwrap();
         let addr = freed[0].start;
         let b = p.create(&FileHints::default()).unwrap();
         p.extend(b, 4).unwrap();
-        assert_eq!(p.file_map(b).extents()[0].start, addr, "LIFO reuse");
+        assert_eq!(p.file_map(b).unwrap().extents()[0].start, addr, "LIFO reuse");
     }
 
     #[test]

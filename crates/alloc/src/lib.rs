@@ -36,11 +36,12 @@
 //! let file = policy.create(&FileHints::default()).unwrap();
 //! let granted = policy.extend(file, 100).unwrap();
 //! assert!(granted.iter().map(|e| e.len).sum::<u64>() >= 100);
-//! assert!(policy.extent_count(file) <= 3, "sequential growth stays contiguous");
-//! policy.delete(file);
+//! assert!(policy.extent_count(file).unwrap() <= 3, "sequential growth stays contiguous");
+//! policy.delete(file).unwrap();
 //! assert_eq!(policy.free_units() + policy.metadata_units(), policy.capacity_units());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

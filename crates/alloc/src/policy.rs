@@ -38,6 +38,10 @@ impl PolicyStats {
 /// `truncate` frees **at most** the requested units (policies that cannot
 /// split blocks free only whole tail blocks).
 ///
+/// Every operation that names a [`FileId`] is fallible: a dead id yields
+/// [`AllocError::DeadFile`] instead of a panic, so library callers decide
+/// how to surface the bug (workspace invariant simlint r3).
+///
 /// `Send` is required so boxed policies (and the simulations owning them)
 /// can move to experiment-runner worker threads.
 pub trait Policy: Send {
@@ -64,24 +68,24 @@ pub trait Policy: Send {
 
     /// Shrinks `file` by at most `units` from its logical end, returning
     /// the freed extents.
-    fn truncate(&mut self, file: FileId, units: u64) -> Vec<Extent>;
+    fn truncate(&mut self, file: FileId, units: u64) -> Result<Vec<Extent>, AllocError>;
 
     /// Deletes `file`, freeing all of its space (and metadata). Returns the
     /// number of data units freed.
-    fn delete(&mut self, file: FileId) -> u64;
+    fn delete(&mut self, file: FileId) -> Result<u64, AllocError>;
 
     /// The file's extent map.
-    fn file_map(&self, file: FileId) -> &FileMap;
+    fn file_map(&self, file: FileId) -> Result<&FileMap, AllocError>;
 
     /// Units allocated to the file's data.
-    fn allocated_units(&self, file: FileId) -> u64 {
-        self.file_map(file).total_units()
+    fn allocated_units(&self, file: FileId) -> Result<u64, AllocError> {
+        Ok(self.file_map(file)?.total_units())
     }
 
     /// Number of extents backing the file (physically merged view — the
     /// number of disjoint disk regions, i.e. of seeks a full scan pays).
-    fn extent_count(&self, file: FileId) -> usize {
-        self.file_map(file).extent_count()
+    fn extent_count(&self, file: FileId) -> Result<usize, AllocError> {
+        Ok(self.file_map(file)?.extent_count())
     }
 
     /// Number of *allocation units* backing the file — blocks for the
@@ -89,7 +93,7 @@ pub trait Policy: Send {
     /// regardless of whether they happen to be physically adjacent. This is
     /// the statistic the paper's Table 4 reports ("a 96K file length /
     /// 4K extent size" gives 24, even on a freshly laid-out disk).
-    fn allocation_count(&self, file: FileId) -> usize {
+    fn allocation_count(&self, file: FileId) -> Result<usize, AllocError> {
         self.extent_count(file)
     }
 
@@ -104,14 +108,17 @@ pub trait Policy: Send {
     /// `logical_sizes` supplies each live file's used size in units (the
     /// policy only tracks allocations). Returns the number of units
     /// rewritten, or `None` when the policy has no reallocator.
-    fn reallocate(&mut self, logical_sizes: &[(FileId, u64)]) -> Option<u64> {
+    fn reallocate(&mut self, logical_sizes: &[(FileId, u64)]) -> Result<Option<u64>, AllocError> {
         let _ = logical_sizes;
-        None
+        Ok(None)
     }
 
     /// Space accounting snapshot.
     fn stats(&self) -> PolicyStats {
-        let data: u64 = self.live_files().iter().map(|&f| self.allocated_units(f)).sum();
+        // `live_files` returns only live ids, so the per-file lookups
+        // cannot fail; a dead id would simply contribute nothing.
+        let data: u64 =
+            self.live_files().iter().map(|&f| self.allocated_units(f).unwrap_or(0)).sum();
         PolicyStats {
             capacity_units: self.capacity_units(),
             free_units: self.free_units(),
@@ -128,7 +135,10 @@ pub trait Policy: Send {
         let mut spans: Vec<Extent> = Vec::new();
         let mut data = 0u64;
         for f in self.live_files() {
-            for e in self.file_map(f).extents() {
+            let map = self
+                .file_map(f)
+                .unwrap_or_else(|e| unreachable!("{}: live file {f} unmapped: {e}", self.name()));
+            for e in map.extents() {
                 assert!(e.len > 0, "{}: zero-length extent in {f}", self.name());
                 assert!(
                     e.end() <= self.capacity_units(),

@@ -81,7 +81,7 @@ impl RestrictedPolicy {
         for w in sizes_units.windows(2) {
             assert!(w[0] < w[1] && w[1] % w[0] == 0, "classes must ascend and divide");
         }
-        let top = *sizes_units.last().expect("non-empty");
+        let top = *sizes_units.last().unwrap_or_else(|| unreachable!("asserted non-empty above"));
         if let Some(ru) = region_units {
             // Clustered: region bases must stay aligned to the top class.
             assert!(ru >= top, "region smaller than the largest block class");
@@ -118,12 +118,18 @@ impl RestrictedPolicy {
         &self.sizes
     }
 
-    fn file(&self, id: FileId) -> &RFile {
-        self.files[id.0 as usize].as_ref().expect("dead file id")
+    fn file(&self, id: FileId) -> Result<&RFile, AllocError> {
+        self.files
+            .get(id.0 as usize)
+            .and_then(|slot| slot.as_ref())
+            .ok_or(AllocError::DeadFile(id))
     }
 
-    fn file_mut(&mut self, id: FileId) -> &mut RFile {
-        self.files[id.0 as usize].as_mut().expect("dead file id")
+    fn file_mut(&mut self, id: FileId) -> Result<&mut RFile, AllocError> {
+        self.files
+            .get_mut(id.0 as usize)
+            .and_then(|slot| slot.as_mut())
+            .ok_or(AllocError::DeadFile(id))
     }
 
     fn region_of(&self, addr: u64) -> usize {
@@ -240,8 +246,9 @@ impl Policy for RestrictedPolicy {
                 FileId(slot)
             }
             None => {
+                let id = FileId::from_index(self.files.len())?;
                 self.files.push(Some(file));
-                FileId(self.files.len() as u32 - 1)
+                id
             }
         };
         Ok(id)
@@ -253,7 +260,7 @@ impl Policy for RestrictedPolicy {
         let mut remaining = units;
         while remaining > 0 {
             let (class, prefer, optimal) = {
-                let f = self.file(file);
+                let f = self.file(file)?;
                 let class = self.next_class(f);
                 let prefer = self.preferred_addr(f, class);
                 // "If the request is for a block of a file, the optimal
@@ -272,7 +279,7 @@ impl Policy for RestrictedPolicy {
                 for &(a, c) in granted.iter().rev() {
                     self.free_block(c, a);
                     let sizes_c = self.sizes[c];
-                    let f = self.file_mut(file);
+                    let f = self.file_mut(file)?;
                     f.blocks.pop();
                     f.units_per_class[c] -= sizes_c;
                     f.map.pop_back(sizes_c);
@@ -280,7 +287,7 @@ impl Policy for RestrictedPolicy {
                 return Err(AllocError::DiskFull(self.sizes[class]));
             };
             let size = self.sizes[class];
-            let f = self.file_mut(file);
+            let f = self.file_mut(file)?;
             f.blocks.push((addr, class));
             f.units_per_class[class] += size;
             f.map.push(Extent::new(addr, size));
@@ -293,15 +300,15 @@ impl Policy for RestrictedPolicy {
             .collect())
     }
 
-    fn truncate(&mut self, file: FileId, units: u64) -> Vec<Extent> {
+    fn truncate(&mut self, file: FileId, units: u64) -> Result<Vec<Extent>, AllocError> {
         let mut freed = Vec::new();
         let mut remaining = units;
-        while let Some(&(addr, class)) = self.file(file).blocks.last() {
+        while let Some(&(addr, class)) = self.file(file)?.blocks.last() {
             let size = self.sizes[class];
             if size > remaining {
                 break;
             }
-            let f = self.file_mut(file);
+            let f = self.file_mut(file)?;
             f.blocks.pop();
             f.units_per_class[class] -= size;
             f.map.pop_back(size);
@@ -309,11 +316,15 @@ impl Policy for RestrictedPolicy {
             freed.push(Extent::new(addr, size));
             remaining -= size;
         }
-        freed
+        Ok(freed)
     }
 
-    fn delete(&mut self, file: FileId) -> u64 {
-        let f = self.files[file.0 as usize].take().expect("dead file id");
+    fn delete(&mut self, file: FileId) -> Result<u64, AllocError> {
+        let f = self
+            .files
+            .get_mut(file.0 as usize)
+            .and_then(|slot| slot.take())
+            .ok_or(AllocError::DeadFile(file))?;
         let mut data = 0;
         for &(addr, class) in f.blocks.iter().rev() {
             self.free_block(class, addr);
@@ -322,11 +333,11 @@ impl Policy for RestrictedPolicy {
         self.free_block(0, f.fd_addr);
         self.metadata_units -= self.sizes[0];
         self.free_slots.push(file.0);
-        data
+        Ok(data)
     }
 
-    fn file_map(&self, file: FileId) -> &FileMap {
-        &self.file(file).map
+    fn file_map(&self, file: FileId) -> Result<&FileMap, AllocError> {
+        Ok(&self.file(file)?.map)
     }
 
     fn live_files(&self) -> Vec<FileId> {
@@ -334,12 +345,12 @@ impl Policy for RestrictedPolicy {
             .iter()
             .enumerate()
             .filter(|(_, f)| f.is_some())
-            .map(|(i, _)| FileId(i as u32))
+            .filter_map(|(i, _)| FileId::from_index(i).ok())
             .collect()
     }
 
-    fn allocation_count(&self, file: FileId) -> usize {
-        self.file(file).blocks.len()
+    fn allocation_count(&self, file: FileId) -> Result<usize, AllocError> {
+        Ok(self.file(file)?.blocks.len())
     }
 }
 
@@ -368,14 +379,14 @@ mod tests {
         let f = p.create(&FileHints::default()).unwrap();
         // g=1: eight 1-unit blocks, then 8-unit blocks.
         p.extend(f, 8).unwrap();
-        assert_eq!(p.file(f).blocks.len(), 8);
-        assert!(p.file(f).blocks.iter().all(|&(_, c)| c == 0));
+        assert_eq!(p.file(f).unwrap().blocks.len(), 8);
+        assert!(p.file(f).unwrap().blocks.iter().all(|&(_, c)| c == 0));
         // Next allocation must be class 1.
         p.extend(f, 1).unwrap();
-        assert_eq!(p.file(f).blocks.last().unwrap().1, 1);
+        assert_eq!(p.file(f).unwrap().blocks.last().unwrap().1, 1);
         // After eight 8-unit blocks (64 units at class 1), class 2 follows.
         p.extend(f, 7 * 8 + 1).unwrap();
-        assert_eq!(p.file(f).blocks.last().unwrap().1, 2);
+        assert_eq!(p.file(f).unwrap().blocks.last().unwrap().1, 2);
         p.check_invariants();
     }
 
@@ -384,10 +395,10 @@ mod tests {
         let mut p = RestrictedPolicy::new(1 << 14, &[1, 8, 64], 2, None);
         let f = p.create(&FileHints::default()).unwrap();
         p.extend(f, 16).unwrap(); // g=2 → sixteen class-0 blocks
-        assert!(p.file(f).blocks.iter().all(|&(_, c)| c == 0));
-        assert_eq!(p.file(f).blocks.len(), 16);
+        assert!(p.file(f).unwrap().blocks.iter().all(|&(_, c)| c == 0));
+        assert_eq!(p.file(f).unwrap().blocks.len(), 16);
         p.extend(f, 1).unwrap();
-        assert_eq!(p.file(f).blocks.last().unwrap().1, 1);
+        assert_eq!(p.file(f).unwrap().blocks.last().unwrap().1, 1);
         p.check_invariants();
     }
 
@@ -398,7 +409,7 @@ mod tests {
         p.extend(f, 4).unwrap();
         p.extend(f, 4).unwrap();
         // fd consumed unit 0; the data blocks run contiguously after it.
-        assert_eq!(p.extent_count(f), 1, "perfectly sequential layout");
+        assert_eq!(p.extent_count(f).unwrap(), 1, "perfectly sequential layout");
         p.check_invariants();
     }
 
@@ -409,10 +420,10 @@ mod tests {
         let mut p = unclustered();
         let f = p.create(&FileHints::default()).unwrap();
         p.extend(f, 8).unwrap(); // eight class-0 blocks: units 1..9 (0 is the fd)
-        let tail_before = p.file_map(f).next_sequential_unit().unwrap();
+        let tail_before = p.file_map(f).unwrap().next_sequential_unit().unwrap();
         assert_eq!(tail_before, 9);
         p.extend(f, 8).unwrap(); // class-1 block, preferred addr 16
-        let last = *p.file_map(f).extents().last().unwrap();
+        let last = *p.file_map(f).unwrap().extents().last().unwrap();
         assert_eq!(last.start % 8, 0, "class-1 block is 8-aligned");
         assert!(last.start >= 16, "rounded up past the unaligned tail");
         p.check_invariants();
@@ -424,9 +435,9 @@ mod tests {
         let a = p.create(&FileHints::default()).unwrap();
         let b = p.create(&FileHints::default()).unwrap();
         let c = p.create(&FileHints::default()).unwrap();
-        let ra = p.region_of(p.file(a).fd_addr);
-        let rb = p.region_of(p.file(b).fd_addr);
-        let rc = p.region_of(p.file(c).fd_addr);
+        let ra = p.region_of(p.file(a).unwrap().fd_addr);
+        let rb = p.region_of(p.file(b).unwrap().fd_addr);
+        let rc = p.region_of(p.file(c).unwrap().fd_addr);
         assert_ne!(ra, rb, "descriptors spread across regions");
         assert_ne!(rb, rc);
         assert_eq!(p.metadata_units(), 3);
@@ -439,8 +450,8 @@ mod tests {
         let a = p.create(&FileHints::default()).unwrap();
         let _b = p.create(&FileHints::default()).unwrap();
         p.extend(a, 4).unwrap();
-        let fd_region = p.region_of(p.file(a).fd_addr);
-        for &(addr, _) in &p.file(a).blocks {
+        let fd_region = p.region_of(p.file(a).unwrap().fd_addr);
+        for &(addr, _) in &p.file(a).unwrap().blocks {
             assert_eq!(p.region_of(addr), fd_region, "first block lands by the fd");
         }
         p.check_invariants();
@@ -477,13 +488,13 @@ mod tests {
         let mut p = unclustered();
         let f = p.create(&FileHints::default()).unwrap();
         p.extend(f, 9).unwrap(); // 8 class-0 + 1 class-1
-        assert_eq!(p.file(f).blocks.last().unwrap().1, 1);
-        let freed = p.truncate(f, 8);
+        assert_eq!(p.file(f).unwrap().blocks.last().unwrap().1, 1);
+        let freed = p.truncate(f, 8).unwrap();
         assert_eq!(freed.iter().map(|e| e.len).sum::<u64>(), 8);
         // With the class-1 block gone, the grow policy is back at class 0...
         p.extend(f, 1).unwrap();
         // ...but the quota is still met (eight class-0 blocks) → class 1.
-        assert_eq!(p.file(f).blocks.last().unwrap().1, 1);
+        assert_eq!(p.file(f).unwrap().blocks.last().unwrap().1, 1);
         p.check_invariants();
     }
 
@@ -493,7 +504,7 @@ mod tests {
         let before = p.free_units();
         let f = p.create(&FileHints::default()).unwrap();
         p.extend(f, 100).unwrap();
-        p.delete(f);
+        p.delete(f).unwrap();
         assert_eq!(p.free_units(), before);
         assert_eq!(p.metadata_units(), 0);
         p.check_invariants();
@@ -507,7 +518,7 @@ mod tests {
         let err = p.extend(f, 1000);
         assert!(err.is_err());
         assert_eq!(p.free_units(), free_before);
-        assert_eq!(p.allocated_units(f), 0);
+        assert_eq!(p.allocated_units(f).unwrap(), 0);
         p.check_invariants();
     }
 
@@ -522,7 +533,7 @@ mod tests {
         }
         // Blocks within a class are laid out back to back; only the two
         // class transitions (Figure 3's alignment gaps) break the file.
-        assert!(p.extent_count(f) <= 3, "got {} extents", p.extent_count(f));
+        assert!(p.extent_count(f).unwrap() <= 3, "got {} extents", p.extent_count(f).unwrap());
         p.check_invariants();
     }
 }

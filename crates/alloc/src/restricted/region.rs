@@ -40,7 +40,7 @@ impl Region {
     /// single unclustered region at base 0).
     pub fn new(base: u64, end: u64, sizes: &[u64]) -> Self {
         assert!(!sizes.is_empty() && base < end);
-        let top = *sizes.last().expect("non-empty sizes");
+        let top = *sizes.last().unwrap_or_else(|| unreachable!("asserted non-empty above"));
         assert_eq!(base % top, 0, "region base must be aligned to the top block class");
         let top_slots = ((end - base) / top) as usize;
         let mut region = Region {
@@ -206,8 +206,7 @@ impl Region {
         let container = prefer.map(|p| p - p % sizes[source_class]);
         let addr = container
             .filter(|&a| self.is_block_free(sizes, source_class, a))
-            .or_else(|| self.peek_near(sizes, source_class, prefer))
-            .expect("has_free implies peek succeeds");
+            .or_else(|| self.peek_near(sizes, source_class, prefer))?;
         self.remove(sizes, source_class, addr);
         let mut cur_class = source_class;
         let mut cur_addr = addr;

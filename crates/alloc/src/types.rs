@@ -45,6 +45,16 @@ impl fmt::Display for Extent {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct FileId(pub u32);
 
+impl FileId {
+    /// Converts a storage-slot index to an id without a narrowing cast,
+    /// failing with [`AllocError::TooManyFiles`] once the 32-bit id space
+    /// is exhausted. Policies route every slot→id conversion through here
+    /// so the bound is enforced in exactly one place.
+    pub fn from_index(index: usize) -> Result<FileId, AllocError> {
+        u32::try_from(index).map(FileId).map_err(|_| AllocError::TooManyFiles)
+    }
+}
+
 impl fmt::Display for FileId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "f{}", self.0)
@@ -65,19 +75,27 @@ impl Default for FileHints {
     }
 }
 
-/// Why an allocation could not be satisfied.
+/// Why a policy operation could not be satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AllocError {
     /// No block/extent of the required size exists anywhere — the §3
     /// "disk full condition" that ends an allocation test. The payload is
     /// the number of units that could not be found.
     DiskFull(u64),
+    /// An operation named a file id that is not live (never created, or
+    /// already deleted). Always a caller bug, but reported as an error so
+    /// library code never panics (simlint r3).
+    DeadFile(FileId),
+    /// The 32-bit file-id space is exhausted.
+    TooManyFiles,
 }
 
 impl fmt::Display for AllocError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AllocError::DiskFull(units) => write!(f, "disk full: no room for {units} units"),
+            AllocError::DeadFile(id) => write!(f, "dead file id {id}"),
+            AllocError::TooManyFiles => write!(f, "file id space (u32) exhausted"),
         }
     }
 }

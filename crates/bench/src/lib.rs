@@ -10,6 +10,8 @@
 //! with the `READOPT_BENCH_SCALE` environment variable (`1` = full paper
 //! scale).
 
+#![forbid(unsafe_code)]
+
 use criterion::Criterion;
 use readopt_core::ExperimentContext;
 

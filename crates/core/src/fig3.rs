@@ -88,16 +88,16 @@ fn trace_grow(ladder_bytes: &[u64], target_bytes: u64, grow: u64) -> Fig3Row {
     let mut logical = 0u64;
     let target_units = target_bytes / unit;
     let mut break_points = Vec::new();
-    let mut last_extents = policy.extent_count(file);
+    let mut last_extents = policy.extent_count(file).expect("file is live");
     while logical < target_units {
-        let allocated = policy.allocated_units(file);
+        let allocated = policy.allocated_units(file).expect("file is live");
         if logical + step > allocated {
             policy
                 .extend(file, logical + step - allocated)
                 .expect("fresh disk cannot fill");
         }
         logical += step;
-        let extents = policy.extent_count(file);
+        let extents = policy.extent_count(file).expect("file is live");
         if extents > last_extents {
             // The first extent is the file appearing, not a layout
             // break; every later increment is a forced discontiguity.
@@ -110,15 +110,15 @@ fn trace_grow(ladder_bytes: &[u64], target_bytes: u64, grow: u64) -> Fig3Row {
     // Measure a single-stream sequential read of the laid-out file.
     let mut storage = array.build();
     let mut t = SimTime::ZERO;
-    for e in policy.file_map(file).extents() {
+    for e in policy.file_map(file).expect("file is live").extents() {
         t = storage.submit(t, &IoRequest::read(e.start, e.len)).end;
     }
     Fig3Row {
         grow_factor: grow,
         break_points_bytes: break_points,
-        extents: policy.extent_count(file),
+        extents: policy.extent_count(file).expect("file is live"),
         file_bytes: logical * unit,
-        allocated_bytes: policy.allocated_units(file) * unit,
+        allocated_bytes: policy.allocated_units(file).expect("file is live") * unit,
         sequential_read_ms: t.as_ms(),
     }
 }

@@ -28,6 +28,7 @@
 //! The `run_profiled` variants additionally return per-point wall-clock
 //! timings.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

@@ -92,13 +92,18 @@ impl StripedArray {
     pub fn heterogeneous(geoms: Vec<DiskGeometry>, stripe_unit_bytes: u64, disk_unit_bytes: u64) -> Self {
         assert!(!geoms.is_empty(), "array needs at least one disk");
         for geom in &geoms {
+            // simlint::allow(r3, "constructor contract: an invalid geometry is a caller bug, not a runtime condition")
             geom.validate().expect("invalid disk geometry");
             assert!(disk_unit_bytes > 0 && disk_unit_bytes.is_multiple_of(geom.sector_bytes),
                 "disk unit must be a positive multiple of every sector size");
         }
         assert!(stripe_unit_bytes > 0 && stripe_unit_bytes.is_multiple_of(disk_unit_bytes),
             "stripe unit must be a positive multiple of the disk unit");
-        let min_capacity = geoms.iter().map(DiskGeometry::capacity_bytes).min().expect("non-empty");
+        let min_capacity = geoms
+            .iter()
+            .map(DiskGeometry::capacity_bytes)
+            .min()
+            .unwrap_or_else(|| unreachable!("asserted non-empty above"));
         let share = min_capacity / stripe_unit_bytes * stripe_unit_bytes;
         assert!(share > 0, "smallest disk below one stripe unit");
         let ndisks = geoms.len();

@@ -86,6 +86,7 @@ impl ArrayConfig {
 
     /// Builds the configured storage.
     pub fn build(&self) -> Box<dyn Storage> {
+        // simlint::allow(r3, "constructor contract: an invalid config is a caller bug, not a runtime condition")
         self.validate().expect("invalid array configuration");
         match self.layout {
             ArrayLayout::Striped => Box::new(StripedArray::new(

@@ -22,6 +22,7 @@ pub struct Disk {
 impl Disk {
     /// Creates a disk with its head parked on cylinder 0, idle at time zero.
     pub fn new(geom: DiskGeometry) -> Self {
+        // simlint::allow(r3, "constructor contract: an invalid geometry is a caller bug, not a runtime condition")
         geom.validate().expect("invalid disk geometry");
         Disk { geom, head_cylinder: 0, free_at: SimTime::ZERO, stats: DiskStats::default() }
     }

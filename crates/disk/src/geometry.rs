@@ -186,10 +186,13 @@ impl DiskGeometry {
         let spt = self.sectors_per_track();
         let track = sector / spt;
         let tpc = self.tracks_per_cylinder();
+        let narrow = |v: u64| {
+            u32::try_from(v).unwrap_or_else(|_| unreachable!("CHS coordinate {v} exceeds u32"))
+        };
         ChsAddress {
-            cylinder: (track / tpc) as u32,
-            surface: (track % tpc) as u32,
-            sector: (sector % spt) as u32,
+            cylinder: narrow(track / tpc),
+            surface: narrow(track % tpc),
+            sector: narrow(sector % spt),
         }
     }
 

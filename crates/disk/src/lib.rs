@@ -38,6 +38,7 @@
 //! assert!((9.5..12.0).contains(&mb_s), "paper: 10.8 MB/s");
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

@@ -28,6 +28,15 @@ struct RowChunk {
     len: u64,
 }
 
+/// Physical byte span `[start, end)` covered by a non-empty group of
+/// same-row chunks — the run of parity that must be read and rewritten.
+fn touched_span(chunks: &[RowChunk]) -> (u64, u64) {
+    let first = chunks.first().unwrap_or_else(|| unreachable!("row group is non-empty"));
+    chunks.iter().fold((first.phys_byte, first.phys_byte + first.len), |(lo, hi), c| {
+        (lo.min(c.phys_byte), hi.max(c.phys_byte + c.len))
+    })
+}
+
 /// A rotated-parity RAID-5 array.
 #[derive(Debug, Clone)]
 pub struct Raid5Array {
@@ -77,7 +86,10 @@ impl Raid5Array {
     /// the replacement. Returns the rebuild completion time; the array is
     /// healthy afterwards.
     pub fn rebuild(&mut self, ready: SimTime) -> SimTime {
-        let failed = self.failed.expect("rebuild without a failed disk");
+        let Some(failed) = self.failed else {
+            // Nothing to rebuild: the array is already healthy.
+            return ready;
+        };
         let sectors = self.disks[0].geometry().capacity_sectors();
         let mut reads_done = ready;
         for d in 0..self.disks.len() {
@@ -225,8 +237,7 @@ impl Storage for Raid5Array {
                         // reconstruct-write — read the touched span from
                         // every surviving disk, then write the surviving
                         // members of the new state.
-                        let p_start = chunks[i..j].iter().map(|c| c.phys_byte).min().unwrap();
-                        let p_end = chunks[i..j].iter().map(|c| c.phys_byte + c.len).max().unwrap();
+                        let (p_start, p_end) = touched_span(&chunks[i..j]);
                         let mut reads_done = ready;
                         for d in 0..self.disks.len() {
                             if Some(d) == self.failed {
@@ -259,8 +270,7 @@ impl Storage for Raid5Array {
                         }
                         // Parity is read (and later rewritten) only where the
                         // row is touched: one run covering the touched span.
-                        let p_start = chunks[i..j].iter().map(|c| c.phys_byte).min().unwrap();
-                        let p_end = chunks[i..j].iter().map(|c| c.phys_byte + c.len).max().unwrap();
+                        let (p_start, p_end) = touched_span(&chunks[i..j]);
                         begin = begin.min(self.begin_at(pd, ready));
                         let end = self.service(pd, ready, p_start, p_end - p_start, IoKind::Read);
                         reads_done = reads_done.max(end);

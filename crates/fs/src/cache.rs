@@ -9,7 +9,7 @@
 
 use readopt_alloc::FileId;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Buffer-cache parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -56,8 +56,10 @@ type Key = (u32, u64); // (file id, page index)
 pub struct PageCache {
     page_units: u64,
     capacity_pages: usize,
-    /// page → LRU stamp.
-    pages: HashMap<Key, u64>,
+    /// page → LRU stamp. A `BTreeMap` (not `HashMap`): iteration order
+    /// feeds `invalidate_file`, and the workspace determinism invariant
+    /// (simlint r1) bans order-nondeterministic containers here.
+    pages: BTreeMap<Key, u64>,
     /// LRU stamp → page (oldest first).
     lru: BTreeMap<u64, Key>,
     next_stamp: u64,
@@ -74,7 +76,7 @@ impl PageCache {
         PageCache {
             page_units,
             capacity_pages,
-            pages: HashMap::new(),
+            pages: BTreeMap::new(),
             lru: BTreeMap::new(),
             next_stamp: 0,
             stats: CacheStats::default(),
@@ -103,7 +105,10 @@ impl PageCache {
         self.lru.insert(self.next_stamp, key);
         self.next_stamp += 1;
         while self.pages.len() > self.capacity_pages {
-            let (&stamp, &victim) = self.lru.iter().next().expect("non-empty over capacity");
+            // The LRU index mirrors `pages`, so it cannot be empty here;
+            // breaking (rather than panicking) keeps the cache sane even if
+            // that invariant were ever violated.
+            let Some((&stamp, &victim)) = self.lru.iter().next() else { break };
             self.lru.remove(&stamp);
             self.pages.remove(&victim);
             self.stats.evictions += 1;

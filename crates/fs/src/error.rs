@@ -1,5 +1,6 @@
 //! File-system error type.
 
+use readopt_alloc::AllocError;
 use std::fmt;
 
 /// Errors returned by [`crate::FileSystem`] operations.
@@ -40,6 +41,19 @@ impl fmt::Display for FsError {
 }
 
 impl std::error::Error for FsError {}
+
+impl From<AllocError> for FsError {
+    /// Maps policy-layer failures onto POSIX-flavoured errors: exhaustion
+    /// (`DiskFull`, `TooManyFiles`) is a disk-full condition, while a
+    /// `DeadFile` means the caller holds a reference to a deleted file —
+    /// the moral equivalent of a stale descriptor.
+    fn from(e: AllocError) -> Self {
+        match e {
+            AllocError::DiskFull(_) | AllocError::TooManyFiles => FsError::NoSpace,
+            AllocError::DeadFile(_) => FsError::BadDescriptor,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

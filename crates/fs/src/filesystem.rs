@@ -211,11 +211,9 @@ impl FileSystem {
         let end = offset + len;
         // Grow the allocation if the write extends past it.
         let needed_units = end.div_ceil(self.unit_bytes);
-        let allocated = self.policy.allocated_units(id);
+        let allocated = self.policy.allocated_units(id)?;
         if needed_units > allocated {
-            self.policy
-                .extend(id, needed_units - allocated)
-                .map_err(|_| FsError::NoSpace)?;
+            self.policy.extend(id, needed_units - allocated)?;
         }
         if end > size {
             self.set_size(path, end)?;
@@ -263,7 +261,11 @@ impl FileSystem {
     /// Maps a logical unit range through the file's extents and submits the
     /// physical runs; returns the completion time.
     fn transfer(&mut self, id: FileId, start_unit: u64, len_units: u64, kind: IoKind) -> SimTime {
-        let runs = self.policy.file_map(id).map_range(start_unit, len_units);
+        let runs = self
+            .policy
+            .file_map(id)
+            .unwrap_or_else(|_| unreachable!("transfer targets a live file"))
+            .map_range(start_unit, len_units);
         let mut completed = self.clock;
         for r in runs {
             let span = self.storage.submit(self.clock, &IoRequest { unit: r.start, units: r.len, kind });
@@ -278,10 +280,10 @@ impl FileSystem {
         if new_size_bytes >= size {
             return Ok(());
         }
-        let allocated = self.policy.allocated_units(id);
+        let allocated = self.policy.allocated_units(id)?;
         let keep_units = new_size_bytes.div_ceil(self.unit_bytes);
         if allocated > keep_units {
-            self.policy.truncate(id, allocated - keep_units);
+            self.policy.truncate(id, allocated - keep_units)?;
         }
         if let Some(cache) = &mut self.cache {
             cache.invalidate_file(id);
@@ -293,8 +295,10 @@ impl FileSystem {
     pub fn unlink(&mut self, path: &str) -> Result<(), FsError> {
         let (id, _) = self.file_node(path)?;
         let (children, name) = directory::lookup_parent_mut(&mut self.root, path)?;
-        children.remove(&name).expect("looked up above");
-        self.policy.delete(id);
+        children.remove(&name).unwrap_or_else(|| unreachable!("looked up above"));
+        self.policy
+            .delete(id)
+            .unwrap_or_else(|_| unreachable!("unlink resolved a live file"));
         self.files -= 1;
         if let Some(cache) = &mut self.cache {
             cache.invalidate_file(id);
@@ -325,7 +329,7 @@ impl FileSystem {
             children.remove(&name).ok_or_else(|| FsError::NotFound(from.to_string()))?
         };
         let (children, name) = directory::lookup_parent_mut(&mut self.root, to)
-            .expect("destination parent verified above");
+            .unwrap_or_else(|_| unreachable!("destination parent verified above"));
         children.insert(name, node);
         // Open descriptors follow the rename.
         self.handles.rename_path(from, to);
@@ -379,8 +383,8 @@ impl FileSystem {
             Node::Dir(_) => Ok(Metadata { size_bytes: 0, allocated_bytes: 0, extents: 0, is_dir: true }),
             Node::File { id, size_bytes } => Ok(Metadata {
                 size_bytes: *size_bytes,
-                allocated_bytes: self.policy.allocated_units(*id) * self.unit_bytes,
-                extents: self.policy.extent_count(*id),
+                allocated_bytes: self.policy.allocated_units(*id)? * self.unit_bytes,
+                extents: self.policy.extent_count(*id)?,
                 is_dir: false,
             }),
         }
@@ -408,7 +412,10 @@ impl FileSystem {
             .iter()
             .map(|(_, id, size)| (*id, size.div_ceil(self.unit_bytes)))
             .collect();
-        let moved = self.policy.reallocate(&logical)?;
+        let moved = self
+            .policy
+            .reallocate(&logical)
+            .unwrap_or_else(|_| unreachable!("directory walk yields live files only"))?;
         if let Some(cache) = &mut self.cache {
             for (_, id, _) in files {
                 cache.invalidate_file(id);

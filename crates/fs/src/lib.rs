@@ -31,6 +31,7 @@
 //! operation charges faithful disk time through the same mechanics the
 //! paper's experiments use, and the allocation state is fully real.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

@@ -135,7 +135,8 @@ impl Trace {
 
     /// Serializes the trace to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("traces are always serializable")
+        serde_json::to_string_pretty(self)
+            .unwrap_or_else(|e| unreachable!("traces are always serializable: {e}"))
     }
 
     /// Replays the trace against a file system.

@@ -82,6 +82,7 @@ impl Simulation {
     /// sampled initial size (§2.2's two-phase initialization) and calibrates
     /// the disk system's maximum sequential bandwidth.
     pub fn new(config: &SimConfig, seed: u64) -> Self {
+        // simlint::allow(r3, "constructor contract: an invalid config is a caller bug, not a runtime condition")
         config.validate().expect("invalid simulation configuration");
         let storage = config.array.build();
         let unit_bytes = storage.disk_unit_bytes();
@@ -211,7 +212,7 @@ impl Simulation {
     /// beyond its current allocation").
     fn ensure_allocated(&mut self, file_idx: usize, delta: u64) -> Result<(), AllocError> {
         let f = &self.files[file_idx];
-        let allocated = self.policy.allocated_units(f.policy_id);
+        let allocated = self.policy.allocated_units(f.policy_id)?;
         let needed = (f.logical_units + delta).saturating_sub(allocated);
         if needed > 0 {
             self.policy.extend(f.policy_id, needed)?;
@@ -254,7 +255,10 @@ impl Simulation {
         for (t_idx, t) in self.types.iter().enumerate() {
             let spread = f64::from(t.num_users) * t.hit_frequency_ms;
             for _ in 0..t.num_users {
-                let user = UserId(self.users.len() as u32);
+                let user = UserId(
+                    u32::try_from(self.users.len())
+                        .unwrap_or_else(|_| unreachable!("user count exceeds u32")),
+                );
                 self.users.push(t_idx);
                 let start = self.clock + SimDuration::from_ms(self.rng.uniform_f64(0.0, spread.max(1.0)));
                 self.queue.schedule(start, user);
@@ -266,7 +270,7 @@ impl Simulation {
     /// event at `completion + Exp(process time)`. When measuring, the
     /// operation's issue→completion latency is appended to `latencies`.
     fn step(&mut self, mode: Mode, meter: Option<&mut ThroughputMeter>) -> StepOutcome {
-        let ev = self.queue.pop().expect("step with empty queue");
+        let ev = self.queue.pop().unwrap_or_else(|| unreachable!("step called with an empty queue"));
         self.clock = ev.time;
         let t_idx = self.users[ev.user.0 as usize];
         let outcome;
@@ -379,6 +383,7 @@ impl Simulation {
         let mut runs = std::mem::take(&mut self.runs_scratch);
         self.policy
             .file_map(self.files[file_idx].policy_id)
+            .unwrap_or_else(|_| unreachable!("transfer targets a live file"))
             .map_range_into(offset_units, size_units, &mut runs);
         let mut begin = SimTime::MAX;
         let mut completion = self.clock;
@@ -423,10 +428,15 @@ impl Simulation {
         let f = &mut self.files[file_idx];
         let new_logical = f.logical_units.saturating_sub(t_units);
         f.logical_units = new_logical;
-        let allocated = self.policy.allocated_units(f.policy_id);
+        let allocated = self
+            .policy
+            .allocated_units(f.policy_id)
+            .unwrap_or_else(|_| unreachable!("truncate targets a live file"));
         let reclaimable = allocated.saturating_sub(new_logical);
         if reclaimable > 0 {
-            self.policy.truncate(f.policy_id, reclaimable);
+            self.policy
+                .truncate(f.policy_id, reclaimable)
+                .unwrap_or_else(|_| unreachable!("truncate targets a live file"));
         }
         StepOutcome::Ran
     }
@@ -442,7 +452,9 @@ impl Simulation {
         meter: Option<&mut ThroughputMeter>,
     ) -> (StepOutcome, SimTime) {
         let t_idx = self.files[file_idx].type_idx;
-        self.policy.delete(self.files[file_idx].policy_id);
+        self.policy
+            .delete(self.files[file_idx].policy_id)
+            .unwrap_or_else(|_| unreachable!("delete targets a live file"));
         let hints = Self::hints(&self.types[t_idx]);
         let Ok(new_id) = self.policy.create(&hints) else {
             self.disk_full_events += 1;
@@ -477,7 +489,10 @@ impl Simulation {
         let mut logical = std::mem::take(&mut self.realloc_scratch);
         logical.clear();
         logical.extend(self.files.iter().filter(|f| f.live).map(|f| (f.policy_id, f.logical_units)));
-        let moved = self.policy.reallocate(&logical);
+        let moved = self
+            .policy
+            .reallocate(&logical)
+            .unwrap_or_else(|_| unreachable!("reallocation snapshot holds only live files"));
         self.realloc_scratch = logical;
         moved
     }
@@ -509,10 +524,16 @@ impl Simulation {
             if !f.live {
                 continue;
             }
-            let a = self.policy.allocated_units(f.policy_id);
+            let a = self
+                .policy
+                .allocated_units(f.policy_id)
+                .unwrap_or_else(|_| unreachable!("fragmentation_report visits live files only"));
             allocated += a;
             used += f.logical_units.min(a);
-            extents += self.policy.allocation_count(f.policy_id);
+            extents += self
+                .policy
+                .allocation_count(f.policy_id)
+                .unwrap_or_else(|_| unreachable!("fragmentation_report visits live files only"));
             live += 1;
         }
         let internal_pct = if allocated == 0 {
@@ -673,7 +694,7 @@ mod tests {
         for f in &sim.files {
             assert!(f.logical_units >= (256 - 64) * 1024 / 1024, "file too small");
             assert!(
-                sim.policy.allocated_units(f.policy_id) >= f.logical_units,
+                sim.policy.allocated_units(f.policy_id).unwrap() >= f.logical_units,
                 "allocation below logical size"
             );
         }

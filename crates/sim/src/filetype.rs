@@ -9,7 +9,7 @@ use crate::rng::SimRng;
 use serde::{Deserialize, Serialize};
 
 /// The operations a user event may perform (§2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum OpKind {
     /// Read `rw size ± deviation` bytes.
     Read,
@@ -219,7 +219,7 @@ mod tests {
         let t = FileTypeConfig::default();
         let mut rng = SimRng::new(12);
         let n = 50_000;
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for _ in 0..n {
             *counts.entry(t.choose_op(&mut rng)).or_insert(0u32) += 1;
         }

@@ -37,6 +37,7 @@
 //! assert!(a.utilization > 0.9, "ran to the first failed allocation");
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

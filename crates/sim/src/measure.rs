@@ -156,7 +156,7 @@ pub fn percentile_ms(samples: &[f64], q: f64) -> f64 {
         return 0.0;
     }
     let mut sorted: Vec<f64> = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    sorted.sort_by(f64::total_cmp);
     let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
 }

@@ -1,0 +1,113 @@
+//! Diagnostic rendering: human `file:line: rule: message` lines and a
+//! hand-rolled JSON snapshot (the crate is dependency-free by design, so
+//! no serde here).
+
+use crate::driver::Report;
+use std::fmt::Write as _;
+
+/// Renders the human-readable diagnostic listing (one line per finding,
+/// plus a summary).
+pub fn render_human(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&f.render());
+        out.push('\n');
+    }
+    let _ = write!(
+        out,
+        "simlint: {} finding{} in {} file{}",
+        report.findings.len(),
+        if report.findings.len() == 1 { "" } else { "s" },
+        report.files_scanned,
+        if report.files_scanned == 1 { "" } else { "s" },
+    );
+    out.push('\n');
+    out
+}
+
+/// Renders the machine-readable JSON snapshot.
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\n");
+    let _ = write!(out, "  \"schema\": \"simlint/1\",\n");
+    let _ = write!(out, "  \"files_scanned\": {},\n", report.files_scanned);
+    let _ = write!(out, "  \"findings_total\": {},\n", report.findings.len());
+    out.push_str("  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}}}",
+            json_string(&f.rule),
+            json_string(&f.path),
+            f.line,
+            json_string(&f.message)
+        );
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Escapes a string for JSON.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Finding;
+
+    fn report() -> Report {
+        Report {
+            findings: vec![Finding {
+                path: "crates/sim/src/x.rs".into(),
+                line: 3,
+                rule: "r1".into(),
+                message: "say \"no\" to HashMap".into(),
+            }],
+            files_scanned: 7,
+        }
+    }
+
+    #[test]
+    fn human_format_is_file_line_rule_message() {
+        let text = render_human(&report());
+        assert!(text.starts_with("crates/sim/src/x.rs:3: r1: "));
+        assert!(text.contains("simlint: 1 finding in 7 files"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let json = render_json(&report());
+        assert!(json.contains("\"findings_total\": 1"));
+        assert!(json.contains("say \\\"no\\\" to HashMap"));
+        let clean = render_json(&Report { findings: vec![], files_scanned: 2 });
+        assert!(clean.contains("\"findings\": []"));
+    }
+
+    #[test]
+    fn json_control_chars_are_escaped() {
+        assert_eq!(json_string("a\nb\u{1}"), "\"a\\nb\\u0001\"");
+    }
+}

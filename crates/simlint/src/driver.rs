@@ -1,0 +1,194 @@
+//! Workspace discovery and the top-level lint run.
+//!
+//! Walks every non-vendored workspace crate (`crates/*` except
+//! `crates/vendor`, plus the root `readopt` facade package with its
+//! `tests/` and `examples/`), classifies each `.rs` file by target kind,
+//! and runs the rule engine over it. Directory walks are sorted so output
+//! order — and the JSON snapshot — is itself deterministic.
+
+use crate::config::{FileClass, LintConfig};
+use crate::rules::{lint_file, FileInput, Finding};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Result of a workspace run.
+#[derive(Debug)]
+pub struct Report {
+    /// All findings, sorted by (path, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the gate passes.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// One file scheduled for linting.
+#[derive(Debug)]
+struct WorkItem {
+    path: PathBuf,
+    rel: String,
+    crate_key: String,
+    class: FileClass,
+}
+
+/// Runs the lint over the workspace rooted at `root`, honoring an optional
+/// `simlint.toml` at the root.
+pub fn run_workspace(root: &Path) -> Result<Report, String> {
+    let mut config = LintConfig::default_config();
+    let toml_path = root.join("simlint.toml");
+    if toml_path.is_file() {
+        let text = fs::read_to_string(&toml_path)
+            .map_err(|e| format!("read {}: {e}", toml_path.display()))?;
+        config.apply_toml(&text)?;
+    }
+    run_workspace_with(root, &config)
+}
+
+/// Like [`run_workspace`] but with an explicit configuration.
+pub fn run_workspace_with(root: &Path, config: &LintConfig) -> Result<Report, String> {
+    let items = discover(root)?;
+    let mut findings = Vec::new();
+    for item in &items {
+        let src = fs::read_to_string(&item.path)
+            .map_err(|e| format!("read {}: {e}", item.path.display()))?;
+        let input = FileInput {
+            path: &item.rel,
+            crate_key: &item.crate_key,
+            class: item.class,
+            src: &src,
+        };
+        findings.extend(lint_file(&input, &config.rules));
+    }
+    findings.sort();
+    Ok(Report { findings, files_scanned: items.len() })
+}
+
+/// Enumerates every file to lint, sorted for deterministic output.
+fn discover(root: &Path) -> Result<Vec<WorkItem>, String> {
+    let mut items = Vec::new();
+
+    // Member crates: crates/* with a Cargo.toml, minus the vendored tree.
+    let crates_dir = root.join("crates");
+    for dir in sorted_dirs(&crates_dir)? {
+        let key = file_name(&dir);
+        if key == "vendor" || !dir.join("Cargo.toml").is_file() {
+            continue;
+        }
+        collect_crate(&dir, root, &key, &mut items)?;
+    }
+
+    // The root facade package.
+    if root.join("Cargo.toml").is_file() {
+        collect_crate(root, root, "readopt", &mut items)?;
+    }
+
+    items.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(items)
+}
+
+/// Collects src/tests/benches/examples of one crate directory.
+fn collect_crate(
+    dir: &Path,
+    root: &Path,
+    key: &str,
+    items: &mut Vec<WorkItem>,
+) -> Result<(), String> {
+    let groups: [(&str, FileClass); 4] = [
+        ("src", FileClass::Lib),
+        ("tests", FileClass::TestFile),
+        ("benches", FileClass::Bench),
+        ("examples", FileClass::Example),
+    ];
+    for (sub, default_class) in groups {
+        let base = dir.join(sub);
+        if !base.is_dir() {
+            continue;
+        }
+        // The root package's crates/ subtree is covered by the member walk.
+        collect_rs_files(&base, root, key, default_class, items)?;
+    }
+    Ok(())
+}
+
+fn collect_rs_files(
+    base: &Path,
+    root: &Path,
+    key: &str,
+    default_class: FileClass,
+    items: &mut Vec<WorkItem>,
+) -> Result<(), String> {
+    let mut stack = vec![base.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in sorted_entries(&dir)? {
+            let name = file_name(&entry);
+            if entry.is_dir() {
+                // Never descend into nested crates, build output, or the
+                // vendored tree from the root package walk.
+                if name == "target" || name == "vendor" || name == "crates" {
+                    continue;
+                }
+                stack.push(entry);
+                continue;
+            }
+            if entry.extension().and_then(|e| e.to_str()) != Some("rs") {
+                continue;
+            }
+            let rel = entry
+                .strip_prefix(root)
+                .map_err(|e| format!("strip {}: {e}", entry.display()))?
+                .to_string_lossy()
+                .replace('\\', "/");
+            let class = classify(&rel, default_class);
+            items.push(WorkItem { path: entry, rel, crate_key: key.to_string(), class });
+        }
+    }
+    Ok(())
+}
+
+/// Refines the directory-derived class: `src/bin/**` and `src/main.rs` are
+/// binaries, not library code.
+fn classify(rel: &str, default_class: FileClass) -> FileClass {
+    if default_class == FileClass::Lib && (rel.contains("/src/bin/") || rel.ends_with("/src/main.rs"))
+    {
+        FileClass::Bin
+    } else {
+        default_class
+    }
+}
+
+fn file_name(p: &Path) -> String {
+    p.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default()
+}
+
+fn sorted_entries(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let rd = fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    let mut out = Vec::new();
+    for entry in rd {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        out.push(entry.path());
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn sorted_dirs(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    Ok(sorted_entries(dir)?.into_iter().filter(|p| p.is_dir()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_refines_lib_to_bin() {
+        assert_eq!(classify("crates/core/src/bin/repro.rs", FileClass::Lib), FileClass::Bin);
+        assert_eq!(classify("crates/simlint/src/main.rs", FileClass::Lib), FileClass::Bin);
+        assert_eq!(classify("crates/sim/src/engine.rs", FileClass::Lib), FileClass::Lib);
+        assert_eq!(classify("tests/x.rs", FileClass::TestFile), FileClass::TestFile);
+    }
+}

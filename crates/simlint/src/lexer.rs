@@ -1,0 +1,446 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! Produces exactly the token stream the rule engine needs: identifiers,
+//! lifetimes, literals, single-character punctuation, and comments (kept,
+//! because suppression directives live in them). The tricky parts are the
+//! ones that would otherwise cause false positives — rule tokens inside
+//! string literals, raw strings, char literals, or comments must never
+//! reach the rule engine as identifiers:
+//!
+//! * line (`//`) and nested block (`/* /* */ */`) comments,
+//! * string literals with escapes (`"\""`),
+//! * raw strings `r"…"`, `r#"…"#` (any hash depth) and their byte/C
+//!   variants `br…`, `cr…`, `b"…"`, `c"…"`,
+//! * char literals vs. lifetimes (`'a'` vs `'a`),
+//! * raw identifiers (`r#fn`).
+
+/// What a token is. The rule engine mostly cares about `Ident` and `Punct`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `as`, `unsafe`, …).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+    /// Any string-like literal (string, raw string, byte string, char).
+    Str,
+    /// A numeric literal (suffix included: `1u64` is one token).
+    Num,
+    /// A single punctuation character.
+    Punct,
+    /// A `//` comment (text excludes the newline).
+    LineComment,
+    /// A `/* … */` comment (text includes the delimiters).
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text. For `Str` tokens the delimiters are included; for
+    /// `LineComment` the leading `//` is included.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// True for a punctuation token with this character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// True for either comment kind.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+/// Lexes `src` into tokens. Never fails: unterminated constructs simply
+/// extend to end-of-file, which is the conservative choice for a linter
+/// (the compiler will reject the file anyway).
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut lx = Lexer { chars: src.chars().collect(), i: 0, line: 1, out: Vec::new() };
+    lx.run();
+    lx.out
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.i += 1;
+                }
+                c if c.is_whitespace() => self.i += 1,
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(),
+                '\'' => self.lifetime_or_char(),
+                c if c.is_ascii_digit() => self.number(),
+                c if is_ident_start(c) => self.ident_or_prefixed_literal(),
+                c => {
+                    self.push(TokKind::Punct, c.to_string(), self.line);
+                    self.i += 1;
+                }
+            }
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.i;
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.i += 1;
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.push(TokKind::LineComment, text, self.line);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.i += 2;
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.i += 2;
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                if c == '\n' {
+                    self.line += 1;
+                }
+                self.i += 1;
+            }
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.push(TokKind::BlockComment, text, line);
+    }
+
+    /// A `"…"` literal with backslash escapes. `self.i` is at the quote.
+    fn string_literal(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        self.i += 1; // opening quote
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                self.i += 2; // skip the escaped char (may be a quote)
+                continue;
+            }
+            if c == '\n' {
+                self.line += 1;
+            }
+            self.i += 1;
+            if c == '"' {
+                break;
+            }
+        }
+        let end = self.i.min(self.chars.len());
+        let text: String = self.chars[start..end].iter().collect();
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// A raw string starting at `self.i` = first `#` or quote (after the
+    /// `r`/`br`/`cr` prefix has been consumed by the caller).
+    fn raw_string_body(&mut self, start: usize, line: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.i += 1;
+        }
+        debug_assert_eq!(self.peek(0), Some('"'));
+        self.i += 1; // opening quote
+        'outer: while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                self.line += 1;
+            }
+            self.i += 1;
+            if c == '"' {
+                for k in 0..hashes {
+                    if self.peek(k) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                self.i += hashes;
+                break;
+            }
+        }
+        let end = self.i.min(self.chars.len());
+        let text: String = self.chars[start..end].iter().collect();
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// Lifetime (`'a`) vs char literal (`'a'`, `'\n'`, `'('`).
+    fn lifetime_or_char(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        match self.peek(1) {
+            Some(c) if is_ident_start(c) => {
+                // Scan the ident run after the quote: a closing quote right
+                // after it means a char literal ('x'), otherwise lifetime.
+                let mut j = self.i + 1;
+                while self.chars.get(j).is_some_and(|&c| is_ident_continue(c)) {
+                    j += 1;
+                }
+                if self.chars.get(j) == Some(&'\'') {
+                    self.i = j + 1;
+                    let text: String = self.chars[start..self.i].iter().collect();
+                    self.push(TokKind::Str, text, line);
+                } else {
+                    self.i = j;
+                    let text: String = self.chars[start..self.i].iter().collect();
+                    self.push(TokKind::Lifetime, text, line);
+                }
+            }
+            _ => {
+                // '\n', '\'', '(' … — a char literal with possible escape.
+                self.i += 1;
+                while let Some(c) = self.peek(0) {
+                    if c == '\\' {
+                        self.i += 2;
+                        continue;
+                    }
+                    if c == '\n' {
+                        self.line += 1;
+                    }
+                    self.i += 1;
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                let end = self.i.min(self.chars.len());
+                let text: String = self.chars[start..end].iter().collect();
+                self.push(TokKind::Str, text, line);
+            }
+        }
+    }
+
+    /// A number, including any type suffix (`1u64`) and a fractional part
+    /// (`1.5`) — but not `..` range punctuation.
+    fn number(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                self.i += 1;
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.push(TokKind::Num, text, line);
+    }
+
+    /// An identifier — or one of the literal prefixes `r"`, `r#"`, `b"`,
+    /// `b'`, `br`, `c"`, `cr`, or a raw identifier `r#name`.
+    fn ident_or_prefixed_literal(&mut self) {
+        let start = self.i;
+        let line = self.line;
+        let c = self.chars[self.i];
+
+        // Raw-string / byte-string / C-string prefixes.
+        let (raw, skip) = match (c, self.peek(1), self.peek(2)) {
+            ('r', Some('"'), _) | ('r', Some('#'), _) => (true, 1),
+            ('b', Some('r'), Some('"')) | ('b', Some('r'), Some('#')) => (true, 2),
+            ('c', Some('r'), Some('"')) | ('c', Some('r'), Some('#')) => (true, 2),
+            ('b', Some('"'), _) | ('c', Some('"'), _) => (false, 1),
+            ('b', Some('\''), _) => {
+                self.i += 1;
+                self.lifetime_or_char();
+                // Re-tag: b'x' came out as whatever lifetime_or_char chose;
+                // prepend the prefix to keep the text faithful.
+                if let Some(last) = self.out.last_mut() {
+                    last.text.insert(0, 'b');
+                    last.kind = TokKind::Str;
+                }
+                return;
+            }
+            _ => (false, 0),
+        };
+        if skip > 0 {
+            if raw {
+                // `r#…`: a raw *identifier* if what follows the single hash
+                // is an ident start rather than a quote.
+                let after_hash = if self.peek(skip) == Some('#') { self.peek(skip + 1) } else { None };
+                let is_raw_ident =
+                    skip == 1 && after_hash.is_some_and(is_ident_start) && self.peek(skip) == Some('#');
+                if is_raw_ident {
+                    self.i += 2; // r#
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.i += 1;
+                    }
+                    let text: String = self.chars[start..self.i].iter().collect();
+                    self.push(TokKind::Ident, text, line);
+                    return;
+                }
+                // Hash run must end in a quote to be a raw string.
+                let mut k = skip;
+                while self.peek(k) == Some('#') {
+                    k += 1;
+                }
+                if self.peek(k) == Some('"') {
+                    self.i += skip;
+                    self.raw_string_body(start, line);
+                    return;
+                }
+            } else {
+                self.i += skip;
+                self.string_literal();
+                // Fix up: include the prefix characters in the token text.
+                if let Some(last) = self.out.last_mut() {
+                    let prefix: String = self.chars[start..start + skip].iter().collect();
+                    last.text.insert_str(0, &prefix);
+                }
+                return;
+            }
+        }
+
+        // Plain identifier / keyword.
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.i += 1;
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.push(TokKind::Ident, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let toks = lex("let x = a.unwrap();");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["let", "x", "=", "a", ".", "unwrap", "(", ")", ";"]);
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn rule_tokens_in_strings_are_not_idents() {
+        assert!(idents(r#"let s = "HashMap::unwrap() panic!";"#)
+            .iter()
+            .all(|t| t != "HashMap" && t != "unwrap" && t != "panic"));
+    }
+
+    #[test]
+    fn rule_tokens_in_comments_are_not_idents() {
+        assert!(idents("// HashMap unwrap()\n/* panic! *//*nested /* unsafe */ done*/ x")
+            .iter()
+            .all(|t| t == "x"));
+    }
+
+    #[test]
+    fn raw_strings_any_hash_depth() {
+        let src = r####"let s = r#"quote " inside HashMap"#; y"####;
+        assert_eq!(idents(src), vec!["let", "s", "y"]);
+        let src2 = "let s = r\"no escape \\\"; let t = HashMap;";
+        // In a raw string, \" does not escape: the string ends at the first
+        // quote, so HashMap *is* code here.
+        assert!(idents(src2).contains(&"HashMap".to_string()));
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_strings() {
+        let src = r#"let s = "a \" HashMap \\"; t"#;
+        assert_eq!(idents(src), vec!["let", "s", "t"]);
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let src = "g(b\"unwrap()\", b'q', c\"panic!\", cr\"HashMap\", br\"unsafe\")";
+        assert_eq!(idents(src), vec!["g"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; 'outer: loop {} }";
+        let toks = lex(src);
+        let lifetimes: Vec<&str> =
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).map(|t| t.text.as_str()).collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'outer"]);
+        let strs: Vec<&str> =
+            toks.iter().filter(|t| t.kind == TokKind::Str).map(|t| t.text.as_str()).collect();
+        assert_eq!(strs, vec!["'x'", "'\\n'"]);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = lex("let r#type = 1;");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Ident && t.text == "r#type"));
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_ranges() {
+        let toks = lex("0..10u64; 1.5f64; 0xff");
+        let nums: Vec<&str> =
+            toks.iter().filter(|t| t.kind == TokKind::Num).map(|t| t.text.as_str()).collect();
+        assert_eq!(nums, vec!["0", "10u64", "1.5f64", "0xff"]);
+    }
+
+    #[test]
+    fn unterminated_string_consumes_to_eof_without_panic() {
+        let toks = lex("let s = \"never closed\nHashMap");
+        assert!(toks.iter().all(|t| !t.is_ident("HashMap")));
+    }
+
+    #[test]
+    fn multiline_string_counts_lines() {
+        let toks = lex("let s = \"a\nb\nc\";\nx");
+        let x = toks.iter().find(|t| t.is_ident("x")).map(|t| t.line);
+        assert_eq!(x, Some(4));
+    }
+}

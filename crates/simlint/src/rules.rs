@@ -1,0 +1,614 @@
+//! The determinism & robustness rules (R1–R5) and the per-file engine.
+//!
+//! Rules operate on the lexed token stream, so tokens inside strings and
+//! comments can never fire. Each rule is deny-by-default and can be
+//! suppressed inline with a *justified* allow:
+//!
+//! ```text
+//! // simlint::allow(r3, "constructor contract: bad config is a caller bug")
+//! ```
+//!
+//! A trailing suppression applies to its own line; a suppression on a line
+//! of its own applies to the next line. A suppression without a reason is
+//! itself a finding — the gate stays honest.
+
+use crate::config::{FileClass, RuleCfg};
+use crate::lexer::{lex, Tok, TokKind};
+
+/// Stable rule identifiers.
+pub const RULE_IDS: [&str; 5] = ["r1", "r2", "r3", "r4", "r5"];
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id (`r1`…`r5`, or `suppression` for a malformed allow).
+    pub rule: String,
+    /// Human message.
+    pub message: String,
+}
+
+impl Finding {
+    /// `file:line: rule: message` — the human diagnostic format.
+    pub fn render(&self) -> String {
+        format!("{}:{}: {}: {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// Everything the engine needs to know about one source file.
+#[derive(Debug, Clone)]
+pub struct FileInput<'a> {
+    /// Workspace-relative path (diagnostics).
+    pub path: &'a str,
+    /// Directory name of the owning crate (`sim`, `disk`, `readopt`, …).
+    pub crate_key: &'a str,
+    /// Target class (library, binary, test, bench, example).
+    pub class: FileClass,
+    /// File contents.
+    pub src: &'a str,
+}
+
+/// A parsed `simlint::allow` directive.
+#[derive(Debug)]
+struct Suppression {
+    rule: String,
+    has_reason: bool,
+    /// The line the directive applies to.
+    target_line: u32,
+    /// The line the comment itself is on.
+    comment_line: u32,
+    /// Parse problem, if any (unknown rule, bad syntax).
+    problem: Option<String>,
+}
+
+/// Narrowing `as` targets R5 rejects in unit/time arithmetic.
+const NARROWING_TARGETS: [&str; 7] = ["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+/// Containers/RNG R1 rejects in simulation crates.
+const R1_BANNED: [(&str, &str); 3] = [
+    ("HashMap", "use BTreeMap: HashMap iteration order is nondeterministic"),
+    ("HashSet", "use BTreeSet: HashSet iteration order is nondeterministic"),
+    ("thread_rng", "use the seeded SimRng (crates/sim/src/rng.rs), never an OS-seeded rng"),
+];
+
+/// Wall-clock types R2 rejects inside simulation logic.
+const R2_BANNED: [&str; 3] = ["SystemTime", "Instant", "UNIX_EPOCH"];
+
+/// Lints one file under the given per-rule configs, returning findings
+/// sorted by line.
+pub fn lint_file(input: &FileInput<'_>, rules: &[(String, RuleCfg)]) -> Vec<Finding> {
+    let toks = lex(input.src);
+    let in_test = test_regions(&toks);
+
+    // Code tokens (indices into `toks`) with their test flags.
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+    let suppressions = collect_suppressions(&toks);
+
+    let mut findings: Vec<Finding> = Vec::new();
+
+    // Malformed suppressions are findings regardless of rule scoping.
+    for s in &suppressions {
+        if let Some(problem) = &s.problem {
+            findings.push(Finding {
+                path: input.path.to_string(),
+                line: s.comment_line,
+                rule: "suppression".into(),
+                message: problem.clone(),
+            });
+        } else if !s.has_reason {
+            findings.push(Finding {
+                path: input.path.to_string(),
+                line: s.comment_line,
+                rule: "suppression".into(),
+                message: format!(
+                    "simlint::allow({}) needs a reason: simlint::allow({}, \"why\")",
+                    s.rule, s.rule
+                ),
+            });
+        }
+    }
+
+    for (rule_id, cfg) in rules {
+        if !cfg.enabled || !cfg.applies_to_crate(input.crate_key) || !cfg.applies_to_class(input.class)
+        {
+            continue;
+        }
+        let hits = match rule_id.as_str() {
+            "r1" => rule_r1(&toks, &code),
+            "r2" => rule_r2(&toks, &code),
+            "r3" => rule_r3(&toks, &code),
+            "r4" => rule_r4(&toks, &code),
+            "r5" => rule_r5(&toks, &code),
+            _ => Vec::new(),
+        };
+        for (tok_idx, message) in hits {
+            if cfg.skip_test_code && in_test[tok_idx] {
+                continue;
+            }
+            let line = toks[tok_idx].line;
+            let suppressed = suppressions.iter().any(|s| {
+                s.problem.is_none() && s.has_reason && s.rule == *rule_id && s.target_line == line
+            });
+            if suppressed {
+                continue;
+            }
+            findings.push(Finding {
+                path: input.path.to_string(),
+                line,
+                rule: rule_id.clone(),
+                message,
+            });
+        }
+    }
+
+    findings.sort();
+    findings.dedup();
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Individual rules. Each returns (token index, message) pairs.
+// ---------------------------------------------------------------------------
+
+/// R1: nondeterministic containers / OS-seeded randomness.
+fn rule_r1(toks: &[Tok], code: &[usize]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (ci, &ti) in code.iter().enumerate() {
+        let t = &toks[ti];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        for (banned, advice) in R1_BANNED {
+            if t.text == banned {
+                out.push((ti, format!("nondeterministic `{banned}` in a simulation crate; {advice}")));
+            }
+        }
+        // The path `rand::random` (OS entropy) — the method `.random()` on a
+        // seeded rng is fine and does not match.
+        if t.text == "random"
+            && ci >= 3
+            && toks[code[ci - 1]].is_punct(':')
+            && toks[code[ci - 2]].is_punct(':')
+            && toks[code[ci - 3]].is_ident("rand")
+        {
+            out.push((ti, "`rand::random` draws OS entropy; use the seeded SimRng".into()));
+        }
+    }
+    out
+}
+
+/// R2: wall-clock types inside simulation logic.
+fn rule_r2(toks: &[Tok], code: &[usize]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for &ti in code {
+        let t = &toks[ti];
+        if t.kind == TokKind::Ident && R2_BANNED.contains(&t.text.as_str()) {
+            out.push((
+                ti,
+                format!(
+                    "wall-clock `{}` in simulation logic; simulated time lives in \
+                     crates/disk/src/time.rs (profiling belongs in the crates/core runner layer)",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// R3: `unwrap()` / `expect()` / `panic!` / `todo!` / `unimplemented!` in
+/// library code. `assert!`-family macros and `unreachable!` are allowed —
+/// they assert invariants rather than skip error handling.
+fn rule_r3(toks: &[Tok], code: &[usize]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (ci, &ti) in code.iter().enumerate() {
+        let t = &toks[ti];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev_dot = ci > 0 && toks[code[ci - 1]].is_punct('.');
+        let next_paren = ci + 1 < code.len() && toks[code[ci + 1]].is_punct('(');
+        let next_bang = ci + 1 < code.len() && toks[code[ci + 1]].is_punct('!');
+        match t.text.as_str() {
+            "unwrap" | "expect" if prev_dot && next_paren => out.push((
+                ti,
+                format!(".{}() in library code; propagate with `?` via the crate error type", t.text),
+            )),
+            "panic" if next_bang => out
+                .push((ti, "panic! in library code; return an error (or assert an invariant)".into())),
+            "todo" | "unimplemented" if next_bang => {
+                out.push((ti, format!("{}! left in library code", t.text)));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// R4: `unsafe` anywhere outside the vendored crates.
+fn rule_r4(toks: &[Tok], code: &[usize]) -> Vec<(usize, String)> {
+    code.iter()
+        .filter(|&&ti| toks[ti].is_ident("unsafe"))
+        .map(|&ti| (ti, "unsafe block/impl outside crates/vendor".to_string()))
+        .collect()
+}
+
+/// R5: narrowing `as` casts (`u64 as u32`, `f64 as f32`, …) on unit/time
+/// arithmetic crates. Use `u32::try_from(..)` (or restructure so the value
+/// is provably in range and assert it).
+fn rule_r5(toks: &[Tok], code: &[usize]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (ci, &ti) in code.iter().enumerate() {
+        if toks[ti].is_ident("as") && ci + 1 < code.len() {
+            let target = &toks[code[ci + 1]];
+            if target.kind == TokKind::Ident && NARROWING_TARGETS.contains(&target.text.as_str()) {
+                out.push((
+                    ti,
+                    format!(
+                        "narrowing `as {}` cast on unit/time arithmetic; use `{}::try_from` or \
+                         keep the wide type",
+                        target.text, target.text
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Test-region detection
+// ---------------------------------------------------------------------------
+
+/// Marks every token inside a `#[cfg(test)]` / `#[test]` item body (and the
+/// attribute itself). Returns one flag per token.
+///
+/// Limitations (documented): `#[cfg(not(test))]` is recognized and *not*
+/// treated as a test region; more exotic cfg expressions that both contain
+/// `test` and a `not` are conservatively treated as non-test.
+pub fn test_regions(toks: &[Tok]) -> Vec<bool> {
+    let mut flags = vec![false; toks.len()];
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+    let mut ci = 0;
+    while ci < code.len() {
+        if !(toks[code[ci]].is_punct('#')
+            && ci + 1 < code.len()
+            && toks[code[ci + 1]].is_punct('['))
+        {
+            ci += 1;
+            continue;
+        }
+        // Collect the attribute token span `#[ … ]` (brackets nest).
+        let attr_start = ci;
+        let mut depth = 0usize;
+        let mut cj = ci + 1;
+        while cj < code.len() {
+            if toks[code[cj]].is_punct('[') {
+                depth += 1;
+            } else if toks[code[cj]].is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            cj += 1;
+        }
+        let attr_end = cj; // index of the closing ']'
+        let attr_idents: Vec<&str> = code[attr_start..=attr_end.min(code.len() - 1)]
+            .iter()
+            .filter(|&&ti| toks[ti].kind == TokKind::Ident)
+            .map(|&ti| toks[ti].text.as_str())
+            .collect();
+        let is_test_attr = match attr_idents.first() {
+            Some(&"test") => true,
+            Some(&"cfg") | Some(&"cfg_attr") => {
+                attr_idents.contains(&"test") && !attr_idents.contains(&"not")
+            }
+            _ => false,
+        };
+        if !is_test_attr {
+            ci = attr_end + 1;
+            continue;
+        }
+        // Skip any further attributes between this one and the item.
+        let mut ck = attr_end + 1;
+        while ck + 1 < code.len() && toks[code[ck]].is_punct('#') && toks[code[ck + 1]].is_punct('[')
+        {
+            let mut d = 0usize;
+            let mut cm = ck + 1;
+            while cm < code.len() {
+                if toks[code[cm]].is_punct('[') {
+                    d += 1;
+                } else if toks[code[cm]].is_punct(']') {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                cm += 1;
+            }
+            ck = cm + 1;
+        }
+        // Find the item body `{ … }` — or a `;` first (e.g. `#[cfg(test)]
+        // use foo;`), in which case the item has no body to mark.
+        let mut body_open = None;
+        let mut cm = ck;
+        while cm < code.len() {
+            if toks[code[cm]].is_punct('{') {
+                body_open = Some(cm);
+                break;
+            }
+            if toks[code[cm]].is_punct(';') {
+                break;
+            }
+            cm += 1;
+        }
+        let Some(open) = body_open else {
+            ci = attr_end + 1;
+            continue;
+        };
+        // Brace-match the body.
+        let mut d = 0usize;
+        let mut close = open;
+        while close < code.len() {
+            if toks[code[close]].is_punct('{') {
+                d += 1;
+            } else if toks[code[close]].is_punct('}') {
+                d -= 1;
+                if d == 0 {
+                    break;
+                }
+            }
+            close += 1;
+        }
+        let close = close.min(code.len() - 1);
+        // Mark attribute through body (token-index range over *all* tokens,
+        // comments included — suppressions in test code stay usable).
+        for flag in flags
+            .iter_mut()
+            .take(code[close] + 1)
+            .skip(code[attr_start])
+        {
+            *flag = true;
+        }
+        ci = close + 1;
+    }
+    flags
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+/// Extracts `simlint::allow(rule, "reason")` directives from line comments.
+fn collect_suppressions(toks: &[Tok]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    let mut last_code_line = 0u32;
+    for t in toks {
+        if !t.is_comment() {
+            last_code_line = t.line;
+            continue;
+        }
+        if t.kind != TokKind::LineComment {
+            continue;
+        }
+        // Doc comments are documentation (they may *describe* the
+        // directive, as this crate's own docs do), never directives.
+        if t.text.starts_with("///") || t.text.starts_with("//!") {
+            continue;
+        }
+        let Some(pos) = t.text.find("simlint::allow") else { continue };
+        let rest = &t.text[pos + "simlint::allow".len()..];
+        let target_line = if t.line == last_code_line { t.line } else { t.line + 1 };
+        match parse_allow_args(rest) {
+            Ok((rule, has_reason)) => {
+                let problem = if RULE_IDS.contains(&rule.as_str()) {
+                    None
+                } else {
+                    Some(format!("simlint::allow names unknown rule `{rule}` (known: r1..r5)"))
+                };
+                out.push(Suppression {
+                    rule,
+                    has_reason,
+                    target_line,
+                    comment_line: t.line,
+                    problem,
+                });
+            }
+            Err(msg) => out.push(Suppression {
+                rule: String::new(),
+                has_reason: false,
+                target_line,
+                comment_line: t.line,
+                problem: Some(msg),
+            }),
+        }
+    }
+    out
+}
+
+/// Parses `(rule)` or `(rule, "reason")` from the text following
+/// `simlint::allow`. Returns (rule, has_nonempty_reason).
+fn parse_allow_args(rest: &str) -> Result<(String, bool), String> {
+    let rest = rest.trim_start();
+    let Some(body) = rest.strip_prefix('(') else {
+        return Err("malformed simlint::allow — expected `(rule, \"reason\")`".into());
+    };
+    let Some(end) = body.find(')') else {
+        return Err("malformed simlint::allow — missing `)`".into());
+    };
+    let inner = &body[..end];
+    let (rule_part, reason_part) = match inner.find(',') {
+        Some(c) => (&inner[..c], Some(inner[c + 1..].trim())),
+        None => (inner, None),
+    };
+    let rule = rule_part.trim().to_string();
+    if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return Err("malformed simlint::allow — rule id must be an identifier".into());
+    }
+    let has_reason = match reason_part {
+        Some(r) => r.len() > 2 && r.starts_with('"') && r.ends_with('"'),
+        None => false,
+    };
+    Ok((rule, has_reason))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LintConfig;
+
+    fn lint_sim(src: &str) -> Vec<Finding> {
+        let cfg = LintConfig::default_config();
+        let input =
+            FileInput { path: "crates/sim/src/x.rs", crate_key: "sim", class: FileClass::Lib, src };
+        lint_file(&input, &cfg.rules)
+    }
+
+    fn lint_core(src: &str) -> Vec<Finding> {
+        let cfg = LintConfig::default_config();
+        let input =
+            FileInput { path: "crates/core/src/x.rs", crate_key: "core", class: FileClass::Lib, src };
+        lint_file(&input, &cfg.rules)
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<&str> {
+        findings.iter().map(|f| f.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn r1_fires_on_hashmap_and_thread_rng() {
+        let f = lint_sim("use std::collections::HashMap;\nfn f() { let r = thread_rng(); }");
+        assert_eq!(rules_of(&f), vec!["r1", "r1"]);
+    }
+
+    #[test]
+    fn r1_fires_on_rand_random_path_but_not_seeded_method() {
+        let f = lint_sim("fn f(rng: &mut SimRng) { let x: u64 = rng.random(); }");
+        assert!(f.is_empty(), "{f:?}");
+        let f = lint_sim("fn f() { let x: u64 = rand::random(); }");
+        assert_eq!(rules_of(&f), vec!["r1"]);
+    }
+
+    #[test]
+    fn r1_fires_even_in_test_code() {
+        let f = lint_sim("#[cfg(test)]\nmod tests { use std::collections::HashMap; }");
+        assert_eq!(rules_of(&f), vec!["r1"]);
+    }
+
+    #[test]
+    fn r2_fires_in_sim_but_not_core() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }";
+        assert_eq!(rules_of(&lint_sim(src)), vec!["r2", "r2"]);
+        assert!(lint_core(src).is_empty(), "core is the profiling/runner layer");
+    }
+
+    #[test]
+    fn r3_fires_on_unwrap_expect_panic_only_outside_tests() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                   fn g(x: Option<u32>) -> u32 { x.expect(\"y\") }\n\
+                   fn h() { panic!(\"boom\") }\n\
+                   #[cfg(test)]\nmod tests { fn t(x: Option<u32>) -> u32 { x.unwrap() } }";
+        assert_eq!(rules_of(&lint_sim(src)), vec!["r3", "r3", "r3"]);
+    }
+
+    #[test]
+    fn r3_allows_unwrap_or_and_assert_and_unreachable() {
+        let src = "fn f(x: Option<u32>) -> u32 { assert!(true); x.unwrap_or(0) }\n\
+                   fn g(x: Option<u32>) -> u32 { x.unwrap_or_else(|| unreachable!()) }";
+        assert!(lint_sim(src).is_empty());
+    }
+
+    #[test]
+    fn r3_skips_bin_bench_example_classes() {
+        let cfg = LintConfig::default_config();
+        let src = "fn main() { Some(1).unwrap(); }";
+        for class in [FileClass::Bin, FileClass::TestFile, FileClass::Bench, FileClass::Example] {
+            let input = FileInput { path: "x.rs", crate_key: "sim", class, src };
+            assert!(lint_file(&input, &cfg.rules).is_empty(), "{class:?}");
+        }
+    }
+
+    #[test]
+    fn r4_fires_everywhere_even_tests() {
+        let f = lint_sim("#[cfg(test)]\nmod tests { fn f() { unsafe { std::hint::unreachable_unchecked() } } }");
+        assert_eq!(rules_of(&f), vec!["r4"]);
+    }
+
+    #[test]
+    fn r5_fires_on_narrowing_only() {
+        let f = lint_sim("fn f(x: u64) -> u32 { x as u32 }");
+        assert_eq!(rules_of(&f), vec!["r5"]);
+        assert!(lint_sim("fn f(x: u32) -> u64 { x as u64 }").is_empty(), "widening ok");
+        assert!(lint_sim("fn f(x: u32) -> usize { x as usize }").is_empty(), "usize ok");
+    }
+
+    #[test]
+    fn suppression_with_reason_silences_same_and_next_line() {
+        let trailing = "fn f(x: u64) -> u32 { x as u32 } // simlint::allow(r5, \"bounded\")";
+        assert!(lint_sim(trailing).is_empty());
+        let own_line = "// simlint::allow(r5, \"bounded\")\nfn f(x: u64) -> u32 { x as u32 }";
+        assert!(lint_sim(own_line).is_empty());
+    }
+
+    #[test]
+    fn suppression_does_not_leak_to_other_lines_or_rules() {
+        let src = "// simlint::allow(r5, \"bounded\")\nfn f(x: u64) -> u32 { x as u32 }\n\
+                   fn g(y: u64) -> u32 { y as u32 }";
+        assert_eq!(rules_of(&lint_sim(src)), vec!["r5"]);
+        let wrong_rule = "fn f(x: u64) -> u32 { x as u32 } // simlint::allow(r3, \"nope\")";
+        assert_eq!(rules_of(&lint_sim(wrong_rule)), vec!["r5"]);
+    }
+
+    #[test]
+    fn suppression_without_reason_is_a_finding_and_does_not_suppress() {
+        let src = "fn f(x: u64) -> u32 { x as u32 } // simlint::allow(r5)";
+        let f = lint_sim(src);
+        assert_eq!(rules_of(&f), vec!["r5", "suppression"]);
+    }
+
+    #[test]
+    fn suppression_with_unknown_rule_is_a_finding() {
+        let f = lint_sim("// simlint::allow(r9, \"what\")\nfn f() {}");
+        assert_eq!(rules_of(&f), vec!["suppression"]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nfn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert_eq!(rules_of(&lint_sim(src)), vec!["r3"]);
+    }
+
+    #[test]
+    fn cfg_test_on_use_item_does_not_swallow_the_file() {
+        let src = "#[cfg(test)]\nuse std::fmt;\nfn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert_eq!(rules_of(&lint_sim(src)), vec!["r3"]);
+    }
+
+    #[test]
+    fn test_fn_attribute_marks_only_its_body() {
+        let src = "#[test]\nfn t() { Some(1).unwrap(); }\n\
+                   fn lib(x: Option<u32>) -> u32 { x.unwrap() }";
+        let f = lint_sim(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn banned_names_in_strings_and_comments_do_not_fire() {
+        let src = "// HashMap unwrap() panic! Instant unsafe as u32\n\
+                   fn f() -> &'static str { \"HashMap::new().unwrap() as u32 unsafe\" }";
+        assert!(lint_sim(src).is_empty());
+    }
+
+    #[test]
+    fn findings_are_sorted_and_deduped() {
+        let src = "use std::collections::{HashMap, HashSet};\nfn f() { let t = Instant::now(); }";
+        let f = lint_sim(src);
+        assert_eq!(rules_of(&f), vec!["r1", "r1", "r2"]);
+        assert!(f.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

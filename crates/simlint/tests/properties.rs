@@ -1,0 +1,174 @@
+//! Property tests for the simlint lexer and rule engine.
+//!
+//! The lexer is the load-bearing part of the linter: a single mis-lexed
+//! string literal would either hide a real violation or fire a false
+//! positive on innocent text. These properties pin the behaviors the rule
+//! engine depends on:
+//!
+//! * totality — arbitrary byte soup never panics the lexer, and token
+//!   line numbers stay monotone and in-range;
+//! * immunity — banned tokens hidden in strings, raw strings, char
+//!   literals, or comments never reach the rule engine;
+//! * detection — a banned identifier spliced into real code is always
+//!   found, no matter what benign code surrounds it;
+//! * suppression — `simlint::allow` silences exactly its own rule on
+//!   exactly its own line.
+
+use proptest::collection;
+use proptest::prelude::*;
+use simlint::lexer::{lex, TokKind};
+use simlint::{lint_file, FileClass, FileInput, Finding, LintConfig};
+
+/// Lints `src` as library code of the `sim` crate (in scope for every
+/// rule) under the built-in defaults.
+fn lint_sim_lib(src: &str) -> Vec<Finding> {
+    let cfg = LintConfig::default_config();
+    lint_file(
+        &FileInput { path: "crates/sim/src/prop.rs", crate_key: "sim", class: FileClass::Lib, src },
+        &cfg.rules,
+    )
+}
+
+/// Source fragments that are *benign*: any banned token they mention is
+/// quoted or commented, so a correct lexer produces zero findings for any
+/// concatenation of them.
+fn benign_fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("fn f(x: u64) -> u64 { x + 1 }\n".to_string()),
+        Just("let s = \"HashMap::new() and thread_rng() are just text\";\n".to_string()),
+        Just("// a comment may say unwrap() or panic! freely\n".to_string()),
+        Just("/* block /* nested */ comments hide unsafe { } too */\n".to_string()),
+        Just("let r = r#\"raw SystemTime \"quoted\" Instant\"#;\n".to_string()),
+        Just("let c = '\"'; let esc = \"a \\\" HashSet\\\" b\";\n".to_string()),
+        Just("let life: &'static str = \"x\"; let ch = 'a';\n".to_string()),
+        Just("let b = b\"Instant\"; let n = 0xff_u64;\n".to_string()),
+        (1u32..100).prop_map(|n| format!("struct S{n}; impl S{n} {{}}\n")),
+        (1u32..100).prop_map(|n| format!("const K{n}: u64 = {n};\n")),
+    ]
+}
+
+/// A banned identifier together with the rule expected to fire on it.
+fn banned_case() -> impl Strategy<Value = (&'static str, &'static str)> {
+    prop_oneof![
+        Just(("HashMap", "r1")),
+        Just(("HashSet", "r1")),
+        Just(("thread_rng", "r1")),
+        Just(("SystemTime", "r2")),
+        Just(("Instant", "r2")),
+    ]
+}
+
+fn join(parts: &[String]) -> String {
+    parts.concat()
+}
+
+proptest! {
+    #[test]
+    fn lexer_is_total_on_arbitrary_bytes(bytes in collection::vec(any::<u8>(), 0..200)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let toks = lex(&src);
+        let line_count = src.lines().count() as u32 + 1;
+        let mut prev = 1u32;
+        for t in &toks {
+            prop_assert!(!t.text.is_empty(), "empty token text");
+            prop_assert!(t.line >= prev, "token lines must be monotone");
+            prop_assert!(t.line <= line_count, "token line past end of file");
+            prev = t.line;
+        }
+    }
+
+    #[test]
+    fn lexing_is_deterministic(parts in collection::vec(benign_fragment(), 0..12)) {
+        let src = join(&parts);
+        let a = lex(&src);
+        let b = lex(&src);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert!(x.kind == y.kind && x.text == y.text && x.line == y.line);
+        }
+    }
+
+    #[test]
+    fn hidden_tokens_never_fire(parts in collection::vec(benign_fragment(), 0..16)) {
+        let src = join(&parts);
+        let findings = lint_sim_lib(&src);
+        prop_assert!(findings.is_empty(), "false positive on benign code: {:?}", findings);
+    }
+
+    #[test]
+    fn banned_ident_is_always_found(
+        before in collection::vec(benign_fragment(), 0..6),
+        after in collection::vec(benign_fragment(), 0..6),
+        case in banned_case(),
+    ) {
+        let (ident, rule) = case;
+        let src = format!("{}let m = {ident}::default();\n{}", join(&before), join(&after));
+        let expect_line = before.iter().map(|p| p.lines().count() as u32).sum::<u32>() + 1;
+        let hits: Vec<Finding> =
+            lint_sim_lib(&src).into_iter().filter(|f| f.rule == rule).collect();
+        prop_assert!(!hits.is_empty(), "{ident} not flagged");
+        prop_assert!(
+            hits.iter().any(|f| f.line == expect_line),
+            "{ident} flagged on wrong line: {:?} (expected {expect_line})",
+            hits
+        );
+    }
+
+    #[test]
+    fn marker_idents_survive_lexing_exactly(
+        parts in collection::vec(benign_fragment(), 0..8),
+        positions in collection::vec(any::<bool>(), 0..8),
+    ) {
+        // Interleave a marker identifier between fragments and count that
+        // the lexer reports exactly that many Ident tokens for it.
+        let mut src = String::new();
+        let mut expected = 0usize;
+        for (i, p) in parts.iter().enumerate() {
+            src.push_str(p);
+            if positions.get(i).copied().unwrap_or(false) {
+                src.push_str("let zz_marker_zz = 1;\n");
+                expected += 1;
+            }
+        }
+        let got = lex(&src).iter().filter(|t| t.is_ident("zz_marker_zz")).count();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn suppression_gates_exactly_its_rule(
+        before in collection::vec(benign_fragment(), 0..6),
+        right_rule in any::<bool>(),
+    ) {
+        let allow = if right_rule { "r1" } else { "r5" };
+        let src = format!(
+            "{}let m = HashMap::default(); // simlint::allow({allow}, \"property test\")\n",
+            join(&before)
+        );
+        let r1_hits = lint_sim_lib(&src).into_iter().filter(|f| f.rule == "r1").count();
+        if right_rule {
+            prop_assert_eq!(r1_hits, 0, "matching allow must silence r1");
+        } else {
+            prop_assert!(r1_hits > 0, "allow for a different rule must not silence r1");
+        }
+    }
+}
+
+#[test]
+fn unterminated_constructs_extend_to_eof_without_panicking() {
+    for src in ["\"never closed", "r#\"raw never closed", "/* block never closed", "'x"] {
+        let toks = lex(src);
+        assert!(!toks.is_empty(), "{src:?} lexed to nothing");
+        assert!(toks.iter().all(|t| t.line == 1));
+    }
+    assert_eq!(lex("").len(), 0);
+}
+
+#[test]
+fn kinds_partition_comments_from_code() {
+    let toks = lex("a /* c */ 'b \"s\" // tail\n");
+    let kinds: Vec<TokKind> = toks.iter().map(|t| t.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![TokKind::Ident, TokKind::BlockComment, TokKind::Lifetime, TokKind::Str, TokKind::LineComment]
+    );
+}

@@ -19,6 +19,7 @@
 //! times, r/w sizes for TP) are documented choices; see DESIGN.md
 //! §"Substitutions" and EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 

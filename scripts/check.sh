@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
-# Tier-1 gate (see ROADMAP.md): release build, the root test suite, and a
-# 2-job smoke run of the reproduction at fast scale. The smoke run's timing
+# Tier-1 gate (see ROADMAP.md): warnings-as-errors release build, the
+# simlint determinism/robustness pass, the root test suite, and a 2-job
+# smoke run of the reproduction at fast scale. The smoke run's timing
 # profile (per-experiment wall clock plus per-sweep-point breakdown) is
-# snapshotted into BENCH_runner.json at the repo root.
+# snapshotted into BENCH_runner.json at the repo root; the lint report is
+# snapshotted into target/check/simlint.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== cargo build --release =="
-cargo build --release
+echo "== cargo build --release (warnings deny) =="
+RUSTFLAGS="-D warnings" cargo build --release
+
+echo "== simlint =="
+mkdir -p target/check
+cargo run --release -q -p simlint -- --json target/check/simlint.json
 
 echo "== cargo test -q =="
 cargo test -q

@@ -33,6 +33,8 @@
 //! assert!(frag.external_pct < 10.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use readopt_alloc as alloc;
 pub use readopt_core as experiments;
 pub use readopt_disk as disk;

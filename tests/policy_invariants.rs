@@ -64,7 +64,7 @@ fn exercise(policy: &mut dyn Policy, ops: &[Op]) {
                 if !live.is_empty() {
                     let idx = file_sel % live.len();
                     let id = live.swap_remove(idx);
-                    policy.delete(id);
+                    policy.delete(id).expect("deleting a live file");
                 }
             }
         }
@@ -72,7 +72,7 @@ fn exercise(policy: &mut dyn Policy, ops: &[Op]) {
     }
     // Tear-down: deleting everything restores all data space.
     for id in live.drain(..) {
-        policy.delete(id);
+        policy.delete(id).expect("deleting a live file");
     }
     policy.check_invariants();
     assert_eq!(

@@ -1,0 +1,25 @@
+//! Tier-1 gate: the workspace must be simlint-clean.
+//!
+//! Runs the same pass as `cargo run -p simlint` in-process — workspace
+//! discovery, `simlint.toml` scoping, rule engine — and fails the test
+//! suite on any finding, so a determinism or robustness regression cannot
+//! merge even if `scripts/check.sh` is skipped.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_simlint_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = simlint::run_workspace(root).expect("simlint walk must succeed");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}): discovery is broken",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "simlint found {} violation(s):\n{}",
+        report.findings.len(),
+        simlint::render_human(&report)
+    );
+}
