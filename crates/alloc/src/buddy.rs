@@ -95,6 +95,18 @@ impl Policy for BuddyPolicy {
         self.core.free_units()
     }
 
+    fn frag_gauges(&self) -> crate::policy::FragGauges {
+        // Buddy blocks are the grant granularity: adjacent free blocks of
+        // different orders never merge into one grant, so each free block
+        // is one free extent.
+        let free_blocks: usize = self.core.free_histogram().iter().map(|&(_, n)| n).sum();
+        crate::policy::FragGauges {
+            free_units: self.core.free_units(),
+            free_extents: free_blocks as u64,
+            largest_free_units: self.core.largest_free_block(),
+        }
+    }
+
     fn create(&mut self, _hints: &FileHints) -> Result<FileId, AllocError> {
         let file = BuddyFile::default();
         let id = match self.free_slots.pop() {

@@ -162,6 +162,14 @@ impl Policy for ExtentPolicy {
         self.free.free_units()
     }
 
+    fn frag_gauges(&self) -> crate::policy::FragGauges {
+        crate::policy::FragGauges {
+            free_units: self.free.free_units(),
+            free_extents: self.free.run_count() as u64,
+            largest_free_units: self.free.largest_run(),
+        }
+    }
+
     fn create(&mut self, hints: &FileHints) -> Result<FileId, AllocError> {
         let target_units = (hints.mean_extent_bytes / self.unit_bytes).max(1);
         let mean = self.nearest_range(target_units);

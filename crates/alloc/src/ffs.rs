@@ -297,6 +297,39 @@ impl Policy for FfsPolicy {
         self.groups.iter().map(|g| g.free_units).sum()
     }
 
+    fn frag_gauges(&self) -> crate::policy::FragGauges {
+        // A free run is either a whole free block or a maximal run of free
+        // fragments inside a fragmented block (fragment runs never join
+        // neighbouring blocks: FFS grants fragments from one block only).
+        let mut free_extents = 0u64;
+        let mut largest = 0u64;
+        for g in &self.groups {
+            if !g.free_blocks.is_empty() {
+                free_extents += g.free_blocks.len() as u64;
+                largest = largest.max(self.block_units);
+            }
+            for &bitmap in g.frag_blocks.values() {
+                let mut run = 0u64;
+                for off in 0..self.frags_per_block {
+                    if bitmap & run_mask(off, 1) != 0 {
+                        run += 1;
+                        if run == 1 {
+                            free_extents += 1;
+                        }
+                        largest = largest.max(run);
+                    } else {
+                        run = 0;
+                    }
+                }
+            }
+        }
+        crate::policy::FragGauges {
+            free_units: self.free_units(),
+            free_extents,
+            largest_free_units: largest,
+        }
+    }
+
     fn create(&mut self, _hints: &FileHints) -> Result<FileId, AllocError> {
         let group = self.rotor;
         self.rotor = (self.rotor + 1) % self.groups.len();

@@ -84,6 +84,33 @@ impl Policy for FixedPolicy {
         self.free_list.len() as u64 * self.block_units
     }
 
+    fn frag_gauges(&self) -> crate::policy::FragGauges {
+        // The free list's order is policy state (pop_front serves the next
+        // block), so measure contiguity on a sorted copy.
+        let mut addrs: Vec<u64> = self.free_list.iter().copied().collect();
+        addrs.sort_unstable();
+        let mut runs = 0u64;
+        let mut largest_blocks = 0u64;
+        let mut run_blocks = 0u64;
+        let mut prev: Option<u64> = None;
+        for &a in &addrs {
+            match prev {
+                Some(p) if a == p + self.block_units => run_blocks += 1,
+                _ => {
+                    runs += 1;
+                    run_blocks = 1;
+                }
+            }
+            largest_blocks = largest_blocks.max(run_blocks);
+            prev = Some(a);
+        }
+        crate::policy::FragGauges {
+            free_units: self.free_units(),
+            free_extents: runs,
+            largest_free_units: largest_blocks * self.block_units,
+        }
+    }
+
     fn create(&mut self, _hints: &FileHints) -> Result<FileId, AllocError> {
         let id = match self.free_slots.pop() {
             Some(slot) => {

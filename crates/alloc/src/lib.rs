@@ -64,6 +64,6 @@ pub use extent::ExtentPolicy;
 pub use ffs::{FfsConfig, FfsPolicy};
 pub use filemap::FileMap;
 pub use fixed::FixedPolicy;
-pub use policy::{Policy, PolicyStats};
+pub use policy::{FragGauges, Policy, PolicyStats};
 pub use restricted::RestrictedPolicy;
 pub use types::{AllocError, Extent, FileHints, FileId};

@@ -28,6 +28,34 @@ impl PolicyStats {
     }
 }
 
+/// Free-space fragmentation gauges for the observability layer.
+///
+/// `free_extents` counts the discrete free blocks/runs the policy could
+/// hand out without coalescing beyond what it already does;
+/// `largest_free_units` is the biggest single allocation it could satisfy
+/// contiguously. Both are computed on demand (snapshot time), never on the
+/// allocation hot path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FragGauges {
+    /// Currently free units (same quantity as [`Policy::free_units`]).
+    pub free_units: u64,
+    /// Number of discrete free blocks / contiguous free runs.
+    pub free_extents: u64,
+    /// Units in the largest contiguous free block the policy can hand out.
+    pub largest_free_units: u64,
+}
+
+impl FragGauges {
+    /// Mean size of a free run, in units (0 when nothing is free).
+    pub fn mean_free_run_units(&self) -> f64 {
+        if self.free_extents == 0 {
+            0.0
+        } else {
+            self.free_units as f64 / self.free_extents as f64
+        }
+    }
+}
+
 /// A disk-space allocation policy.
 ///
 /// All quantities are in *disk units*. Policies are deterministic given
@@ -111,6 +139,13 @@ pub trait Policy: Send {
     fn reallocate(&mut self, logical_sizes: &[(FileId, u64)]) -> Result<Option<u64>, AllocError> {
         let _ = logical_sizes;
         Ok(None)
+    }
+
+    /// Free-space fragmentation gauges. The default reports only
+    /// `free_units` (run structure untracked); every first-party policy
+    /// overrides it with its real free-structure view.
+    fn frag_gauges(&self) -> FragGauges {
+        FragGauges { free_units: self.free_units(), free_extents: 0, largest_free_units: 0 }
     }
 
     /// Space accounting snapshot.

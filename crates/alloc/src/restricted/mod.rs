@@ -220,6 +220,26 @@ impl Policy for RestrictedPolicy {
         self.regions.iter().map(Region::free_units).sum()
     }
 
+    fn frag_gauges(&self) -> crate::policy::FragGauges {
+        // Blocks are the grant granularity (the ladder never coalesces
+        // across classes), so each free block of each class is one extent;
+        // the largest grant is the biggest class with any free block.
+        let mut free_blocks = 0u64;
+        let mut largest = 0u64;
+        for (c, &size) in self.sizes.iter().enumerate() {
+            let n: u64 = self.regions.iter().map(|r| r.free_block_count(&self.sizes, c)).sum();
+            free_blocks += n;
+            if n > 0 {
+                largest = largest.max(size);
+            }
+        }
+        crate::policy::FragGauges {
+            free_units: self.free_units(),
+            free_extents: free_blocks,
+            largest_free_units: largest,
+        }
+    }
+
     fn metadata_units(&self) -> u64 {
         self.metadata_units
     }

@@ -138,9 +138,22 @@ impl Region {
         self.free_units -= sizes[c];
     }
 
+    /// Number of free blocks of exactly class `c`.
+    pub fn free_block_count(&self, sizes: &[u64], c: usize) -> u64 {
+        if c == self.top_class(sizes) {
+            self.top_bitmap.free_count() as u64
+        } else {
+            self.lists[c].len() as u64
+        }
+    }
+
     /// Whether the specific class-`c` block at `addr` is free.
     pub fn is_block_free(&self, sizes: &[u64], c: usize, addr: u64) -> bool {
-        if !self.contains(addr) {
+        // A well-formed class-`c` block is aligned and lies fully inside
+        // the region. The fit check matters for the top class on scaled
+        // disks: the region length need not be a multiple of the top size,
+        // and tail slack beyond the last full slot has no bitmap entry.
+        if !self.contains(addr) || addr % sizes[c] != 0 || addr + sizes[c] > self.end {
             return false;
         }
         if c == self.top_class(sizes) {
@@ -377,6 +390,22 @@ mod tests {
         assert_eq!(r.free_units(), 640);
         assert!(!r.has_free(SIZES, 0), "all coalesced back to top blocks");
         assert!(!r.has_free(SIZES, 1));
+        r.check_invariants(SIZES);
+    }
+
+    #[test]
+    fn ragged_tail_probe_is_not_free_and_does_not_panic() {
+        // 100 units: the top-class grid has one slot (0..64); 64..100 is
+        // seeded as smaller blocks. Probing the top-aligned address 64 —
+        // inside the region but past the last full top slot — used to walk
+        // off the bitmap; it must simply report "not free".
+        let mut r = Region::new(0, 100, SIZES);
+        assert!(!r.is_block_free(SIZES, 2, 64));
+        assert!(!r.is_block_free(SIZES, 1, 70), "misaligned class-1 probe");
+        // The original failure path: a split preferring an address in the
+        // ragged tail probes the containing top block first.
+        let a = r.split_for(SIZES, 0, Some(65));
+        assert!(a.is_some());
         r.check_invariants(SIZES);
     }
 

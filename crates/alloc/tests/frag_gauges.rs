@@ -1,0 +1,80 @@
+//! Fragmentation-gauge invariants across every policy family.
+//!
+//! The observability layer reports [`FragGauges`] per sweep point; these
+//! tests pin the cross-policy contract: gauge `free_units` agrees with the
+//! policy's own accounting, the largest free run fits inside the free
+//! space, and runs appear/disappear coherently as files churn.
+
+use readopt_alloc::{FileHints, Policy, PolicyConfig};
+
+const CAPACITY_UNITS: u64 = 1 << 16;
+const UNIT_BYTES: u64 = 1024;
+
+fn all_policies() -> Vec<Box<dyn Policy>> {
+    [
+        PolicyConfig::paper_buddy(),
+        PolicyConfig::paper_restricted(),
+        PolicyConfig::paper_extent_based(),
+        PolicyConfig::fixed_4k(),
+        PolicyConfig::ffs_classic(),
+    ]
+    .iter()
+    .map(|c| c.build(CAPACITY_UNITS, UNIT_BYTES, 7))
+    .collect()
+}
+
+fn hints() -> FileHints {
+    FileHints { mean_extent_bytes: 8 * 1024, ..Default::default() }
+}
+
+#[test]
+fn gauges_agree_with_free_units_when_fresh() {
+    for p in all_policies() {
+        let g = p.frag_gauges();
+        assert_eq!(g.free_units, p.free_units(), "{}", p.name());
+        assert!(g.free_extents > 0, "{}: a fresh disk has free runs", p.name());
+        assert!(g.largest_free_units <= g.free_units, "{}", p.name());
+        assert!(g.largest_free_units > 0, "{}", p.name());
+        assert!(g.mean_free_run_units() > 0.0, "{}", p.name());
+    }
+}
+
+#[test]
+fn churn_fragments_then_delete_restores_space() {
+    for mut p in all_policies() {
+        let name = p.name();
+        let mut files = Vec::new();
+        for _ in 0..64 {
+            let f = p.create(&hints()).unwrap();
+            p.extend(f, 24).unwrap();
+            files.push(f);
+        }
+        // Delete every other file: free space must now be fragmented into
+        // at least as many runs as survive deletions produce.
+        for f in files.iter().step_by(2) {
+            p.delete(*f).unwrap();
+        }
+        let g = p.frag_gauges();
+        assert_eq!(g.free_units, p.free_units(), "{name}");
+        assert!(g.free_extents > 1, "{name}: churn leaves multiple free runs");
+        assert!(g.largest_free_units <= g.free_units, "{name}");
+
+        for f in files.iter().skip(1).step_by(2) {
+            p.delete(*f).unwrap();
+        }
+        let g = p.frag_gauges();
+        assert_eq!(g.free_units, p.capacity_units() - p.metadata_units(), "{name}");
+    }
+}
+
+#[test]
+fn gauges_never_touch_policy_state() {
+    for mut p in all_policies() {
+        let f = p.create(&hints()).unwrap();
+        p.extend(f, 100).unwrap();
+        let before = p.frag_gauges();
+        let again = p.frag_gauges();
+        assert_eq!(before, again, "{}: gauges are a pure read", p.name());
+        p.check_invariants();
+    }
+}

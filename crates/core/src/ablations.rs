@@ -12,6 +12,7 @@
 //!   varies.
 
 use crate::context::ExperimentContext;
+use crate::metrics::{ExperimentMetrics, PointMetrics};
 use crate::report::{bytes, pct, TextTable};
 use crate::runner::{self, Job, JobTiming};
 use readopt_alloc::{FitStrategy, PolicyConfig};
@@ -48,8 +49,11 @@ pub fn run_raid(ctx: &ExperimentContext) -> RaidAblation {
     run_raid_profiled(ctx).0
 }
 
-/// As [`run_raid`], also returning per-layout wall-clock timings.
-pub fn run_raid_profiled(ctx: &ExperimentContext) -> (RaidAblation, Vec<JobTiming>) {
+/// As [`run_raid`], also returning per-layout wall-clock timings and the
+/// observability sidecar.
+pub fn run_raid_profiled(
+    ctx: &ExperimentContext,
+) -> (RaidAblation, Vec<JobTiming>, ExperimentMetrics) {
     let ctx = *ctx;
     let jobs = [
         ArrayLayout::Striped,
@@ -69,18 +73,21 @@ pub fn run_raid_profiled(ctx: &ExperimentContext) -> (RaidAblation, Vec<JobTimin
             let app = sim.run_application_test();
             let seq = sim.run_sequential_test();
             let amp = sim.storage().stats().write_amplification();
-            RaidRow {
+            let tm = sim.metrics_snapshot("performance", sim.now().as_ms());
+            let row = RaidRow {
                 layout: format!("{layout:?}"),
                 application_pct: app.throughput_pct,
                 application_mb_s: app.throughput_mb_s,
                 sequential_pct: seq.throughput_pct,
                 write_amplification: amp,
-            }
+            };
+            (row, PointMetrics::new(format!("ablation-raid/{layout:?}"), vec![tm]))
         })
     })
     .collect();
     let out = runner::run_jobs(ctx.jobs, jobs);
-    (RaidAblation { rows: out.results }, out.timings)
+    let (rows, metrics) = out.results.into_iter().unzip();
+    (RaidAblation { rows }, out.timings, ExperimentMetrics::new("ablation_raid", metrics))
 }
 
 impl fmt::Display for RaidAblation {
@@ -123,8 +130,11 @@ pub fn run_stripe_unit(ctx: &ExperimentContext) -> StripeAblation {
     run_stripe_unit_profiled(ctx).0
 }
 
-/// As [`run_stripe_unit`], also returning per-point wall-clock timings.
-pub fn run_stripe_unit_profiled(ctx: &ExperimentContext) -> (StripeAblation, Vec<JobTiming>) {
+/// As [`run_stripe_unit`], also returning per-point wall-clock timings and
+/// the observability sidecar.
+pub fn run_stripe_unit_profiled(
+    ctx: &ExperimentContext,
+) -> (StripeAblation, Vec<JobTiming>, ExperimentMetrics) {
     let ctx = *ctx;
     let jobs = [8 * 1024u64, 12 * 1024, 24 * 1024, 72 * 1024, 96 * 1024]
         .into_iter()
@@ -135,17 +145,20 @@ pub fn run_stripe_unit_profiled(ctx: &ExperimentContext) -> (StripeAblation, Vec
                 let mut lctx = ctx;
                 lctx.array.stripe_unit_bytes = su;
                 let wl = WorkloadKind::Supercomputer;
-                let (app, seq) = lctx.run_performance(wl, PolicyConfig::paper_restricted());
-                StripeRow {
+                let ((app, seq), tms) =
+                    lctx.run_performance_metered(wl, PolicyConfig::paper_restricted());
+                let row = StripeRow {
                     stripe_unit_bytes: su,
                     sequential_pct: seq.throughput_pct,
                     application_pct: app.throughput_pct,
-                }
+                };
+                (row, PointMetrics::new(format!("ablation-stripe/{}K", su / 1024), tms))
             })
         })
         .collect();
     let out = runner::run_jobs(ctx.jobs, jobs);
-    (StripeAblation { rows: out.results }, out.timings)
+    let (rows, metrics) = out.results.into_iter().unzip();
+    (StripeAblation { rows }, out.timings, ExperimentMetrics::new("ablation_stripe", metrics))
 }
 
 impl fmt::Display for StripeAblation {
@@ -183,8 +196,11 @@ pub fn run_file_mix(ctx: &ExperimentContext) -> FileMixAblation {
     run_file_mix_profiled(ctx).0
 }
 
-/// As [`run_file_mix`], also returning per-mix wall-clock timings.
-pub fn run_file_mix_profiled(ctx: &ExperimentContext) -> (FileMixAblation, Vec<JobTiming>) {
+/// As [`run_file_mix`], also returning per-mix wall-clock timings and the
+/// observability sidecar.
+pub fn run_file_mix_profiled(
+    ctx: &ExperimentContext,
+) -> (FileMixAblation, Vec<JobTiming>, ExperimentMetrics) {
     let ctx = *ctx;
     let jobs = [0.05f64, 0.15, 0.30, 0.50]
         .into_iter()
@@ -203,17 +219,27 @@ pub fn run_file_mix_profiled(ctx: &ExperimentContext) -> (FileMixAblation, Vec<J
                 let policy = ctx.extent_policy(WorkloadKind::Timesharing, 3, FitStrategy::FirstFit);
                 let mut cfg = ctx.sim_config(WorkloadKind::Timesharing, policy);
                 cfg.file_types = types;
-                let frag = readopt_sim::Simulation::new(&cfg, ctx.seed).run_allocation_test();
-                FileMixRow {
+                let mut sim = readopt_sim::Simulation::new(&cfg, ctx.seed);
+                let frag = sim.run_allocation_test();
+                let tm = sim.metrics_snapshot("allocation", sim.now().as_ms());
+                let row = FileMixRow {
                     small_share,
                     internal_pct: frag.internal_pct,
                     external_pct: frag.external_pct,
-                }
+                };
+                (
+                    row,
+                    PointMetrics::new(
+                        format!("ablation-file-mix/{:.0}pct", 100.0 * small_share),
+                        vec![tm],
+                    ),
+                )
             })
         })
         .collect();
     let out = runner::run_jobs(ctx.jobs, jobs);
-    (FileMixAblation { rows: out.results }, out.timings)
+    let (rows, metrics) = out.results.into_iter().unzip();
+    (FileMixAblation { rows }, out.timings, ExperimentMetrics::new("ablation_file_mix", metrics))
 }
 
 impl fmt::Display for FileMixAblation {
@@ -263,8 +289,11 @@ pub fn run_reallocation(ctx: &ExperimentContext) -> ReallocAblation {
     run_reallocation_profiled(ctx).0
 }
 
-/// As [`run_reallocation`], also returning per-workload wall-clock timings.
-pub fn run_reallocation_profiled(ctx: &ExperimentContext) -> (ReallocAblation, Vec<JobTiming>) {
+/// As [`run_reallocation`], also returning per-workload wall-clock timings
+/// and the observability sidecar.
+pub fn run_reallocation_profiled(
+    ctx: &ExperimentContext,
+) -> (ReallocAblation, Vec<JobTiming>, ExperimentMetrics) {
     let ctx = *ctx;
     let jobs = WorkloadKind::all()
         .into_iter()
@@ -278,7 +307,8 @@ pub fn run_reallocation_profiled(ctx: &ExperimentContext) -> (ReallocAblation, V
                 let after = sim.fragmentation_report(0);
                 sim.policy().check_invariants();
                 let seq = sim.run_sequential_test();
-                ReallocRow {
+                let tm = sim.metrics_snapshot("performance", sim.now().as_ms());
+                let row = ReallocRow {
                     workload: wl.short_name().to_string(),
                     internal_before_pct: before.internal_pct,
                     internal_after_pct: after.internal_pct,
@@ -286,12 +316,14 @@ pub fn run_reallocation_profiled(ctx: &ExperimentContext) -> (ReallocAblation, V
                     extents_after: after.avg_extents_per_file,
                     sequential_after_pct: seq.throughput_pct,
                     units_moved: moved,
-                }
+                };
+                (row, PointMetrics::new(format!("ablation-realloc/{}", wl.short_name()), vec![tm]))
             })
         })
         .collect();
     let out = runner::run_jobs(ctx.jobs, jobs);
-    (ReallocAblation { rows: out.results }, out.timings)
+    let (rows, metrics) = out.results.into_iter().unzip();
+    (ReallocAblation { rows }, out.timings, ExperimentMetrics::new("ablation_realloc", metrics))
 }
 
 impl fmt::Display for ReallocAblation {
@@ -343,8 +375,11 @@ pub fn run_ffs_comparison(ctx: &ExperimentContext) -> FfsAblation {
     run_ffs_comparison_profiled(ctx).0
 }
 
-/// As [`run_ffs_comparison`], also returning per-policy wall-clock timings.
-pub fn run_ffs_comparison_profiled(ctx: &ExperimentContext) -> (FfsAblation, Vec<JobTiming>) {
+/// As [`run_ffs_comparison`], also returning per-policy wall-clock timings
+/// and the observability sidecar.
+pub fn run_ffs_comparison_profiled(
+    ctx: &ExperimentContext,
+) -> (FfsAblation, Vec<JobTiming>, ExperimentMetrics) {
     let ctx = *ctx;
     let wl = WorkloadKind::Timesharing;
     let policies = [
@@ -355,21 +390,25 @@ pub fn run_ffs_comparison_profiled(ctx: &ExperimentContext) -> (FfsAblation, Vec
     let jobs = policies
         .into_iter()
         .map(|(name, policy)| {
+            let point_label = format!("ablation-ffs/{name}");
             Job::new(format!("ablation-ffs/{name}"), move || {
-                let frag = ctx.run_allocation(wl, policy.clone());
-                let (app, seq) = ctx.run_performance(wl, policy);
-                FfsRow {
+                let (frag, tm_alloc) = ctx.run_allocation_metered(wl, policy.clone());
+                let ((app, seq), mut tms) = ctx.run_performance_metered(wl, policy);
+                tms.insert(0, tm_alloc);
+                let row = FfsRow {
                     policy: name,
                     internal_pct: frag.internal_pct,
                     external_pct: frag.external_pct,
                     application_pct: app.throughput_pct,
                     sequential_pct: seq.throughput_pct,
-                }
+                };
+                (row, PointMetrics::new(point_label, tms))
             })
         })
         .collect();
     let out = runner::run_jobs(ctx.jobs, jobs);
-    (FfsAblation { rows: out.results }, out.timings)
+    let (rows, metrics) = out.results.into_iter().unzip();
+    (FfsAblation { rows }, out.timings, ExperimentMetrics::new("ablation_ffs", metrics))
 }
 
 impl fmt::Display for FfsAblation {
@@ -419,15 +458,17 @@ pub fn run_degraded_raid(ctx: &ExperimentContext) -> DegradedRaidAblation {
 /// splitting).
 pub fn run_degraded_raid_profiled(
     ctx: &ExperimentContext,
-) -> (DegradedRaidAblation, Vec<JobTiming>) {
+) -> (DegradedRaidAblation, Vec<JobTiming>, ExperimentMetrics) {
     let ctx = *ctx;
     let jobs = vec![Job::new("ablation-degraded-raid/probes", move || degraded_raid_probes(&ctx))];
     let mut out = runner::run_jobs(ctx.jobs, jobs);
-    (out.results.remove(0), out.timings)
+    let (row, metrics) = out.results.remove(0);
+    (row, out.timings, ExperimentMetrics::new("ablation_degraded_raid", vec![metrics]))
 }
 
-fn degraded_raid_probes(ctx: &ExperimentContext) -> DegradedRaidAblation {
+fn degraded_raid_probes(ctx: &ExperimentContext) -> (DegradedRaidAblation, PointMetrics) {
     use readopt_disk::{IoRequest, Raid5Array, SimTime, Storage};
+    use readopt_sim::{StorageMetrics, TestMetrics};
     let g = ctx.array.geometry;
     let su = ctx.array.stripe_unit_bytes;
     let du = ctx.array.disk_unit_bytes;
@@ -443,13 +484,22 @@ fn degraded_raid_probes(ctx: &ExperimentContext) -> DegradedRaidAblation {
     let mut rebuild = Raid5Array::new(g, ctx.array.ndisks, su, du);
     rebuild.fail_disk(0);
     let rebuild_secs = rebuild.rebuild(SimTime::ZERO).as_secs();
-    DegradedRaidAblation {
+    let row = DegradedRaidAblation {
         read_healthy_ms: one(None, IoRequest::read(0, su_units)),
         read_degraded_ms: one(Some(0), IoRequest::read(0, su_units)),
         write_healthy_ms: one(None, IoRequest::write(0, su_units / 3)),
         write_degraded_ms: one(Some(0), IoRequest::write(0, su_units / 3)),
         rebuild_secs,
-    }
+    };
+    // No Simulation is involved; decompose the rebuild pass (the one probe
+    // that exercises every surviving spindle) straight from the array stats.
+    let tm = TestMetrics {
+        test: "rebuild".into(),
+        window_ms: rebuild_secs * 1e3,
+        storage: StorageMetrics::from_stats(&rebuild.stats(), rebuild_secs * 1e3),
+        ..Default::default()
+    };
+    (row, PointMetrics::new("ablation-degraded-raid/probes".to_string(), vec![tm]))
 }
 
 impl fmt::Display for DegradedRaidAblation {
@@ -506,8 +556,11 @@ pub fn run_disk_generations(ctx: &ExperimentContext) -> DiskGenAblation {
     run_disk_generations_profiled(ctx).0
 }
 
-/// As [`run_disk_generations`], also returning per-cell wall-clock timings.
-pub fn run_disk_generations_profiled(ctx: &ExperimentContext) -> (DiskGenAblation, Vec<JobTiming>) {
+/// As [`run_disk_generations`], also returning per-cell wall-clock timings
+/// and the observability sidecar.
+pub fn run_disk_generations_profiled(
+    ctx: &ExperimentContext,
+) -> (DiskGenAblation, Vec<JobTiming>, ExperimentMetrics) {
     use readopt_disk::DiskGeometry;
     let ctx = *ctx;
     // Keep the 2001 system at a few GB even for full-scale contexts (its
@@ -527,27 +580,29 @@ pub fn run_disk_generations_profiled(ctx: &ExperimentContext) -> (DiskGenAblatio
                 ("restricted-buddy", PolicyConfig::paper_restricted()),
                 ("fixed (aged)", ExperimentContext::fixed_policy(wl)),
             ] {
-                jobs.push(Job::new(
-                    format!("ablation-disk-gen/{generation}/{}/{policy_name}", wl.short_name()),
-                    move || {
-                        let mut gctx = ctx;
-                        gctx.array.geometry = geometry;
-                        gctx.array.stripe_unit_bytes = stripe;
-                        let (app, seq) = gctx.run_performance(wl, policy);
-                        DiskGenRow {
-                            generation: generation.to_string(),
-                            workload: wl.short_name().to_string(),
-                            policy: policy_name.to_string(),
-                            sequential_pct: seq.throughput_pct,
-                            application_pct: app.throughput_pct,
-                        }
-                    },
-                ));
+                let label =
+                    format!("ablation-disk-gen/{generation}/{}/{policy_name}", wl.short_name());
+                let point_label = label.clone();
+                jobs.push(Job::new(label, move || {
+                    let mut gctx = ctx;
+                    gctx.array.geometry = geometry;
+                    gctx.array.stripe_unit_bytes = stripe;
+                    let ((app, seq), tms) = gctx.run_performance_metered(wl, policy);
+                    let row = DiskGenRow {
+                        generation: generation.to_string(),
+                        workload: wl.short_name().to_string(),
+                        policy: policy_name.to_string(),
+                        sequential_pct: seq.throughput_pct,
+                        application_pct: app.throughput_pct,
+                    };
+                    (row, PointMetrics::new(point_label, tms))
+                }));
             }
         }
     }
     let out = runner::run_jobs(ctx.jobs, jobs);
-    (DiskGenAblation { rows: out.results }, out.timings)
+    let (rows, metrics) = out.results.into_iter().unzip();
+    (DiskGenAblation { rows }, out.timings, ExperimentMetrics::new("ablation_disk_gen", metrics))
 }
 
 impl fmt::Display for DiskGenAblation {

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! usage: repro [EXPERIMENT ...] [--scale N] [--seed S] [--intervals K]
-//!              [--jobs J] [--json DIR]
+//!              [--jobs J] [--json DIR] [--explain]
 //!
 //! EXPERIMENT: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 table4 fig6 ablations diag all
 //!             (default: all)
@@ -14,15 +14,20 @@
 //! --jobs J:      worker threads for the sweep-point runner (default: the
 //!                machine's available parallelism; results are bit-identical
 //!                at any J)
-//! --json DIR:    also write each result as DIR/<experiment>.json, plus the
-//!                timing profile as DIR/profile.json
+//! --json DIR:    also write each result as DIR/<experiment>.json plus its
+//!                observability sidecar DIR/<experiment>.metrics.json, and
+//!                the timing profile as DIR/profile.json
+//! --explain:     print each experiment's per-phase disk-time breakdown
+//!                (seek / rotation / transfer / queue wait per sweep point)
+//!                and the Wren IV analytic cross-check against Table 1
 //! ```
 
+use readopt_core::metrics::{cross_check_table, wren_iv_cross_check};
 use readopt_core::report::TextTable;
 use readopt_core::runner::{self, JobTiming};
 use readopt_core::{
     ablations, diag, fig1, fig2, fig3, fig4, fig5, fig6, table1, table2, table3, table4,
-    ExperimentContext,
+    ExperimentContext, ExperimentMetrics,
 };
 use serde::Serialize;
 use std::io::Write;
@@ -35,6 +40,7 @@ struct Options {
     intervals: Option<usize>,
     jobs: Option<usize>,
     json_dir: Option<String>,
+    explain: bool,
 }
 
 /// Wall-clock account of one experiment run: total plus per-sweep-point
@@ -51,7 +57,32 @@ struct ExperimentProfile {
 struct RunProfile {
     jobs: usize,
     total_wall_s: f64,
+    /// Wall-clock cost of one observability snapshot relative to the
+    /// simulation work it describes (see `measure_metrics_overhead_pct`).
+    metrics_overhead_pct: f64,
     experiments: Vec<ExperimentProfile>,
+}
+
+/// Measures the marginal wall-clock cost of the observability layer: the
+/// always-on counters are plain field increments on paths that already do
+/// arithmetic, so the snapshot (a pure read taken once per test) is the only
+/// extra work. Calibration probe: a TS allocation test at 1/64 scale vs. 32
+/// averaged snapshots of its end state.
+fn measure_metrics_overhead_pct() -> f64 {
+    use readopt_alloc::PolicyConfig;
+    use readopt_workloads::WorkloadKind;
+    let ctx = ExperimentContext::fast(64);
+    let cfg = ctx.sim_config(WorkloadKind::Timesharing, PolicyConfig::paper_restricted());
+    let mut sim = readopt_sim::Simulation::new(&cfg, ctx.seed);
+    let t0 = Instant::now();
+    let _ = sim.run_allocation_test();
+    let run_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    for _ in 0..32 {
+        std::hint::black_box(sim.metrics_snapshot("allocation", sim.now().as_ms()));
+    }
+    let snap_s = t1.elapsed().as_secs_f64() / 32.0;
+    100.0 * snap_s / run_s.max(1e-9)
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -62,6 +93,7 @@ fn parse_args() -> Result<Options, String> {
         intervals: None,
         jobs: None,
         json_dir: None,
+        explain: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -101,6 +133,9 @@ fn parse_args() -> Result<Options, String> {
             }
             "--json" => {
                 opts.json_dir = Some(args.next().ok_or("--json needs a directory")?);
+            }
+            "--explain" => {
+                opts.explain = true;
             }
             "--help" | "-h" => {
                 return Err("help".into());
@@ -167,7 +202,7 @@ fn main() {
                 eprintln!("error: {e}\n");
             }
             eprintln!(
-                "usage: repro [EXPERIMENT ...] [--scale N] [--seed S] [--intervals K] [--jobs J] [--json DIR]\n\
+                "usage: repro [EXPERIMENT ...] [--scale N] [--seed S] [--intervals K] [--jobs J] [--json DIR] [--explain]\n\
                  experiments: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 table4 fig6 ablations diag all"
             );
             std::process::exit(if e == "help" { 0 } else { 2 });
@@ -201,7 +236,7 @@ fn main() {
 
     // Each arm runs one experiment's profiled driver, prints its table (and
     // chart where the figure has one), records the timing profile, and
-    // writes the JSON artifact.
+    // writes the JSON artifact plus its metrics sidecar.
     macro_rules! experiment {
         ($name:literal, $body:expr) => {
             experiment!($name, $body, |_result| {});
@@ -209,12 +244,18 @@ fn main() {
         ($name:literal, $body:expr, $chart:expr) => {
             if wants($name) {
                 let t0 = Instant::now();
-                let (result, timings) = $body;
+                let (result, timings, metrics) = $body;
                 println!("{result}");
                 #[allow(clippy::redundant_closure_call)]
                 ($chart)(&result);
+                if opts.explain && !metrics.points.is_empty() {
+                    println!("{}", metrics.phase_table());
+                }
                 println!("  [{} finished in {:.1}s]\n", $name, t0.elapsed().as_secs_f64());
                 write_json(&opts.json_dir, $name, &result);
+                if !metrics.points.is_empty() {
+                    write_json(&opts.json_dir, concat!($name, ".metrics"), &metrics);
+                }
                 profiles.push(ExperimentProfile {
                     experiment: $name.to_string(),
                     wall_s: t0.elapsed().as_secs_f64(),
@@ -226,9 +267,10 @@ fn main() {
     }
 
     // table1/table2 are parameter dumps with no sweep to fan out; they run
-    // inline and appear in the profile with no per-point breakdown.
-    experiment!("table1", (table1::run(&ctx), Vec::new()));
-    experiment!("table2", (table2::run(&ctx), Vec::new()));
+    // inline and appear in the profile with no per-point breakdown and an
+    // empty metrics sidecar (nothing to decompose).
+    experiment!("table1", (table1::run(&ctx), Vec::new(), ExperimentMetrics::empty("table1")));
+    experiment!("table2", (table2::run(&ctx), Vec::new(), ExperimentMetrics::empty("table2")));
     experiment!("diag", diag::run_profiled(&ctx));
     experiment!("table3", table3::run_profiled(&ctx));
     experiment!("fig1", fig1::run_profiled(&ctx), |r: &fig1::Fig1| println!("{}", r.chart()));
@@ -243,9 +285,13 @@ fn main() {
         let mut timings = Vec::new();
         macro_rules! ablation {
             ($json_name:literal, $body:expr) => {{
-                let (result, t) = $body;
+                let (result, t, metrics) = $body;
                 println!("{result}");
+                if opts.explain && !metrics.points.is_empty() {
+                    println!("{}", metrics.phase_table());
+                }
                 write_json(&opts.json_dir, $json_name, &result);
+                write_json(&opts.json_dir, concat!($json_name, ".metrics"), &metrics);
                 timings.extend(t);
             }};
         }
@@ -270,8 +316,18 @@ fn main() {
         std::process::exit(2);
     }
 
+    if opts.explain {
+        // Ground the phase tables above: on an idle single Wren IV, the
+        // measured per-phase averages must match the Table 1 analytics.
+        println!("{}", cross_check_table(&wren_iv_cross_check(20_000, ctx.seed)));
+    }
+
     println!("{}", profile_table(&profiles, jobs));
-    let profile =
-        RunProfile { jobs, total_wall_s: t_start.elapsed().as_secs_f64(), experiments: profiles };
+    let profile = RunProfile {
+        jobs,
+        total_wall_s: t_start.elapsed().as_secs_f64(),
+        metrics_overhead_pct: measure_metrics_overhead_pct(),
+        experiments: profiles,
+    };
     write_json(&opts.json_dir, "profile", &profile);
 }

@@ -2,7 +2,7 @@
 
 use readopt_alloc::PolicyConfig;
 use readopt_disk::ArrayConfig;
-use readopt_sim::{FragReport, PerfReport, SimConfig, Simulation};
+use readopt_sim::{FragReport, PerfReport, SimConfig, Simulation, TestMetrics};
 use readopt_workloads::WorkloadKind;
 use serde::{Deserialize, Serialize};
 
@@ -60,8 +60,22 @@ impl ExperimentContext {
 
     /// Runs the §3 allocation test for one pair.
     pub fn run_allocation(&self, workload: WorkloadKind, policy: PolicyConfig) -> FragReport {
+        self.run_allocation_metered(workload, policy).0
+    }
+
+    /// Like [`Self::run_allocation`] but also snapshots the observability
+    /// view. The simulation call sequence is identical (snapshots are pure
+    /// reads), so the report is bit-identical to the unmetered run.
+    pub fn run_allocation_metered(
+        &self,
+        workload: WorkloadKind,
+        policy: PolicyConfig,
+    ) -> (FragReport, TestMetrics) {
         let cfg = self.sim_config(workload, policy);
-        Simulation::new(&cfg, self.seed).run_allocation_test()
+        let mut sim = Simulation::new(&cfg, self.seed);
+        let frag = sim.run_allocation_test();
+        let metrics = sim.metrics_snapshot("allocation", sim.now().as_ms());
+        (frag, metrics)
     }
 
     /// Runs the §3 application + sequential tests for one pair (one
@@ -71,11 +85,29 @@ impl ExperimentContext {
         workload: WorkloadKind,
         policy: PolicyConfig,
     ) -> (PerfReport, PerfReport) {
+        self.run_performance_metered(workload, policy).0
+    }
+
+    /// Like [`Self::run_performance`] but also snapshots the observability
+    /// view after each test. Counter/stat resets between tests touch no
+    /// simulation state (clock, queue, RNG, head positions all persist), so
+    /// the reports are bit-identical to the unmetered run.
+    pub fn run_performance_metered(
+        &self,
+        workload: WorkloadKind,
+        policy: PolicyConfig,
+    ) -> ((PerfReport, PerfReport), Vec<TestMetrics>) {
         let cfg = self.sim_config(workload, policy);
         let mut sim = Simulation::new(&cfg, self.seed.wrapping_add(1));
+        sim.reset_counters();
+        sim.storage_reset_for_probe();
         let app = sim.run_application_test();
+        let m_app = sim.metrics_snapshot("application", app.measured_ms);
+        sim.reset_counters();
+        sim.storage_reset_for_probe();
         let seq = sim.run_sequential_test();
-        (app, seq)
+        let m_seq = sim.metrics_snapshot("sequential", seq.measured_ms);
+        ((app, seq), vec![m_app, m_seq])
     }
 
     /// The extent-based policy for `workload` with `n` ranges and the given

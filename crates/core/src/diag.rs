@@ -9,6 +9,7 @@
 
 use crate::context::ExperimentContext;
 use crate::fig6::policies_for;
+use crate::metrics::{ExperimentMetrics, PointMetrics};
 use crate::report::{pct, TextTable};
 use crate::runner::{self, Job, JobTiming};
 use readopt_sim::Simulation;
@@ -50,8 +51,9 @@ pub fn run(ctx: &ExperimentContext) -> Diag {
     run_profiled(ctx).0
 }
 
-/// As [`run`], also returning per-cell wall-clock timings.
-pub fn run_profiled(ctx: &ExperimentContext) -> (Diag, Vec<JobTiming>) {
+/// As [`run`], also returning per-cell wall-clock timings and the
+/// observability sidecar (the same snapshots the rows are derived from).
+pub fn run_profiled(ctx: &ExperimentContext) -> (Diag, Vec<JobTiming>, ExperimentMetrics) {
     let ctx = *ctx;
     let mut jobs = Vec::new();
     for wl in [
@@ -60,30 +62,34 @@ pub fn run_profiled(ctx: &ExperimentContext) -> (Diag, Vec<JobTiming>) {
         WorkloadKind::Timesharing,
     ] {
         for (name, policy) in policies_for(&ctx, wl) {
-            jobs.push(Job::new(format!("diag/{}/{name}", wl.short_name()), move || {
+            let label = format!("diag/{}/{name}", wl.short_name());
+            let point_label = label.clone();
+            jobs.push(Job::new(label, move || {
                 let cfg = ctx.sim_config(wl, policy);
                 let mut sim = Simulation::new(&cfg, ctx.seed.wrapping_add(1));
                 let app = sim.run_application_test();
-                let stats = sim.storage().stats();
-                let c = stats.combined();
-                let busy = c.busy_ms.max(1e-9);
-                DiagRow {
+                let tm = sim.metrics_snapshot("application", app.measured_ms);
+                let c = &tm.storage.combined;
+                let (seek, rotation, transfer) = c.phase_shares_pct();
+                let row = DiagRow {
                     workload: wl.short_name().to_string(),
                     policy: name,
                     application_pct: app.throughput_pct,
-                    seek_share_pct: 100.0 * c.seek_ms / busy,
-                    rotation_share_pct: 100.0 * c.rotational_ms / busy,
-                    transfer_share_pct: 100.0 * c.transfer_ms / busy,
-                    avg_request_kb: c.bytes_total() as f64 / c.requests.max(1) as f64 / 1024.0,
-                    disk_utilization: (c.busy_ms
-                        / (stats.per_disk.len() as f64 * app.measured_ms.max(1e-9)))
-                    .min(1.0),
-                }
+                    seek_share_pct: seek,
+                    rotation_share_pct: rotation,
+                    transfer_share_pct: transfer,
+                    avg_request_kb: (c.bytes_read + c.bytes_written) as f64
+                        / c.requests.max(1) as f64
+                        / 1024.0,
+                    disk_utilization: tm.storage.combined.utilization,
+                };
+                (row, PointMetrics::new(point_label, vec![tm]))
             }));
         }
     }
     let out = runner::run_jobs(ctx.jobs, jobs);
-    (Diag { rows: out.results }, out.timings)
+    let (rows, metrics) = out.results.into_iter().unzip();
+    (Diag { rows }, out.timings, ExperimentMetrics::new("diag", metrics))
 }
 
 impl fmt::Display for Diag {

@@ -8,6 +8,7 @@
 //! unclustered slightly worse external fragmentation.
 
 use crate::context::ExperimentContext;
+use crate::metrics::{ExperimentMetrics, PointMetrics};
 use crate::report::{pct, BarChart, TextTable};
 use crate::runner::{self, Job, JobTiming};
 use readopt_alloc::{PolicyConfig, RestrictedConfig};
@@ -57,8 +58,9 @@ pub fn run(ctx: &ExperimentContext) -> Fig1 {
     run_profiled(ctx).0
 }
 
-/// As [`run`], also returning per-point wall-clock timings.
-pub fn run_profiled(ctx: &ExperimentContext) -> (Fig1, Vec<JobTiming>) {
+/// As [`run`], also returning per-point wall-clock timings and the
+/// observability sidecar (per-point metrics in sweep order).
+pub fn run_profiled(ctx: &ExperimentContext) -> (Fig1, Vec<JobTiming>, ExperimentMetrics) {
     run_sweep(ctx, &WorkloadKind::all(), &sweep_configs())
 }
 
@@ -68,36 +70,37 @@ pub fn run_sweep(
     ctx: &ExperimentContext,
     workloads: &[WorkloadKind],
     configs: &[(usize, u64, bool)],
-) -> (Fig1, Vec<JobTiming>) {
+) -> (Fig1, Vec<JobTiming>, ExperimentMetrics) {
     let ctx = *ctx;
     let mut jobs = Vec::new();
     for &wl in workloads {
         for &(nsizes, grow, clustered) in configs {
-            jobs.push(Job::new(
-                format!(
-                    "fig1/{}/n{nsizes}-g{grow}-{}",
-                    wl.short_name(),
-                    if clustered { "c" } else { "u" }
-                ),
-                move || {
-                    let policy = PolicyConfig::Restricted(RestrictedConfig::sweep_point(
-                        nsizes, grow, clustered,
-                    ));
-                    let frag = ctx.run_allocation(wl, policy);
-                    Fig1Point {
-                        workload: wl.short_name().to_string(),
-                        nsizes,
-                        grow_factor: grow,
-                        clustered,
-                        internal_pct: frag.internal_pct,
-                        external_pct: frag.external_pct,
-                    }
-                },
-            ));
+            let label = format!(
+                "fig1/{}/n{nsizes}-g{grow}-{}",
+                wl.short_name(),
+                if clustered { "c" } else { "u" }
+            );
+            let point_label = label.clone();
+            jobs.push(Job::new(label, move || {
+                let policy = PolicyConfig::Restricted(RestrictedConfig::sweep_point(
+                    nsizes, grow, clustered,
+                ));
+                let (frag, tm) = ctx.run_allocation_metered(wl, policy);
+                let point = Fig1Point {
+                    workload: wl.short_name().to_string(),
+                    nsizes,
+                    grow_factor: grow,
+                    clustered,
+                    internal_pct: frag.internal_pct,
+                    external_pct: frag.external_pct,
+                };
+                (point, PointMetrics::new(point_label, vec![tm]))
+            }));
         }
     }
     let out = runner::run_jobs(ctx.jobs, jobs);
-    (Fig1 { points: out.results }, out.timings)
+    let (points, metrics) = out.results.into_iter().unzip();
+    (Fig1 { points }, out.timings, ExperimentMetrics::new("fig1", metrics))
 }
 
 impl Fig1 {

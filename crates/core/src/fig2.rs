@@ -7,6 +7,7 @@
 
 use crate::context::ExperimentContext;
 use crate::fig1::sweep_configs;
+use crate::metrics::{ExperimentMetrics, PointMetrics};
 use crate::report::{pct, BarChart, TextTable};
 use crate::runner::{self, Job, JobTiming};
 use readopt_alloc::{PolicyConfig, RestrictedConfig};
@@ -43,8 +44,9 @@ pub fn run(ctx: &ExperimentContext) -> Fig2 {
     run_profiled(ctx).0
 }
 
-/// As [`run`], also returning per-point wall-clock timings.
-pub fn run_profiled(ctx: &ExperimentContext) -> (Fig2, Vec<JobTiming>) {
+/// As [`run`], also returning per-point wall-clock timings and the
+/// observability sidecar (per-point metrics in sweep order).
+pub fn run_profiled(ctx: &ExperimentContext) -> (Fig2, Vec<JobTiming>, ExperimentMetrics) {
     run_sweep(ctx, &WorkloadKind::all(), &sweep_configs())
 }
 
@@ -54,36 +56,37 @@ pub fn run_sweep(
     ctx: &ExperimentContext,
     workloads: &[WorkloadKind],
     configs: &[(usize, u64, bool)],
-) -> (Fig2, Vec<JobTiming>) {
+) -> (Fig2, Vec<JobTiming>, ExperimentMetrics) {
     let ctx = *ctx;
     let mut jobs = Vec::new();
     for &wl in workloads {
         for &(nsizes, grow, clustered) in configs {
-            jobs.push(Job::new(
-                format!(
-                    "fig2/{}/n{nsizes}-g{grow}-{}",
-                    wl.short_name(),
-                    if clustered { "c" } else { "u" }
-                ),
-                move || {
-                    let policy = PolicyConfig::Restricted(RestrictedConfig::sweep_point(
-                        nsizes, grow, clustered,
-                    ));
-                    let (app, seq) = ctx.run_performance(wl, policy);
-                    Fig2Point {
-                        workload: wl.short_name().to_string(),
-                        nsizes,
-                        grow_factor: grow,
-                        clustered,
-                        application_pct: app.throughput_pct,
-                        sequential_pct: seq.throughput_pct,
-                    }
-                },
-            ));
+            let label = format!(
+                "fig2/{}/n{nsizes}-g{grow}-{}",
+                wl.short_name(),
+                if clustered { "c" } else { "u" }
+            );
+            let point_label = label.clone();
+            jobs.push(Job::new(label, move || {
+                let policy = PolicyConfig::Restricted(RestrictedConfig::sweep_point(
+                    nsizes, grow, clustered,
+                ));
+                let ((app, seq), tms) = ctx.run_performance_metered(wl, policy);
+                let point = Fig2Point {
+                    workload: wl.short_name().to_string(),
+                    nsizes,
+                    grow_factor: grow,
+                    clustered,
+                    application_pct: app.throughput_pct,
+                    sequential_pct: seq.throughput_pct,
+                };
+                (point, PointMetrics::new(point_label, tms))
+            }));
         }
     }
     let out = runner::run_jobs(ctx.jobs, jobs);
-    (Fig2 { points: out.results }, out.timings)
+    let (points, metrics) = out.results.into_iter().unzip();
+    (Fig2 { points }, out.timings, ExperimentMetrics::new("fig2", metrics))
 }
 
 impl Fig2 {

@@ -12,10 +12,12 @@
 //! and records where the physical layout breaks, plus the measured
 //! single-stream sequential read time of the resulting file.
 
+use crate::metrics::{ExperimentMetrics, PointMetrics};
 use crate::report::TextTable;
 use crate::runner::{self, Job, JobTiming};
 use readopt_alloc::{FileHints, Policy, RestrictedPolicy};
 use readopt_disk::{ArrayConfig, IoRequest, SimTime};
+use readopt_sim::{AllocGauges, StorageMetrics, TestMetrics};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -55,8 +57,8 @@ pub fn run() -> Fig3 {
 }
 
 /// As [`run`], fanning the two grow-factor traces across `jobs` threads and
-/// returning per-trace timings.
-pub fn run_profiled(jobs: usize) -> (Fig3, Vec<JobTiming>) {
+/// returning per-trace timings and the observability sidecar.
+pub fn run_profiled(jobs: usize) -> (Fig3, Vec<JobTiming>, ExperimentMetrics) {
     run_with_jobs(&[8 * KB, 64 * KB, 1024 * KB], 128 * KB, jobs)
 }
 
@@ -66,7 +68,11 @@ pub fn run_with(ladder_bytes: &[u64], target_bytes: u64) -> Fig3 {
     run_with_jobs(ladder_bytes, target_bytes, 1).0
 }
 
-fn run_with_jobs(ladder_bytes: &[u64], target_bytes: u64, jobs: usize) -> (Fig3, Vec<JobTiming>) {
+fn run_with_jobs(
+    ladder_bytes: &[u64],
+    target_bytes: u64,
+    jobs: usize,
+) -> (Fig3, Vec<JobTiming>, ExperimentMetrics) {
     let job_list = [1u64, 2]
         .into_iter()
         .map(|grow| {
@@ -75,10 +81,11 @@ fn run_with_jobs(ladder_bytes: &[u64], target_bytes: u64, jobs: usize) -> (Fig3,
         })
         .collect();
     let out = runner::run_jobs(jobs, job_list);
-    (Fig3 { rows: out.results }, out.timings)
+    let (rows, metrics) = out.results.into_iter().unzip();
+    (Fig3 { rows }, out.timings, ExperimentMetrics::new("fig3", metrics))
 }
 
-fn trace_grow(ladder_bytes: &[u64], target_bytes: u64, grow: u64) -> Fig3Row {
+fn trace_grow(ladder_bytes: &[u64], target_bytes: u64, grow: u64) -> (Fig3Row, PointMetrics) {
     let array = ArrayConfig::scaled(16);
     let unit = array.disk_unit_bytes;
     let sizes_units: Vec<u64> = ladder_bytes.iter().map(|&b| b / unit).collect();
@@ -113,14 +120,30 @@ fn trace_grow(ladder_bytes: &[u64], target_bytes: u64, grow: u64) -> Fig3Row {
     for e in policy.file_map(file).expect("file is live").extents() {
         t = storage.submit(t, &IoRequest::read(e.start, e.len)).end;
     }
-    Fig3Row {
+    let row = Fig3Row {
         grow_factor: grow,
         break_points_bytes: break_points,
         extents: policy.extent_count(file).expect("file is live"),
         file_bytes: logical * unit,
         allocated_bytes: policy.allocated_units(file).expect("file is live") * unit,
         sequential_read_ms: t.as_ms(),
-    }
+    };
+    // The trace drives the array directly (no Simulation), so derive the
+    // observability view straight from the array and policy counters.
+    let frag = policy.frag_gauges();
+    let capacity = array.capacity_units();
+    let tm = TestMetrics {
+        test: "trace".into(),
+        window_ms: t.as_ms(),
+        storage: StorageMetrics::from_stats(&storage.stats(), t.as_ms()),
+        engine: Default::default(),
+        alloc: AllocGauges {
+            policy: "restricted".into(),
+            utilization: 1.0 - frag.free_units as f64 / capacity as f64,
+            frag,
+        },
+    };
+    (row, PointMetrics::new(format!("fig3/g{grow}"), vec![tm]))
 }
 
 impl fmt::Display for Fig3 {

@@ -7,6 +7,7 @@
 //! 5 %"; best-fit consistently fragments (slightly) less.
 
 use crate::context::ExperimentContext;
+use crate::metrics::{ExperimentMetrics, PointMetrics};
 use crate::report::{pct, BarChart, TextTable};
 use crate::runner::{self, Job, JobTiming};
 use readopt_alloc::FitStrategy;
@@ -43,33 +44,35 @@ pub fn run(ctx: &ExperimentContext) -> Fig4 {
     run_profiled(ctx).0
 }
 
-/// As [`run`], also returning per-point wall-clock timings.
-pub fn run_profiled(ctx: &ExperimentContext) -> (Fig4, Vec<JobTiming>) {
+/// As [`run`], also returning per-point wall-clock timings and the
+/// observability sidecar (per-point metrics in sweep order).
+pub fn run_profiled(ctx: &ExperimentContext) -> (Fig4, Vec<JobTiming>, ExperimentMetrics) {
     let ctx = *ctx;
     let mut jobs = Vec::new();
     for wl in WorkloadKind::all() {
         for n_ranges in 1..=5usize {
             for fit in [FitStrategy::FirstFit, FitStrategy::BestFit] {
-                jobs.push(Job::new(
-                    format!("fig4/{}/r{n_ranges}-{fit:?}", wl.short_name()),
-                    move || {
-                        let policy = ctx.extent_policy(wl, n_ranges, fit);
-                        let frag = ctx.run_allocation(wl, policy);
-                        Fig4Point {
-                            workload: wl.short_name().to_string(),
-                            n_ranges,
-                            fit,
-                            internal_pct: frag.internal_pct,
-                            external_pct: frag.external_pct,
-                            avg_extents_per_file: frag.avg_extents_per_file,
-                        }
-                    },
-                ));
+                let label = format!("fig4/{}/r{n_ranges}-{fit:?}", wl.short_name());
+                let point_label = label.clone();
+                jobs.push(Job::new(label, move || {
+                    let policy = ctx.extent_policy(wl, n_ranges, fit);
+                    let (frag, tm) = ctx.run_allocation_metered(wl, policy);
+                    let point = Fig4Point {
+                        workload: wl.short_name().to_string(),
+                        n_ranges,
+                        fit,
+                        internal_pct: frag.internal_pct,
+                        external_pct: frag.external_pct,
+                        avg_extents_per_file: frag.avg_extents_per_file,
+                    };
+                    (point, PointMetrics::new(point_label, vec![tm]))
+                }));
             }
         }
     }
     let out = runner::run_jobs(ctx.jobs, jobs);
-    (Fig4 { points: out.results }, out.timings)
+    let (points, metrics) = out.results.into_iter().unzip();
+    (Fig4 { points }, out.timings, ExperimentMetrics::new("fig4", metrics))
 }
 
 impl Fig4 {

@@ -7,6 +7,7 @@
 //! out (Table 4).
 
 use crate::context::ExperimentContext;
+use crate::metrics::{ExperimentMetrics, PointMetrics};
 use crate::report::{pct, BarChart, TextTable};
 use crate::runner::{self, Job, JobTiming};
 use readopt_alloc::FitStrategy;
@@ -43,33 +44,35 @@ pub fn run(ctx: &ExperimentContext) -> Fig5 {
     run_profiled(ctx).0
 }
 
-/// As [`run`], also returning per-point wall-clock timings.
-pub fn run_profiled(ctx: &ExperimentContext) -> (Fig5, Vec<JobTiming>) {
+/// As [`run`], also returning per-point wall-clock timings and the
+/// observability sidecar (per-point metrics in sweep order).
+pub fn run_profiled(ctx: &ExperimentContext) -> (Fig5, Vec<JobTiming>, ExperimentMetrics) {
     let ctx = *ctx;
     let mut jobs = Vec::new();
     for wl in WorkloadKind::all() {
         for n_ranges in 1..=5usize {
             for fit in [FitStrategy::FirstFit, FitStrategy::BestFit] {
-                jobs.push(Job::new(
-                    format!("fig5/{}/r{n_ranges}-{fit:?}", wl.short_name()),
-                    move || {
-                        let policy = ctx.extent_policy(wl, n_ranges, fit);
-                        let (app, seq) = ctx.run_performance(wl, policy);
-                        Fig5Point {
-                            workload: wl.short_name().to_string(),
-                            n_ranges,
-                            fit,
-                            application_pct: app.throughput_pct,
-                            sequential_pct: seq.throughput_pct,
-                            avg_extents_per_file: seq.avg_extents_per_file,
-                        }
-                    },
-                ));
+                let label = format!("fig5/{}/r{n_ranges}-{fit:?}", wl.short_name());
+                let point_label = label.clone();
+                jobs.push(Job::new(label, move || {
+                    let policy = ctx.extent_policy(wl, n_ranges, fit);
+                    let ((app, seq), tms) = ctx.run_performance_metered(wl, policy);
+                    let point = Fig5Point {
+                        workload: wl.short_name().to_string(),
+                        n_ranges,
+                        fit,
+                        application_pct: app.throughput_pct,
+                        sequential_pct: seq.throughput_pct,
+                        avg_extents_per_file: seq.avg_extents_per_file,
+                    };
+                    (point, PointMetrics::new(point_label, tms))
+                }));
             }
         }
     }
     let out = runner::run_jobs(ctx.jobs, jobs);
-    (Fig5 { points: out.results }, out.timings)
+    let (points, metrics) = out.results.into_iter().unzip();
+    (Fig5 { points }, out.timings, ExperimentMetrics::new("fig5", metrics))
 }
 
 impl Fig5 {

@@ -13,6 +13,7 @@
 //! application via its enormous blocks.
 
 use crate::context::ExperimentContext;
+use crate::metrics::{ExperimentMetrics, PointMetrics};
 use crate::report::{pct, BarChart, TextTable};
 use crate::runner::{self, Job, JobTiming};
 use readopt_alloc::{FitStrategy, PolicyConfig};
@@ -58,8 +59,9 @@ pub fn run(ctx: &ExperimentContext) -> Fig6 {
     run_profiled(ctx).0
 }
 
-/// As [`run`], also returning per-cell wall-clock timings.
-pub fn run_profiled(ctx: &ExperimentContext) -> (Fig6, Vec<JobTiming>) {
+/// As [`run`], also returning per-cell wall-clock timings and the
+/// observability sidecar (per-cell metrics in sweep order).
+pub fn run_profiled(ctx: &ExperimentContext) -> (Fig6, Vec<JobTiming>, ExperimentMetrics) {
     let ctx = *ctx;
     let mut jobs = Vec::new();
     for wl in [
@@ -68,19 +70,23 @@ pub fn run_profiled(ctx: &ExperimentContext) -> (Fig6, Vec<JobTiming>) {
         WorkloadKind::Timesharing,
     ] {
         for (name, policy) in policies_for(&ctx, wl) {
-            jobs.push(Job::new(format!("fig6/{}/{name}", wl.short_name()), move || {
-                let (app, seq) = ctx.run_performance(wl, policy);
-                Fig6Cell {
+            let label = format!("fig6/{}/{name}", wl.short_name());
+            let point_label = label.clone();
+            jobs.push(Job::new(label, move || {
+                let ((app, seq), tms) = ctx.run_performance_metered(wl, policy);
+                let cell = Fig6Cell {
                     workload: wl.short_name().to_string(),
                     policy: name,
                     application_pct: app.throughput_pct,
                     sequential_pct: seq.throughput_pct,
-                }
+                };
+                (cell, PointMetrics::new(point_label, tms))
             }));
         }
     }
     let out = runner::run_jobs(ctx.jobs, jobs);
-    (Fig6 { cells: out.results }, out.timings)
+    let (cells, metrics) = out.results.into_iter().unzip();
+    (Fig6 { cells }, out.timings, ExperimentMetrics::new("fig6", metrics))
 }
 
 impl Fig6 {

@@ -41,6 +41,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
+pub mod metrics;
 pub mod report;
 pub mod runner;
 pub mod table1;
@@ -49,3 +50,4 @@ pub mod table3;
 pub mod table4;
 
 pub use context::ExperimentContext;
+pub use metrics::{ExperimentMetrics, PointMetrics};

@@ -9,6 +9,7 @@
 //! | TS       | 18.4 %   |  2.3 %   |  8.4 %      | 12.0 %     |
 
 use crate::context::ExperimentContext;
+use crate::metrics::{ExperimentMetrics, PointMetrics};
 use crate::report::{pct, TextTable};
 use crate::runner::{self, Job, JobTiming};
 use readopt_alloc::PolicyConfig;
@@ -43,31 +44,37 @@ pub fn run(ctx: &ExperimentContext) -> Table3 {
     run_profiled(ctx).0
 }
 
-/// As [`run`], also returning per-point wall-clock timings. The allocation
-/// and performance tests of each workload are independent simulations, so
-/// they fan out as separate jobs (6 total).
-pub fn run_profiled(ctx: &ExperimentContext) -> (Table3, Vec<JobTiming>) {
+/// As [`run`], also returning per-point wall-clock timings and the
+/// observability sidecar. The allocation and performance tests of each
+/// workload are independent simulations, so they fan out as separate jobs
+/// (6 total).
+pub fn run_profiled(ctx: &ExperimentContext) -> (Table3, Vec<JobTiming>, ExperimentMetrics) {
     let ctx = *ctx;
     let workloads = [
         WorkloadKind::Supercomputer,
         WorkloadKind::TransactionProcessing,
         WorkloadKind::Timesharing,
     ];
-    let mut jobs: Vec<Job<(f64, f64)>> = Vec::new();
+    let mut jobs: Vec<Job<((f64, f64), PointMetrics)>> = Vec::new();
     for wl in workloads {
-        jobs.push(Job::new(format!("table3/{}/alloc", wl.short_name()), move || {
-            let frag = ctx.run_allocation(wl, PolicyConfig::paper_buddy());
-            (frag.internal_pct, frag.external_pct)
+        let alloc_label = format!("table3/{}/alloc", wl.short_name());
+        let alloc_point = alloc_label.clone();
+        jobs.push(Job::new(alloc_label, move || {
+            let (frag, tm) = ctx.run_allocation_metered(wl, PolicyConfig::paper_buddy());
+            ((frag.internal_pct, frag.external_pct), PointMetrics::new(alloc_point, vec![tm]))
         }));
-        jobs.push(Job::new(format!("table3/{}/perf", wl.short_name()), move || {
-            let (app, seq) = ctx.run_performance(wl, PolicyConfig::paper_buddy());
-            (app.throughput_pct, seq.throughput_pct)
+        let perf_label = format!("table3/{}/perf", wl.short_name());
+        let perf_point = perf_label.clone();
+        jobs.push(Job::new(perf_label, move || {
+            let ((app, seq), tms) = ctx.run_performance_metered(wl, PolicyConfig::paper_buddy());
+            ((app.throughput_pct, seq.throughput_pct), PointMetrics::new(perf_point, tms))
         }));
     }
     let out = runner::run_jobs(ctx.jobs, jobs);
+    let (values, metrics): (Vec<_>, Vec<_>) = out.results.into_iter().unzip();
     let rows = workloads
         .iter()
-        .zip(out.results.chunks_exact(2))
+        .zip(values.chunks_exact(2))
         .map(|(wl, pair)| Table3Row {
             workload: wl.short_name().to_string(),
             internal_pct: pair[0].0,
@@ -76,7 +83,7 @@ pub fn run_profiled(ctx: &ExperimentContext) -> (Table3, Vec<JobTiming>) {
             sequential_pct: pair[1].1,
         })
         .collect();
-    (Table3 { rows }, out.timings)
+    (Table3 { rows }, out.timings, ExperimentMetrics::new("table3", metrics))
 }
 
 impl fmt::Display for Table3 {

@@ -13,6 +13,7 @@
 //! | 5      | 162 | 108 | 6  |
 
 use crate::context::ExperimentContext;
+use crate::metrics::{ExperimentMetrics, PointMetrics};
 use crate::report::TextTable;
 use crate::runner::{self, Job, JobTiming};
 use readopt_alloc::FitStrategy;
@@ -47,9 +48,10 @@ pub fn run(ctx: &ExperimentContext) -> Table4 {
     run_profiled(ctx).0
 }
 
-/// As [`run`], also returning per-point wall-clock timings. Each of the 15
-/// (range count, workload) cells is an independent simulation job.
-pub fn run_profiled(ctx: &ExperimentContext) -> (Table4, Vec<JobTiming>) {
+/// As [`run`], also returning per-point wall-clock timings and the
+/// observability sidecar. Each of the 15 (range count, workload) cells is an
+/// independent simulation job.
+pub fn run_profiled(ctx: &ExperimentContext) -> (Table4, Vec<JobTiming>, ExperimentMetrics) {
     let ctx = *ctx;
     let mut jobs = Vec::new();
     for n_ranges in 1..=5usize {
@@ -58,18 +60,22 @@ pub fn run_profiled(ctx: &ExperimentContext) -> (Table4, Vec<JobTiming>) {
             WorkloadKind::TransactionProcessing,
             WorkloadKind::Timesharing,
         ] {
-            jobs.push(Job::new(format!("table4/{}/r{n_ranges}", wl.short_name()), move || {
+            let label = format!("table4/{}/r{n_ranges}", wl.short_name());
+            let point_label = label.clone();
+            jobs.push(Job::new(label, move || {
                 let policy = ctx.extent_policy(wl, n_ranges, FitStrategy::FirstFit);
-                ctx.run_allocation(wl, policy).avg_extents_per_file
+                let (frag, tm) = ctx.run_allocation_metered(wl, policy);
+                (frag.avg_extents_per_file, PointMetrics::new(point_label, vec![tm]))
             }));
         }
     }
     let out = runner::run_jobs(ctx.jobs, jobs);
+    let (values, metrics): (Vec<f64>, Vec<_>) = out.results.into_iter().unzip();
     let rows = (1..=5usize)
-        .zip(out.results.chunks_exact(3))
+        .zip(values.chunks_exact(3))
         .map(|(n_ranges, v)| Table4Row { n_ranges, sc: v[0], tp: v[1], ts: v[2] })
         .collect();
-    (Table4 { rows }, out.timings)
+    (Table4 { rows }, out.timings, ExperimentMetrics::new("table4", metrics))
 }
 
 impl fmt::Display for Table4 {

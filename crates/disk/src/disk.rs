@@ -5,6 +5,7 @@ use crate::mechanics::{service_breakdown, ServiceBreakdown};
 use crate::request::IoKind;
 use crate::stats::DiskStats;
 use crate::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
 
 /// One physical disk.
 ///
@@ -17,6 +18,10 @@ pub struct Disk {
     head_cylinder: u32,
     free_at: SimTime,
     stats: DiskStats,
+    /// Completion times of requests already accepted, oldest first. Used
+    /// only for queue-depth observation: entries at or before a new
+    /// request's ready time have drained and are pruned on arrival.
+    inflight: VecDeque<SimTime>,
 }
 
 impl Disk {
@@ -24,7 +29,13 @@ impl Disk {
     pub fn new(geom: DiskGeometry) -> Self {
         // simlint::allow(r3, "constructor contract: an invalid geometry is a caller bug, not a runtime condition")
         geom.validate().expect("invalid disk geometry");
-        Disk { geom, head_cylinder: 0, free_at: SimTime::ZERO, stats: DiskStats::default() }
+        Disk {
+            geom,
+            head_cylinder: 0,
+            free_at: SimTime::ZERO,
+            stats: DiskStats::default(),
+            inflight: VecDeque::new(),
+        }
     }
 
     /// The disk's geometry.
@@ -71,6 +82,11 @@ impl Disk {
             "request [{start_sector}, +{nsectors}) beyond disk end {}",
             self.geom.capacity_sectors()
         );
+        while self.inflight.front().is_some_and(|&done| done <= ready) {
+            self.inflight.pop_front();
+        }
+        self.stats.observe_queue_depth(self.inflight.len());
+
         let begin = self.free_at.max(ready);
         let b = service_breakdown(&self.geom, self.head_cylinder, begin.as_ms(), start_sector, nsectors);
         let end = begin + SimDuration::from_ms(b.total_ms());
@@ -88,9 +104,15 @@ impl Disk {
         self.stats.rotational_ms += b.rotational_ms;
         self.stats.transfer_ms += b.transfer_ms;
         self.stats.busy_ms += b.total_ms();
+        self.stats.head_switch_ms += b.head_switch_ms;
+        if begin > ready {
+            self.stats.queued_requests += 1;
+            self.stats.queue_wait_ms += begin.as_ms() - ready.as_ms();
+        }
 
         self.head_cylinder = self.geom.cylinder_of_sector(start_sector + nsectors - 1);
         self.free_at = end;
+        self.inflight.push_back(end);
         end
     }
 
@@ -182,6 +204,44 @@ mod tests {
         let s = d.stats();
         assert!((s.busy_ms - (s.seek_ms + s.rotational_ms + s.transfer_ms)).abs() < 1e-9);
         assert!(s.transfer_efficiency() > 0.0 && s.transfer_efficiency() < 1.0);
+    }
+
+    #[test]
+    fn queue_wait_accounts_time_behind_backlog() {
+        let mut d = disk();
+        let end1 = d.service(SimTime::ZERO, 0, 48, IoKind::Read);
+        let end2 = d.service(SimTime::ZERO, 480, 8, IoKind::Read);
+        let s = d.stats();
+        assert_eq!(s.queued_requests, 1, "only the second request waited");
+        assert!((s.queue_wait_ms - end1.as_ms()).abs() < 1e-9, "it waited for the whole first request");
+        // Queue wait is accounted separately from busy time.
+        assert!((s.busy_ms - (s.seek_ms + s.rotational_ms + s.transfer_ms)).abs() < 1e-9);
+        assert!(end2 > end1);
+    }
+
+    #[test]
+    fn queue_depth_histogram_counts_arrivals() {
+        let mut d = disk();
+        d.service(SimTime::ZERO, 0, 48, IoKind::Read); // arrives idle: depth 0
+        d.service(SimTime::ZERO, 480, 8, IoKind::Read); // behind 1
+        d.service(SimTime::ZERO, 960, 8, IoKind::Read); // behind 2
+        let far_future = d.free_at() + SimDuration::from_ms(1.0);
+        d.service(far_future, 0, 1, IoKind::Read); // backlog drained: depth 0
+        let h = &d.stats().queue_depth_hist;
+        assert_eq!(h[0], 2);
+        assert_eq!(h[1], 1);
+        assert_eq!(h[2], 1);
+        assert_eq!(h.iter().sum::<u64>(), d.stats().requests);
+    }
+
+    #[test]
+    fn head_switch_time_accumulates() {
+        let mut d = disk();
+        let spt = d.geometry().sectors_per_track();
+        d.service(SimTime::ZERO, 0, 2 * spt, IoKind::Read); // one intra-cylinder boundary
+        let s = d.stats();
+        assert!((s.head_switch_ms - d.geometry().head_switch_ms).abs() < 1e-9);
+        assert!(s.head_switch_ms <= s.transfer_ms);
     }
 
     #[test]

@@ -25,6 +25,10 @@ pub struct ServiceBreakdown {
     pub rotational_ms: f64,
     /// Media transfer including track/cylinder crossing penalties.
     pub transfer_ms: f64,
+    /// Head-switch penalties inside the transfer. Informational: this time
+    /// is a *subset* of `transfer_ms`, not an additional component, so
+    /// `total_ms` stays `seek + rotational + transfer`.
+    pub head_switch_ms: f64,
 }
 
 impl ServiceBreakdown {
@@ -32,6 +36,24 @@ impl ServiceBreakdown {
     pub fn total_ms(&self) -> f64 {
         self.seek_ms + self.rotational_ms + self.transfer_ms
     }
+}
+
+/// Head switches and cylinder crossings a contiguous run incurs.
+///
+/// A track boundary inside a cylinder costs a head switch; a cylinder
+/// boundary costs a single-track seek instead (the head assembly moves, so
+/// no separate switch is charged).
+fn crossing_counts(geom: &DiskGeometry, start_sector: u64, nsectors: u64) -> (u64, u64) {
+    if nsectors == 0 {
+        return (0, 0);
+    }
+    let spt = geom.sectors_per_track();
+    let tpc = geom.tracks_per_cylinder();
+    let first_track = start_sector / spt;
+    let last_track = (start_sector + nsectors - 1) / spt;
+    let track_crossings = last_track - first_track;
+    let cylinder_crossings = last_track / tpc - first_track / tpc;
+    (track_crossings - cylinder_crossings, cylinder_crossings)
 }
 
 /// Rotational phase of the platter at absolute time `at_ms`, expressed as a
@@ -79,14 +101,7 @@ pub fn transfer_time_ms(geom: &DiskGeometry, start_sector: u64, nsectors: u64) -
     if nsectors == 0 {
         return 0.0;
     }
-    let spt = geom.sectors_per_track();
-    let tpc = geom.tracks_per_cylinder();
-    let first_track = start_sector / spt;
-    let last_track = (start_sector + nsectors - 1) / spt;
-    let track_crossings = last_track - first_track;
-    let cylinder_crossings = last_track / tpc - first_track / tpc;
-    let head_switches = track_crossings - cylinder_crossings;
-
+    let (head_switches, cylinder_crossings) = crossing_counts(geom, start_sector, nsectors);
     nsectors as f64 * geom.sector_time_ms()
         + head_switches as f64 * geom.track_crossing_ms(false)
         + cylinder_crossings as f64 * geom.track_crossing_ms(true)
@@ -107,7 +122,9 @@ pub fn service_breakdown(
     let seek_ms = geom.seek_time_ms(head_cylinder, target.cylinder);
     let rotational_ms = rotational_latency_ms(geom, ready_ms + seek_ms, target.sector);
     let transfer_ms = transfer_time_ms(geom, start_sector, nsectors);
-    ServiceBreakdown { seek_ms, rotational_ms, transfer_ms }
+    let (head_switches, _) = crossing_counts(geom, start_sector, nsectors);
+    let head_switch_ms = head_switches as f64 * geom.track_crossing_ms(false);
+    ServiceBreakdown { seek_ms, rotational_ms, transfer_ms, head_switch_ms }
 }
 
 #[cfg(test)]
@@ -216,6 +233,25 @@ mod tests {
         assert!(b.rotational_ms >= 0.0 && b.rotational_ms < g.rotation_ms);
         assert!((b.transfer_ms - 4.0 * g.sector_time_ms()).abs() < 1e-12);
         assert!((b.total_ms() - (b.seek_ms + b.rotational_ms + b.transfer_ms)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn head_switch_component_is_subset_of_transfer() {
+        let g = g();
+        let per_cyl = g.sectors_per_track() * g.tracks_per_cylinder();
+        // A full cylinder crosses 8 intra-cylinder track boundaries.
+        let b = service_breakdown(&g, 0, 0.0, 0, per_cyl);
+        assert!((b.head_switch_ms - 8.0 * g.head_switch_ms).abs() < 1e-9);
+        assert!(b.head_switch_ms < b.transfer_ms, "switch time is inside transfer time");
+        // total_ms does NOT double-count the switch component.
+        assert!((b.total_ms() - (b.seek_ms + b.rotational_ms + b.transfer_ms)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_track_run_has_no_head_switch() {
+        let g = g();
+        let b = service_breakdown(&g, 0, 0.0, 3, 4);
+        assert_eq!(b.head_switch_ms, 0.0);
     }
 
     #[test]

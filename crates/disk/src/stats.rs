@@ -2,6 +2,10 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Number of buckets in [`DiskStats::queue_depth_hist`]: depths `0..=7`
+/// get their own bucket, the last bucket collects `8+`.
+pub const QUEUE_DEPTH_BUCKETS: usize = 9;
+
 /// Activity counters for one physical disk.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct DiskStats {
@@ -21,12 +25,34 @@ pub struct DiskStats {
     pub transfer_ms: f64,
     /// Total time the disk was busy (seek + latency + transfer).
     pub busy_ms: f64,
+    /// Head-switch penalties accumulated inside `transfer_ms` (a subset of
+    /// it, never an additional busy component).
+    pub head_switch_ms: f64,
+    /// Total time requests waited behind earlier work before the head
+    /// started serving them. Queue wait is *not* part of `busy_ms`.
+    pub queue_wait_ms: f64,
+    /// Requests that had to wait (arrived while the disk was busy).
+    pub queued_requests: u64,
+    /// Histogram of the in-flight queue depth observed at each request
+    /// arrival: bucket `i` counts arrivals that found `i` earlier requests
+    /// still in progress (last bucket = `QUEUE_DEPTH_BUCKETS - 1` or more).
+    /// Lazily sized: empty until the first observation.
+    pub queue_depth_hist: Vec<u64>,
 }
 
 impl DiskStats {
     /// Resets every counter to zero.
     pub fn reset(&mut self) {
         *self = DiskStats::default();
+    }
+
+    /// Records the queue depth seen by an arriving request.
+    pub fn observe_queue_depth(&mut self, depth: usize) {
+        if self.queue_depth_hist.is_empty() {
+            self.queue_depth_hist = vec![0; QUEUE_DEPTH_BUCKETS];
+        }
+        let bucket = depth.min(QUEUE_DEPTH_BUCKETS - 1);
+        self.queue_depth_hist[bucket] += 1;
     }
 
     /// Total bytes moved in either direction.
@@ -54,6 +80,17 @@ impl DiskStats {
         self.rotational_ms += other.rotational_ms;
         self.transfer_ms += other.transfer_ms;
         self.busy_ms += other.busy_ms;
+        self.head_switch_ms += other.head_switch_ms;
+        self.queue_wait_ms += other.queue_wait_ms;
+        self.queued_requests += other.queued_requests;
+        if !other.queue_depth_hist.is_empty() {
+            if self.queue_depth_hist.len() < other.queue_depth_hist.len() {
+                self.queue_depth_hist.resize(other.queue_depth_hist.len(), 0);
+            }
+            for (mine, theirs) in self.queue_depth_hist.iter_mut().zip(&other.queue_depth_hist) {
+                *mine += *theirs;
+            }
+        }
     }
 }
 
@@ -123,6 +160,36 @@ mod tests {
         assert_eq!(a.bytes_read, 40);
         assert_eq!(a.seek_ms, 3.0);
         assert_eq!(a.busy_ms, 12.0);
+    }
+
+    #[test]
+    fn merge_adds_queue_counters_and_histograms() {
+        let mut a = DiskStats { queue_wait_ms: 1.5, queued_requests: 2, ..Default::default() };
+        a.observe_queue_depth(0);
+        a.observe_queue_depth(3);
+        let mut b = DiskStats { queue_wait_ms: 0.5, queued_requests: 1, head_switch_ms: 2.0, ..Default::default() };
+        b.observe_queue_depth(3);
+        b.observe_queue_depth(100); // clamps into the overflow bucket
+        a.merge(&b);
+        assert_eq!(a.queue_wait_ms, 2.0);
+        assert_eq!(a.queued_requests, 3);
+        assert_eq!(a.head_switch_ms, 2.0);
+        assert_eq!(a.queue_depth_hist.len(), QUEUE_DEPTH_BUCKETS);
+        assert_eq!(a.queue_depth_hist[0], 1);
+        assert_eq!(a.queue_depth_hist[3], 2);
+        assert_eq!(a.queue_depth_hist[QUEUE_DEPTH_BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn merge_into_empty_histogram_adopts_shape() {
+        let mut a = DiskStats::default();
+        let mut b = DiskStats::default();
+        b.observe_queue_depth(1);
+        a.merge(&b);
+        assert_eq!(a.queue_depth_hist, b.queue_depth_hist);
+        // Merging an empty histogram leaves the shape alone.
+        a.merge(&DiskStats::default());
+        assert_eq!(a.queue_depth_hist[1], 1);
     }
 
     #[test]

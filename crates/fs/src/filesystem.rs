@@ -5,7 +5,7 @@ use crate::cache::{CacheConfig, CacheStats, PageCache};
 use crate::directory::{self, Node};
 use crate::error::FsError;
 use crate::handle::{Fd, HandleTable};
-use readopt_alloc::{FileHints, FileId, Policy, PolicyConfig};
+use readopt_alloc::{FileHints, FileId, FragGauges, Policy, PolicyConfig};
 use readopt_disk::{ArrayConfig, IoKind, IoRequest, SimTime, Storage};
 use serde::{Deserialize, Serialize};
 
@@ -70,6 +70,10 @@ pub struct FsStats {
     pub clock_ms: f64,
     /// Buffer-cache counters (zeros when no cache is configured).
     pub cache: CacheStats,
+    /// Pages currently resident in the buffer cache (0 when uncached).
+    pub cache_resident_pages: u64,
+    /// Allocator free-space fragmentation gauges.
+    pub frag: FragGauges,
 }
 
 /// A simulated file system (see the crate docs for an example).
@@ -400,6 +404,12 @@ impl FileSystem {
             files: self.files,
             clock_ms: self.clock.as_ms(),
             cache: self.cache.as_ref().map(|c| c.stats()).unwrap_or_default(),
+            cache_resident_pages: self
+                .cache
+                .as_ref()
+                .map(|c| c.resident_pages() as u64)
+                .unwrap_or_default(),
+            frag: self.policy.frag_gauges(),
         }
     }
 

@@ -5,6 +5,7 @@ use crate::config::SimConfig;
 use crate::event::{EventQueue, UserId};
 use crate::filetype::{FileTypeConfig, OpKind};
 use crate::measure::ThroughputMeter;
+use crate::metrics::{AllocGauges, EngineCounters, StorageMetrics, TestMetrics};
 use crate::results::{FragReport, PerfReport, SuiteReport};
 use crate::rng::SimRng;
 use readopt_alloc::{AllocError, Extent, FileHints, FileId, Policy};
@@ -75,6 +76,12 @@ pub struct Simulation {
     runs_scratch: Vec<Extent>,
     /// Scratch buffer for `run_reallocation`'s live-file snapshot.
     realloc_scratch: Vec<(FileId, u64)>,
+    /// Observability counters since the last [`Simulation::reset_counters`]
+    /// (plain integer increments on the hot path; `ops` and
+    /// `disk_full_events` deltas come from the baselines below).
+    counters: EngineCounters,
+    ops_at_counter_reset: u64,
+    disk_full_at_counter_reset: u64,
 }
 
 impl Simulation {
@@ -117,6 +124,9 @@ impl Simulation {
             latencies: Vec::with_capacity(16 * 1024),
             runs_scratch: Vec::new(),
             realloc_scratch: Vec::new(),
+            counters: EngineCounters::default(),
+            ops_at_counter_reset: 0,
+            disk_full_at_counter_reset: 0,
         };
         sim.initialize_files();
         sim
@@ -152,6 +162,41 @@ impl Simulation {
     /// in isolation.
     pub fn storage_reset_for_probe(&mut self) {
         self.storage.reset_stats();
+    }
+
+    /// Clears the engine's observability counters so the next test's
+    /// activity can be read in isolation. Simulation state is untouched.
+    pub fn reset_counters(&mut self) {
+        self.counters = EngineCounters::default();
+        self.ops_at_counter_reset = self.ops;
+        self.disk_full_at_counter_reset = self.disk_full_events;
+    }
+
+    /// Engine counters accumulated since the last [`Self::reset_counters`].
+    pub fn engine_counters(&self) -> EngineCounters {
+        EngineCounters {
+            operations: self.ops - self.ops_at_counter_reset,
+            disk_full_events: self.disk_full_events - self.disk_full_at_counter_reset,
+            ..self.counters.clone()
+        }
+    }
+
+    /// Snapshots the full observability view of the run so far: the disk
+    /// system's per-phase decomposition over `window_ms`, the engine
+    /// counters since the last reset, and the allocator's gauges. Pure
+    /// read — calling it changes no simulation state or RNG draw.
+    pub fn metrics_snapshot(&self, test: &str, window_ms: f64) -> TestMetrics {
+        TestMetrics {
+            test: test.to_string(),
+            window_ms,
+            storage: StorageMetrics::from_stats(&self.storage.stats(), window_ms),
+            engine: self.engine_counters(),
+            alloc: AllocGauges {
+                policy: self.policy.name().to_string(),
+                utilization: self.utilization(),
+                frag: self.policy.frag_gauges(),
+            },
+        }
     }
 
     fn to_units(&self, bytes: u64) -> u64 {
@@ -271,6 +316,7 @@ impl Simulation {
     /// operation's issue→completion latency is appended to `latencies`.
     fn step(&mut self, mode: Mode, meter: Option<&mut ThroughputMeter>) -> StepOutcome {
         let ev = self.queue.pop().unwrap_or_else(|| unreachable!("step called with an empty queue"));
+        self.counters.events += 1;
         self.clock = ev.time;
         let t_idx = self.users[ev.user.0 as usize];
         let outcome;
@@ -377,6 +423,7 @@ impl Simulation {
         if !io || size_units == 0 {
             return self.clock;
         }
+        self.counters.transfers += 1;
         // Reuse one scratch buffer for the extent-map lookup: this runs
         // once per simulated operation and a fresh Vec here dominated the
         // allocator profile.
@@ -600,6 +647,7 @@ impl Simulation {
             // disk back up when deletions drain it (no I/O charged, like
             // the initial fill).
             if steps.is_multiple_of(256) && self.utilization() < self.util_lower - 0.02 {
+                self.counters.refill_passes += 1;
                 self.fill_to_lower_bound();
             }
         }
@@ -837,6 +885,51 @@ mod tests {
             counts[0],
             counts[1]
         );
+    }
+
+    #[test]
+    fn metrics_snapshot_is_a_pure_read() {
+        let c = small_config(small_extent_policy());
+        let mut sim = Simulation::new(&c, 40);
+        sim.reset_counters();
+        sim.storage_reset_for_probe();
+        let perf = sim.run_application_test();
+        let a = sim.metrics_snapshot("application", perf.measured_ms);
+        let b = sim.metrics_snapshot("application", perf.measured_ms);
+        assert_eq!(a, b, "snapshotting twice yields identical views");
+        assert!(a.engine.events >= a.engine.operations);
+        assert!(a.engine.operations > 0);
+        assert!(a.engine.transfers > 0);
+        assert_eq!(a.storage.per_disk.len(), sim.storage().ndisks());
+        for d in &a.storage.per_disk {
+            assert!(d.utilization <= 1.0);
+            assert!((d.busy_ms - (d.seek_ms + d.rotational_ms + d.transfer_ms)).abs() < 1e-6);
+        }
+        assert_eq!(a.alloc.frag.free_units, sim.policy().free_units());
+    }
+
+    #[test]
+    fn metrics_layer_changes_no_results() {
+        // The acceptance bar for the observability layer: a run that
+        // resets/reads counters and takes snapshots produces the exact
+        // same reports as one that never touches the layer.
+        let c = small_config(small_extent_policy());
+        let mut plain = Simulation::new(&c, 41);
+        let p_app = plain.run_application_test();
+        let p_seq = plain.run_sequential_test();
+
+        let mut observed = Simulation::new(&c, 41);
+        observed.reset_counters();
+        observed.storage_reset_for_probe();
+        let o_app = observed.run_application_test();
+        let _ = observed.metrics_snapshot("application", o_app.measured_ms);
+        observed.reset_counters();
+        observed.storage_reset_for_probe();
+        let o_seq = observed.run_sequential_test();
+        let _ = observed.metrics_snapshot("sequential", o_seq.measured_ms);
+
+        assert_eq!(p_app, o_app);
+        assert_eq!(p_seq, o_seq);
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod engine;
 pub mod event;
 pub mod filetype;
 pub mod measure;
+pub mod metrics;
 pub mod results;
 pub mod rng;
 
@@ -53,5 +54,6 @@ pub use config::SimConfig;
 pub use engine::Simulation;
 pub use filetype::{FileTypeConfig, OpKind};
 pub use measure::ThroughputMeter;
+pub use metrics::{AllocGauges, DiskPhaseMetrics, EngineCounters, StorageMetrics, TestMetrics};
 pub use results::{FragReport, PerfReport, SuiteReport};
 pub use rng::SimRng;

@@ -123,7 +123,13 @@ impl ThroughputMeter {
         // The epsilon absorbs float noise when the spread is exactly at the
         // tolerance (e.g. 10.05 − 9.95 in binary floats).
         if hi - lo <= tolerance_pct + 1e-9 {
-            Some(pcts.iter().sum::<f64>() / window as f64)
+            // Accumulate in ascending interval order (r6: no unpinned
+            // f64 `sum()`).
+            let mut total = 0.0;
+            for p in &pcts {
+                total += p;
+            }
+            Some(total / window as f64)
         } else {
             None
         }
@@ -144,7 +150,13 @@ impl ThroughputMeter {
         }
         let lo = complete.saturating_sub(window);
         let n = complete - lo;
-        (lo..complete).map(|i| self.interval_pct(i, max_bytes_per_ms)).sum::<f64>() / n as f64
+        // Accumulate in ascending interval order (r6: no unpinned f64
+        // `sum()`).
+        let mut total = 0.0;
+        for i in lo..complete {
+            total += self.interval_pct(i, max_bytes_per_ms);
+        }
+        total / n as f64
     }
 }
 

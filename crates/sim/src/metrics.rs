@@ -1,0 +1,279 @@
+//! Deterministic observability snapshots: where simulated disk time went.
+//!
+//! The paper explains every throughput curve by decomposing disk time into
+//! seek, rotational latency, and transfer (§2.1, Table 1). This module turns
+//! the raw counters the lower layers already keep ([`DiskStats`],
+//! [`readopt_alloc::FragGauges`], engine counters) into a serializable
+//! per-test snapshot. Everything here is *derived* at snapshot time — taking
+//! a snapshot never touches simulation state, so results are bit-identical
+//! with or without the observability layer.
+
+use readopt_alloc::FragGauges;
+use readopt_disk::{DiskStats, StorageStats};
+use serde::{Deserialize, Serialize};
+
+/// One disk's per-phase service-time decomposition over a measurement
+/// window.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DiskPhaseMetrics {
+    /// Physical requests serviced.
+    pub requests: u64,
+    /// Requests that moved the head across cylinders.
+    pub seeks: u64,
+    /// Total seek time, ms.
+    pub seek_ms: f64,
+    /// Total rotational latency, ms.
+    pub rotational_ms: f64,
+    /// Total media transfer time, ms (includes head-switch penalties).
+    pub transfer_ms: f64,
+    /// Head-switch penalties inside `transfer_ms` (a subset, not an extra
+    /// busy component).
+    pub head_switch_ms: f64,
+    /// Total busy time: `seek + rotational + transfer`.
+    pub busy_ms: f64,
+    /// Time requests spent waiting behind earlier work (not busy time).
+    pub queue_wait_ms: f64,
+    /// Requests that had to wait.
+    pub queued_requests: u64,
+    /// Bytes read from the media.
+    pub bytes_read: u64,
+    /// Bytes written to the media.
+    pub bytes_written: u64,
+    /// `busy_ms / window_ms`, clamped to `[0, 1]` (0 for an empty window).
+    pub utilization: f64,
+    /// Queue-depth histogram observed at request arrivals (see
+    /// [`readopt_disk::QUEUE_DEPTH_BUCKETS`]); empty when idle all window.
+    pub queue_depth_hist: Vec<u64>,
+}
+
+impl DiskPhaseMetrics {
+    /// Derives the decomposition from raw counters over `window_ms`.
+    pub fn from_stats(d: &DiskStats, window_ms: f64) -> Self {
+        let utilization =
+            if window_ms > 0.0 { (d.busy_ms / window_ms).clamp(0.0, 1.0) } else { 0.0 };
+        DiskPhaseMetrics {
+            requests: d.requests,
+            seeks: d.seeks,
+            seek_ms: d.seek_ms,
+            rotational_ms: d.rotational_ms,
+            transfer_ms: d.transfer_ms,
+            head_switch_ms: d.head_switch_ms,
+            busy_ms: d.busy_ms,
+            queue_wait_ms: d.queue_wait_ms,
+            queued_requests: d.queued_requests,
+            bytes_read: d.bytes_read,
+            bytes_written: d.bytes_written,
+            utilization,
+            queue_depth_hist: d.queue_depth_hist.clone(),
+        }
+    }
+
+    /// Mean seek time per request, ms (0 when idle).
+    pub fn avg_seek_ms(&self) -> f64 {
+        per_request(self.seek_ms, self.requests)
+    }
+
+    /// Mean rotational latency per request, ms.
+    pub fn avg_rotational_ms(&self) -> f64 {
+        per_request(self.rotational_ms, self.requests)
+    }
+
+    /// Mean transfer time per request, ms.
+    pub fn avg_transfer_ms(&self) -> f64 {
+        per_request(self.transfer_ms, self.requests)
+    }
+
+    /// Mean queue wait per request, ms.
+    pub fn avg_queue_wait_ms(&self) -> f64 {
+        per_request(self.queue_wait_ms, self.requests)
+    }
+
+    /// Percentage of busy time in each phase: `(seek, rotational,
+    /// transfer)`; zeros when the disk never worked.
+    pub fn phase_shares_pct(&self) -> (f64, f64, f64) {
+        if self.busy_ms <= 0.0 {
+            (0.0, 0.0, 0.0)
+        } else {
+            (
+                100.0 * self.seek_ms / self.busy_ms,
+                100.0 * self.rotational_ms / self.busy_ms,
+                100.0 * self.transfer_ms / self.busy_ms,
+            )
+        }
+    }
+}
+
+fn per_request(total_ms: f64, requests: u64) -> f64 {
+    if requests == 0 {
+        0.0
+    } else {
+        total_ms / requests as f64
+    }
+}
+
+/// Array-wide decomposition: per-disk plus the combined view and the
+/// logical-level request accounting.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StorageMetrics {
+    /// Per-physical-disk decomposition, indexed by disk.
+    pub per_disk: Vec<DiskPhaseMetrics>,
+    /// Element-wise sum over all disks (utilization is the mean).
+    pub combined: DiskPhaseMetrics,
+    /// Logical read requests submitted to the array.
+    pub logical_reads: u64,
+    /// Logical write requests submitted to the array.
+    pub logical_writes: u64,
+    /// Logical bytes read.
+    pub logical_bytes_read: u64,
+    /// Logical bytes written.
+    pub logical_bytes_written: u64,
+    /// Physical-over-logical write amplification.
+    pub write_amplification: f64,
+}
+
+impl StorageMetrics {
+    /// Derives array metrics from raw counters over `window_ms`.
+    pub fn from_stats(s: &StorageStats, window_ms: f64) -> Self {
+        let per_disk: Vec<DiskPhaseMetrics> =
+            s.per_disk.iter().map(|d| DiskPhaseMetrics::from_stats(d, window_ms)).collect();
+        let mut combined = DiskPhaseMetrics::from_stats(&s.combined(), window_ms);
+        // The combined utilization is the mean over disks, not busy/window
+        // (which for an N-disk array could reach N).
+        combined.utilization = if per_disk.is_empty() {
+            0.0
+        } else {
+            let mut sum = 0.0;
+            for d in &per_disk {
+                sum += d.utilization;
+            }
+            sum / per_disk.len() as f64
+        };
+        StorageMetrics {
+            per_disk,
+            combined,
+            logical_reads: s.logical_reads,
+            logical_writes: s.logical_writes,
+            logical_bytes_read: s.logical_bytes_read,
+            logical_bytes_written: s.logical_bytes_written,
+            write_amplification: s.write_amplification(),
+        }
+    }
+}
+
+/// Event-engine activity counters for one test run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineCounters {
+    /// Events popped from the event queue.
+    pub events: u64,
+    /// Operations executed against files.
+    pub operations: u64,
+    /// Logical transfers that reached the disk system.
+    pub transfers: u64,
+    /// Allocation failures observed.
+    pub disk_full_events: u64,
+    /// Mid-measurement refill passes (utilization dipped below the lower
+    /// bound and the disk was topped back up).
+    pub refill_passes: u64,
+}
+
+/// Allocation-policy gauges at snapshot time.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AllocGauges {
+    /// Policy name ("buddy", "extent", …).
+    pub policy: String,
+    /// Fraction of capacity in use.
+    pub utilization: f64,
+    /// Free-space fragmentation gauges.
+    pub frag: FragGauges,
+}
+
+/// Everything one test run reveals about where time went.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TestMetrics {
+    /// Which test ("allocation", "application", "sequential", …).
+    pub test: String,
+    /// The measurement window the utilizations are computed over, ms.
+    pub window_ms: f64,
+    /// Disk-system decomposition.
+    pub storage: StorageMetrics,
+    /// Event-engine counters.
+    pub engine: EngineCounters,
+    /// Allocator gauges.
+    pub alloc: AllocGauges,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_disk() -> DiskStats {
+        DiskStats {
+            requests: 4,
+            seeks: 2,
+            seek_ms: 10.0,
+            rotational_ms: 20.0,
+            transfer_ms: 30.0,
+            head_switch_ms: 1.0,
+            busy_ms: 60.0,
+            queue_wait_ms: 5.0,
+            queued_requests: 1,
+            bytes_read: 4096,
+            bytes_written: 0,
+            queue_depth_hist: vec![3, 1, 0, 0, 0, 0, 0, 0, 0],
+        }
+    }
+
+    #[test]
+    fn utilization_is_busy_over_window_clamped() {
+        let d = busy_disk();
+        let m = DiskPhaseMetrics::from_stats(&d, 120.0);
+        assert!((m.utilization - 0.5).abs() < 1e-12);
+        let m = DiskPhaseMetrics::from_stats(&d, 30.0);
+        assert_eq!(m.utilization, 1.0, "clamped");
+        let m = DiskPhaseMetrics::from_stats(&d, 0.0);
+        assert_eq!(m.utilization, 0.0, "empty window");
+    }
+
+    #[test]
+    fn phase_shares_sum_to_100() {
+        let m = DiskPhaseMetrics::from_stats(&busy_disk(), 100.0);
+        let (s, r, t) = m.phase_shares_pct();
+        assert!((s + r + t - 100.0).abs() < 1e-9);
+        assert!((m.avg_seek_ms() - 2.5).abs() < 1e-12);
+        assert!((m.avg_queue_wait_ms() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_disk_yields_zero_shares() {
+        let m = DiskPhaseMetrics::from_stats(&DiskStats::default(), 100.0);
+        assert_eq!(m.phase_shares_pct(), (0.0, 0.0, 0.0));
+        assert_eq!(m.avg_seek_ms(), 0.0);
+    }
+
+    #[test]
+    fn storage_combined_utilization_is_mean_over_disks() {
+        let mut s = StorageStats::new(2);
+        s.per_disk[0] = busy_disk(); // busy 60 of 120 → 0.5
+        let m = StorageMetrics::from_stats(&s, 120.0);
+        assert_eq!(m.per_disk.len(), 2);
+        assert!((m.combined.utilization - 0.25).abs() < 1e-12);
+        assert!((m.combined.busy_ms - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut s = StorageStats::new(1);
+        s.per_disk[0] = busy_disk();
+        let tm = TestMetrics {
+            test: "application".into(),
+            window_ms: 120.0,
+            storage: StorageMetrics::from_stats(&s, 120.0),
+            engine: EngineCounters { events: 10, operations: 8, transfers: 6, ..Default::default() },
+            alloc: AllocGauges { policy: "extent".into(), utilization: 0.9, ..Default::default() },
+        };
+        let json = serde_json::to_string(&tm).unwrap();
+        assert!(json.contains("\"seek_ms\""));
+        assert!(json.contains("\"queue_depth_hist\""));
+        assert!(json.contains("\"write_amplification\""));
+    }
+}

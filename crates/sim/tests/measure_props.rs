@@ -1,0 +1,120 @@
+//! Property tests for [`ThroughputMeter`]: the pro-rata interval accounting
+//! must conserve bytes for any span set, and the paper's stabilization rule
+//! (§3: "3 consecutive 10 second intervals ... within .1 % of each other")
+//! must trigger exactly on its definition.
+
+use proptest::prelude::*;
+use readopt_disk::{SimDuration, SimTime};
+use readopt_sim::ThroughputMeter;
+
+const INTERVAL_MS: f64 = 10_000.0;
+
+fn meter() -> ThroughputMeter {
+    ThroughputMeter::new(SimTime::ZERO, SimDuration::from_secs(10.0))
+}
+
+/// Sum of all bucket contents, recovered through the public API with
+/// `max_bytes_per_ms = 1.0` (so `pct = 100 · bytes / interval_ms`).
+fn bucket_sum(m: &ThroughputMeter) -> f64 {
+    let last = m.complete_intervals(m.last_span_end());
+    let mut sum = 0.0;
+    for i in 0..=last {
+        sum += m.interval_pct(i, 1.0) * INTERVAL_MS / 100.0;
+    }
+    sum
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Conservation: pro-rata attribution over any batch of spans loses not
+    /// a single byte — the buckets sum to `total_bytes` within 1e-9
+    /// (relative).
+    #[test]
+    fn bucket_attribution_conserves_bytes(
+        spans in proptest::collection::vec(
+            (0u64..200_000, 0u64..120_000, 1u64..1_000_000),
+            1..40,
+        ),
+    ) {
+        let mut m = meter();
+        let mut expected = 0.0f64;
+        for &(start_ms, len_ms, bytes) in &spans {
+            m.add_span(
+                SimTime::from_ms(start_ms as f64),
+                SimTime::from_ms((start_ms + len_ms) as f64),
+                bytes,
+            );
+            expected += bytes as f64;
+        }
+        prop_assert!((m.total_bytes() - expected).abs() <= 1e-9 * expected.max(1.0));
+        let sum = bucket_sum(&m);
+        prop_assert!(
+            (sum - expected).abs() <= 1e-9 * expected.max(1.0),
+            "buckets sum to {sum}, expected {expected}"
+        );
+    }
+
+    /// A single span smeared across many intervals still conserves bytes,
+    /// and every interior interval gets the same per-interval share.
+    #[test]
+    fn long_spans_never_lose_bytes(
+        n_intervals in 2u64..60,
+        offset_ms in 0u64..10_000,
+        bytes in 1u64..1_000_000_000,
+    ) {
+        let mut m = meter();
+        let start = offset_ms as f64;
+        let end = start + n_intervals as f64 * INTERVAL_MS;
+        m.add_span(SimTime::from_ms(start), SimTime::from_ms(end), bytes);
+        let sum = bucket_sum(&m);
+        prop_assert!(
+            (sum - bytes as f64).abs() <= 1e-9 * bytes as f64,
+            "{n_intervals}-interval span: buckets sum to {sum}, expected {bytes}"
+        );
+        // Interior intervals (fully covered by the span) all get the same
+        // pro-rata share: bytes / span_length_in_intervals.
+        let share = bytes as f64 / n_intervals as f64;
+        let first_full = if offset_ms == 0 { 0 } else { 1 };
+        for i in first_full..(n_intervals as usize).saturating_sub(1) {
+            let got = m.interval_pct(i, 1.0) * INTERVAL_MS / 100.0;
+            prop_assert!(
+                (got - share).abs() <= 1e-6 * share,
+                "interval {i}: {got} vs share {share}"
+            );
+        }
+    }
+
+    /// The stopping rule fires exactly when the last 3 complete intervals
+    /// agree within .1 percentage points. Byte counts are exact integers
+    /// (no float rounding on input): with `max_bytes_per_ms = 1.0` an
+    /// interval holding B bytes reads as B/100 percent, so a byte delta of
+    /// exactly 10 sits on the 0.1-pct boundary — excluded via prop_assume
+    /// to stay clear of the rule's 1e-9 float epsilon.
+    #[test]
+    fn stabilization_triggers_iff_three_intervals_agree(
+        base_bytes in 500u64..9_000,
+        d1 in 0u64..50,
+        d2 in 0u64..50,
+    ) {
+        let bytes = [base_bytes, base_bytes + d1, base_bytes + d2];
+        let spread = d1.max(d2);
+        prop_assume!(spread != 10);
+        let mut m = meter();
+        for (i, b) in bytes.iter().enumerate() {
+            let t0 = i as f64 * INTERVAL_MS;
+            m.add_span(SimTime::from_ms(t0), SimTime::from_ms(t0 + INTERVAL_MS), *b);
+        }
+        let now = SimTime::from_ms(3.0 * INTERVAL_MS);
+        let got = m.stabilized(now, 1.0, 3, 0.1);
+        if spread < 10 {
+            let mean = got.expect("spread within tolerance must stabilize");
+            let want = (bytes[0] + bytes[1] + bytes[2]) as f64 / 3.0 / 100.0;
+            prop_assert!((mean - want).abs() < 1e-9, "mean {mean} vs {want}");
+        } else {
+            prop_assert!(got.is_none(), "byte spread {spread} must not stabilize");
+        }
+        // Two complete intervals are never enough, whatever the spread.
+        prop_assert!(m.stabilized(SimTime::from_ms(2.0 * INTERVAL_MS), 1.0, 3, 0.1).is_none());
+    }
+}

@@ -73,6 +73,7 @@ impl LintConfig {
     /// | r3 unwrap/panic   | all but `core` (the runner/app layer) | skipped | lib |
     /// | r4 unsafe         | everywhere | linted | all |
     /// | r5 narrowing `as` | disk, alloc, sim | skipped | lib |
+    /// | r6 f64 `sum()`    | sim, disk, alloc, workloads, fs | skipped | all |
     pub fn default_config() -> Self {
         let sim_crates = ["sim", "disk", "alloc", "workloads", "fs"];
         let rules = vec![
@@ -103,6 +104,15 @@ impl LintConfig {
                     crates: set(&["disk", "alloc", "sim"]),
                     skip_test_code: true,
                     lib_only: true,
+                    enabled: true,
+                },
+            ),
+            (
+                "r6".to_string(),
+                RuleCfg {
+                    crates: set(&sim_crates),
+                    skip_test_code: true,
+                    lib_only: false,
                     enabled: true,
                 },
             ),
@@ -211,10 +221,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn defaults_have_all_five_rules_enabled() {
+    fn defaults_have_all_six_rules_enabled() {
         let cfg = LintConfig::default_config();
         let ids: Vec<&str> = cfg.rules.iter().map(|(id, _)| id.as_str()).collect();
-        assert_eq!(ids, vec!["r1", "r2", "r3", "r4", "r5"]);
+        assert_eq!(ids, vec!["r1", "r2", "r3", "r4", "r5", "r6"]);
         assert!(cfg.rules.iter().all(|(_, c)| c.enabled));
     }
 

@@ -363,6 +363,25 @@ mod tests {
     }
 
     #[test]
+    fn sum_turbofish_lexes_to_the_r6_token_shape() {
+        // R6 pattern-matches the exact sequence `. sum : : < f64 >`; pin it
+        // here so a lexer change (e.g. fusing `::` into one token) cannot
+        // silently disarm the rule.
+        let toks = lex("xs.iter().sum::<f64>()");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec!["xs", ".", "iter", "(", ")", ".", "sum", ":", ":", "<", "f64", ">", "(", ")"]
+        );
+        let f64_tok = toks.iter().find(|t| t.text == "f64").unwrap();
+        assert_eq!(f64_tok.kind, TokKind::Ident, "`f64` in a turbofish is an ident");
+        // `1.5f64` is one number token — a float suffix never produces the
+        // ident the rule looks for.
+        let toks = lex("let x = 1.5f64;");
+        assert!(toks.iter().all(|t| t.text != "f64"));
+    }
+
+    #[test]
     fn line_numbers_advance() {
         let toks = lex("a\nb\n\nc");
         let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();

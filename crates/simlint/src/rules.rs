@@ -1,4 +1,4 @@
-//! The determinism & robustness rules (R1–R5) and the per-file engine.
+//! The determinism & robustness rules (R1–R6) and the per-file engine.
 //!
 //! Rules operate on the lexed token stream, so tokens inside strings and
 //! comments can never fire. Each rule is deny-by-default and can be
@@ -16,7 +16,7 @@ use crate::config::{FileClass, RuleCfg};
 use crate::lexer::{lex, Tok, TokKind};
 
 /// Stable rule identifiers.
-pub const RULE_IDS: [&str; 5] = ["r1", "r2", "r3", "r4", "r5"];
+pub const RULE_IDS: [&str; 6] = ["r1", "r2", "r3", "r4", "r5", "r6"];
 
 /// One diagnostic.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -25,7 +25,7 @@ pub struct Finding {
     pub path: String,
     /// 1-based line.
     pub line: u32,
-    /// Rule id (`r1`…`r5`, or `suppression` for a malformed allow).
+    /// Rule id (`r1`…`r6`, or `suppression` for a malformed allow).
     pub rule: String,
     /// Human message.
     pub message: String,
@@ -122,6 +122,7 @@ pub fn lint_file(input: &FileInput<'_>, rules: &[(String, RuleCfg)]) -> Vec<Find
             "r3" => rule_r3(&toks, &code),
             "r4" => rule_r4(&toks, &code),
             "r5" => rule_r5(&toks, &code),
+            "r6" => rule_r6(&toks, &code),
             _ => Vec::new(),
         };
         for (tok_idx, message) in hits {
@@ -254,6 +255,36 @@ fn rule_r5(toks: &[Tok], code: &[usize]) -> Vec<(usize, String)> {
                     ),
                 ));
             }
+        }
+    }
+    out
+}
+
+/// R6: `.sum::<f64>()` in simulation crates. Float addition is not
+/// associative, so a sum whose accumulation order is left to the iterator
+/// is a determinism hazard the moment the source order changes (parallel
+/// merges, set reorderings). Accumulate with an explicit loop in a pinned
+/// order — or justify the pinned order with an allow.
+fn rule_r6(toks: &[Tok], code: &[usize]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (ci, &ti) in code.iter().enumerate() {
+        let t = &toks[ti];
+        // The token sequence `. sum : : < f64 >`.
+        if t.is_ident("sum")
+            && ci >= 1
+            && toks[code[ci - 1]].is_punct('.')
+            && ci + 4 < code.len()
+            && toks[code[ci + 1]].is_punct(':')
+            && toks[code[ci + 2]].is_punct(':')
+            && toks[code[ci + 3]].is_punct('<')
+            && toks[code[ci + 4]].is_ident("f64")
+        {
+            out.push((
+                ti,
+                "`.sum::<f64>()` leaves float accumulation order to the iterator; \
+                 accumulate with an explicit loop in a pinned order"
+                    .into(),
+            ));
         }
     }
     out
@@ -408,7 +439,7 @@ fn collect_suppressions(toks: &[Tok]) -> Vec<Suppression> {
                 let problem = if RULE_IDS.contains(&rule.as_str()) {
                     None
                 } else {
-                    Some(format!("simlint::allow names unknown rule `{rule}` (known: r1..r5)"))
+                    Some(format!("simlint::allow names unknown rule `{rule}` (known: r1..r6)"))
                 };
                 out.push(Suppression {
                     rule,
@@ -544,6 +575,42 @@ mod tests {
         assert_eq!(rules_of(&f), vec!["r5"]);
         assert!(lint_sim("fn f(x: u32) -> u64 { x as u64 }").is_empty(), "widening ok");
         assert!(lint_sim("fn f(x: u32) -> usize { x as usize }").is_empty(), "usize ok");
+    }
+
+    #[test]
+    fn r6_fires_on_f64_sum_turbofish_only() {
+        let f = lint_sim("fn f(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }");
+        assert_eq!(rules_of(&f), vec!["r6"]);
+        // Integer sums are exact — order can't change the result.
+        assert!(lint_sim("fn f(xs: &[u64]) -> u64 { xs.iter().sum::<u64>() }").is_empty());
+        assert!(lint_sim("fn f(xs: &[u64]) -> u64 { xs.iter().sum() }").is_empty(), "untyped");
+        // A free function named `sum` is not the iterator adapter.
+        assert!(lint_sim("fn sum(a: f64, b: f64) -> f64 { a + b }").is_empty());
+    }
+
+    #[test]
+    fn r6_skips_test_code_and_non_sim_crates() {
+        let f = lint_sim("#[cfg(test)]\nmod tests { fn f(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() } }");
+        assert!(f.is_empty(), "{f:?}");
+        let f = lint_core("fn f(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }");
+        assert!(f.is_empty(), "core aggregates presentation-layer numbers");
+    }
+
+    #[test]
+    fn r6_ignores_strings_comments_and_split_lines() {
+        assert!(lint_sim("// xs.iter().sum::<f64>()\nfn f() -> &'static str { \".sum::<f64>()\" }").is_empty());
+        // The sequence still matches across a line break (lexer hands the
+        // rule a token stream, not lines).
+        let f = lint_sim("fn f(xs: &[f64]) -> f64 { xs.iter()\n    .sum::<f64>() }");
+        assert_eq!(rules_of(&f), vec!["r6"]);
+        assert_eq!(f[0].line, 2, "finding anchors to the `sum` token's line");
+    }
+
+    #[test]
+    fn r6_suppression_works_like_any_other_rule() {
+        let src = "fn f(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() } \
+                   // simlint::allow(r6, \"ascending index order is pinned\")";
+        assert!(lint_sim(src).is_empty());
     }
 
     #[test]

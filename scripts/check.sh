@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 gate (see ROADMAP.md): warnings-as-errors release build, the
 # simlint determinism/robustness pass, the root test suite, and a 2-job
-# smoke run of the reproduction at fast scale. The smoke run's timing
-# profile (per-experiment wall clock plus per-sweep-point breakdown) is
-# snapshotted into BENCH_runner.json at the repo root; the lint report is
-# snapshotted into target/check/simlint.json.
+# smoke run of the reproduction at fast scale with the metrics sidecars
+# enabled. A second 1-job smoke run re-derives the sidecars and byte-
+# compares them against the 2-job run — the observability layer must be
+# deterministic at any worker count. The smoke run's timing profile
+# (per-experiment wall clock, per-sweep-point breakdown, and the measured
+# metrics-snapshot overhead) is snapshotted into BENCH_runner.json at the
+# repo root; the lint report is snapshotted into target/check/simlint.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,9 +21,22 @@ cargo run --release -q -p simlint -- --json target/check/simlint.json
 echo "== cargo test -q =="
 cargo test -q
 
-echo "== repro smoke (scale 1/64, 2 jobs) =="
+echo "== repro smoke (scale 1/64, 2 jobs, metrics on) =="
 cargo run --release -p readopt-core --bin repro -- \
     fig1 fig2 table4 --scale 64 --intervals 4 --jobs 2 --json target/check
+
+echo "== sidecar determinism (re-run at 1 job, byte-compare) =="
+mkdir -p target/check-j1
+cargo run --release -q -p readopt-core --bin repro -- \
+    fig1 fig2 table4 --scale 64 --intervals 4 --jobs 1 --json target/check-j1 \
+    > /dev/null
+for exp in fig1 fig2 table4; do
+    cmp "target/check/$exp.metrics.json" "target/check-j1/$exp.metrics.json" \
+        || { echo "ERROR: $exp metrics sidecar differs between --jobs 2 and --jobs 1"; exit 1; }
+    cmp "target/check/$exp.json" "target/check-j1/$exp.json" \
+        || { echo "ERROR: $exp results differ between --jobs 2 and --jobs 1"; exit 1; }
+done
+echo "   sidecars byte-identical across job counts"
 
 cp target/check/profile.json BENCH_runner.json
 echo "== wrote BENCH_runner.json =="

@@ -1,0 +1,120 @@
+//! Golden-value regression suite: `--scale 64` snapshots of fig1, fig2 and
+//! table4 pinned as JSON under `tests/golden/`. The simulator is
+//! deterministic, so any byte of drift in these results is a behavior
+//! change — intended changes are re-snapshotted with
+//! `REPRO_UPDATE_GOLDEN=1 cargo test --test golden_results`.
+//!
+//! Failures print every differing JSON path with the golden and current
+//! values, so a perturbation shows up as (say) `points[3].app_pct` rather
+//! than an opaque string mismatch.
+
+use readopt::experiments::{fig1, fig2, table4, ExperimentContext};
+use serde::Serialize;
+use serde_json::Value;
+use std::path::PathBuf;
+
+fn ctx() -> ExperimentContext {
+    let mut ctx = ExperimentContext::fast(64).with_jobs(2);
+    ctx.max_intervals = 4;
+    ctx
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"))
+}
+
+fn render(v: &Value) -> String {
+    serde_json::to_string(v).unwrap_or_else(|_| "<unrenderable>".into())
+}
+
+/// Recursively collects the JSON paths where `golden` and `current`
+/// disagree (value mismatches, missing keys, length changes).
+fn diff_paths(path: &str, golden: &Value, current: &Value, out: &mut Vec<String>) {
+    match (golden, current) {
+        (Value::Object(g), Value::Object(c)) => {
+            for (k, gv) in g {
+                match c.iter().find(|(ck, _)| ck == k) {
+                    Some((_, cv)) => diff_paths(&format!("{path}.{k}"), gv, cv, out),
+                    None => out.push(format!("{path}.{k}: missing (golden {})", render(gv))),
+                }
+            }
+            for (k, _) in c {
+                if !g.iter().any(|(gk, _)| gk == k) {
+                    out.push(format!("{path}.{k}: unexpected new field"));
+                }
+            }
+        }
+        (Value::Array(g), Value::Array(c)) => {
+            if g.len() != c.len() {
+                out.push(format!("{path}: length {} -> {}", g.len(), c.len()));
+            }
+            for (i, (gv, cv)) in g.iter().zip(c).enumerate() {
+                diff_paths(&format!("{path}[{i}]"), gv, cv, out);
+            }
+        }
+        _ if golden != current => out.push(format!(
+            "{path}: golden {} != current {}",
+            render(golden),
+            render(current)
+        )),
+        _ => {}
+    }
+}
+
+fn check_golden<T: Serialize>(name: &str, result: &T) {
+    let current: Value = serde_json::from_str(&serde_json::to_string(result).unwrap()).unwrap();
+    let path = golden_path(name);
+    if std::env::var_os("REPRO_UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        let pretty = serde_json::to_string_pretty(&current).unwrap();
+        std::fs::write(&path, pretty + "\n").unwrap();
+        return;
+    }
+    let bytes = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}\n(regenerate with REPRO_UPDATE_GOLDEN=1 \
+             cargo test --test golden_results)",
+            path.display()
+        )
+    });
+    let golden: Value = serde_json::from_str(&bytes).unwrap();
+    let mut diffs = Vec::new();
+    diff_paths(name, &golden, &current, &mut diffs);
+    assert!(
+        diffs.is_empty(),
+        "{name} drifted from tests/golden/{name}.json in {} field(s):\n  {}\n\
+         If the change is intended, regenerate with REPRO_UPDATE_GOLDEN=1 \
+         cargo test --test golden_results",
+        diffs.len(),
+        diffs.join("\n  ")
+    );
+}
+
+#[test]
+fn fig1_matches_golden_snapshot() {
+    let (result, _, _) = fig1::run_profiled(&ctx());
+    check_golden("fig1", &result);
+}
+
+#[test]
+fn fig2_matches_golden_snapshot() {
+    let (result, _, _) = fig2::run_profiled(&ctx());
+    check_golden("fig2", &result);
+}
+
+#[test]
+fn table4_matches_golden_snapshot() {
+    let (result, _, _) = table4::run_profiled(&ctx());
+    check_golden("table4", &result);
+}
+
+#[test]
+fn diff_reporting_names_the_exact_field() {
+    let golden: Value = serde_json::from_str(r#"{"points": [{"a": 1.5, "b": 2.5}], "n": 3}"#).unwrap();
+    let current: Value = serde_json::from_str(r#"{"points": [{"a": 1.5, "b": 9.5}], "n": 3}"#).unwrap();
+    let mut diffs = Vec::new();
+    diff_paths("fig", &golden, &current, &mut diffs);
+    assert_eq!(diffs, vec!["fig.points[0].b: golden 2.5 != current 9.5".to_string()]);
+}

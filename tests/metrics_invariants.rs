@@ -1,0 +1,158 @@
+//! Cross-driver invariants of the observability layer.
+//!
+//! The metrics sidecar is derived from the same counters the simulator has
+//! always kept, so three things must hold everywhere, for every driver:
+//!
+//! 1. The service-time decomposition is exact: per disk,
+//!    `seek_ms + rotational_ms + transfer_ms == busy_ms` (head-switch time
+//!    is a subset of transfer, not a fourth phase).
+//! 2. Derived gauges are sane: utilization in [0, 1] per disk and combined,
+//!    histogram counts equal queued request counts.
+//! 3. The layer is an observer, not a participant: metered entry points
+//!    return byte-identical results to their unmetered counterparts, and
+//!    sidecars are byte-identical at any worker count.
+
+use readopt::experiments::{diag, fig4, fig5, table3, ExperimentContext, ExperimentMetrics};
+use readopt_sim::DiskPhaseMetrics;
+
+fn ctx_with_jobs(jobs: usize) -> ExperimentContext {
+    let mut ctx = ExperimentContext::fast(64).with_jobs(jobs);
+    ctx.max_intervals = 4;
+    ctx
+}
+
+fn assert_disk_invariants(where_: &str, d: &DiskPhaseMetrics) {
+    let phases = d.seek_ms + d.rotational_ms + d.transfer_ms;
+    assert!(
+        (phases - d.busy_ms).abs() <= 1e-6 * d.busy_ms.max(1.0),
+        "{where_}: seek {} + rot {} + xfer {} = {phases} != busy {}",
+        d.seek_ms,
+        d.rotational_ms,
+        d.transfer_ms,
+        d.busy_ms
+    );
+    assert!(
+        d.head_switch_ms <= d.transfer_ms + 1e-9,
+        "{where_}: head-switch {} exceeds transfer {}",
+        d.head_switch_ms,
+        d.transfer_ms
+    );
+    assert!(
+        (0.0..=1.0).contains(&d.utilization),
+        "{where_}: utilization {}",
+        d.utilization
+    );
+    let hist_total: u64 = {
+        let mut t = 0u64;
+        for &b in &d.queue_depth_hist {
+            t += b;
+        }
+        t
+    };
+    assert_eq!(
+        hist_total, d.requests,
+        "{where_}: queue-depth histogram must observe every request arrival"
+    );
+    assert!(
+        d.queued_requests <= d.requests,
+        "{where_}: {} waited but only {} arrived",
+        d.queued_requests,
+        d.requests
+    );
+    if d.requests == 0 {
+        assert_eq!(d.busy_ms, 0.0, "{where_}: busy time with zero requests");
+    }
+}
+
+fn assert_metrics_invariants(m: &ExperimentMetrics) {
+    let mut snapshots = 0usize;
+    for p in &m.points {
+        for t in &p.tests {
+            snapshots += 1;
+            for (i, d) in t.storage.per_disk.iter().enumerate() {
+                assert_disk_invariants(&format!("{}/{}/{}/disk{i}", m.experiment, p.label, t.test), d);
+            }
+            let c = &t.storage.combined;
+            assert!(
+                (0.0..=1.0).contains(&c.utilization),
+                "{}/{}: combined utilization {}",
+                m.experiment,
+                p.label,
+                c.utilization
+            );
+            // Combined phase times are the sums over the array's disks.
+            let per_disk_busy: f64 = {
+                let mut s = 0.0;
+                for d in &t.storage.per_disk {
+                    s += d.busy_ms;
+                }
+                s
+            };
+            assert!(
+                (per_disk_busy - c.busy_ms).abs() <= 1e-6 * c.busy_ms.max(1.0),
+                "{}/{}: combined busy {} vs per-disk sum {per_disk_busy}",
+                m.experiment,
+                p.label,
+                c.busy_ms
+            );
+        }
+    }
+    assert!(snapshots > 0, "{}: sidecar carries no snapshots", m.experiment);
+}
+
+#[test]
+fn decomposition_holds_across_drivers() {
+    let ctx = ctx_with_jobs(2);
+    let (_, _, m4) = fig4::run_profiled(&ctx);
+    assert_metrics_invariants(&m4);
+    let (_, _, m5) = fig5::run_profiled(&ctx);
+    assert_metrics_invariants(&m5);
+    let (_, _, m3) = table3::run_profiled(&ctx);
+    assert_metrics_invariants(&m3);
+    let (_, _, md) = diag::run_profiled(&ctx);
+    assert_metrics_invariants(&md);
+}
+
+#[test]
+fn sidecars_are_byte_identical_across_worker_counts() {
+    let (_, _, seq) = table3::run_profiled(&ctx_with_jobs(1));
+    let (_, _, par) = table3::run_profiled(&ctx_with_jobs(4));
+    assert_eq!(
+        serde_json::to_string(&seq).unwrap(),
+        serde_json::to_string(&par).unwrap(),
+        "table3 sidecar must not depend on the worker count"
+    );
+    let (_, _, seq) = diag::run_profiled(&ctx_with_jobs(1));
+    let (_, _, par) = diag::run_profiled(&ctx_with_jobs(4));
+    assert_eq!(
+        serde_json::to_string(&seq).unwrap(),
+        serde_json::to_string(&par).unwrap(),
+        "diag sidecar must not depend on the worker count"
+    );
+}
+
+#[test]
+fn metered_runs_return_unmetered_results() {
+    use readopt_alloc::PolicyConfig;
+    use readopt_workloads::WorkloadKind;
+    let ctx = ctx_with_jobs(1);
+    let wl = WorkloadKind::Timesharing;
+
+    let plain = ctx.run_allocation(wl, PolicyConfig::paper_restricted());
+    let (metered, tm) = ctx.run_allocation_metered(wl, PolicyConfig::paper_restricted());
+    assert_eq!(
+        serde_json::to_string(&plain).unwrap(),
+        serde_json::to_string(&metered).unwrap(),
+        "metering must not perturb the allocation result"
+    );
+    assert_eq!(tm.test, "allocation");
+
+    let plain = ctx.run_performance(wl, PolicyConfig::paper_restricted());
+    let (metered, tms) = ctx.run_performance_metered(wl, PolicyConfig::paper_restricted());
+    assert_eq!(
+        serde_json::to_string(&plain).unwrap(),
+        serde_json::to_string(&metered).unwrap(),
+        "metering must not perturb the performance results"
+    );
+    assert_eq!(tms.len(), 2);
+}

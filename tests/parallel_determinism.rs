@@ -29,12 +29,17 @@ fn fig1_results_are_bit_identical_at_any_job_count() {
     // test fast; the sweep machinery is identical for the full grid.
     let workloads = [WorkloadKind::Timesharing, WorkloadKind::Supercomputer];
     let configs = [(2usize, 1u64, true), (3, 2, false)];
-    let (seq, seq_timings) = fig1::run_sweep(&ctx_with_jobs(1), &workloads, &configs);
-    let (par, par_timings) = fig1::run_sweep(&ctx_with_jobs(4), &workloads, &configs);
+    let (seq, seq_timings, seq_metrics) = fig1::run_sweep(&ctx_with_jobs(1), &workloads, &configs);
+    let (par, par_timings, par_metrics) = fig1::run_sweep(&ctx_with_jobs(4), &workloads, &configs);
     assert_eq!(
         serde_json::to_string(&seq).unwrap(),
         serde_json::to_string(&par).unwrap(),
         "fig1 serialized bytes must not depend on the job count"
+    );
+    assert_eq!(
+        serde_json::to_string(&seq_metrics).unwrap(),
+        serde_json::to_string(&par_metrics).unwrap(),
+        "fig1 metrics sidecar bytes must not depend on the job count"
     );
     // Timings differ run to run, but the labels (and their order) must not.
     let labels = |ts: &[readopt::experiments::runner::JobTiming]| {
@@ -50,29 +55,47 @@ fn fig2_results_are_bit_identical_at_any_job_count() {
     // tests per point); one workload × two configs suffices.
     let workloads = [WorkloadKind::Timesharing];
     let configs = [(2usize, 1u64, true), (5, 1, true)];
-    let (seq, _) = fig2::run_sweep(&ctx_with_jobs(1), &workloads, &configs);
-    let (par, _) = fig2::run_sweep(&ctx_with_jobs(4), &workloads, &configs);
+    let (seq, _, seq_metrics) = fig2::run_sweep(&ctx_with_jobs(1), &workloads, &configs);
+    let (par, _, par_metrics) = fig2::run_sweep(&ctx_with_jobs(4), &workloads, &configs);
     assert_eq!(
         serde_json::to_string(&seq).unwrap(),
         serde_json::to_string(&par).unwrap(),
         "fig2 serialized bytes must not depend on the job count"
     );
+    assert_eq!(
+        serde_json::to_string(&seq_metrics).unwrap(),
+        serde_json::to_string(&par_metrics).unwrap(),
+        "fig2 metrics sidecar bytes must not depend on the job count"
+    );
     assert_eq!(seq.points.len(), 2);
+    // Each performance point snapshots both tests, in execution order.
+    assert_eq!(seq_metrics.points.len(), 2);
+    assert_eq!(seq_metrics.points[0].tests.len(), 2);
+    assert_eq!(seq_metrics.points[0].tests[0].test, "application");
+    assert_eq!(seq_metrics.points[0].tests[1].test, "sequential");
 }
 
 #[test]
 fn fig3_and_table4_agree_across_job_counts() {
-    let (f3_seq, _) = fig3::run_profiled(1);
-    let (f3_par, _) = fig3::run_profiled(4);
+    let (f3_seq, _, f3_seq_m) = fig3::run_profiled(1);
+    let (f3_par, _, f3_par_m) = fig3::run_profiled(4);
     assert_eq!(
         serde_json::to_string(&f3_seq).unwrap(),
         serde_json::to_string(&f3_par).unwrap()
     );
-    let (t4_seq, _) = table4::run_profiled(&ctx_with_jobs(1));
-    let (t4_par, _) = table4::run_profiled(&ctx_with_jobs(3));
+    assert_eq!(
+        serde_json::to_string(&f3_seq_m).unwrap(),
+        serde_json::to_string(&f3_par_m).unwrap()
+    );
+    let (t4_seq, _, t4_seq_m) = table4::run_profiled(&ctx_with_jobs(1));
+    let (t4_par, _, t4_par_m) = table4::run_profiled(&ctx_with_jobs(3));
     assert_eq!(
         serde_json::to_string(&t4_seq).unwrap(),
         serde_json::to_string(&t4_par).unwrap()
+    );
+    assert_eq!(
+        serde_json::to_string(&t4_seq_m).unwrap(),
+        serde_json::to_string(&t4_par_m).unwrap()
     );
 }
 

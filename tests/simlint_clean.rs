@@ -8,6 +8,19 @@
 use std::path::Path;
 
 #[test]
+fn gate_covers_all_six_rules() {
+    // The clean gate is only as strong as the rule set behind it: pin the
+    // shipped rule ids (r6 = unpinned f64 accumulation) and that every one
+    // of them is enabled by default.
+    assert_eq!(simlint::rules::RULE_IDS, ["r1", "r2", "r3", "r4", "r5", "r6"]);
+    let cfg = simlint::LintConfig::default_config();
+    for (id, rule) in &cfg.rules {
+        assert!(rule.enabled, "rule {id} must be enabled by default");
+    }
+    assert_eq!(cfg.rules.len(), simlint::rules::RULE_IDS.len());
+}
+
+#[test]
 fn workspace_has_zero_simlint_findings() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let report = simlint::run_workspace(root).expect("simlint walk must succeed");
