@@ -14,6 +14,7 @@
 //! internal fragmentation Table 3 reports (43 % for the supercomputer
 //! workload); Knuth and Knowlton predicted as much.
 
+use crate::blockset::{BitmapBlockSet, FreeBlockSet};
 use crate::buddy_core::{order_for_units, BuddyCore};
 use crate::filemap::FileMap;
 use crate::policy::Policy;
@@ -29,16 +30,17 @@ struct BuddyFile {
     map: FileMap,
 }
 
-/// The Koch buddy policy.
+/// The Koch buddy policy, generic over the buddy core's free-block
+/// container (bitmap by default; see [`BuddyCore`]).
 #[derive(Debug, Clone)]
-pub struct BuddyPolicy {
-    core: BuddyCore,
+pub struct BuddyPolicy<S: FreeBlockSet = BitmapBlockSet> {
+    core: BuddyCore<S>,
     files: Vec<Option<BuddyFile>>,
     free_slots: Vec<u32>,
     max_extent_units: u64,
 }
 
-impl BuddyPolicy {
+impl<S: FreeBlockSet> BuddyPolicy<S> {
     /// Creates the policy over `capacity_units`, capping extents at
     /// `max_extent_units` (rounded up to a power of two).
     pub fn new(capacity_units: u64, max_extent_units: u64) -> Self {
@@ -82,7 +84,7 @@ impl BuddyPolicy {
     }
 }
 
-impl Policy for BuddyPolicy {
+impl<S: FreeBlockSet> Policy for BuddyPolicy<S> {
     fn name(&self) -> &'static str {
         "buddy"
     }
@@ -314,7 +316,7 @@ fn exact_decomposition(units: u64, max_extent_units: u64) -> Vec<u32> {
     orders
 }
 
-impl BuddyPolicy {
+impl<S: FreeBlockSet> BuddyPolicy<S> {
     /// Whether blocks of the planned orders can all be carved from the
     /// current free structure (conservative: checks the largest need).
     fn plan_fits(&self, plan: &[u32]) -> bool {
@@ -360,7 +362,7 @@ mod tests {
 
     #[test]
     fn extent_sizes_are_capped() {
-        let mut p = BuddyPolicy::new(1 << 20, 1 << 4);
+        let mut p: BuddyPolicy = BuddyPolicy::new(1 << 20, 1 << 4);
         let f = p.create(&FileHints::default()).unwrap();
         p.extend(f, 1 << 8).unwrap();
         for &(_, order) in &p.file(f).unwrap().blocks {
@@ -413,7 +415,7 @@ mod tests {
 
     #[test]
     fn failed_extend_is_atomic() {
-        let mut p = BuddyPolicy::new(100, 1 << 16); // 64+32+4 decomposition
+        let mut p: BuddyPolicy = BuddyPolicy::new(100, 1 << 16); // 64+32+4 decomposition
         let f = p.create(&FileHints::default()).unwrap();
         let free_before = p.free_units();
         // Asks for 127 → first block 128 > capacity: immediate failure.

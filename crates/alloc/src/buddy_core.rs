@@ -5,19 +5,23 @@
 //! block whose buddy is also free coalesces back into its parent,
 //! recursively. Used by the Koch policy (§4.1).
 
-use std::collections::BTreeSet;
+use crate::blockset::{BitmapBlockSet, FreeBlockSet};
 
 /// Binary-buddy manager over the unit range `[0, capacity)`.
 ///
 /// The capacity need not be a power of two: the space is seeded with the
 /// greedy decomposition of `[0, capacity)` into maximal aligned blocks, and
 /// coalescing never produces a block extending past `capacity`.
+///
+/// Generic over the per-order free-block container (bitmap by default; the
+/// `BTreeBlockSet` reference backend makes identical decisions and exists
+/// for differential tests and benchmark baselines).
 #[derive(Debug, Clone)]
-pub struct BuddyCore {
+pub struct BuddyCore<S: FreeBlockSet = BitmapBlockSet> {
     capacity: u64,
     max_order: u32,
     /// `free[k]` holds the start addresses of free order-`k` blocks.
-    free: Vec<BTreeSet<u64>>,
+    free: Vec<S>,
     free_units: u64,
 }
 
@@ -27,12 +31,13 @@ pub fn order_for_units(units: u64) -> u32 {
     units.next_power_of_two().trailing_zeros()
 }
 
-impl BuddyCore {
+impl<S: FreeBlockSet> BuddyCore<S> {
     /// Creates a manager with `[0, capacity)` entirely free.
     pub fn new(capacity: u64) -> Self {
         assert!(capacity > 0, "empty buddy space");
         let max_order = 63 - capacity.leading_zeros();
-        let mut free = vec![BTreeSet::new(); max_order as usize + 1];
+        let mut free: Vec<S> =
+            (0..=max_order).map(|k| S::new(0, capacity, 1 << k)).collect();
         // Greedy decomposition: at each address, take the largest aligned
         // block that still fits.
         let mut addr = 0u64;
@@ -85,12 +90,12 @@ impl BuddyCore {
         if have > self.max_order {
             return None;
         }
-        // The loop above stopped on a non-empty set, so `next()` is `Some`;
+        // The loop above stopped on a non-empty set, so `first()` is `Some`;
         // treating `None` as exhaustion keeps this branch panic-free.
-        let Some(&addr) = self.free[have as usize].iter().next() else {
+        let Some(addr) = self.free[have as usize].first() else {
             return None;
         };
-        self.free[have as usize].remove(&addr);
+        self.free[have as usize].remove(addr);
         // Split down, keeping the lower half each time.
         while have > order {
             have -= 1;
@@ -114,7 +119,7 @@ impl BuddyCore {
             let buddy = addr ^ (1u64 << order);
             // The buddy may lie (partly) beyond capacity, in which case it
             // can never be in the free set.
-            if !self.free[order as usize].remove(&buddy) {
+            if !self.free[order as usize].remove(buddy) {
                 break;
             }
             addr = addr.min(buddy);
@@ -142,7 +147,7 @@ impl BuddyCore {
         let mut blocks: Vec<(u64, u64)> = Vec::new();
         let mut total = 0u64;
         for (k, set) in self.free.iter().enumerate() {
-            for &a in set {
+            for a in set.addrs() {
                 let size = 1u64 << k;
                 assert_eq!(a % size, 0, "misaligned block {a} of order {k}");
                 assert!(a + size <= self.capacity, "block {a} of order {k} out of bounds");
@@ -152,7 +157,7 @@ impl BuddyCore {
                 if k < self.max_order as usize {
                     let buddy = a ^ size;
                     assert!(
-                        !set.contains(&buddy) || buddy + size > self.capacity,
+                        !set.contains(buddy) || buddy + size > self.capacity,
                         "uncoalesced buddies at {a}/{buddy} order {k}"
                     );
                 }
@@ -181,7 +186,7 @@ mod tests {
 
     #[test]
     fn power_of_two_capacity_seeds_one_block() {
-        let b = BuddyCore::new(1024);
+        let b: BuddyCore = BuddyCore::new(1024);
         assert_eq!(b.free_units(), 1024);
         assert_eq!(b.largest_free_block(), 1024);
         b.check_invariants();
@@ -190,7 +195,7 @@ mod tests {
     #[test]
     fn odd_capacity_decomposes_greedily() {
         // 1000 = 512 + 256 + 128 + 64 + 32 + 8
-        let b = BuddyCore::new(1000);
+        let b: BuddyCore = BuddyCore::new(1000);
         assert_eq!(b.free_units(), 1000);
         let hist = b.free_histogram();
         let orders: Vec<u32> = hist.iter().map(|&(k, _)| k).collect();
@@ -200,7 +205,7 @@ mod tests {
 
     #[test]
     fn allocate_splits_from_lowest_address() {
-        let mut b = BuddyCore::new(1024);
+        let mut b: BuddyCore = BuddyCore::new(1024);
         let a = b.allocate(3).unwrap(); // 8 units
         assert_eq!(a, 0);
         let c = b.allocate(3).unwrap();
@@ -211,7 +216,7 @@ mod tests {
 
     #[test]
     fn free_coalesces_back_to_root() {
-        let mut b = BuddyCore::new(1024);
+        let mut b: BuddyCore = BuddyCore::new(1024);
         let a = b.allocate(3).unwrap();
         let c = b.allocate(3).unwrap();
         b.free(a, 3);
@@ -223,7 +228,7 @@ mod tests {
 
     #[test]
     fn allocation_failure_when_no_large_block() {
-        let mut b = BuddyCore::new(1024);
+        let mut b: BuddyCore = BuddyCore::new(1024);
         // Fragment: allocate all 512-blocks' worth in 1-unit pieces... use a
         // cheaper scheme: take both 512 halves, free one, ask for 1024.
         let lo = b.allocate(9).unwrap();
@@ -235,7 +240,7 @@ mod tests {
 
     #[test]
     fn cannot_allocate_beyond_max_order() {
-        let mut b = BuddyCore::new(100);
+        let mut b: BuddyCore = BuddyCore::new(100);
         assert!(b.allocate(12).is_none());
     }
 
@@ -243,7 +248,7 @@ mod tests {
     fn coalescing_respects_capacity_edge() {
         // Capacity 96 = 64 + 32. Free 32-block at 64 has buddy 96..128 which
         // does not exist; freeing everything must restore exactly 64 + 32.
-        let mut b = BuddyCore::new(96);
+        let mut b: BuddyCore = BuddyCore::new(96);
         // First order-5 request takes the seeded 32-block at 64; the next
         // two split the 64-block at 0.
         let a = b.allocate(5).unwrap();
@@ -261,7 +266,7 @@ mod tests {
 
     #[test]
     fn interleaved_stress_keeps_invariants() {
-        let mut b = BuddyCore::new(4096 + 512);
+        let mut b: BuddyCore = BuddyCore::new(4096 + 512);
         let mut held: Vec<(u64, u32)> = Vec::new();
         for i in 0..200u32 {
             let order = i % 5;

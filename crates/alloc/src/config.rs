@@ -207,7 +207,8 @@ impl PolicyConfig {
         let to_units = |bytes: u64| -> u64 { (bytes / unit_bytes).max(1) };
         match self {
             PolicyConfig::Buddy(c) => {
-                Box::new(BuddyPolicy::new(capacity_units, to_units(c.max_extent_bytes)))
+                let p: BuddyPolicy = BuddyPolicy::new(capacity_units, to_units(c.max_extent_bytes));
+                Box::new(p)
             }
             PolicyConfig::Restricted(c) => {
                 let sizes: Vec<u64> = c.block_sizes_bytes.iter().map(|&b| to_units(b)).collect();
@@ -225,18 +226,15 @@ impl PolicyConfig {
                 // Keep the region a multiple of the top class even after
                 // the min() clamp above.
                 let region = region.map(|r| (r / top * top).max(top));
-                Box::new(RestrictedPolicy::new(capacity_units, &sizes, c.grow_factor, region))
+                let p: RestrictedPolicy =
+                    RestrictedPolicy::new(capacity_units, &sizes, c.grow_factor, region);
+                Box::new(p)
             }
             PolicyConfig::Extent(c) => {
                 let means: Vec<u64> = c.range_means_bytes.iter().map(|&b| to_units(b)).collect();
-                Box::new(ExtentPolicy::new(
-                    capacity_units,
-                    &means,
-                    c.fit,
-                    c.sigma_frac,
-                    unit_bytes,
-                    seed,
-                ))
+                let p: ExtentPolicy =
+                    ExtentPolicy::new(capacity_units, &means, c.fit, c.sigma_frac, unit_bytes, seed);
+                Box::new(p)
             }
             PolicyConfig::Fixed(c) => {
                 Box::new(FixedPolicy::new(capacity_units, to_units(c.block_bytes), c.pre_age, seed))
@@ -245,7 +243,8 @@ impl PolicyConfig {
                 let mut c = c.clone();
                 // The disk unit *is* the fragment in this model.
                 c.fragment_bytes = unit_bytes;
-                Box::new(FfsPolicy::from_config(capacity_units, unit_bytes, &c))
+                let p: FfsPolicy = FfsPolicy::from_config(capacity_units, unit_bytes, &c);
+                Box::new(p)
             }
         }
     }

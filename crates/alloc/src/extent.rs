@@ -18,7 +18,7 @@
 //! the disk system" buys a little seek locality.
 
 use crate::filemap::FileMap;
-use crate::freespace::FreeSpaceMap;
+use crate::freespace::{FreeMap, FreeSpaceMap};
 use crate::policy::Policy;
 use crate::types::{AllocError, Extent, FileHints, FileId};
 use rand::rngs::SmallRng;
@@ -43,9 +43,13 @@ struct EFile {
 }
 
 /// The extent-based policy.
+///
+/// Generic over the free-space map backend (word-level bitmap by default;
+/// the `BTreeFreeSpaceMap` reference backend makes identical decisions and
+/// exists for differential tests and benchmark baselines).
 #[derive(Debug, Clone)]
-pub struct ExtentPolicy {
-    free: FreeSpaceMap,
+pub struct ExtentPolicy<M: FreeMap = FreeSpaceMap> {
+    free: M,
     capacity: u64,
     fit: FitStrategy,
     /// Available extent-size range means, in units.
@@ -58,7 +62,7 @@ pub struct ExtentPolicy {
     free_slots: Vec<u32>,
 }
 
-impl ExtentPolicy {
+impl<M: FreeMap> ExtentPolicy<M> {
     /// Builds the policy.
     ///
     /// * `range_means_units` — the configuration's extent ranges (µ of each
@@ -80,7 +84,7 @@ impl ExtentPolicy {
         let mut means = range_means_units.to_vec();
         means.sort_unstable();
         ExtentPolicy {
-            free: FreeSpaceMap::with_capacity(capacity_units),
+            free: M::with_capacity(capacity_units),
             capacity: capacity_units,
             fit,
             range_means: means,
@@ -149,7 +153,7 @@ impl ExtentPolicy {
     }
 }
 
-impl Policy for ExtentPolicy {
+impl<M: FreeMap> Policy for ExtentPolicy<M> {
     fn name(&self) -> &'static str {
         "extent"
     }
@@ -344,7 +348,7 @@ mod tests {
     #[test]
     fn best_fit_fills_snug_holes() {
         // σ = 0 so every file of the same hint gets identical extents.
-        let mut p = ExtentPolicy::new(1 << 16, &[8, 64], FitStrategy::BestFit, 0.0, 1024, 5);
+        let mut p: ExtentPolicy = ExtentPolicy::new(1 << 16, &[8, 64], FitStrategy::BestFit, 0.0, 1024, 5);
         let filler = p.create(&hints(8 * 1024)).unwrap(); // extents of 8
         let pad = p.create(&hints(8 * 1024)).unwrap();
         p.extend(filler, 8).unwrap(); // sits at the front: [0, 8)
@@ -362,7 +366,7 @@ mod tests {
 
     #[test]
     fn failure_reports_disk_full_and_is_atomic() {
-        let mut p = ExtentPolicy::new(100, &[40], FitStrategy::FirstFit, 0.0, 1024, 1);
+        let mut p: ExtentPolicy = ExtentPolicy::new(100, &[40], FitStrategy::FirstFit, 0.0, 1024, 1);
         let f = p.create(&hints(40 * 1024)).unwrap();
         assert_eq!(p.file_extent_units(f).unwrap(), 40);
         p.extend(f, 80).unwrap(); // two extents of 40
@@ -376,7 +380,7 @@ mod tests {
 
     #[test]
     fn zero_sigma_is_deterministic() {
-        let mut p = ExtentPolicy::new(1000, &[16], FitStrategy::FirstFit, 0.0, 1024, 3);
+        let mut p: ExtentPolicy = ExtentPolicy::new(1000, &[16], FitStrategy::FirstFit, 0.0, 1024, 3);
         for _ in 0..10 {
             let f = p.create(&hints(16 * 1024)).unwrap();
             assert_eq!(p.file_extent_units(f).unwrap(), 16);

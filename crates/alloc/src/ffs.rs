@@ -18,11 +18,12 @@
 //! Allocation prefers the file's current group and physically sequential
 //! placement (standing in for FFS's rotational-layout optimization).
 
+use crate::blockset::{BitmapBlockSet, FreeBlockSet};
 use crate::filemap::FileMap;
 use crate::policy::Policy;
 use crate::types::{AllocError, Extent, FileHints, FileId};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 /// FFS-style policy parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -47,9 +48,9 @@ impl Default for FfsConfig {
 
 /// One cylinder group's free-space bookkeeping.
 #[derive(Debug, Clone)]
-struct CylGroup {
+struct CylGroup<S: FreeBlockSet> {
     /// Addresses of fully free blocks.
-    free_blocks: BTreeSet<u64>,
+    free_blocks: S,
     /// Fragmented blocks: address → bitmap of free fragments (bit i set =
     /// fragment i free). Blocks with all fragments free are promoted back
     /// to `free_blocks`.
@@ -67,13 +68,15 @@ struct FfsFile {
     group: usize,
 }
 
-/// The FFS-style block+fragment policy.
+/// The FFS-style block+fragment policy, generic over the free-block
+/// container (bitmap by default; `BTreeBlockSet` for differential tests and
+/// benchmark baselines — the policy logic is identical either way).
 #[derive(Debug, Clone)]
-pub struct FfsPolicy {
+pub struct FfsPolicy<S: FreeBlockSet = BitmapBlockSet> {
     block_units: u64,
     frags_per_block: u64,
     group_units: u64,
-    groups: Vec<CylGroup>,
+    groups: Vec<CylGroup<S>>,
     capacity: u64,
     files: Vec<Option<FfsFile>>,
     free_slots: Vec<u32>,
@@ -82,7 +85,7 @@ pub struct FfsPolicy {
     rotor: usize,
 }
 
-impl FfsPolicy {
+impl<S: FreeBlockSet> FfsPolicy<S> {
     /// Builds the policy over `capacity_units` with `block_units` per block
     /// (fragments are one disk unit) and `group_units` per cylinder group.
     pub fn new(capacity_units: u64, block_units: u64, group_units: u64) -> Self {
@@ -96,7 +99,7 @@ impl FfsPolicy {
         while base < capacity {
             let end = (base + group_units).min(capacity);
             let mut g = CylGroup {
-                free_blocks: BTreeSet::new(),
+                free_blocks: S::new(base, end, block_units),
                 frag_blocks: BTreeMap::new(),
                 free_units: 0,
             };
@@ -156,7 +159,7 @@ impl FfsPolicy {
     fn alloc_block(&mut self, group: usize, prefer: Option<u64>) -> Option<u64> {
         if let Some(p) = prefer {
             let g = self.group_of(p.min(self.capacity - 1));
-            if self.groups[g].free_blocks.remove(&p) {
+            if self.groups[g].free_blocks.remove(p) {
                 self.groups[g].free_units -= self.block_units;
                 return Some(p);
             }
@@ -167,11 +170,11 @@ impl FfsPolicy {
             let pick = {
                 let g = &self.groups[gi];
                 prefer
-                    .and_then(|p| g.free_blocks.range(p..).next().copied())
-                    .or_else(|| g.free_blocks.iter().next().copied())
+                    .and_then(|p| g.free_blocks.first_at_or_after(p))
+                    .or_else(|| g.free_blocks.first())
             };
             if let Some(a) = pick {
-                self.groups[gi].free_blocks.remove(&a);
+                self.groups[gi].free_blocks.remove(a);
                 self.groups[gi].free_units -= self.block_units;
                 return Some(a);
             }
@@ -284,7 +287,7 @@ fn free_run(bitmap: u32, frags_per_block: u64, n: u64) -> Option<u64> {
     (0..=frags_per_block.saturating_sub(n)).find(|&off| bitmap & run_mask(off, n) == run_mask(off, n))
 }
 
-impl Policy for FfsPolicy {
+impl<S: FreeBlockSet> Policy for FfsPolicy<S> {
     fn name(&self) -> &'static str {
         "ffs"
     }
@@ -609,7 +612,7 @@ mod tests {
 
     #[test]
     fn sequential_growth_prefers_contiguity() {
-        let mut p = FfsPolicy::new(2048, 8, 2048); // one group
+        let mut p: FfsPolicy = FfsPolicy::new(2048, 8, 2048); // one group
         let f = p.create(&FileHints::default()).unwrap();
         for _ in 0..8 {
             p.extend(f, 8).unwrap();
@@ -620,7 +623,7 @@ mod tests {
 
     #[test]
     fn disk_full_is_atomic() {
-        let mut p = FfsPolicy::new(64, 8, 64);
+        let mut p: FfsPolicy = FfsPolicy::new(64, 8, 64);
         let f = p.create(&FileHints::default()).unwrap();
         p.extend(f, 60).unwrap(); // 7 blocks + 4 frags
         let free_before = p.free_units();

@@ -46,6 +46,7 @@
 #![warn(clippy::all)]
 
 pub mod bitmap;
+pub mod blockset;
 pub mod buddy;
 pub mod buddy_core;
 pub mod config;
@@ -58,10 +59,12 @@ pub mod policy;
 pub mod restricted;
 pub mod types;
 
+pub use blockset::{BTreeBlockSet, BitmapBlockSet, FreeBlockSet};
 pub use buddy::BuddyPolicy;
 pub use config::{BuddyConfig, ExtentConfig, FitStrategy, FixedConfig, PolicyConfig, RestrictedConfig};
 pub use extent::ExtentPolicy;
 pub use ffs::{FfsConfig, FfsPolicy};
+pub use freespace::{BTreeFreeSpaceMap, FreeMap, FreeSpaceMap};
 pub use filemap::FileMap;
 pub use fixed::FixedPolicy;
 pub use policy::{FragGauges, Policy, PolicyStats};

@@ -27,6 +27,7 @@
 
 pub mod region;
 
+use crate::blockset::{BitmapBlockSet, FreeBlockSet};
 use crate::filemap::FileMap;
 use crate::policy::Policy;
 use crate::types::{AllocError, Extent, FileHints, FileId};
@@ -44,13 +45,16 @@ struct RFile {
     fd_addr: u64,
 }
 
-/// The restricted buddy policy.
+/// The restricted buddy policy, generic over the free-list container
+/// (bitmap by default; the `BTreeBlockSet` reference backend makes the
+/// exact same allocation decisions and exists for differential tests and
+/// benchmark baselines).
 #[derive(Debug, Clone)]
-pub struct RestrictedPolicy {
+pub struct RestrictedPolicy<S: FreeBlockSet = BitmapBlockSet> {
     /// Block class sizes in units, ascending, each dividing the next.
     sizes: Vec<u64>,
     grow_factor: u64,
-    regions: Vec<Region>,
+    regions: Vec<Region<S>>,
     /// Region length in units (`u64::MAX`-like sentinel not needed: equals
     /// capacity when unclustered).
     region_units: u64,
@@ -62,7 +66,7 @@ pub struct RestrictedPolicy {
     metadata_units: u64,
 }
 
-impl RestrictedPolicy {
+impl<S: FreeBlockSet> RestrictedPolicy<S> {
     /// Builds the policy.
     ///
     /// * `sizes_units` — ascending block classes (each must divide the next).
@@ -207,7 +211,7 @@ impl RestrictedPolicy {
     }
 }
 
-impl Policy for RestrictedPolicy {
+impl<S: FreeBlockSet> Policy for RestrictedPolicy<S> {
     fn name(&self) -> &'static str {
         "restricted-buddy"
     }
@@ -217,7 +221,7 @@ impl Policy for RestrictedPolicy {
     }
 
     fn free_units(&self) -> u64 {
-        self.regions.iter().map(Region::free_units).sum()
+        self.regions.iter().map(|r| r.free_units()).sum()
     }
 
     fn frag_gauges(&self) -> crate::policy::FragGauges {
@@ -395,7 +399,7 @@ mod tests {
 
     #[test]
     fn grow_policy_ladders_up() {
-        let mut p = RestrictedPolicy::new(1 << 14, &[1, 8, 64], 1, None);
+        let mut p: RestrictedPolicy = RestrictedPolicy::new(1 << 14, &[1, 8, 64], 1, None);
         let f = p.create(&FileHints::default()).unwrap();
         // g=1: eight 1-unit blocks, then 8-unit blocks.
         p.extend(f, 8).unwrap();
@@ -412,7 +416,7 @@ mod tests {
 
     #[test]
     fn grow_factor_two_defers_promotion() {
-        let mut p = RestrictedPolicy::new(1 << 14, &[1, 8, 64], 2, None);
+        let mut p: RestrictedPolicy = RestrictedPolicy::new(1 << 14, &[1, 8, 64], 2, None);
         let f = p.create(&FileHints::default()).unwrap();
         p.extend(f, 16).unwrap(); // g=2 → sixteen class-0 blocks
         assert!(p.file(f).unwrap().blocks.iter().all(|&(_, c)| c == 0));
@@ -491,7 +495,7 @@ mod tests {
 
     #[test]
     fn allocation_fails_only_when_no_block_available() {
-        let mut p = RestrictedPolicy::new(64, &[1, 8], 1, None);
+        let mut p: RestrictedPolicy = RestrictedPolicy::new(64, &[1, 8], 1, None);
         let f = p.create(&FileHints::default()).unwrap();
         p.extend(f, 56).unwrap();
         // Remaining ≈ 7 units; class for next block is 1 (8 units) after
@@ -532,7 +536,7 @@ mod tests {
 
     #[test]
     fn failed_extend_is_atomic() {
-        let mut p = RestrictedPolicy::new(32, &[1, 8], 1, None);
+        let mut p: RestrictedPolicy = RestrictedPolicy::new(32, &[1, 8], 1, None);
         let f = p.create(&FileHints::default()).unwrap();
         let free_before = p.free_units();
         let err = p.extend(f, 1000);
@@ -546,7 +550,7 @@ mod tests {
     fn unclustered_still_prefers_contiguity() {
         // Room to spare: 20 one-unit extends climb the ladder all the way
         // to class-2 blocks (8 + 8·8 + 4·64 units).
-        let mut p = RestrictedPolicy::new(4096, &[1, 8, 64], 1, None);
+        let mut p: RestrictedPolicy = RestrictedPolicy::new(4096, &[1, 8, 64], 1, None);
         let f = p.create(&FileHints::default()).unwrap();
         for _ in 0..20 {
             p.extend(f, 1).unwrap();

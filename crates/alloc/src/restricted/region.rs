@@ -13,7 +13,7 @@
 //! sorted circular list, with O(log n) instead of O(n) operations).
 
 use crate::bitmap::FreeBitmap;
-use std::collections::BTreeSet;
+use crate::blockset::{BitmapBlockSet, FreeBlockSet};
 
 /// Free-block bookkeeping for one region.
 ///
@@ -22,17 +22,17 @@ use std::collections::BTreeSet;
 /// always aligned to `sizes[c]` in the *global* address space — "a block of
 /// size N always starts at an address which is an integral multiple [of] N".
 #[derive(Debug, Clone)]
-pub struct Region {
+pub struct Region<S: FreeBlockSet = BitmapBlockSet> {
     base: u64,
     end: u64,
     /// Free lists for classes `0..top` (the top class lives in the bitmap).
-    lists: Vec<BTreeSet<u64>>,
+    lists: Vec<S>,
     /// Bitmap over top-class slots covering `[base, end)`.
     top_bitmap: FreeBitmap,
     free_units: u64,
 }
 
-impl Region {
+impl<S: FreeBlockSet> Region<S> {
     /// Builds a region spanning `[base, end)` with every block free.
     ///
     /// `base` must be aligned to the largest class size (true for the
@@ -46,7 +46,7 @@ impl Region {
         let mut region = Region {
             base,
             end,
-            lists: vec![BTreeSet::new(); sizes.len() - 1],
+            lists: (0..sizes.len() - 1).map(|c| S::new(base, end, sizes[c])).collect(),
             top_bitmap: FreeBitmap::new(top_slots),
             free_units: 0,
         };
@@ -132,7 +132,7 @@ impl Region {
         if c == self.top_class(sizes) {
             self.top_bitmap.set_used(self.slot(sizes, addr));
         } else {
-            let was = self.lists[c].remove(&addr);
+            let was = self.lists[c].remove(addr);
             debug_assert!(was, "removing absent class-{c} block at {addr}");
         }
         self.free_units -= sizes[c];
@@ -159,7 +159,7 @@ impl Region {
         if c == self.top_class(sizes) {
             self.top_bitmap.is_free(self.slot(sizes, addr))
         } else {
-            self.lists[c].contains(&addr)
+            self.lists[c].contains(addr)
         }
     }
 
@@ -197,11 +197,11 @@ impl Region {
             Some(self.slot_addr(sizes, slot))
         } else {
             if let Some(p) = prefer {
-                if let Some(&a) = self.lists[c].range(p..).next() {
+                if let Some(a) = self.lists[c].first_at_or_after(p) {
                     return Some(a);
                 }
             }
-            self.lists[c].iter().next().copied()
+            self.lists[c].first()
         }
     }
 
@@ -279,7 +279,7 @@ impl Region {
         let mut spans: Vec<(u64, u64)> = Vec::new();
         let mut total = 0u64;
         for (c, list) in self.lists.iter().enumerate() {
-            for &a in list {
+            for a in list.addrs() {
                 assert_eq!(a % sizes[c], 0);
                 assert!(a >= self.base && a + sizes[c] <= self.end);
                 spans.push((a, sizes[c]));
@@ -301,7 +301,7 @@ impl Region {
         }
         // Maximal promotion: no complete free parent left unpromoted.
         for c in 0..sizes.len() - 1 {
-            for &a in self.lists[c].iter() {
+            for a in self.lists[c].addrs() {
                 let parent = a - a % sizes[c + 1];
                 if parent >= self.base && parent + sizes[c + 1] <= self.end {
                     let nchildren = sizes[c + 1] / sizes[c];
@@ -321,7 +321,7 @@ mod tests {
 
     #[test]
     fn seeding_fills_with_top_blocks() {
-        let r = Region::new(0, 640, SIZES);
+        let r: Region = Region::new(0, 640, SIZES);
         assert_eq!(r.free_units(), 640);
         assert!(r.has_free(SIZES, 2));
         assert!(!r.has_free(SIZES, 0), "everything promoted to top blocks");
@@ -331,14 +331,14 @@ mod tests {
     #[test]
     fn seeding_handles_ragged_tail() {
         // 100 units: one 64-block, four 8-blocks, four 1-blocks.
-        let r = Region::new(0, 100, SIZES);
+        let r: Region = Region::new(0, 100, SIZES);
         assert_eq!(r.free_units(), 100);
         r.check_invariants(SIZES);
     }
 
     #[test]
     fn take_near_prefers_address_at_or_after() {
-        let mut r = Region::new(0, 640, SIZES);
+        let mut r: Region = Region::new(0, 640, SIZES);
         let a = r.take_near(SIZES, 2, Some(128)).unwrap();
         assert_eq!(a, 128);
         // Last block (576..640) then a repeat of the same preference: the
@@ -352,7 +352,7 @@ mod tests {
 
     #[test]
     fn split_descends_to_requested_class() {
-        let mut r = Region::new(0, 640, SIZES);
+        let mut r: Region = Region::new(0, 640, SIZES);
         assert!(!r.has_free(SIZES, 0));
         let a = r.split_for(SIZES, 0, None).unwrap();
         assert_eq!(a, 0);
@@ -365,7 +365,7 @@ mod tests {
 
     #[test]
     fn split_carves_block_containing_preferred_address() {
-        let mut r = Region::new(0, 640, SIZES);
+        let mut r: Region = Region::new(0, 640, SIZES);
         let a = r.split_for(SIZES, 0, Some(70)).unwrap();
         assert_eq!(a, 70, "the child containing the preferred unit");
         r.check_invariants(SIZES);
@@ -373,7 +373,7 @@ mod tests {
 
     #[test]
     fn free_block_promotes_complete_parents() {
-        let mut r = Region::new(0, 640, SIZES);
+        let mut r: Region = Region::new(0, 640, SIZES);
         // Split a top block fully into class-0 pieces.
         let mut taken = Vec::new();
         for _ in 0..64 {
@@ -399,7 +399,7 @@ mod tests {
         // seeded as smaller blocks. Probing the top-aligned address 64 —
         // inside the region but past the last full top slot — used to walk
         // off the bitmap; it must simply report "not free".
-        let mut r = Region::new(0, 100, SIZES);
+        let mut r: Region = Region::new(0, 100, SIZES);
         assert!(!r.is_block_free(SIZES, 2, 64));
         assert!(!r.is_block_free(SIZES, 1, 70), "misaligned class-1 probe");
         // The original failure path: a split preferring an address in the
@@ -411,7 +411,7 @@ mod tests {
 
     #[test]
     fn take_exact_only_takes_free_blocks() {
-        let mut r = Region::new(0, 640, SIZES);
+        let mut r: Region = Region::new(0, 640, SIZES);
         assert!(r.take_exact(SIZES, 2, 64));
         assert!(!r.take_exact(SIZES, 2, 64), "already taken");
         assert!(!r.take_exact(SIZES, 0, 64), "not free at that class");
@@ -420,7 +420,7 @@ mod tests {
 
     #[test]
     fn nonzero_base_regions_work() {
-        let mut r = Region::new(640, 1280, SIZES);
+        let mut r: Region = Region::new(640, 1280, SIZES);
         let a = r.take_near(SIZES, 2, None).unwrap();
         assert_eq!(a, 640);
         assert!(r.contains(700));
@@ -432,7 +432,7 @@ mod tests {
 
     #[test]
     fn has_larger_reports_split_potential() {
-        let mut r = Region::new(0, 64, SIZES);
+        let mut r: Region = Region::new(0, 64, SIZES);
         assert!(r.has_larger(SIZES, 0));
         assert!(!r.has_larger(SIZES, 2));
         let _ = r.take_near(SIZES, 2, None).unwrap();
@@ -442,7 +442,7 @@ mod tests {
     #[test]
     fn single_class_region_uses_bitmap_only() {
         let sizes = &[4u64];
-        let mut r = Region::new(0, 40, sizes);
+        let mut r: Region = Region::new(0, 40, sizes);
         assert_eq!(r.free_units(), 40);
         let a = r.take_near(sizes, 0, None).unwrap();
         assert_eq!(a, 0);

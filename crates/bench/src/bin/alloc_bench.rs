@@ -1,0 +1,246 @@
+//! Allocator microbenchmarks: bitmap-backed free-space structures vs their
+//! `BTreeSet`/`BTreeMap` reference backends.
+//!
+//! For each policy family and each steady-state utilization level the
+//! harness fills a disk to the target, then times an identical churn
+//! stream (extend / truncate / delete+create, identical RNG seeds, so both
+//! backends make byte-identical decisions — see
+//! `crates/alloc/tests/bitmap_equiv.rs`) against each backend. Median
+//! ns/op over several repetitions goes to stdout as a table and, with
+//! `--json PATH`, into a `BENCH_alloc.json`-shaped snapshot that
+//! `scripts/check.sh` uses as its perf-regression baseline.
+//!
+//! Wall-clock here is measurement, not simulation: the bench crate is the
+//! one place the workspace reads real time (simlint r2 exemption).
+
+use readopt_alloc::blockset::{BTreeBlockSet, BitmapBlockSet};
+use readopt_alloc::freespace::{BTreeFreeSpaceMap, FreeSpaceMap};
+use readopt_alloc::{
+    BuddyPolicy, ExtentPolicy, FfsPolicy, FileHints, FileId, FitStrategy, Policy,
+    RestrictedPolicy,
+};
+use readopt_sim::SimRng;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Unit capacity of the benchmark disk. Large enough that the reference
+/// backends' ordered sets hold tens of thousands of entries at low
+/// utilization.
+const CAPACITY: u64 = 1 << 18;
+/// Churn operations timed per repetition.
+const CHURN_OPS: u64 = 40_000;
+/// Repetitions per (policy, utilization, backend); the median is reported.
+const REPS: usize = 5;
+
+/// One (policy, utilization) comparison.
+#[derive(Debug, Serialize)]
+struct BenchRow {
+    policy: String,
+    util_pct: u32,
+    bitmap_ns_per_op: u64,
+    btree_ns_per_op: u64,
+    /// btree / bitmap — above 1.0 means the bitmap backend is faster.
+    speedup: f64,
+}
+
+/// The `BENCH_alloc.json` snapshot.
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    capacity_units: u64,
+    churn_ops: u64,
+    reps: usize,
+    rows: Vec<BenchRow>,
+}
+
+/// Backend selector for the policy factories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Backend {
+    Bitmap,
+    BTree,
+}
+
+/// Builds a fresh policy of the named family over the chosen backend.
+fn build(policy: &str, backend: Backend) -> Box<dyn Policy> {
+    match (policy, backend) {
+        ("ffs", Backend::Bitmap) => {
+            let p: FfsPolicy<BitmapBlockSet> = FfsPolicy::new(CAPACITY, 8, 1 << 15);
+            Box::new(p)
+        }
+        ("ffs", Backend::BTree) => {
+            let p: FfsPolicy<BTreeBlockSet> = FfsPolicy::new(CAPACITY, 8, 1 << 15);
+            Box::new(p)
+        }
+        ("restricted", Backend::Bitmap) => {
+            let p: RestrictedPolicy<BitmapBlockSet> =
+                RestrictedPolicy::new(CAPACITY, &[1, 4, 16, 64], 2, None);
+            Box::new(p)
+        }
+        ("restricted", Backend::BTree) => {
+            let p: RestrictedPolicy<BTreeBlockSet> =
+                RestrictedPolicy::new(CAPACITY, &[1, 4, 16, 64], 2, None);
+            Box::new(p)
+        }
+        ("buddy", Backend::Bitmap) => {
+            let p: BuddyPolicy<BitmapBlockSet> = BuddyPolicy::new(CAPACITY, 256);
+            Box::new(p)
+        }
+        ("buddy", Backend::BTree) => {
+            let p: BuddyPolicy<BTreeBlockSet> = BuddyPolicy::new(CAPACITY, 256);
+            Box::new(p)
+        }
+        ("extent", Backend::Bitmap) => {
+            let p: ExtentPolicy<FreeSpaceMap> =
+                ExtentPolicy::new(CAPACITY, &[8, 64], FitStrategy::FirstFit, 0.1, 1024, 11);
+            Box::new(p)
+        }
+        ("extent", Backend::BTree) => {
+            let p: ExtentPolicy<BTreeFreeSpaceMap> =
+                ExtentPolicy::new(CAPACITY, &[8, 64], FitStrategy::FirstFit, 0.1, 1024, 11);
+            Box::new(p)
+        }
+        _ => unreachable!("unknown policy family {policy}"),
+    }
+}
+
+fn utilization(p: &dyn Policy) -> f64 {
+    1.0 - p.free_units() as f64 / p.capacity_units() as f64
+}
+
+/// Fills the disk to `target` utilization: 512 files grown round-robin in
+/// small chunks, mimicking the simulator's initialization phase.
+fn fill(p: &mut dyn Policy, rng: &mut SimRng, target: f64) -> Vec<FileId> {
+    let mut files = Vec::new();
+    for _ in 0..512 {
+        let hints = FileHints { mean_extent_bytes: 32 * 1024 };
+        if let Ok(id) = p.create(&hints) {
+            files.push(id);
+        }
+    }
+    let mut stalled = 0;
+    while utilization(p) < target && stalled < files.len() {
+        let f = files[rng.index(files.len())];
+        let units = rng.uniform_u64(4, 32);
+        if p.extend(f, units).is_ok() {
+            stalled = 0;
+        } else {
+            stalled += 1;
+        }
+    }
+    files
+}
+
+/// Runs `CHURN_OPS` mixed operations, nudging utilization back toward
+/// `target` whenever drift exceeds three points. Returns ns/op.
+fn churn(p: &mut dyn Policy, files: &mut Vec<FileId>, rng: &mut SimRng, target: f64) -> u64 {
+    let start = Instant::now();
+    for _ in 0..CHURN_OPS {
+        let util = utilization(p);
+        let roll = rng.uniform_u64(0, 99);
+        // Drift control keeps the structures at the utilization under test.
+        let op = if util > target + 0.03 {
+            60 + roll % 40
+        } else if util < target - 0.03 {
+            roll % 40
+        } else {
+            roll
+        };
+        match op {
+            // 40 %: extend a random file.
+            0..=39 => {
+                if let Some(&f) = files.get(rng.index(files.len().max(1)) % files.len().max(1)) {
+                    let units = rng.uniform_u64(1, 64);
+                    let _ = p.extend(f, units);
+                }
+            }
+            // 30 %: truncate a random file.
+            40..=69 => {
+                if !files.is_empty() {
+                    let f = files[rng.index(files.len())];
+                    let units = rng.uniform_u64(1, 96);
+                    let _ = p.truncate(f, units);
+                }
+            }
+            // 30 %: delete and immediately re-create (stationary
+            // population, like the simulator's §3 create op).
+            _ => {
+                if !files.is_empty() {
+                    let i = rng.index(files.len());
+                    let _ = p.delete(files[i]);
+                    let hints = FileHints { mean_extent_bytes: 32 * 1024 };
+                    match p.create(&hints) {
+                        Ok(id) => files[i] = id,
+                        Err(_) => {
+                            files.swap_remove(i);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let elapsed = start.elapsed().as_nanos();
+    u64::try_from(elapsed / u128::from(CHURN_OPS)).unwrap_or(u64::MAX)
+}
+
+/// Median of a small sample (ties toward the lower middle).
+fn median(mut xs: Vec<u64>) -> u64 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+/// Times one (policy, utilization, backend) cell: median ns/op over
+/// `REPS` fresh fill+churn repetitions, all seeded identically.
+fn measure(policy: &str, backend: Backend, target: f64) -> u64 {
+    let mut samples = Vec::with_capacity(REPS);
+    for rep in 0..REPS {
+        let mut p = build(policy, backend);
+        let mut rng = SimRng::new(1000 + rep as u64);
+        let mut files = fill(p.as_mut(), &mut rng, target);
+        samples.push(churn(p.as_mut(), &mut files, &mut rng, target));
+    }
+    median(samples)
+}
+
+fn main() {
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json_path = args.next(),
+            other => {
+                eprintln!("unknown option {other} (usage: alloc_bench [--json PATH])");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    println!(
+        "{:<12} {:>5} {:>14} {:>14} {:>9}",
+        "policy", "util", "bitmap ns/op", "btree ns/op", "speedup"
+    );
+    for policy in ["ffs", "restricted", "buddy", "extent"] {
+        for util_pct in [50u32, 80, 95] {
+            let target = f64::from(util_pct) / 100.0;
+            let bitmap = measure(policy, Backend::Bitmap, target);
+            let btree = measure(policy, Backend::BTree, target);
+            let speedup = btree as f64 / bitmap.max(1) as f64;
+            println!(
+                "{policy:<12} {util_pct:>4}% {bitmap:>14} {btree:>14} {speedup:>8.2}x"
+            );
+            rows.push(BenchRow {
+                policy: policy.to_string(),
+                util_pct,
+                bitmap_ns_per_op: bitmap,
+                btree_ns_per_op: btree,
+                speedup,
+            });
+        }
+    }
+
+    let report = BenchReport { capacity_units: CAPACITY, churn_ops: CHURN_OPS, reps: REPS, rows };
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
+        std::fs::write(&path, json + "\n").expect("write bench report");
+        eprintln!("wrote {path}");
+    }
+}

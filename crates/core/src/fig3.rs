@@ -89,7 +89,7 @@ fn trace_grow(ladder_bytes: &[u64], target_bytes: u64, grow: u64) -> (Fig3Row, P
     let array = ArrayConfig::scaled(16);
     let unit = array.disk_unit_bytes;
     let sizes_units: Vec<u64> = ladder_bytes.iter().map(|&b| b / unit).collect();
-    let mut policy = RestrictedPolicy::new(array.capacity_units(), &sizes_units, grow, None);
+    let mut policy: RestrictedPolicy = RestrictedPolicy::new(array.capacity_units(), &sizes_units, grow, None);
     let file = policy.create(&FileHints::default()).expect("fresh disk");
     let step = 8 * KB / unit;
     let mut logical = 0u64;

@@ -35,6 +35,9 @@ struct SimFile {
     /// False once the file has been retired (its slot could not be
     /// re-created after a delete on a full disk).
     live: bool,
+    /// This file's position in `files_by_type[type_idx]`, maintained so
+    /// retirement is an O(1) swap-remove instead of an O(n) scan.
+    pos_in_type: usize,
 }
 
 /// What a single event step produced.
@@ -230,6 +233,7 @@ impl Simulation {
                     logical_units: 0,
                     cursor: 0,
                     live: true,
+                    pos_in_type: self.files_by_type[t_idx].len(),
                 });
                 self.files_by_type[t_idx].push(file_idx);
                 let target_units = self.to_units(target_bytes);
@@ -506,9 +510,7 @@ impl Simulation {
         let Ok(new_id) = self.policy.create(&hints) else {
             self.disk_full_events += 1;
             // The file is gone and could not be re-registered; retire it.
-            self.files_by_type[t_idx].retain(|&i| i != file_idx);
-            self.files[file_idx].live = false;
-            self.files[file_idx].logical_units = 0;
+            self.retire_file(file_idx);
             return (StepOutcome::AllocationFailed, self.clock);
         };
         {
@@ -526,6 +528,21 @@ impl Simulation {
         // grow_file logged any disk-full condition and stopped short.
         let outcome = if grown < target_units { StepOutcome::AllocationFailed } else { StepOutcome::Ran };
         (outcome, completion)
+    }
+
+    /// Drops a retired file from the per-type selection index in O(1):
+    /// the index's last entry is swapped into the vacated slot and its
+    /// `pos_in_type` updated to match.
+    fn retire_file(&mut self, file_idx: usize) {
+        let t_idx = self.files[file_idx].type_idx;
+        let pos = self.files[file_idx].pos_in_type;
+        debug_assert_eq!(self.files_by_type[t_idx][pos], file_idx, "pos_in_type out of sync");
+        self.files_by_type[t_idx].swap_remove(pos);
+        if let Some(&moved) = self.files_by_type[t_idx].get(pos) {
+            self.files[moved].pos_in_type = pos;
+        }
+        self.files[file_idx].live = false;
+        self.files[file_idx].logical_units = 0;
     }
 
     /// Runs the policy's offline reallocation pass (Koch's nightly
@@ -653,8 +670,11 @@ impl Simulation {
         }
         let end = self.clock.max(meter.last_span_end());
         let frag = self.fragmentation_report(0);
-        let p50 = crate::measure::percentile_ms(&self.latencies, 0.50);
-        let p99 = crate::measure::percentile_ms(&self.latencies, 0.99);
+        // One in-place sort serves every percentile of this report; the
+        // buffer is cleared at the start of each measurement anyway.
+        self.latencies.sort_by(f64::total_cmp);
+        let p50 = crate::measure::percentile_of_sorted_ms(&self.latencies, 0.50);
+        let p99 = crate::measure::percentile_of_sorted_ms(&self.latencies, 0.99);
         PerfReport {
             throughput_pct,
             max_bandwidth_mb_s: self.max_bw * 1000.0 / (1024.0 * 1024.0),
@@ -930,6 +950,56 @@ mod tests {
 
         assert_eq!(p_app, o_app);
         assert_eq!(p_seq, o_seq);
+    }
+
+    /// Asserts `files_by_type` and `pos_in_type` mirror each other exactly
+    /// and list precisely the live files.
+    fn assert_selection_index_consistent(sim: &Simulation) {
+        for (t_idx, idxs) in sim.files_by_type.iter().enumerate() {
+            for (pos, &file_idx) in idxs.iter().enumerate() {
+                let f = &sim.files[file_idx];
+                assert!(f.live, "retired file {file_idx} still selectable");
+                assert_eq!(f.type_idx, t_idx, "file {file_idx} listed under wrong type");
+                assert_eq!(f.pos_in_type, pos, "stale pos_in_type for file {file_idx}");
+            }
+        }
+        let listed: usize = sim.files_by_type.iter().map(Vec::len).sum();
+        let live = sim.files.iter().filter(|f| f.live).count();
+        assert_eq!(listed, live, "index and live population disagree");
+    }
+
+    #[test]
+    fn retire_swap_remove_keeps_selection_index_consistent() {
+        let c = small_config(small_extent_policy());
+        let mut sim = Simulation::new(&c, 17);
+        assert_selection_index_consistent(&sim);
+        // Retire from the middle, the front, and the back: each swap-remove
+        // moves a different entry (or none) into the vacated slot.
+        for file_idx in [20, 0, sim.files.len() - 1, 21] {
+            sim.policy.delete(sim.files[file_idx].policy_id).unwrap();
+            sim.retire_file(file_idx);
+            assert!(!sim.files[file_idx].live);
+            assert_selection_index_consistent(&sim);
+        }
+        // The engine still runs (selection draws only from live files) and
+        // retired slots never come back.
+        let perf = sim.run_application_test();
+        assert!(perf.operations > 0);
+        assert_selection_index_consistent(&sim);
+    }
+
+    #[test]
+    fn retire_last_file_of_a_type_empties_its_index() {
+        let mut c = small_config(small_extent_policy());
+        c.file_types[0].num_files = 1;
+        let mut sim = Simulation::new(&c, 18);
+        sim.policy.delete(sim.files[0].policy_id).unwrap();
+        sim.retire_file(0);
+        assert!(sim.files_by_type[0].is_empty());
+        assert_selection_index_consistent(&sim);
+        // Stepping with an empty population must not panic or select.
+        let seq = sim.run_sequential_test();
+        assert_eq!(seq.operations, 0);
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub mod rng;
 pub use config::SimConfig;
 pub use engine::Simulation;
 pub use filetype::{FileTypeConfig, OpKind};
-pub use measure::ThroughputMeter;
+pub use measure::{percentile_ms, percentile_of_sorted_ms, ThroughputMeter};
 pub use metrics::{AllocGauges, DiskPhaseMetrics, EngineCounters, StorageMetrics, TestMetrics};
 pub use results::{FragReport, PerfReport, SuiteReport};
 pub use rng::SimRng;

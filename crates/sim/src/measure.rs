@@ -161,14 +161,21 @@ impl ThroughputMeter {
 }
 
 /// Percentile (nearest-rank) of an unsorted sample set; `q` in `[0, 1]`.
-/// Returns 0 for an empty set. Sorts a copy; intended for end-of-run
-/// reporting, not hot paths.
+/// Returns 0 for an empty set. Sorts a copy; for several percentiles of the
+/// same samples, sort once and use [`percentile_of_sorted_ms`] instead.
 pub fn percentile_ms(samples: &[f64], q: f64) -> f64 {
-    if samples.is_empty() {
-        return 0.0;
-    }
     let mut sorted: Vec<f64> = samples.to_vec();
     sorted.sort_by(f64::total_cmp);
+    percentile_of_sorted_ms(&sorted, q)
+}
+
+/// Percentile (nearest-rank) of an already ascending-sorted sample set;
+/// `q` in `[0, 1]`. Returns 0 for an empty set.
+pub fn percentile_of_sorted_ms(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "samples not sorted");
     let rank = ((q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
     sorted[rank - 1]
 }

@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 use readopt_disk::{SimDuration, SimTime};
-use readopt_sim::ThroughputMeter;
+use readopt_sim::{percentile_ms, percentile_of_sorted_ms, ThroughputMeter};
 
 const INTERVAL_MS: f64 = 10_000.0;
 
@@ -116,5 +116,61 @@ proptest! {
         }
         // Two complete intervals are never enough, whatever the spread.
         prop_assert!(m.stabilized(SimTime::from_ms(2.0 * INTERVAL_MS), 1.0, 3, 0.1).is_none());
+    }
+}
+
+/// Textbook nearest-rank percentile, spelled out the slow way: sort, count
+/// up to the first rank covering at least `q·n` of the samples.
+fn naive_nearest_rank(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    let q = q.clamp(0.0, 1.0);
+    for (i, &x) in sorted.iter().enumerate() {
+        if (i + 1) as f64 >= q * n as f64 {
+            return x;
+        }
+    }
+    sorted[n - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The shared nearest-rank implementation matches the textbook
+    /// definition for any sample set and any quantile, and the
+    /// sorted-input fast path agrees with the sorting entry point.
+    #[test]
+    fn percentile_matches_naive_nearest_rank(
+        samples in proptest::collection::vec(0u64..1_000_000, 0..200),
+        q_millis in 0u64..=1000,
+    ) {
+        let xs: Vec<f64> = samples.iter().map(|&v| v as f64 / 1000.0).collect();
+        let q = q_millis as f64 / 1000.0;
+        let want = naive_nearest_rank(&xs, q);
+        prop_assert_eq!(percentile_ms(&xs, q), want);
+        let mut sorted = xs.clone();
+        sorted.sort_by(f64::total_cmp);
+        prop_assert_eq!(percentile_of_sorted_ms(&sorted, q), want);
+    }
+
+    /// Percentiles are monotone in `q` and always members of the sample
+    /// set (nearest-rank never interpolates).
+    #[test]
+    fn percentile_is_monotone_and_selects_a_sample(
+        samples in proptest::collection::vec(0u64..1_000_000, 1..100),
+        qa in 0u64..=1000,
+        qb in 0u64..=1000,
+    ) {
+        let xs: Vec<f64> = samples.iter().map(|&v| v as f64).collect();
+        let (lo, hi) = (qa.min(qb), qa.max(qb));
+        let pa = percentile_ms(&xs, lo as f64 / 1000.0);
+        let pb = percentile_ms(&xs, hi as f64 / 1000.0);
+        prop_assert!(pa <= pb, "p({lo}) = {pa} > p({hi}) = {pb}");
+        prop_assert!(xs.contains(&pa));
+        prop_assert!(xs.contains(&pb));
     }
 }

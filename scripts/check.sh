@@ -38,5 +38,16 @@ for exp in fig1 fig2 table4; do
 done
 echo "   sidecars byte-identical across job counts"
 
+echo "== allocator microbench (bitmap vs btree backends) =="
+cargo run --release -q -p readopt-bench --bin alloc_bench -- \
+    --json target/check/alloc_bench.json
+
+echo "== perf regression gate (warn-only, +25% vs committed baselines) =="
+cargo run --release -q -p readopt-bench --bin perf_gate -- \
+    --threshold-pct 25 \
+    --runner BENCH_runner.json target/check/profile.json \
+    --alloc BENCH_alloc.json target/check/alloc_bench.json
+
 cp target/check/profile.json BENCH_runner.json
-echo "== wrote BENCH_runner.json =="
+cp target/check/alloc_bench.json BENCH_alloc.json
+echo "== wrote BENCH_runner.json + BENCH_alloc.json =="

@@ -89,31 +89,31 @@ proptest! {
 
     #[test]
     fn buddy_invariants(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-        let mut p = BuddyPolicy::new(CAPACITY, 1 << 12);
+        let mut p: BuddyPolicy = BuddyPolicy::new(CAPACITY, 1 << 12);
         exercise(&mut p, &ops);
     }
 
     #[test]
     fn restricted_clustered_invariants(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-        let mut p = RestrictedPolicy::new(CAPACITY, &[1, 8, 64, 1024], 1, Some(4096));
+        let mut p: RestrictedPolicy = RestrictedPolicy::new(CAPACITY, &[1, 8, 64, 1024], 1, Some(4096));
         exercise(&mut p, &ops);
     }
 
     #[test]
     fn restricted_unclustered_grow2_invariants(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-        let mut p = RestrictedPolicy::new(CAPACITY, &[1, 8, 64], 2, None);
+        let mut p: RestrictedPolicy = RestrictedPolicy::new(CAPACITY, &[1, 8, 64], 2, None);
         exercise(&mut p, &ops);
     }
 
     #[test]
     fn extent_first_fit_invariants(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-        let mut p = ExtentPolicy::new(CAPACITY, &[4, 32], FitStrategy::FirstFit, 0.1, 1024, 11);
+        let mut p: ExtentPolicy = ExtentPolicy::new(CAPACITY, &[4, 32], FitStrategy::FirstFit, 0.1, 1024, 11);
         exercise(&mut p, &ops);
     }
 
     #[test]
     fn extent_best_fit_invariants(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-        let mut p = ExtentPolicy::new(CAPACITY, &[4, 32], FitStrategy::BestFit, 0.1, 1024, 12);
+        let mut p: ExtentPolicy = ExtentPolicy::new(CAPACITY, &[4, 32], FitStrategy::BestFit, 0.1, 1024, 12);
         exercise(&mut p, &ops);
     }
 
@@ -125,7 +125,7 @@ proptest! {
 
     #[test]
     fn ffs_invariants(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-        let mut p = FfsPolicy::new(CAPACITY, 8, 1024);
+        let mut p: FfsPolicy = FfsPolicy::new(CAPACITY, 8, 1024);
         exercise(&mut p, &ops);
     }
 
@@ -136,9 +136,9 @@ proptest! {
     ) {
         // Cross-policy conservation: run the same op list on every policy.
         let policies: Vec<Box<dyn Policy>> = vec![
-            Box::new(BuddyPolicy::new(CAPACITY, 1 << 12)),
-            Box::new(RestrictedPolicy::new(CAPACITY, &[1, 8, 64], 1, None)),
-            Box::new(ExtentPolicy::new(CAPACITY, &[8], FitStrategy::FirstFit, 0.1, 1024, seed)),
+            Box::new(<BuddyPolicy>::new(CAPACITY, 1 << 12)),
+            Box::new(<RestrictedPolicy>::new(CAPACITY, &[1, 8, 64], 1, None)),
+            Box::new(<ExtentPolicy>::new(CAPACITY, &[8], FitStrategy::FirstFit, 0.1, 1024, seed)),
             Box::new(FixedPolicy::new(CAPACITY, 8, false, seed)),
         ];
         for mut p in policies {
