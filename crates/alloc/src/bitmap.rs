@@ -14,11 +14,39 @@
 //! the run-boundary scans ("first used", "run start") skip the interior of
 //! long free runs. Either way a single summary-word probe covers 64 words
 //! = 4096 slots.
+//!
+//! A third, lazily maintained cache accelerates the run search under heavy
+//! fragmentation: `max_run[w]` is the length of the longest free run wholly
+//! inside word `w`. `first_free_run_before` uses it to dismiss a mixed word
+//! in O(1) — if the carried run cannot be completed by the word's leading
+//! free bits and no interior run is long enough, the whole segment walk is
+//! skipped. Writes only *invalidate* the entry (one byte store), so callers
+//! that never search for runs pay nothing for it.
 
 use serde::{de_field, Deserialize, Error, Serialize, Value};
 
+/// `max_run` sentinel: the word changed since the entry was computed.
+const STALE_RUN: u8 = u8::MAX;
+
+/// Length of the longest contiguous run of set bits in `x` (0..=64).
+/// Each `x &= x << 1` step shortens every run by one, so the step count is
+/// the longest run's length; the all-ones word short-circuits because the
+/// loop's shift would otherwise never introduce zeros.
+fn longest_one_run(x: u64) -> u8 {
+    if x == u64::MAX {
+        return 64;
+    }
+    let mut x = x;
+    let mut n = 0u8;
+    while x != 0 {
+        x &= x << 1;
+        n += 1;
+    }
+    n
+}
+
 /// Fixed-size bitmap; bit set ⇒ slot free.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, Eq)]
 pub struct FreeBitmap {
     words: Vec<u64>,
     /// Summary index: bit `j` set iff `words[j] != 0`. Derived data,
@@ -28,8 +56,22 @@ pub struct FreeBitmap {
     /// (every slot in the word free). Derived data, rebuilt on
     /// deserialization.
     full: Vec<u64>,
+    /// Longest free run wholly inside each word, or [`STALE_RUN`] when the
+    /// word changed since the entry was computed. Derived data: invalidated
+    /// word-granularly on every set/clear, recomputed lazily by the run
+    /// scans, rebuilt exactly on deserialization.
+    max_run: Vec<u8>,
     len: usize,
     free_count: usize,
+}
+
+/// Equality is over the ground truth only (`words`, `len`, `free_count`);
+/// the summary levels are a pure function of `words` and the `max_run`
+/// cache may legitimately differ in staleness between two equal bitmaps.
+impl PartialEq for FreeBitmap {
+    fn eq(&self, other: &Self) -> bool {
+        self.words == other.words && self.len == other.len && self.free_count == other.free_count
+    }
 }
 
 impl FreeBitmap {
@@ -40,6 +82,7 @@ impl FreeBitmap {
             words: vec![0; nwords],
             summary: vec![0; nwords.div_ceil(64)],
             full: vec![0; nwords.div_ceil(64)],
+            max_run: vec![0; nwords],
             len,
             free_count: 0,
         }
@@ -66,7 +109,9 @@ impl FreeBitmap {
         self.words[i / 64] & (1 << (i % 64)) != 0
     }
 
-    /// Refreshes both summary levels' bits for word `w` from its value.
+    /// Refreshes both summary levels' bits for word `w` from its value and
+    /// invalidates the word's longest-run cache entry (recomputed lazily by
+    /// the run scans — a one-byte store is all a write path ever pays).
     fn summary_update(&mut self, w: usize) {
         let (sw, bit) = (w / 64, 1u64 << (w % 64));
         if self.words[w] != 0 {
@@ -79,6 +124,16 @@ impl FreeBitmap {
         } else {
             self.full[sw] &= !bit;
         }
+        self.max_run[w] = STALE_RUN;
+    }
+
+    /// Longest free run wholly inside word `w`, from the cache when fresh,
+    /// recomputing (and re-caching) when the word changed since.
+    fn max_run_of(&mut self, w: usize) -> usize {
+        if self.max_run[w] == STALE_RUN {
+            self.max_run[w] = longest_one_run(self.words[w]);
+        }
+        self.max_run[w] as usize
     }
 
     /// Marks slot `i` free. Panics in debug builds on double-free.
@@ -279,8 +334,10 @@ impl FreeBitmap {
     /// A single streaming pass: a run length is carried across words, the
     /// `summary` index skips fully-used 64-word blocks, the `full` index
     /// swallows fully-free 64-word blocks, and only mixed words are walked
-    /// segment by segment.
-    pub fn first_free_run(&self, k: usize) -> Option<usize> {
+    /// segment by segment. Takes `&mut self` because the walk lazily
+    /// refreshes the per-word longest-run cache (`max_run`) that lets it
+    /// dismiss most mixed words without walking them.
+    pub fn first_free_run(&mut self, k: usize) -> Option<usize> {
         self.first_free_run_before(k, self.len)
     }
 
@@ -288,7 +345,7 @@ impl FreeBitmap {
     /// start at or past `limit` — the caller already knows a qualifying run
     /// begins there, so anything the scan could still find cannot be the
     /// first fit. Runs that *begin* below `limit` are followed to their end.
-    pub fn first_free_run_before(&self, k: usize, limit: usize) -> Option<usize> {
+    pub fn first_free_run_before(&mut self, k: usize, limit: usize) -> Option<usize> {
         debug_assert!(k > 0);
         let nwords = self.words.len();
         let mut run_start = 0usize;
@@ -331,33 +388,53 @@ impl FreeBitmap {
                     return Some(run_start);
                 }
             } else {
-                // Mixed word: walk its used/free segments.
-                let mut x = word;
-                let mut offset = 0usize;
-                while offset < 64 {
-                    if x & 1 == 0 {
-                        if x == 0 {
-                            // Used through the top of the word.
+                // Mixed word. A qualifying run can only end inside it two
+                // ways: the carried run grows by the word's trailing free
+                // bits, or a run lies wholly within the word — and the
+                // latter is bounded by the cached longest in-word run. When
+                // neither reaches `k`, the segment walk below cannot return
+                // here, so skip it: the state it would leave behind is
+                // exactly the word's leading free bits as the carried run.
+                let prefix = word.trailing_ones() as usize;
+                if run_len > 0 && run_len + prefix >= k {
+                    return Some(run_start);
+                }
+                if self.max_run_of(w) < k {
+                    let suffix = word.leading_ones() as usize;
+                    run_len = suffix;
+                    if suffix > 0 {
+                        run_start = w * 64 + 64 - suffix;
+                    }
+                } else {
+                    // The run ends here: walk the word's used/free segments
+                    // to find where.
+                    let mut x = word;
+                    let mut offset = 0usize;
+                    while offset < 64 {
+                        if x & 1 == 0 {
+                            if x == 0 {
+                                // Used through the top of the word.
+                                run_len = 0;
+                                break;
+                            }
+                            let used = x.trailing_zeros() as usize;
                             run_len = 0;
-                            break;
+                            x >>= used;
+                            offset += used;
+                        } else {
+                            // The shift above filled the top with zeros, so
+                            // this counts at most the bits left in the word.
+                            let free = (!x).trailing_zeros() as usize;
+                            if run_len == 0 {
+                                run_start = w * 64 + offset;
+                            }
+                            run_len += free;
+                            if run_len >= k {
+                                return Some(run_start);
+                            }
+                            x >>= free;
+                            offset += free;
                         }
-                        let used = x.trailing_zeros() as usize;
-                        run_len = 0;
-                        x >>= used;
-                        offset += used;
-                    } else {
-                        // The shift above filled the top with zeros, so
-                        // this counts at most the bits left in the word.
-                        let free = (!x).trailing_zeros() as usize;
-                        if run_len == 0 {
-                            run_start = w * 64 + offset;
-                        }
-                        run_len += free;
-                        if run_len >= k {
-                            return Some(run_start);
-                        }
-                        x >>= free;
-                        offset += free;
                     }
                 }
             }
@@ -373,13 +450,17 @@ impl FreeBitmap {
         self.words.resize(nwords, 0);
         self.summary.resize(nwords.div_ceil(64), 0);
         self.full.resize(nwords.div_ceil(64), 0);
+        // All-used new words have a longest free run of exactly 0.
+        self.max_run.resize(nwords, 0);
         self.len = new_len;
     }
 
-    /// Rebuilds both summary indexes from the words (deserialization).
+    /// Rebuilds the summary indexes and the longest-run cache from the
+    /// words (deserialization).
     fn rebuild_summary(&mut self) {
         self.summary = vec![0; self.words.len().div_ceil(64)];
         self.full = vec![0; self.words.len().div_ceil(64)];
+        self.max_run = self.words.iter().map(|&w| longest_one_run(w)).collect();
         for w in 0..self.words.len() {
             if self.words[w] != 0 {
                 self.summary[w / 64] |= 1 << (w % 64);
@@ -440,6 +521,7 @@ impl Deserialize for FreeBitmap {
             words: de_field(v, "words")?,
             summary: Vec::new(),
             full: Vec::new(),
+            max_run: Vec::new(),
             len: de_field(v, "len")?,
             free_count: de_field(v, "free_count")?,
         };
@@ -609,6 +691,63 @@ mod tests {
         assert_eq!(b.first_used_at_or_after(0), Some(10));
         b.set_free(499);
         assert_eq!(b.first_free_at_or_after(10), Some(499));
+    }
+
+    #[test]
+    fn ragged_tail_runs_at_1000_and_1601() {
+        // Unit counts not a multiple of 64 (tail word partly ghost): the
+        // run scans must neither count ghost bits past `len` as free nor
+        // miss runs that touch or live inside the tail word.
+        for n in [1000usize, 1601] {
+            let mut b = FreeBitmap::new(n);
+            b.set_range_free(n - 37, 37);
+            assert_eq!(b.first_free_run(37), Some(n - 37), "run touching the end (n={n})");
+            assert_eq!(b.first_free_run(38), None, "ghost bits must not extend a run (n={n})");
+            assert_eq!(b.first_free_run_before(37, n), Some(n - 37), "n={n}");
+            assert_eq!(b.first_used_at_or_after(n - 37), None, "n={n}");
+            assert_eq!(b.free_run_start(n - 1), n - 37, "n={n}");
+            // Punch a hole near the end: the runs split exactly.
+            b.set_used(n - 20);
+            assert_eq!(b.first_free_run(18), Some(n - 19), "n={n}");
+            assert_eq!(b.first_free_run(20), None, "n={n}");
+            // A fully free ragged bitmap is one run of exactly `len`.
+            let mut c = FreeBitmap::new(n);
+            c.set_range_free(0, n);
+            assert_eq!(c.first_free_run(n), Some(0), "n={n}");
+            assert_eq!(c.first_free_run(n + 1), None, "n={n}");
+        }
+    }
+
+    #[test]
+    fn max_run_cache_tracks_mutation() {
+        // The lazily maintained longest-run cache must go stale and refresh
+        // correctly as words mutate — including the partial tail word.
+        let mut b = FreeBitmap::new(1601);
+        b.set_range_free(100, 30);
+        assert_eq!(b.first_free_run(30), Some(100));
+        b.set_used(110);
+        assert_eq!(b.first_free_run(30), None, "cache entry must not survive the punch");
+        assert_eq!(b.first_free_run(19), Some(111));
+        b.set_free(110);
+        assert_eq!(b.first_free_run(30), Some(100), "cache must refresh after refill");
+        // Run wholly inside the ragged tail word ([1600, 1601) is the only
+        // real slot of the last word).
+        let mut t = FreeBitmap::new(1601);
+        t.set_range_free(1595, 6);
+        assert_eq!(t.first_free_run(6), Some(1595));
+        assert_eq!(t.first_free_run(7), None);
+        t.set_free(1594);
+        assert_eq!(t.first_free_run(7), Some(1594));
+    }
+
+    #[test]
+    fn equality_ignores_cache_staleness() {
+        let mut a = FreeBitmap::new(200);
+        a.set_range_free(10, 50);
+        let b = a.clone();
+        // Refresh a's cache only; the bitmaps still hold the same slots.
+        assert_eq!(a.first_free_run(8), Some(10));
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -217,6 +217,7 @@ impl PolicyConfig {
                 let sizes: Vec<u64> = sizes.into_iter().filter(|&s| s <= capacity_units).collect();
                 assert!(!sizes.is_empty(), "no block class fits the capacity");
                 let top =
+                    // simlint::allow(r3, "non-emptiness asserted two lines up")
                     *sizes.last().unwrap_or_else(|| unreachable!("asserted non-empty above"));
                 let region = if c.clustered {
                     Some(to_units(c.region_bytes).min(capacity_units.max(top)))

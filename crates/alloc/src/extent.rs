@@ -107,6 +107,7 @@ impl<M: FreeMap> ExtentPolicy<M> {
                 let db = ((b as f64).ln() - t).abs();
                 da.total_cmp(&db)
             })
+            // simlint::allow(r3, "min_by over a non-empty set; constructor asserts ranges exist")
             .unwrap_or_else(|| unreachable!("constructor requires at least one extent range"))
     }
 

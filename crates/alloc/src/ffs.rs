@@ -23,7 +23,7 @@ use crate::filemap::FileMap;
 use crate::policy::Policy;
 use crate::types::{AllocError, Extent, FileHints, FileId};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// FFS-style policy parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -46,6 +46,56 @@ impl Default for FfsConfig {
     }
 }
 
+/// Per-group index of fragmented blocks, bucketed by the length of each
+/// block's longest contiguous free-fragment run.
+///
+/// `buckets[l]` holds the addresses of fragmented blocks whose longest
+/// free run is exactly `l` fragments (bucket 0: fully-used fragmented
+/// blocks). `alloc_frags` asks for "the lowest-addressed block with a free
+/// run of ≥ n fragments"; the index answers with one `first()` probe per
+/// qualifying bucket — O(frags_per_block · log blocks) — instead of a
+/// linear scan over every fragmented block in the group. It is maintained
+/// incrementally on every fragment allocation, fragment free, and
+/// whole-block promotion/demotion, and is deliberately backend-independent
+/// (plain `BTreeSet`s) so `FfsPolicy<BitmapBlockSet>` and
+/// `FfsPolicy<BTreeBlockSet>` stay decision-identical by construction.
+#[derive(Debug, Clone, Default)]
+struct FragIndex {
+    buckets: Vec<BTreeSet<u64>>,
+}
+
+impl FragIndex {
+    fn new(frags_per_block: u64) -> Self {
+        FragIndex { buckets: vec![BTreeSet::new(); frags_per_block as usize + 1] }
+    }
+
+    /// Registers `addr` under longest-run `run`.
+    fn insert(&mut self, addr: u64, run: u64) {
+        let fresh = self.buckets[run as usize].insert(addr);
+        debug_assert!(fresh, "frag index already holds block {addr}");
+    }
+
+    /// Drops `addr`, currently filed under longest-run `run`.
+    fn remove(&mut self, addr: u64, run: u64) {
+        let was = self.buckets[run as usize].remove(&addr);
+        debug_assert!(was, "frag index lost track of block {addr} (run {run})");
+    }
+
+    /// Moves `addr` between run buckets after its fragment bitmap changed.
+    fn update(&mut self, addr: u64, old_run: u64, new_run: u64) {
+        if old_run != new_run {
+            self.remove(addr, old_run);
+            self.insert(addr, new_run);
+        }
+    }
+
+    /// Lowest-addressed block whose longest free run is at least `n` —
+    /// exactly the block an address-ordered linear scan would pick.
+    fn first_with_run(&self, n: u64) -> Option<u64> {
+        self.buckets[n as usize..].iter().filter_map(|b| b.iter().next().copied()).min()
+    }
+}
+
 /// One cylinder group's free-space bookkeeping.
 #[derive(Debug, Clone)]
 struct CylGroup<S: FreeBlockSet> {
@@ -55,6 +105,8 @@ struct CylGroup<S: FreeBlockSet> {
     /// fragment i free). Blocks with all fragments free are promoted back
     /// to `free_blocks`.
     frag_blocks: BTreeMap<u64, u32>,
+    /// Run-length index over `frag_blocks` (see [`FragIndex`]).
+    frag_index: FragIndex,
     free_units: u64,
 }
 
@@ -83,6 +135,10 @@ pub struct FfsPolicy<S: FreeBlockSet = BitmapBlockSet> {
     /// Round-robin rotor for placing new files (FFS spreads inodes across
     /// cylinder groups).
     rotor: usize,
+    /// When set, `alloc_frags` uses the pre-index linear scan over
+    /// `frag_blocks` instead of the run-length index (which is still
+    /// maintained). Differential-test and benchmark hook only.
+    linear_scan: bool,
 }
 
 impl<S: FreeBlockSet> FfsPolicy<S> {
@@ -101,6 +157,7 @@ impl<S: FreeBlockSet> FfsPolicy<S> {
             let mut g = CylGroup {
                 free_blocks: S::new(base, end, block_units),
                 frag_blocks: BTreeMap::new(),
+                frag_index: FragIndex::new(block_units),
                 free_units: 0,
             };
             let mut a = base;
@@ -121,6 +178,39 @@ impl<S: FreeBlockSet> FfsPolicy<S> {
             files: Vec::new(),
             free_slots: Vec::new(),
             rotor: 0,
+            linear_scan: false,
+        }
+    }
+
+    /// Routes `alloc_frags` through the pre-index linear scan instead of
+    /// the run-length index (which stays maintained either way). The two
+    /// strategies are decision-identical by construction; the differential
+    /// proptests in `tests/frag_equiv.rs` and the `alloc_bench` baseline
+    /// flip this on to prove/measure it.
+    #[doc(hidden)]
+    pub fn set_linear_scan(&mut self, linear: bool) {
+        self.linear_scan = linear;
+    }
+
+    /// Test-only invariant check: the run-length index lists exactly the
+    /// fragmented blocks of each group, each filed under its true longest
+    /// free-run length.
+    #[doc(hidden)]
+    pub fn check_frag_index(&self) {
+        for (gi, g) in self.groups.iter().enumerate() {
+            let mut indexed = 0usize;
+            for (run, bucket) in g.frag_index.buckets.iter().enumerate() {
+                for &addr in bucket {
+                    let bm = g.frag_blocks.get(&addr).copied();
+                    assert_eq!(
+                        bm.map(longest_run),
+                        Some(run as u64),
+                        "group {gi}: block {addr} missing or filed under the wrong run bucket"
+                    );
+                    indexed += 1;
+                }
+            }
+            assert_eq!(indexed, g.frag_blocks.len(), "group {gi}: index/map size mismatch");
         }
     }
 
@@ -192,57 +282,98 @@ impl<S: FreeBlockSet> FfsPolicy<S> {
     /// Allocates `n` *contiguous* fragments (1 ≤ n < frags_per_block) from a
     /// fragmented block in (preferably) `group`, breaking a free block when
     /// no fragmented block has room — exactly FFS's fragment policy.
-    fn alloc_frags(&mut self, group: usize, n: u64) -> Option<u64> {
+    ///
+    /// `Ok(None)` is the disk-full outcome. `Err(CorruptState)` means the
+    /// run-length index and the fragment map disagreed — a library bug,
+    /// reported instead of panicking (simlint r3).
+    fn alloc_frags(&mut self, group: usize, n: u64) -> Result<Option<u64>, AllocError> {
         debug_assert!(n >= 1 && n < self.frags_per_block);
+        let fpb = self.frags_per_block;
         let total = self.groups.len();
         for k in 0..total {
             let gi = (group + k) % total;
-            // Best-fit-ish: any fragmented block with a contiguous free run
-            // of n fragments.
-            let found = self.groups[gi].frag_blocks.iter().find_map(|(&addr, &bitmap)| {
-                free_run(bitmap, self.frags_per_block, n).map(|off| (addr, off))
-            });
-            if let Some((addr, off)) = found {
-                let bm = self.groups[gi]
+            // The lowest-addressed fragmented block with a contiguous free
+            // run of n fragments. The run-length index answers with one
+            // probe per qualifying bucket; the pre-index linear scan (kept
+            // for the differential tests and the benchmark baseline) walks
+            // every block. A block has a free run of n iff its longest run
+            // is ≥ n, and both strategies take the lowest qualifying
+            // address, so they pick the same block — and `free_run` then
+            // picks the same offset inside it.
+            let found = if self.linear_scan {
+                self.groups[gi]
                     .frag_blocks
-                    .get_mut(&addr)
-                    .unwrap_or_else(|| unreachable!("block {addr} was just found in this map"));
+                    .iter()
+                    .find_map(|(&addr, &bitmap)| free_run(bitmap, fpb, n).map(|off| (addr, off)))
+            } else {
+                match self.groups[gi].frag_index.first_with_run(n) {
+                    Some(addr) => {
+                        let &bitmap = self.groups[gi]
+                            .frag_blocks
+                            .get(&addr)
+                            .ok_or(AllocError::CorruptState)?;
+                        let off = free_run(bitmap, fpb, n).ok_or(AllocError::CorruptState)?;
+                        Some((addr, off))
+                    }
+                    None => None,
+                }
+            };
+            if let Some((addr, off)) = found {
+                let Some(bm) = self.groups[gi].frag_blocks.get_mut(&addr) else {
+                    debug_assert!(false, "block {addr} vanished from its fragment map");
+                    return Err(AllocError::CorruptState);
+                };
+                let old_run = longest_run(*bm);
                 *bm &= !(run_mask(off, n));
+                let new_run = longest_run(*bm);
+                self.groups[gi].frag_index.update(addr, old_run, new_run);
                 self.groups[gi].free_units -= n;
-                return Some(addr + off);
+                return Ok(Some(addr + off));
             }
         }
         // Break a free block into fragments.
-        let addr = self.alloc_block(group, None)?;
+        let Some(addr) = self.alloc_block(group, None) else {
+            return Ok(None);
+        };
         let gi = self.group_of(addr);
         // Mark the block fragmented: first n fragments used, rest free.
-        let full: u32 = full_mask(self.frags_per_block);
-        self.groups[gi].frag_blocks.insert(addr, full & !run_mask(0, n));
+        let full: u32 = full_mask(fpb);
+        let bitmap = full & !run_mask(0, n);
+        self.groups[gi].frag_blocks.insert(addr, bitmap);
+        self.groups[gi].frag_index.insert(addr, longest_run(bitmap));
         // alloc_block already subtracted a whole block; give back the
         // unused fragments.
         self.groups[gi].free_units += self.block_units - n;
-        Some(addr)
+        Ok(Some(addr))
     }
 
-    fn free_frags(&mut self, addr: u64, n: u64) {
+    /// Returns fragments to their block, promoting the block back to the
+    /// free list when the last fragment comes home. `Err(CorruptState)`
+    /// means the address did not belong to a fragmented block — a library
+    /// bug, reported instead of panicking (simlint r3).
+    fn free_frags(&mut self, addr: u64, n: u64) -> Result<(), AllocError> {
         let block = addr / self.block_units * self.block_units;
         let off = addr - block;
         let gi = self.group_of(block);
-        let fully_free = {
-            let bm = self.groups[gi].frag_blocks.get_mut(&block).unwrap_or_else(|| {
-                unreachable!("freeing fragments of a non-fragmented block {block}")
-            });
-            debug_assert_eq!(*bm & run_mask(off, n), 0, "double free of fragments");
-            *bm |= run_mask(off, n);
-            *bm == full_mask(self.frags_per_block)
+        let Some(bm) = self.groups[gi].frag_blocks.get_mut(&block) else {
+            debug_assert!(false, "freeing fragments of a non-fragmented block {block}");
+            return Err(AllocError::CorruptState);
         };
+        debug_assert_eq!(*bm & run_mask(off, n), 0, "double free of fragments");
+        let old_run = longest_run(*bm);
+        *bm |= run_mask(off, n);
+        let new_bitmap = *bm;
         self.groups[gi].free_units += n;
-        if fully_free {
+        if new_bitmap == full_mask(self.frags_per_block) {
             // All fragments free: promote back to a full block.
             self.groups[gi].frag_blocks.remove(&block);
+            self.groups[gi].frag_index.remove(block, old_run);
             self.groups[gi].free_units -= self.block_units;
             self.free_block(block);
+        } else {
+            self.groups[gi].frag_index.update(block, old_run, longest_run(new_bitmap));
         }
+        Ok(())
     }
 
     /// Rebuilds the file's merged extent map from blocks + tail.
@@ -267,6 +398,7 @@ impl<S: FreeBlockSet> FfsPolicy<S> {
 /// Bitmap with the low `n` bits set. Fragment counts are ≤ 32 (asserted at
 /// construction), so the mask is built in the u32 domain — no narrowing.
 fn full_mask(n: u64) -> u32 {
+    // simlint::allow(r3, "fragment counts are asserted <= 32 at construction; try_from cannot fail")
     let n = u32::try_from(n).unwrap_or_else(|_| unreachable!("fragment count {n} exceeds u32"));
     if n >= 32 {
         u32::MAX
@@ -277,14 +409,27 @@ fn full_mask(n: u64) -> u32 {
 
 /// Bitmap covering fragments `[off, off + n)`.
 fn run_mask(off: u64, n: u64) -> u32 {
-    let off =
-        u32::try_from(off).unwrap_or_else(|_| unreachable!("fragment offset {off} exceeds u32"));
+    // simlint::allow(r3, "fragment offsets are bounded by the <=32 fragment count")
+    let off = u32::try_from(off).unwrap_or_else(|_| unreachable!("offset {off} exceeds u32"));
     full_mask(n) << off
 }
 
 /// First offset of a free run of `n` fragments in `bitmap`, if any.
 fn free_run(bitmap: u32, frags_per_block: u64, n: u64) -> Option<u64> {
     (0..=frags_per_block.saturating_sub(n)).find(|&off| bitmap & run_mask(off, n) == run_mask(off, n))
+}
+
+/// Length of the longest contiguous run of set (free) bits in `bitmap`.
+/// Classic bit trick: each `x &= x << 1` step shortens every run by one,
+/// so the number of steps until zero is the longest run's length.
+fn longest_run(bitmap: u32) -> u64 {
+    let mut x = bitmap;
+    let mut n = 0u64;
+    while x != 0 {
+        x &= x << 1;
+        n += 1;
+    }
+    n
 }
 
 impl<S: FreeBlockSet> Policy for FfsPolicy<S> {
@@ -385,19 +530,25 @@ impl<S: FreeBlockSet> Policy for FfsPolicy<S> {
         }
         let new_tail = if want_tail > 0 {
             match self.alloc_frags(group, want_tail) {
-                Some(a) => Some((a, want_tail)),
-                None => {
+                Ok(Some(a)) => Some((a, want_tail)),
+                no_grant => {
+                    // Roll back the whole-block allocations on both the
+                    // disk-full (`Ok(None)`) and corrupt-state outcomes so
+                    // a failed extend never leaks blocks.
                     for &a in &new_blocks {
                         self.free_block(a);
                     }
-                    return Err(AllocError::DiskFull(want_tail));
+                    return match no_grant {
+                        Err(e) => Err(e),
+                        _ => Err(AllocError::DiskFull(want_tail)),
+                    };
                 }
             }
         } else {
             None
         };
         if let Some((addr, n)) = old_tail {
-            self.free_frags(addr, n);
+            self.free_frags(addr, n)?;
         }
         {
             let f = self.file_mut(file)?;
@@ -421,14 +572,14 @@ impl<S: FreeBlockSet> Policy for FfsPolicy<S> {
         // Free the tail fragments first (they are the logical end).
         if let Some((addr, n)) = self.file(file)?.tail {
             if n <= remaining {
-                self.free_frags(addr, n);
+                self.free_frags(addr, n)?;
                 self.file_mut(file)?.tail = None;
                 freed.push(Extent::new(addr, n));
                 remaining -= n;
             } else {
                 // Shrink the tail in place: free its uppermost fragments.
                 let keep = n - remaining;
-                self.free_frags(addr + keep, remaining);
+                self.free_frags(addr + keep, remaining)?;
                 self.file_mut(file)?.tail = Some((addr, keep));
                 freed.push(Extent::new(addr + keep, remaining));
                 remaining = 0;
@@ -458,7 +609,7 @@ impl<S: FreeBlockSet> Policy for FfsPolicy<S> {
             total += self.block_units;
         }
         if let Some((addr, n)) = f.tail {
-            self.free_frags(addr, n);
+            self.free_frags(addr, n)?;
             total += n;
         }
         self.free_slots.push(file.0);
@@ -641,5 +792,70 @@ mod tests {
         assert_eq!(free_run(0b1111_0000, 8, 3), Some(4));
         assert_eq!(free_run(0b0101_0101, 8, 2), None);
         assert_eq!(free_run(0, 8, 1), None);
+    }
+
+    #[test]
+    fn longest_run_cases() {
+        assert_eq!(longest_run(0), 0);
+        assert_eq!(longest_run(0b1), 1);
+        assert_eq!(longest_run(0b0101_0101), 1);
+        assert_eq!(longest_run(0b0111_0011), 3);
+        assert_eq!(longest_run(0xFF), 8);
+        assert_eq!(longest_run(u32::MAX), 32);
+        // free_run(bm, fpb, n) is Some iff longest_run(bm) >= n — the
+        // equivalence the index relies on.
+        for bm in [0u32, 0b1, 0b0101_0101, 0b0111_0011, 0b1110_0111, 0xFF] {
+            for n in 1..8u64 {
+                assert_eq!(free_run(bm, 8, n).is_some(), longest_run(bm) >= n, "bm={bm:b} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn frag_index_tracks_blocks_through_churn() {
+        let mut p = policy();
+        let mut files = Vec::new();
+        for n in [1u64, 3, 5, 7, 2, 6, 4, 1, 3] {
+            let f = p.create(&FileHints::default()).unwrap();
+            p.extend(f, n).unwrap();
+            files.push(f);
+            p.check_frag_index();
+        }
+        for f in files.iter().step_by(2) {
+            p.delete(*f).unwrap();
+            p.check_frag_index();
+        }
+        for f in files.iter().skip(1).step_by(2) {
+            p.truncate(*f, 1).unwrap();
+            p.check_frag_index();
+        }
+    }
+
+    #[test]
+    fn linear_scan_matches_index() {
+        // The same op stream through the indexed and linear strategies
+        // produces identical grants (the heavyweight version lives in
+        // tests/frag_equiv.rs).
+        let run = |linear: bool| -> Vec<Vec<Extent>> {
+            let mut p = policy();
+            p.set_linear_scan(linear);
+            let mut grants = Vec::new();
+            let mut files = Vec::new();
+            for n in [3u64, 5, 1, 7, 2, 6, 4, 3, 5, 1] {
+                let f = p.create(&FileHints::default()).unwrap();
+                grants.push(p.extend(f, n).unwrap());
+                files.push(f);
+            }
+            for f in files.iter().step_by(3) {
+                p.delete(*f).unwrap();
+            }
+            for n in [2u64, 4, 6] {
+                let f = p.create(&FileHints::default()).unwrap();
+                grants.push(p.extend(f, n).unwrap());
+            }
+            p.check_frag_index();
+            grants
+        };
+        assert_eq!(run(false), run(true));
     }
 }

@@ -172,6 +172,7 @@ pub trait Policy: Send {
         for f in self.live_files() {
             let map = self
                 .file_map(f)
+                // simlint::allow(r3, "test-only invariant checker; panicking on violation is the point")
                 .unwrap_or_else(|e| unreachable!("{}: live file {f} unmapped: {e}", self.name()));
             for e in map.extents() {
                 assert!(e.len > 0, "{}: zero-length extent in {f}", self.name());

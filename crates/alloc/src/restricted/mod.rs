@@ -85,6 +85,7 @@ impl<S: FreeBlockSet> RestrictedPolicy<S> {
         for w in sizes_units.windows(2) {
             assert!(w[0] < w[1] && w[1] % w[0] == 0, "classes must ascend and divide");
         }
+        // simlint::allow(r3, "non-emptiness asserted at the top of the constructor")
         let top = *sizes_units.last().unwrap_or_else(|| unreachable!("asserted non-empty above"));
         if let Some(ru) = region_units {
             // Clustered: region bases must stay aligned to the top class.

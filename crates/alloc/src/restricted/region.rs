@@ -40,6 +40,7 @@ impl<S: FreeBlockSet> Region<S> {
     /// single unclustered region at base 0).
     pub fn new(base: u64, end: u64, sizes: &[u64]) -> Self {
         assert!(!sizes.is_empty() && base < end);
+        // simlint::allow(r3, "non-emptiness asserted on the previous line")
         let top = *sizes.last().unwrap_or_else(|| unreachable!("asserted non-empty above"));
         assert_eq!(base % top, 0, "region base must be aligned to the top block class");
         let top_slots = ((end - base) / top) as usize;

@@ -88,6 +88,13 @@ pub enum AllocError {
     DeadFile(FileId),
     /// The 32-bit file-id space is exhausted.
     TooManyFiles,
+    /// The policy's internal free-space bookkeeping disagreed with itself
+    /// (e.g. an index named a block its backing map does not hold). Always
+    /// a library bug; reported as an error instead of `unreachable!` so
+    /// library code never panics (simlint r3) and callers can surface the
+    /// corruption. Debug builds additionally pinpoint the site with
+    /// `debug_assert!`s.
+    CorruptState,
 }
 
 impl fmt::Display for AllocError {
@@ -96,6 +103,9 @@ impl fmt::Display for AllocError {
             AllocError::DiskFull(units) => write!(f, "disk full: no room for {units} units"),
             AllocError::DeadFile(id) => write!(f, "dead file id {id}"),
             AllocError::TooManyFiles => write!(f, "file id space (u32) exhausted"),
+            AllocError::CorruptState => {
+                write!(f, "internal allocator state corrupted (free-space bookkeeping out of sync)")
+            }
         }
     }
 }

@@ -31,6 +31,13 @@ const CAPACITY: u64 = 1 << 18;
 const CHURN_OPS: u64 = 40_000;
 /// Repetitions per (policy, utilization, backend); the median is reported.
 const REPS: usize = 5;
+/// Ops timed per repetition in the high-fragmentation phase. The op mix is
+/// all tail-sized, so every operation hits the ffs fragment paths; fewer
+/// ops than the main churn keep `scripts/check.sh` fast.
+const FRAG_OPS: u64 = 6_000;
+/// Utilization of the high-fragmentation phase: near-full, where the
+/// fragmented-block population (and thus the linear scan's work) peaks.
+const FRAG_UTIL: f64 = 0.95;
 
 /// One (policy, utilization) comparison.
 #[derive(Debug, Serialize)]
@@ -43,6 +50,20 @@ struct BenchRow {
     speedup: f64,
 }
 
+/// One high-fragmentation comparison: the ffs fragment path with the
+/// run-length `FragIndex` vs the pre-index linear `frag_blocks` scan
+/// (identical seeds, identical decisions — see
+/// `crates/alloc/tests/frag_equiv.rs`).
+#[derive(Debug, Serialize)]
+struct FragRow {
+    policy: String,
+    util_pct: u32,
+    indexed_ns_per_op: u64,
+    linear_ns_per_op: u64,
+    /// linear / indexed — above 1.0 means the index is faster.
+    speedup: f64,
+}
+
 /// The `BENCH_alloc.json` snapshot.
 #[derive(Debug, Serialize)]
 struct BenchReport {
@@ -50,6 +71,8 @@ struct BenchReport {
     churn_ops: u64,
     reps: usize,
     rows: Vec<BenchRow>,
+    frag_ops: u64,
+    frag_rows: Vec<FragRow>,
 }
 
 /// Backend selector for the policy factories.
@@ -200,6 +223,83 @@ fn measure(policy: &str, backend: Backend, target: f64) -> u64 {
     median(samples)
 }
 
+/// Times the ffs fragment path under heavy fragmentation: the disk is
+/// packed to `FRAG_UTIL` with tail-only (1..7-fragment) files, then a
+/// tail-sized op mix churns the fragment maps. Both strategies replay the
+/// same seeds and make identical decisions; only the lookup differs.
+fn measure_frag(linear: bool) -> u64 {
+    let mut samples = Vec::with_capacity(REPS);
+    for rep in 0..REPS {
+        let mut p: FfsPolicy<BitmapBlockSet> = FfsPolicy::new(CAPACITY, 8, 1 << 15);
+        p.set_linear_scan(linear);
+        let mut rng = SimRng::new(2000 + rep as u64);
+        // Fragment-heavy fill: tiny files only, so reaching the target
+        // utilization leaves thousands of fragmented blocks per group.
+        let mut files: Vec<FileId> = Vec::new();
+        let mut stalled = 0;
+        while utilization(&p) < FRAG_UTIL && stalled < 64 {
+            let Ok(id) = p.create(&FileHints::default()) else { break };
+            if p.extend(id, rng.uniform_u64(1, 7)).is_ok() {
+                stalled = 0;
+                files.push(id);
+            } else {
+                let _ = p.delete(id);
+                stalled += 1;
+            }
+        }
+        let target = FRAG_UTIL;
+        let start = Instant::now();
+        for _ in 0..FRAG_OPS {
+            let util = utilization(&p);
+            let roll = rng.uniform_u64(0, 99);
+            // The same drift control as the main churn, with every
+            // operation tail-sized so it lands on alloc_frags/free_frags.
+            let op = if util > target + 0.02 {
+                45 + roll % 55
+            } else if util < target - 0.02 {
+                roll % 45
+            } else {
+                roll
+            };
+            match op {
+                // 45 %: grow a file's fragment tail.
+                0..=44 => {
+                    if !files.is_empty() {
+                        let f = files[rng.index(files.len())];
+                        let _ = p.extend(f, rng.uniform_u64(1, 7));
+                    }
+                }
+                // 30 %: shrink a tail.
+                45..=74 => {
+                    if !files.is_empty() {
+                        let f = files[rng.index(files.len())];
+                        let _ = p.truncate(f, rng.uniform_u64(1, 7));
+                    }
+                }
+                // 25 %: delete and re-create a tiny file.
+                _ => {
+                    if !files.is_empty() {
+                        let i = rng.index(files.len());
+                        let _ = p.delete(files[i]);
+                        match p.create(&FileHints::default()) {
+                            Ok(id) => {
+                                files[i] = id;
+                                let _ = p.extend(id, rng.uniform_u64(1, 7));
+                            }
+                            Err(_) => {
+                                files.swap_remove(i);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let elapsed = start.elapsed().as_nanos();
+        samples.push(u64::try_from(elapsed / u128::from(FRAG_OPS)).unwrap_or(u64::MAX));
+    }
+    median(samples)
+}
+
 fn main() {
     let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -237,7 +337,31 @@ fn main() {
         }
     }
 
-    let report = BenchReport { capacity_units: CAPACITY, churn_ops: CHURN_OPS, reps: REPS, rows };
+    // High-fragmentation phase: FragIndex vs the pre-index linear scan on
+    // the ffs fragment path, identical seeds and identical decisions.
+    let indexed = measure_frag(false);
+    let linear = measure_frag(true);
+    let frag_speedup = linear as f64 / indexed.max(1) as f64;
+    println!(
+        "{:<12} {:>4}% {:>14} {:>14} {:>8.2}x   (indexed vs linear frag scan)",
+        "ffs-frag", 95, indexed, linear, frag_speedup
+    );
+    let frag_rows = vec![FragRow {
+        policy: "ffs-frag".to_string(),
+        util_pct: 95,
+        indexed_ns_per_op: indexed,
+        linear_ns_per_op: linear,
+        speedup: frag_speedup,
+    }];
+
+    let report = BenchReport {
+        capacity_units: CAPACITY,
+        churn_ops: CHURN_OPS,
+        reps: REPS,
+        rows,
+        frag_ops: FRAG_OPS,
+        frag_rows,
+    };
     if let Some(path) = json_path {
         let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
         std::fs::write(&path, json + "\n").expect("write bench report");

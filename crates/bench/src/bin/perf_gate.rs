@@ -99,28 +99,34 @@ fn gate_runner(base: &Value, fresh: &Value, threshold: f64) -> usize {
 }
 
 /// Allocator microbench: per-(policy, utilization) bitmap ns/op — the
-/// shipped backend is what must not quietly regress.
+/// shipped backend is what must not quietly regress — plus the
+/// high-fragmentation phase's indexed ns/op. Baselines predating a row
+/// family simply contribute nothing (the key lookups come up empty).
 fn gate_alloc(base: &Value, fresh: &Value, threshold: f64) -> usize {
     let mut warns = 0;
-    let base_rows = base.get("rows").and_then(as_array).unwrap_or(&[]);
-    let fresh_rows = fresh.get("rows").and_then(as_array).unwrap_or(&[]);
-    for br in base_rows {
-        let (Some(policy), Some(util)) = (text(br, "policy"), num(br, "util_pct")) else {
-            continue;
-        };
-        let fr = fresh_rows
-            .iter()
-            .find(|f| text(f, "policy") == Some(policy) && num(f, "util_pct") == Some(util));
-        if let Some(fr) = fr {
-            if let (Some(b), Some(f)) = (num(br, "bitmap_ns_per_op"), num(fr, "bitmap_ns_per_op"))
-            {
-                warns += usize::from(warn_if_slower(
-                    &format!("alloc {policy}@{util}%"),
-                    b,
-                    f,
-                    threshold,
-                    "ns/op",
-                ));
+    for (family, key, label) in [
+        ("rows", "bitmap_ns_per_op", "alloc"),
+        ("frag_rows", "indexed_ns_per_op", "alloc frag"),
+    ] {
+        let base_rows = base.get(family).and_then(as_array).unwrap_or(&[]);
+        let fresh_rows = fresh.get(family).and_then(as_array).unwrap_or(&[]);
+        for br in base_rows {
+            let (Some(policy), Some(util)) = (text(br, "policy"), num(br, "util_pct")) else {
+                continue;
+            };
+            let fr = fresh_rows
+                .iter()
+                .find(|f| text(f, "policy") == Some(policy) && num(f, "util_pct") == Some(util));
+            if let Some(fr) = fr {
+                if let (Some(b), Some(f)) = (num(br, key), num(fr, key)) {
+                    warns += usize::from(warn_if_slower(
+                        &format!("{label} {policy}@{util}%"),
+                        b,
+                        f,
+                        threshold,
+                        "ns/op",
+                    ));
+                }
             }
         }
     }

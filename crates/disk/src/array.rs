@@ -103,6 +103,7 @@ impl StripedArray {
             .iter()
             .map(DiskGeometry::capacity_bytes)
             .min()
+            // simlint::allow(r3, "geoms non-emptiness asserted at the top of the constructor")
             .unwrap_or_else(|| unreachable!("asserted non-empty above"));
         let share = min_capacity / stripe_unit_bytes * stripe_unit_bytes;
         assert!(share > 0, "smallest disk below one stripe unit");

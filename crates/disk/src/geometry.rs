@@ -187,6 +187,7 @@ impl DiskGeometry {
         let track = sector / spt;
         let tpc = self.tracks_per_cylinder();
         let narrow = |v: u64| {
+            // simlint::allow(r3, "CHS coordinates are bounded by the sector range asserted above")
             u32::try_from(v).unwrap_or_else(|_| unreachable!("CHS coordinate {v} exceeds u32"))
         };
         ChsAddress {

@@ -31,6 +31,7 @@ struct RowChunk {
 /// Physical byte span `[start, end)` covered by a non-empty group of
 /// same-row chunks — the run of parity that must be read and rewritten.
 fn touched_span(chunks: &[RowChunk]) -> (u64, u64) {
+    // simlint::allow(r3, "callers group chunks by row and never pass an empty group")
     let first = chunks.first().unwrap_or_else(|| unreachable!("row group is non-empty"));
     chunks.iter().fold((first.phys_byte, first.phys_byte + first.len), |(lo, hi), c| {
         (lo.min(c.phys_byte), hi.max(c.phys_byte + c.len))

@@ -46,11 +46,16 @@ impl From<AllocError> for FsError {
     /// Maps policy-layer failures onto POSIX-flavoured errors: exhaustion
     /// (`DiskFull`, `TooManyFiles`) is a disk-full condition, while a
     /// `DeadFile` means the caller holds a reference to a deleted file —
-    /// the moral equivalent of a stale descriptor.
+    /// the moral equivalent of a stale descriptor. `CorruptState` (the
+    /// allocator's bookkeeping disagreeing with itself, always a library
+    /// bug) surfaces as a stale-descriptor-class fault too: the file's
+    /// allocation can no longer be trusted, and the closest POSIX analogue
+    /// to "the kernel's own structures are bad" without inventing an EIO
+    /// variant the file-system layer never otherwise produces.
     fn from(e: AllocError) -> Self {
         match e {
             AllocError::DiskFull(_) | AllocError::TooManyFiles => FsError::NoSpace,
-            AllocError::DeadFile(_) => FsError::BadDescriptor,
+            AllocError::DeadFile(_) | AllocError::CorruptState => FsError::BadDescriptor,
         }
     }
 }

@@ -200,9 +200,12 @@ fn rule_r2(toks: &[Tok], code: &[usize]) -> Vec<(usize, String)> {
     out
 }
 
-/// R3: `unwrap()` / `expect()` / `panic!` / `todo!` / `unimplemented!` in
-/// library code. `assert!`-family macros and `unreachable!` are allowed —
-/// they assert invariants rather than skip error handling.
+/// R3: `unwrap()` / `expect()` / `panic!` / `todo!` / `unimplemented!` /
+/// `unreachable!` in library code. `assert!`-family macros are allowed —
+/// they assert invariants rather than skip error handling. `unreachable!`
+/// is denied because "can't happen" branches belong on the error path
+/// (`AllocError::CorruptState`-style) or behind a justified suppression:
+/// an unjustified one is a latent panic in the simulator's hot loop.
 fn rule_r3(toks: &[Tok], code: &[usize]) -> Vec<(usize, String)> {
     let mut out = Vec::new();
     for (ci, &ti) in code.iter().enumerate() {
@@ -223,6 +226,12 @@ fn rule_r3(toks: &[Tok], code: &[usize]) -> Vec<(usize, String)> {
             "todo" | "unimplemented" if next_bang => {
                 out.push((ti, format!("{}! left in library code", t.text)));
             }
+            "unreachable" if next_bang => out.push((
+                ti,
+                "unreachable! in library code; return an error (e.g. a CorruptState variant) \
+                 or justify with a suppression"
+                    .into(),
+            )),
             _ => {}
         }
     }
@@ -547,9 +556,19 @@ mod tests {
     }
 
     #[test]
-    fn r3_allows_unwrap_or_and_assert_and_unreachable() {
+    fn r3_fires_on_unreachable_todo_unimplemented() {
+        let src = "fn f() { unreachable!(\"no\") }\n\
+                   fn g(x: Option<u32>) -> u32 { x.unwrap_or_else(|| unreachable!()) }\n\
+                   fn h() { todo!() }\n\
+                   fn i() { unimplemented!() }\n\
+                   #[cfg(test)]\nmod tests { fn t() { unreachable!() } }";
+        assert_eq!(rules_of(&lint_sim(src)), vec!["r3", "r3", "r3", "r3"]);
+    }
+
+    #[test]
+    fn r3_allows_unwrap_or_assert_and_non_macro_unreachable() {
         let src = "fn f(x: Option<u32>) -> u32 { assert!(true); x.unwrap_or(0) }\n\
-                   fn g(x: Option<u32>) -> u32 { x.unwrap_or_else(|| unreachable!()) }";
+                   fn g() { let unreachable = 1; let _ = unreachable; }";
         assert!(lint_sim(src).is_empty());
     }
 

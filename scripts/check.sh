@@ -8,8 +8,20 @@
 # (per-experiment wall clock, per-sweep-point breakdown, and the measured
 # metrics-snapshot overhead) is snapshotted into BENCH_runner.json at the
 # repo root; the lint report is snapshotted into target/check/simlint.json.
+#
+# The perf gate compares against the *committed* BENCH_*.json (HEAD), not
+# the working tree, so a slow run can never become its own baseline; pass
+# --no-refresh to leave the working-tree snapshots untouched (gate only).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+REFRESH=1
+for arg in "$@"; do
+    case "$arg" in
+        --no-refresh) REFRESH=0 ;;
+        *) echo "unknown option $arg (usage: check.sh [--no-refresh])"; exit 2 ;;
+    esac
+done
 
 echo "== cargo build --release (warnings deny) =="
 RUSTFLAGS="-D warnings" cargo build --release
@@ -43,11 +55,25 @@ cargo run --release -q -p readopt-bench --bin alloc_bench -- \
     --json target/check/alloc_bench.json
 
 echo "== perf regression gate (warn-only, +25% vs committed baselines) =="
+# Baselines come from the committed snapshots (HEAD), never the working
+# tree: comparing against a file this script is about to overwrite would
+# let one slow run silently become the next run's baseline. A snapshot
+# that was never committed falls back to the working-tree copy (first run
+# in a fresh history); perf_gate skips missing/empty baselines gracefully.
+for snap in BENCH_runner.json BENCH_alloc.json; do
+    if ! git show "HEAD:$snap" > "target/check/base_$snap" 2>/dev/null; then
+        if [ -f "$snap" ]; then cp "$snap" "target/check/base_$snap"; else : > "target/check/base_$snap"; fi
+    fi
+done
 cargo run --release -q -p readopt-bench --bin perf_gate -- \
     --threshold-pct 25 \
-    --runner BENCH_runner.json target/check/profile.json \
-    --alloc BENCH_alloc.json target/check/alloc_bench.json
+    --runner target/check/base_BENCH_runner.json target/check/profile.json \
+    --alloc target/check/base_BENCH_alloc.json target/check/alloc_bench.json
 
-cp target/check/profile.json BENCH_runner.json
-cp target/check/alloc_bench.json BENCH_alloc.json
-echo "== wrote BENCH_runner.json + BENCH_alloc.json =="
+if [ "$REFRESH" = 1 ]; then
+    cp target/check/profile.json BENCH_runner.json
+    cp target/check/alloc_bench.json BENCH_alloc.json
+    echo "== wrote BENCH_runner.json + BENCH_alloc.json =="
+else
+    echo "== --no-refresh: BENCH_runner.json + BENCH_alloc.json left untouched =="
+fi
