@@ -27,6 +27,7 @@
 
 pub mod region;
 
+use crate::bitmap::FreeBitmap;
 use crate::blockset::{BitmapBlockSet, FreeBlockSet};
 use crate::filemap::FileMap;
 use crate::policy::Policy;
@@ -64,6 +65,14 @@ pub struct RestrictedPolicy<S: FreeBlockSet = BitmapBlockSet> {
     /// Region in which the last file descriptor was allocated.
     fd_cursor: usize,
     metadata_units: u64,
+    /// By-length region availability index: bit `r` of `avail[c]` is set
+    /// iff `regions[r]` has a free block of exactly class `c`. Steps 2–3
+    /// of the paper's region-selection algorithm become word-wise bitmap
+    /// scans instead of a linear walk over every region.
+    avail: Vec<FreeBitmap>,
+    /// Differential-testing escape hatch: when set, steps 2–3 use the
+    /// original linear region scans instead of the availability index.
+    linear_region_scan: bool,
 }
 
 impl<S: FreeBlockSet> RestrictedPolicy<S> {
@@ -100,7 +109,8 @@ impl<S: FreeBlockSet> RestrictedPolicy<S> {
             regions.push(Region::new(base, end, sizes_units));
             base = end;
         }
-        RestrictedPolicy {
+        let nregions = regions.len();
+        let mut policy = RestrictedPolicy {
             sizes: sizes_units.to_vec(),
             grow_factor,
             regions,
@@ -110,6 +120,69 @@ impl<S: FreeBlockSet> RestrictedPolicy<S> {
             free_slots: Vec::new(),
             fd_cursor: 0,
             metadata_units: 0,
+            avail: sizes_units.iter().map(|_| FreeBitmap::new(nregions)).collect(),
+            linear_region_scan: false,
+        };
+        for r in 0..nregions {
+            policy.sync_region(r);
+        }
+        policy
+    }
+
+    /// Forces steps 2–3 of `allocate_block` back onto the original linear
+    /// region scans (the availability index stays maintained but unused) —
+    /// for differential tests pinning that the index changes no decision.
+    pub fn set_linear_region_scan(&mut self, linear: bool) {
+        self.linear_region_scan = linear;
+    }
+
+    /// Re-derives region `r`'s bits in the availability index from the
+    /// region's own state. Must be called after any operation that may
+    /// change which classes have free blocks in `r`.
+    fn sync_region(&mut self, r: usize) {
+        for c in 0..self.sizes.len() {
+            let has = self.regions[r].has_free(&self.sizes, c);
+            if has != self.avail[c].is_free(r) {
+                if has {
+                    self.avail[c].set_free(r);
+                } else {
+                    self.avail[c].set_used(r);
+                }
+            }
+        }
+    }
+
+    /// First region in the wrap order `optimal+1, …, n−1, 0, …, optimal−1`
+    /// (the optimal region itself excluded — step 1 already tried it)
+    /// whose bit is set in `bits`.
+    fn next_region_in(bits: &FreeBitmap, optimal: usize) -> Option<usize> {
+        if let Some(r) = bits.first_free_at_or_after(optimal + 1) {
+            return Some(r);
+        }
+        // Wrapped segment [0, optimal): `first_free` returns the global
+        // minimum set bit; if that is `optimal` itself, nothing below it
+        // is set either and the wrap comes up empty.
+        bits.first_free().filter(|&r| r != optimal)
+    }
+
+    /// Distance from `optimal` along the wrap order (1 ≤ distance < n for
+    /// any region other than `optimal`).
+    fn wrap_distance(&self, optimal: usize, r: usize) -> usize {
+        (r + self.regions.len() - optimal) % self.regions.len()
+    }
+
+    /// Verifies the availability index against the regions (test hook).
+    #[doc(hidden)]
+    pub fn check_region_index(&self) {
+        for (c, bits) in self.avail.iter().enumerate() {
+            assert_eq!(bits.len(), self.regions.len());
+            for (r, region) in self.regions.iter().enumerate() {
+                assert_eq!(
+                    bits.is_free(r),
+                    region.has_free(&self.sizes, c),
+                    "avail index out of sync for class {c}, region {r}"
+                );
+            }
         }
     }
 
@@ -160,44 +233,80 @@ impl<S: FreeBlockSet> RestrictedPolicy<S> {
     /// (the unit following the file's last block, rounded up to class
     /// alignment by the caller).
     fn allocate_block(&mut self, class: usize, optimal: usize, prefer: Option<u64>) -> Option<u64> {
-        let nregions = self.regions.len();
         // Perfect contiguity first: the exact preferred block, wherever it
         // lives (it may sit just past the optimal region's boundary).
         if let Some(p) = prefer {
             if p + self.sizes[class] <= self.capacity {
                 let r = self.region_of(p);
                 if self.regions[r].take_exact(&self.sizes, class, p) {
+                    self.sync_region(r);
                     return Some(p);
                 }
             }
         }
         // Step 1: the optimal region — right size, else split larger.
         if let Some(a) = self.regions[optimal].take_near(&self.sizes, class, prefer) {
+            self.sync_region(optimal);
             return Some(a);
         }
         if let Some(a) = self.regions[optimal].split_for(&self.sizes, class, prefer) {
+            self.sync_region(optimal);
             return Some(a);
         }
         // Step 2: any region with a block of the correct size.
-        for k in 1..nregions {
-            let r = (optimal + k) % nregions;
-            if self.regions[r].has_free(&self.sizes, class) {
-                return self.regions[r].take_near(&self.sizes, class, None);
-            }
+        if let Some(r) = self.step2_region(class, optimal) {
+            let a = self.regions[r].take_near(&self.sizes, class, None);
+            self.sync_region(r);
+            return a;
         }
         // Step 3: the next region with adequate contiguous space.
-        for k in 1..nregions {
-            let r = (optimal + k) % nregions;
-            if self.regions[r].has_larger(&self.sizes, class) {
-                return self.regions[r].split_for(&self.sizes, class, None);
-            }
+        if let Some(r) = self.step3_region(class, optimal) {
+            let a = self.regions[r].split_for(&self.sizes, class, None);
+            self.sync_region(r);
+            return a;
         }
         None
+    }
+
+    /// Step 2's region choice: the first region in wrap order past
+    /// `optimal` with a free block of exactly `class`.
+    fn step2_region(&self, class: usize, optimal: usize) -> Option<usize> {
+        if self.linear_region_scan {
+            let nregions = self.regions.len();
+            return (1..nregions)
+                .map(|k| (optimal + k) % nregions)
+                .find(|&r| self.regions[r].has_free(&self.sizes, class));
+        }
+        Self::next_region_in(&self.avail[class], optimal)
+    }
+
+    /// Step 3's region choice: the first region in wrap order past
+    /// `optimal` with a free block of any class larger than `class` —
+    /// the minimum wrap distance over the per-class indexes.
+    fn step3_region(&self, class: usize, optimal: usize) -> Option<usize> {
+        if self.linear_region_scan {
+            let nregions = self.regions.len();
+            return (1..nregions)
+                .map(|k| (optimal + k) % nregions)
+                .find(|&r| self.regions[r].has_larger(&self.sizes, class));
+        }
+        let mut best: Option<usize> = None;
+        for k in class + 1..self.sizes.len() {
+            if let Some(r) = Self::next_region_in(&self.avail[k], optimal) {
+                if best.is_none_or(|b| {
+                    self.wrap_distance(optimal, r) < self.wrap_distance(optimal, b)
+                }) {
+                    best = Some(r);
+                }
+            }
+        }
+        best
     }
 
     fn free_block(&mut self, class: usize, addr: u64) {
         let r = self.region_of(addr);
         self.regions[r].free_block(&self.sizes, class, addr);
+        self.sync_region(r);
     }
 
     /// Preferred placement for a file's next block of `class`: the unit

@@ -3,10 +3,10 @@
 //!
 //! ```text
 //! usage: repro [EXPERIMENT ...] [--scale N] [--seed S] [--intervals K]
-//!              [--jobs J] [--json DIR] [--explain]
+//!              [--jobs J] [--shards S] [--json DIR] [--explain]
 //!
-//! EXPERIMENT: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 table4 fig6 ablations diag all
-//!             (default: all)
+//! EXPERIMENT: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 table4 fig6 ablations diag
+//!             shard_scaling all (default: all)
 //! --scale N:     divide the paper's 2.8 GB array capacity by N (default 1,
 //!                i.e. full paper scale; benches use 64)
 //! --seed S:      base RNG seed (default 1991)
@@ -14,6 +14,10 @@
 //! --jobs J:      worker threads for the sweep-point runner (default: the
 //!                machine's available parallelism; results are bit-identical
 //!                at any J)
+//! --shards S:    event-queue shards inside each simulation point (default 1;
+//!                results are bit-identical at any S ≥ 1 — raising it lets a
+//!                point's disk effects run on worker threads, auto-sized from
+//!                what the machine affords after --jobs is accounted for)
 //! --json DIR:    also write each result as DIR/<experiment>.json plus its
 //!                observability sidecar DIR/<experiment>.metrics.json, and
 //!                the timing profile as DIR/profile.json
@@ -26,8 +30,8 @@ use readopt_core::metrics::{cross_check_table, wren_iv_cross_check};
 use readopt_core::report::TextTable;
 use readopt_core::runner::{self, JobTiming};
 use readopt_core::{
-    ablations, diag, fig1, fig2, fig3, fig4, fig5, fig6, table1, table2, table3, table4,
-    ExperimentContext, ExperimentMetrics,
+    ablations, diag, fig1, fig2, fig3, fig4, fig5, fig6, shard_scaling, table1, table2, table3,
+    table4, ExperimentContext, ExperimentMetrics,
 };
 use serde::Serialize;
 use std::io::Write;
@@ -39,6 +43,7 @@ struct Options {
     seed: u64,
     intervals: Option<usize>,
     jobs: Option<usize>,
+    shards: Option<usize>,
     json_dir: Option<String>,
     explain: bool,
 }
@@ -92,6 +97,7 @@ fn parse_args() -> Result<Options, String> {
         seed: 1991,
         intervals: None,
         jobs: None,
+        shards: None,
         json_dir: None,
         explain: false,
     };
@@ -130,6 +136,17 @@ fn parse_args() -> Result<Options, String> {
                     return Err("--jobs must be at least 1".into());
                 }
                 opts.jobs = Some(j);
+            }
+            "--shards" => {
+                let s: usize = args
+                    .next()
+                    .ok_or("--shards needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+                if s == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+                opts.shards = Some(s);
             }
             "--json" => {
                 opts.json_dir = Some(args.next().ok_or("--json needs a directory")?);
@@ -202,8 +219,8 @@ fn main() {
                 eprintln!("error: {e}\n");
             }
             eprintln!(
-                "usage: repro [EXPERIMENT ...] [--scale N] [--seed S] [--intervals K] [--jobs J] [--json DIR] [--explain]\n\
-                 experiments: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 table4 fig6 ablations diag all"
+                "usage: repro [EXPERIMENT ...] [--scale N] [--seed S] [--intervals K] [--jobs J] [--shards S] [--json DIR] [--explain]\n\
+                 experiments: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 table4 fig6 ablations diag shard_scaling all"
             );
             std::process::exit(if e == "help" { 0 } else { 2 });
         }
@@ -216,17 +233,21 @@ fn main() {
         ExperimentContext::fast(opts.scale)
     };
     ctx = ctx.with_seed(opts.seed).with_jobs(jobs);
+    if let Some(s) = opts.shards {
+        ctx = ctx.with_shards(s);
+    }
     if let Some(k) = opts.intervals {
         ctx.max_intervals = k;
     }
 
     println!(
-        "readopt repro — array: {} disks, {:.2} GB usable (scale 1/{}), seed {}, {} jobs\n",
+        "readopt repro — array: {} disks, {:.2} GB usable (scale 1/{}), seed {}, {} jobs, {} shards\n",
         ctx.array.ndisks,
         ctx.array.capacity_bytes() as f64 / 1e9,
         opts.scale.max(1),
         ctx.seed,
-        jobs
+        jobs,
+        ctx.shards
     );
 
     let run_all = opts.experiments.iter().any(|e| e == "all");
@@ -280,6 +301,7 @@ fn main() {
     experiment!("fig5", fig5::run_profiled(&ctx), |r: &fig5::Fig5| println!("{}", r.chart()));
     experiment!("table4", table4::run_profiled(&ctx));
     experiment!("fig6", fig6::run_profiled(&ctx), |r: &fig6::Fig6| println!("{}", r.chart()));
+    experiment!("shard_scaling", shard_scaling::run_profiled(&ctx));
     if wants("ablations") {
         let t0 = Instant::now();
         let mut timings = Vec::new();

@@ -17,6 +17,7 @@
 //! | [`fig6`]   | Figure 6 — comparative performance of all policies |
 //! | [`ablations`] | §6 extensions: RAID-5 (incl. degraded mode), stripe unit, file-mix, Koch reallocation, FFS |
 //! | [`diag`]   | disk-time decomposition diagnostics |
+//! | [`shard_scaling`] | sharded-engine wall-clock scaling (results-invariant) |
 //!
 //! Every driver takes an [`ExperimentContext`] choosing full (paper-scale)
 //! or scaled-down arrays; results are serde-serializable and printable as
@@ -44,6 +45,7 @@ pub mod fig6;
 pub mod metrics;
 pub mod report;
 pub mod runner;
+pub mod shard_scaling;
 pub mod table1;
 pub mod table2;
 pub mod table3;

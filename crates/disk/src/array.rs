@@ -12,7 +12,7 @@
 
 use crate::disk::Disk;
 use crate::geometry::DiskGeometry;
-use crate::request::{IoKind, IoRequest, IoSpan, Storage};
+use crate::request::{IoKind, IoRequest, IoSpan, PiecePlan, ShardableStorage, Storage};
 use crate::stats::StorageStats;
 use crate::time::SimTime;
 
@@ -64,6 +64,10 @@ pub fn striped_runs(start_byte: u64, len: u64, stripe_unit: u64, ndisks: usize) 
 #[derive(Debug, Clone)]
 pub struct StripedArray {
     disks: Vec<Disk>,
+    /// Member count, kept separately from `disks.len()` so logical-side
+    /// geometry (capacity, striping) stays valid while the disks are moved
+    /// out to sharded-execution workers via [`ShardableStorage::take_disks`].
+    nmembers: usize,
     stripe_unit_bytes: u64,
     disk_unit_bytes: u64,
     /// Usable bytes per member (the smallest disk's capacity, stripe
@@ -110,6 +114,7 @@ impl StripedArray {
         let ndisks = geoms.len();
         StripedArray {
             disks: geoms.into_iter().map(Disk::new).collect(),
+            nmembers: ndisks,
             stripe_unit_bytes,
             disk_unit_bytes,
             per_disk_share_bytes: share,
@@ -149,11 +154,11 @@ impl Storage for StripedArray {
     }
 
     fn capacity_units(&self) -> u64 {
-        self.disks.len() as u64 * self.per_disk_share_bytes / self.disk_unit_bytes
+        self.nmembers as u64 * self.per_disk_share_bytes / self.disk_unit_bytes
     }
 
     fn ndisks(&self) -> usize {
-        self.disks.len()
+        self.nmembers
     }
 
     fn submit(&mut self, ready: SimTime, req: &IoRequest) -> IoSpan {
@@ -164,7 +169,7 @@ impl Storage for StripedArray {
         let len = req.units * self.disk_unit_bytes;
         let mut begin = SimTime::MAX;
         let mut end = ready;
-        for run in striped_runs(start, len, self.stripe_unit_bytes, self.disks.len()) {
+        for run in striped_runs(start, len, self.stripe_unit_bytes, self.nmembers) {
             begin = begin.min(self.disks[run.disk].free_at().max(ready));
             let completion = self.disks[run.disk].service_bytes(ready, run.start_byte, run.len, req.kind);
             end = end.max(completion);
@@ -189,6 +194,43 @@ impl Storage for StripedArray {
             d.reset_stats();
         }
         self.stats.reset();
+    }
+
+    fn as_shardable(&mut self) -> Option<&mut dyn ShardableStorage> {
+        // Plain striping has no cross-disk coupling: every piece touches
+        // exactly one disk, so pieces can be serviced independently.
+        Some(self)
+    }
+}
+
+impl ShardableStorage for StripedArray {
+    fn plan_pieces(&mut self, req: &IoRequest, out: &mut Vec<PiecePlan>) {
+        // Mirrors `submit` minus the servicing: same validation, same
+        // logical accounting, same run decomposition in the same order.
+        debug_assert!(req.units > 0, "empty request");
+        debug_assert!(req.end() <= self.capacity_units(), "request beyond array end");
+        self.account(req);
+        let start = req.unit * self.disk_unit_bytes;
+        let len = req.units * self.disk_unit_bytes;
+        for run in striped_runs(start, len, self.stripe_unit_bytes, self.nmembers) {
+            out.push(PiecePlan {
+                disk: run.disk,
+                start_byte: run.start_byte,
+                len_bytes: run.len,
+                kind: req.kind,
+            });
+        }
+    }
+
+    fn take_disks(&mut self) -> Vec<Disk> {
+        debug_assert_eq!(self.disks.len(), self.nmembers, "disks already taken");
+        std::mem::take(&mut self.disks)
+    }
+
+    fn restore_disks(&mut self, disks: Vec<Disk>) {
+        debug_assert!(self.disks.is_empty(), "restoring over live disks");
+        debug_assert_eq!(disks.len(), self.nmembers, "wrong member count restored");
+        self.disks = disks;
     }
 }
 

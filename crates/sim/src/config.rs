@@ -34,6 +34,17 @@ pub struct SimConfig {
     pub max_intervals: usize,
     /// Safety cap on operations for the allocation test.
     pub max_allocation_ops: u64,
+    /// Number of event-queue shards (≥ 1). Purely logical: results are
+    /// bit-identical at any shard count; raising it only creates more
+    /// independent disk-ownership groups for [`shard_workers`] to exploit.
+    ///
+    /// [`shard_workers`]: SimConfig::shard_workers
+    pub shards: usize,
+    /// Worker threads servicing disk effects during performance tests.
+    /// `0` or `1` keeps execution in-line on the decision thread; higher
+    /// values are capped at [`shards`](SimConfig::shards). Execution-only:
+    /// never affects results.
+    pub shard_workers: usize,
 }
 
 impl SimConfig {
@@ -50,6 +61,8 @@ impl SimConfig {
             stabilize_tolerance_pct: 0.1,
             max_intervals: 60,
             max_allocation_ops: 10_000_000,
+            shards: 1,
+            shard_workers: 0,
         }
     }
 
@@ -70,6 +83,9 @@ impl SimConfig {
         }
         if self.stabilize_window == 0 || self.max_intervals < self.stabilize_window {
             return Err("interval counts inconsistent".into());
+        }
+        if self.shards == 0 {
+            return Err("shards must be at least 1".into());
         }
         Ok(())
     }
@@ -110,6 +126,16 @@ mod tests {
         let mut c = config();
         c.file_types[0].read_pct += 1.0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn shard_fields_default_inert_and_validate() {
+        let c = config();
+        assert_eq!(c.shards, 1, "sharding is opt-in");
+        assert_eq!(c.shard_workers, 0, "in-line execution by default");
+        let mut c = config();
+        c.shards = 0;
+        assert!(c.validate().is_err(), "zero shards is rejected");
     }
 
     #[test]

@@ -54,9 +54,23 @@ impl EventQueue {
         self.seq += 1;
     }
 
+    /// Schedules `user` at `time` under an externally assigned sequence
+    /// number. Used by the sharded queue, which stamps one *global*
+    /// sequence across all shard-local heaps so the k-way merge reproduces
+    /// the single-queue tie-break exactly.
+    pub fn schedule_with_seq(&mut self, time: SimTime, user: UserId, seq: u64) {
+        self.heap.push(Reverse((time, seq, user.0)));
+    }
+
     /// The earliest pending event time, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|Reverse((t, _, _))| *t)
+    }
+
+    /// The full ordering key `(time, seq)` of the earliest pending event —
+    /// what the sharded queue's merge compares across shard heaps.
+    pub fn peek_key(&self) -> Option<(SimTime, u64)> {
+        self.heap.peek().map(|Reverse((t, s, _))| (*t, *s))
     }
 
     /// Removes and returns the earliest event.

@@ -49,6 +49,7 @@ pub mod measure;
 pub mod metrics;
 pub mod results;
 pub mod rng;
+pub mod shard;
 
 pub use config::SimConfig;
 pub use engine::Simulation;
@@ -57,3 +58,4 @@ pub use measure::{percentile_ms, percentile_of_sorted_ms, ThroughputMeter};
 pub use metrics::{AllocGauges, DiskPhaseMetrics, EngineCounters, StorageMetrics, TestMetrics};
 pub use results::{FragReport, PerfReport, SuiteReport};
 pub use rng::SimRng;
+pub use shard::ShardedEventQueue;

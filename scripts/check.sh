@@ -4,7 +4,9 @@
 # smoke run of the reproduction at fast scale with the metrics sidecars
 # enabled. A second 1-job smoke run re-derives the sidecars and byte-
 # compares them against the 2-job run — the observability layer must be
-# deterministic at any worker count. The smoke run's timing profile
+# deterministic at any worker count — and a third run at --shards 2
+# byte-compares again: the sharded engine must be results-invariant in
+# the shard count too. The smoke run's timing profile
 # (per-experiment wall clock, per-sweep-point breakdown, and the measured
 # metrics-snapshot overhead) is snapshotted into BENCH_runner.json at the
 # repo root; the lint report is snapshotted into target/check/simlint.json.
@@ -35,7 +37,7 @@ cargo test -q
 
 echo "== repro smoke (scale 1/64, 2 jobs, metrics on) =="
 cargo run --release -p readopt-core --bin repro -- \
-    fig1 fig2 table4 --scale 64 --intervals 4 --jobs 2 --json target/check
+    fig1 fig2 table4 shard_scaling --scale 64 --intervals 4 --jobs 2 --json target/check
 
 echo "== sidecar determinism (re-run at 1 job, byte-compare) =="
 mkdir -p target/check-j1
@@ -49,6 +51,22 @@ for exp in fig1 fig2 table4; do
         || { echo "ERROR: $exp results differ between --jobs 2 and --jobs 1"; exit 1; }
 done
 echo "   sidecars byte-identical across job counts"
+
+echo "== shard determinism (re-run at --shards 2, byte-compare) =="
+# shard_scaling itself is excluded from the comparison: its payload is
+# wall-clock (timing differs run to run by design); its bit-identity
+# assertion runs inside the driver on every invocation above.
+mkdir -p target/check-s2
+cargo run --release -q -p readopt-core --bin repro -- \
+    fig1 fig2 table4 --scale 64 --intervals 4 --jobs 1 --shards 2 \
+    --json target/check-s2 > /dev/null
+for exp in fig1 fig2 table4; do
+    cmp "target/check-j1/$exp.metrics.json" "target/check-s2/$exp.metrics.json" \
+        || { echo "ERROR: $exp metrics sidecar differs between --shards 1 and --shards 2"; exit 1; }
+    cmp "target/check-j1/$exp.json" "target/check-s2/$exp.json" \
+        || { echo "ERROR: $exp results differ between --shards 1 and --shards 2"; exit 1; }
+done
+echo "   results byte-identical across shard counts"
 
 echo "== allocator microbench (bitmap vs btree backends) =="
 cargo run --release -q -p readopt-bench --bin alloc_bench -- \

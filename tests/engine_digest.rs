@@ -14,6 +14,12 @@ use readopt::sim::{FileTypeConfig, SimConfig, Simulation};
 /// Runs the delete-heavy mixed workload for one policy and formats the
 /// digest line.
 fn digest(name: &str, policy: PolicyConfig) -> String {
+    digest_sharded(name, policy, 1, 0)
+}
+
+/// Same digest under an explicit shard/worker configuration — the sharded
+/// engine's absolute invariant is that this string never depends on either.
+fn digest_sharded(name: &str, policy: PolicyConfig, shards: usize, shard_workers: usize) -> String {
     let array = ArrayConfig::scaled(64);
     let t = FileTypeConfig {
         num_files: 32,
@@ -32,6 +38,8 @@ fn digest(name: &str, policy: PolicyConfig) -> String {
     let mut c = SimConfig::new(array, policy, vec![t]);
     c.max_intervals = 4;
     c.max_allocation_ops = 60_000;
+    c.shards = shards;
+    c.shard_workers = shard_workers;
     let mut sim = Simulation::new(&c, 99);
     let app = sim.run_application_test();
     let frag = sim.run_allocation_test();
@@ -75,6 +83,57 @@ fn ffs_digest_is_pinned() {
 fn buddy_digest_is_pinned() {
     assert_eq!(
         digest("buddy", PolicyConfig::paper_buddy()),
+        "buddy: ops=2770 bytes=160079872 thr=36.674232332844 p50=52.421000000000 \
+         p99=213.894000000000 frag_ops=60000 ext=70.370370370370 int=33.179687500000"
+    );
+}
+
+/// The sharded engine's absolute invariant: the exact pinned digest at any
+/// shard count, with effects executed on real worker threads. The sweep
+/// covers a prime shard count, shards > disks, and shards > users (8 users
+/// here), plus several worker counts below and at the shard count.
+#[test]
+fn ffs_digest_is_shard_invariant() {
+    let expected = "ffs: ops=2711 bytes=156456960 thr=35.426058145046 p50=58.780000000000 \
+         p99=215.447000000000 frag_ops=60000 ext=79.497685185185 int=0.158067065598";
+    for (shards, workers) in [(2, 2), (4, 2), (4, 4), (7, 3), (16, 4)] {
+        assert_eq!(
+            digest_sharded("ffs", PolicyConfig::ffs_classic(), shards, workers),
+            expected,
+            "digest diverged at shards={shards} workers={workers}"
+        );
+    }
+}
+
+/// Same invariant for the extent policy (different allocator hot paths),
+/// and for the degenerate worker settings that must fall back to the
+/// in-line loop (workers 0/1, or more workers than shards — capped).
+#[test]
+fn extent_digest_is_shard_invariant() {
+    let policy = || {
+        PolicyConfig::Extent(ExtentConfig {
+            range_means_bytes: vec![8 * 1024, 64 * 1024],
+            fit: FitStrategy::FirstFit,
+            sigma_frac: 0.1,
+        })
+    };
+    let expected = "extent: ops=2460 bytes=140884992 thr=30.918025107602 p50=67.095000000000 \
+         p99=276.038000000000 frag_ops=60000 ext=80.599537037037 int=1.133516286839";
+    for (shards, workers) in [(4, 0), (4, 1), (2, 8), (4, 4), (7, 7)] {
+        assert_eq!(
+            digest_sharded("extent", policy(), shards, workers),
+            expected,
+            "digest diverged at shards={shards} workers={workers}"
+        );
+    }
+}
+
+/// Buddy at 4 shards × 4 workers — the third policy family through the
+/// pipelined path.
+#[test]
+fn buddy_digest_is_shard_invariant() {
+    assert_eq!(
+        digest_sharded("buddy", PolicyConfig::paper_buddy(), 4, 4),
         "buddy: ops=2770 bytes=160079872 thr=36.674232332844 p50=52.421000000000 \
          p99=213.894000000000 frag_ops=60000 ext=70.370370370370 int=33.179687500000"
     );

@@ -100,6 +100,55 @@ fn fig3_and_table4_agree_across_job_counts() {
 }
 
 #[test]
+fn fig2_results_are_bit_identical_at_any_shard_count() {
+    // The sharded engine's contract, exercised through the full experiment
+    // stack: serialized results AND metrics sidecars are byte-identical at
+    // shard counts 1/2/4/7 (7 is prime, so no shard boundary aligns with
+    // users or disks), with two effect-worker threads forced on so the
+    // pipelined path really runs. Composes with --jobs: the sharded runs
+    // also fan sweep points across 2 runner threads.
+    let workloads = [WorkloadKind::Timesharing];
+    let configs = [(2usize, 1u64, true), (5, 1, true)];
+    let (seq, _, seq_metrics) = fig2::run_sweep(&ctx_with_jobs(1), &workloads, &configs);
+    let seq_bytes = serde_json::to_string(&seq).unwrap();
+    let seq_metrics_bytes = serde_json::to_string(&seq_metrics).unwrap();
+    for shards in [2usize, 4, 7] {
+        let ctx = ctx_with_jobs(2).with_shards(shards).with_shard_workers(2);
+        let (sharded, _, sharded_metrics) = fig2::run_sweep(&ctx, &workloads, &configs);
+        assert_eq!(
+            seq_bytes,
+            serde_json::to_string(&sharded).unwrap(),
+            "fig2 serialized bytes must not depend on the shard count ({shards} shards)"
+        );
+        assert_eq!(
+            seq_metrics_bytes,
+            serde_json::to_string(&sharded_metrics).unwrap(),
+            "fig2 metrics sidecar bytes must not depend on the shard count ({shards} shards)"
+        );
+    }
+}
+
+#[test]
+fn fig1_results_are_bit_identical_under_sharding() {
+    // Allocation-test sweeps never enter the pipelined loop (no performance
+    // phase), but the shard setting still reroutes every event through the
+    // sharded queue — fig1 pins that the allocation path is also invariant.
+    let workloads = [WorkloadKind::Timesharing];
+    let configs = [(3usize, 2u64, false)];
+    let (seq, _, seq_metrics) = fig1::run_sweep(&ctx_with_jobs(1), &workloads, &configs);
+    let ctx = ctx_with_jobs(1).with_shards(4).with_shard_workers(2);
+    let (sharded, _, sharded_metrics) = fig1::run_sweep(&ctx, &workloads, &configs);
+    assert_eq!(
+        serde_json::to_string(&seq).unwrap(),
+        serde_json::to_string(&sharded).unwrap()
+    );
+    assert_eq!(
+        serde_json::to_string(&seq_metrics).unwrap(),
+        serde_json::to_string(&sharded_metrics).unwrap()
+    );
+}
+
+#[test]
 fn runner_reassembles_in_submission_order_under_contention() {
     // More workers than jobs, jobs finishing out of order: results must
     // still come back in submission order.
