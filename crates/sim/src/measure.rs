@@ -117,6 +117,7 @@ impl ThroughputMeter {
         let hi = pcts.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         // An all-idle window while transfers are pending elsewhere (e.g.
         // queued behind a backlog) is not a steady state.
+        // simlint::allow(r9, "0.0 is an exact sentinel: an idle interval's pct is assigned, never accumulated")
         if hi == 0.0 && self.total_bytes > 0.0 {
             return None;
         }

@@ -35,6 +35,9 @@ pub struct RuleCfg {
     pub lib_only: bool,
     /// Rule master switch.
     pub enabled: bool,
+    /// Suppression directives must carry a justification string to take
+    /// effect (read from the `r8` entry; meaningless on other rules).
+    pub require_reason: bool,
 }
 
 impl RuleCfg {
@@ -74,48 +77,37 @@ impl LintConfig {
     /// | r4 unsafe         | everywhere | linted | all |
     /// | r5 narrowing `as` | disk, alloc, sim | skipped | lib |
     /// | r6 f64 `sum()`    | sim, disk, alloc, workloads, fs | skipped | all |
+    /// | r7 dead config    | sim, disk, alloc, workloads, fs | skipped | lib |
+    /// | r8 stale allow    | everywhere | linted | all |
+    /// | r9 float `==`     | sim, disk, alloc, workloads, fs | skipped | lib |
     pub fn default_config() -> Self {
         let sim_crates = ["sim", "disk", "alloc", "workloads", "fs"];
+        let rule = |crates: Option<std::collections::BTreeSet<String>>,
+                    skip_test_code: bool,
+                    lib_only: bool| RuleCfg {
+            crates,
+            skip_test_code,
+            lib_only,
+            enabled: true,
+            require_reason: true,
+        };
         let rules = vec![
-            (
-                "r1".to_string(),
-                RuleCfg { crates: set(&sim_crates), skip_test_code: false, lib_only: false, enabled: true },
-            ),
-            (
-                "r2".to_string(),
-                RuleCfg { crates: set(&sim_crates), skip_test_code: false, lib_only: false, enabled: true },
-            ),
+            ("r1".to_string(), rule(set(&sim_crates), false, false)),
+            ("r2".to_string(), rule(set(&sim_crates), false, false)),
             (
                 "r3".to_string(),
-                RuleCfg {
-                    crates: set(&["sim", "disk", "alloc", "workloads", "fs", "bench", "simlint", "readopt"]),
-                    skip_test_code: true,
-                    lib_only: true,
-                    enabled: true,
-                },
+                rule(
+                    set(&["sim", "disk", "alloc", "workloads", "fs", "bench", "simlint", "readopt"]),
+                    true,
+                    true,
+                ),
             ),
-            (
-                "r4".to_string(),
-                RuleCfg { crates: None, skip_test_code: false, lib_only: false, enabled: true },
-            ),
-            (
-                "r5".to_string(),
-                RuleCfg {
-                    crates: set(&["disk", "alloc", "sim"]),
-                    skip_test_code: true,
-                    lib_only: true,
-                    enabled: true,
-                },
-            ),
-            (
-                "r6".to_string(),
-                RuleCfg {
-                    crates: set(&sim_crates),
-                    skip_test_code: true,
-                    lib_only: false,
-                    enabled: true,
-                },
-            ),
+            ("r4".to_string(), rule(None, false, false)),
+            ("r5".to_string(), rule(set(&["disk", "alloc", "sim"]), true, true)),
+            ("r6".to_string(), rule(set(&sim_crates), true, false)),
+            ("r7".to_string(), rule(set(&sim_crates), true, true)),
+            ("r8".to_string(), rule(None, false, false)),
+            ("r9".to_string(), rule(set(&sim_crates), true, true)),
         ];
         LintConfig { rules }
     }
@@ -166,6 +158,7 @@ impl LintConfig {
                 "skip_test_code" => cfg.skip_test_code = parse_bool(value, lineno + 1)?,
                 "lib_only" => cfg.lib_only = parse_bool(value, lineno + 1)?,
                 "enabled" => cfg.enabled = parse_bool(value, lineno + 1)?,
+                "require_reason" => cfg.require_reason = parse_bool(value, lineno + 1)?,
                 other => {
                     return Err(format!("simlint.toml:{}: unknown key `{other}`", lineno + 1));
                 }
@@ -221,11 +214,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn defaults_have_all_six_rules_enabled() {
+    fn defaults_have_all_nine_rules_enabled() {
         let cfg = LintConfig::default_config();
         let ids: Vec<&str> = cfg.rules.iter().map(|(id, _)| id.as_str()).collect();
-        assert_eq!(ids, vec!["r1", "r2", "r3", "r4", "r5", "r6"]);
+        assert_eq!(ids, vec!["r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9"]);
         assert!(cfg.rules.iter().all(|(_, c)| c.enabled));
+        assert!(cfg.rules.iter().all(|(_, c)| c.require_reason));
     }
 
     #[test]
@@ -250,10 +244,28 @@ mod tests {
     #[test]
     fn toml_rejects_unknown_rules_keys_and_sections() {
         let mut cfg = LintConfig::default_config();
-        assert!(cfg.apply_toml("[rules.r9]\n").is_err());
+        assert!(cfg.apply_toml("[rules.r12]\n").is_err());
         assert!(cfg.apply_toml("[rules.r1]\nfrobnicate = true\n").is_err());
         assert!(cfg.apply_toml("[weird]\n").is_err());
         assert!(cfg.apply_toml("orphan = true\n").is_err());
+    }
+
+    #[test]
+    fn toml_can_waive_reasons_on_r8() {
+        let mut cfg = LintConfig::default_config();
+        cfg.apply_toml("[rules.r8]\nrequire_reason = false\n").unwrap();
+        assert!(!cfg.rules.iter().find(|(id, _)| id == "r8").unwrap().1.require_reason);
+    }
+
+    #[test]
+    fn new_rule_scopes_match_their_purpose() {
+        let cfg = LintConfig::default_config();
+        let get = |id: &str| &cfg.rules.iter().find(|(rid, _)| rid == id).unwrap().1;
+        assert!(get("r7").applies_to_crate("sim") && !get("r7").applies_to_crate("core"));
+        assert!(get("r7").lib_only && get("r9").lib_only);
+        assert!(get("r8").applies_to_crate("core"), "the audit covers every crate");
+        assert!(get("r8").applies_to_class(FileClass::TestFile));
+        assert!(!get("r9").applies_to_crate("simlint"), "the linter compares token text, not sim floats");
     }
 
     #[test]

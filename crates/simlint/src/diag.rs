@@ -1,6 +1,11 @@
-//! Diagnostic rendering: human `file:line: rule: message` lines and a
+//! Diagnostic rendering: human `file:line:col: rule: message` lines and a
 //! hand-rolled JSON snapshot (the crate is dependency-free by design, so
 //! no serde here).
+//!
+//! The JSON output is **schema v2** (`"schema": "simlint/2"`,
+//! `"version": 2`): every finding carries its 1-based `col` and half-open
+//! byte `span` alongside the v1 `rule`/`path`/`line`/`message` keys, so
+//! findings are clickable in editors and machine-diffable byte-for-byte.
 
 use crate::driver::Report;
 use std::fmt::Write as _;
@@ -25,10 +30,11 @@ pub fn render_human(report: &Report) -> String {
     out
 }
 
-/// Renders the machine-readable JSON snapshot.
+/// Renders the machine-readable JSON snapshot (schema v2).
 pub fn render_json(report: &Report) -> String {
     let mut out = String::from("{\n");
-    let _ = write!(out, "  \"schema\": \"simlint/1\",\n");
+    let _ = write!(out, "  \"schema\": \"simlint/2\",\n");
+    let _ = write!(out, "  \"version\": 2,\n");
     let _ = write!(out, "  \"files_scanned\": {},\n", report.files_scanned);
     let _ = write!(out, "  \"findings_total\": {},\n", report.findings.len());
     out.push_str("  \"findings\": [");
@@ -38,10 +44,14 @@ pub fn render_json(report: &Report) -> String {
         }
         let _ = write!(
             out,
-            "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}}}",
+            "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \
+             \"span\": [{}, {}], \"message\": {}}}",
             json_string(&f.rule),
             json_string(&f.path),
             f.line,
+            f.col,
+            f.span.0,
+            f.span.1,
             json_string(&f.message)
         );
     }
@@ -83,24 +93,30 @@ mod tests {
             findings: vec![Finding {
                 path: "crates/sim/src/x.rs".into(),
                 line: 3,
+                col: 9,
                 rule: "r1".into(),
                 message: "say \"no\" to HashMap".into(),
+                span: (41, 48),
             }],
             files_scanned: 7,
         }
     }
 
     #[test]
-    fn human_format_is_file_line_rule_message() {
+    fn human_format_is_file_line_col_rule_message() {
         let text = render_human(&report());
-        assert!(text.starts_with("crates/sim/src/x.rs:3: r1: "));
+        assert!(text.starts_with("crates/sim/src/x.rs:3:9: r1: "), "{text}");
         assert!(text.contains("simlint: 1 finding in 7 files"));
     }
 
     #[test]
-    fn json_escapes_and_counts() {
+    fn json_is_v2_with_col_and_span() {
         let json = render_json(&report());
+        assert!(json.contains("\"schema\": \"simlint/2\""));
+        assert!(json.contains("\"version\": 2"));
         assert!(json.contains("\"findings_total\": 1"));
+        assert!(json.contains("\"col\": 9"));
+        assert!(json.contains("\"span\": [41, 48]"));
         assert!(json.contains("say \\\"no\\\" to HashMap"));
         let clean = render_json(&Report { findings: vec![], files_scanned: 2 });
         assert!(clean.contains("\"findings\": []"));

@@ -3,20 +3,38 @@
 //! Walks every non-vendored workspace crate (`crates/*` except
 //! `crates/vendor`, plus the root `readopt` facade package with its
 //! `tests/` and `examples/`), classifies each `.rs` file by target kind,
-//! and runs the rule engine over it. Directory walks are sorted so output
-//! order — and the JSON snapshot — is itself deterministic.
+//! and runs the two-layer rule engine over it:
+//!
+//! 1. every file is read, lexed, and parsed **once**; the parsed items
+//!    feed the workspace symbol table ([`crate::symbols`]) and the
+//!    use-graph ([`crate::usage`]);
+//! 2. each file's local rules produce pre-suppression hits
+//!    ([`crate::rules::analyze_file`]), the cross-file r7 hits are merged
+//!    in, and [`crate::rules::finalize`] applies suppressions and the r8
+//!    staleness audit.
+//!
+//! Directory walks are sorted so output order — and the JSON snapshot —
+//! is itself deterministic. Directories named `fixtures` are never
+//! entered: `crates/simlint/tests/fixtures/` holds *deliberately* dirty
+//! sources for the linter's own integration tests.
 
 use crate::config::{FileClass, LintConfig};
-use crate::rules::{lint_file, FileInput, Finding};
+use crate::lexer::lex;
+use crate::parse::parse_file;
+use crate::rules::{analyze_file, dead_config_hits, finalize, FileInput, Finding};
+use crate::symbols::{build_symbols, FileSyms};
+use crate::usage::collect_reads;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::{Path, PathBuf};
 
 /// Result of a workspace run.
 #[derive(Debug)]
 pub struct Report {
-    /// All findings, sorted by (path, line, rule).
+    /// All findings, sorted by (path, line, col, rule).
     pub findings: Vec<Finding>,
-    /// Number of `.rs` files scanned.
+    /// Number of `.rs` files linted (with a crate filter, the filtered
+    /// count — symbol/usage collection always covers the whole workspace).
     pub files_scanned: usize,
 }
 
@@ -51,21 +69,76 @@ pub fn run_workspace(root: &Path) -> Result<Report, String> {
 
 /// Like [`run_workspace`] but with an explicit configuration.
 pub fn run_workspace_with(root: &Path, config: &LintConfig) -> Result<Report, String> {
+    run_workspace_filtered(root, config, None)
+}
+
+/// Like [`run_workspace_with`], optionally restricted to a set of crate
+/// keys. The restriction applies to which files are *linted* (and counted
+/// in `files_scanned`); symbol-table and use-graph collection always spans
+/// the full workspace, so r7's "read anywhere" stays accurate under a
+/// filter.
+pub fn run_workspace_filtered(
+    root: &Path,
+    config: &LintConfig,
+    only_crates: Option<&BTreeSet<String>>,
+) -> Result<Report, String> {
     let items = discover(root)?;
-    let mut findings = Vec::new();
+
+    // Pass 1: read + lex + parse everything once.
+    let mut sources = Vec::with_capacity(items.len());
     for item in &items {
         let src = fs::read_to_string(&item.path)
             .map_err(|e| format!("read {}: {e}", item.path.display()))?;
+        sources.push(src);
+    }
+    let lexed: Vec<_> = sources.iter().map(|s| lex(s)).collect();
+    let parsed: Vec<_> = lexed.iter().map(|t| parse_file(t)).collect();
+
+    // Workspace-wide symbol table and read set.
+    let syms_input: Vec<FileSyms<'_>> = items
+        .iter()
+        .zip(&parsed)
+        .map(|(item, p)| FileSyms {
+            path: &item.rel,
+            crate_key: &item.crate_key,
+            class: item.class,
+            parsed: p,
+        })
+        .collect();
+    let symbols = build_symbols(&syms_input);
+    let mut reads = BTreeSet::new();
+    for ((item, toks), p) in items.iter().zip(&lexed).zip(&parsed) {
+        reads.extend(collect_reads(toks, p, item.class));
+    }
+
+    // Cross-file r7 hits, grouped by declaring file.
+    let mut r7_by_path: BTreeMap<String, Vec<_>> = BTreeMap::new();
+    for (path, hit) in dead_config_hits(&symbols, &reads, &config.rules) {
+        r7_by_path.entry(path).or_default().push(hit);
+    }
+
+    // Pass 2: per-file local analysis, r7 merge, finalize.
+    let mut findings = Vec::new();
+    let mut files_scanned = 0usize;
+    for (i, item) in items.iter().enumerate() {
+        if only_crates.is_some_and(|set| !set.contains(&item.crate_key)) {
+            continue;
+        }
+        files_scanned += 1;
         let input = FileInput {
             path: &item.rel,
             crate_key: &item.crate_key,
             class: item.class,
-            src: &src,
+            src: &sources[i],
         };
-        findings.extend(lint_file(&input, &config.rules));
+        let mut analysis = analyze_file(&input, &lexed[i], &parsed[i], &config.rules, &symbols);
+        if let Some(hits) = r7_by_path.remove(&item.rel) {
+            analysis.raw.extend(hits);
+        }
+        findings.extend(finalize(&item.rel, &item.crate_key, item.class, &analysis, &config.rules));
     }
     findings.sort();
-    Ok(Report { findings, files_scanned: items.len() })
+    Ok(Report { findings, files_scanned })
 }
 
 /// Enumerates every file to lint, sorted for deterministic output.
@@ -127,9 +200,10 @@ fn collect_rs_files(
         for entry in sorted_entries(&dir)? {
             let name = file_name(&entry);
             if entry.is_dir() {
-                // Never descend into nested crates, build output, or the
-                // vendored tree from the root package walk.
-                if name == "target" || name == "vendor" || name == "crates" {
+                // Never descend into nested crates, build output, the
+                // vendored tree from the root package walk, or the lint
+                // test fixtures (deliberately violation-seeded sources).
+                if name == "target" || name == "vendor" || name == "crates" || name == "fixtures" {
                     continue;
                 }
                 stack.push(entry);

@@ -13,6 +13,10 @@
 //!   variants `br…`, `cr…`, `b"…"`, `c"…"`,
 //! * char literals vs. lifetimes (`'a'` vs `'a`),
 //! * raw identifiers (`r#fn`).
+//!
+//! Every token carries its full source position — 1-based line and column
+//! plus a byte span — so diagnostics are clickable and machine-diffable
+//! (the `simlint.json` v2 schema exposes both).
 
 /// What a token is. The rule engine mostly cares about `Ident` and `Punct`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,7 +37,7 @@ pub enum TokKind {
     BlockComment,
 }
 
-/// One lexed token with its 1-based source line.
+/// One lexed token with its full source position.
 #[derive(Debug, Clone)]
 pub struct Tok {
     /// Token class.
@@ -43,6 +47,12 @@ pub struct Tok {
     pub text: String,
     /// 1-based line of the token's first character.
     pub line: u32,
+    /// 1-based character column of the token's first character.
+    pub col: u32,
+    /// Byte offset of the token's first character.
+    pub byte_start: u32,
+    /// Length of the token in bytes.
+    pub byte_len: u32,
 }
 
 impl Tok {
@@ -60,6 +70,11 @@ impl Tok {
     pub fn is_comment(&self) -> bool {
         matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
     }
+
+    /// The half-open byte span `[start, end)` of the token.
+    pub fn span(&self) -> (u32, u32) {
+        (self.byte_start, self.byte_start + self.byte_len)
+    }
 }
 
 fn is_ident_start(c: char) -> bool {
@@ -72,8 +87,12 @@ fn is_ident_continue(c: char) -> bool {
 
 struct Lexer {
     chars: Vec<char>,
+    /// `byte_of[i]` = byte offset of `chars[i]`; one extra entry for EOF.
+    byte_of: Vec<u32>,
     i: usize,
     line: u32,
+    /// Char index of the first character of the current line.
+    line_start: usize,
     out: Vec<Tok>,
 }
 
@@ -81,7 +100,15 @@ struct Lexer {
 /// extend to end-of-file, which is the conservative choice for a linter
 /// (the compiler will reject the file anyway).
 pub fn lex(src: &str) -> Vec<Tok> {
-    let mut lx = Lexer { chars: src.chars().collect(), i: 0, line: 1, out: Vec::new() };
+    let mut chars = Vec::with_capacity(src.len());
+    let mut byte_of = Vec::with_capacity(src.len() + 1);
+    // Source files are far below 4 GB, so offsets fit u32.
+    for (off, c) in src.char_indices() {
+        byte_of.push(off as u32);
+        chars.push(c);
+    }
+    byte_of.push(src.len() as u32);
+    let mut lx = Lexer { chars, byte_of, i: 0, line: 1, line_start: 0, out: Vec::new() };
     lx.run();
     lx.out
 }
@@ -91,15 +118,33 @@ impl Lexer {
         self.chars.get(self.i + ahead).copied()
     }
 
-    fn push(&mut self, kind: TokKind, text: String, line: u32) {
-        self.out.push(Tok { kind, text, line });
+    /// 1-based column of the character at `idx`, relative to the line start
+    /// captured in `line_start`. Only valid while `idx` is on the current
+    /// line — call it at token start, before consuming newlines.
+    fn col_of(&self, idx: usize) -> u32 {
+        (idx - self.line_start) as u32 + 1
+    }
+
+    /// Records that `chars[idx]` is a newline (the caller advances `i`).
+    fn newline_at(&mut self, idx: usize) {
+        self.line += 1;
+        self.line_start = idx + 1;
+    }
+
+    /// Pushes the token spanning `chars[start..self.i]`.
+    fn push_span(&mut self, kind: TokKind, start: usize, line: u32, col: u32) {
+        let end = self.i.min(self.chars.len());
+        let text: String = self.chars[start..end].iter().collect();
+        let byte_start = self.byte_of[start];
+        let byte_len = self.byte_of[end] - byte_start;
+        self.out.push(Tok { kind, text, line, col, byte_start, byte_len });
     }
 
     fn run(&mut self) {
         while let Some(c) = self.peek(0) {
             match c {
                 '\n' => {
-                    self.line += 1;
+                    self.newline_at(self.i);
                     self.i += 1;
                 }
                 c if c.is_whitespace() => self.i += 1,
@@ -109,29 +154,28 @@ impl Lexer {
                 '\'' => self.lifetime_or_char(),
                 c if c.is_ascii_digit() => self.number(),
                 c if is_ident_start(c) => self.ident_or_prefixed_literal(),
-                c => {
-                    self.push(TokKind::Punct, c.to_string(), self.line);
+                _ => {
+                    let (start, line, col) = (self.i, self.line, self.col_of(self.i));
                     self.i += 1;
+                    self.push_span(TokKind::Punct, start, line, col);
                 }
             }
         }
     }
 
     fn line_comment(&mut self) {
-        let start = self.i;
+        let (start, line, col) = (self.i, self.line, self.col_of(self.i));
         while let Some(c) = self.peek(0) {
             if c == '\n' {
                 break;
             }
             self.i += 1;
         }
-        let text: String = self.chars[start..self.i].iter().collect();
-        self.push(TokKind::LineComment, text, self.line);
+        self.push_span(TokKind::LineComment, start, line, col);
     }
 
     fn block_comment(&mut self) {
-        let start = self.i;
-        let line = self.line;
+        let (start, line, col) = (self.i, self.line, self.col_of(self.i));
         let mut depth = 0usize;
         while let Some(c) = self.peek(0) {
             if c == '/' && self.peek(1) == Some('*') {
@@ -145,19 +189,17 @@ impl Lexer {
                 }
             } else {
                 if c == '\n' {
-                    self.line += 1;
+                    self.newline_at(self.i);
                 }
                 self.i += 1;
             }
         }
-        let text: String = self.chars[start..self.i].iter().collect();
-        self.push(TokKind::BlockComment, text, line);
+        self.push_span(TokKind::BlockComment, start, line, col);
     }
 
     /// A `"…"` literal with backslash escapes. `self.i` is at the quote.
     fn string_literal(&mut self) {
-        let start = self.i;
-        let line = self.line;
+        let (start, line, col) = (self.i, self.line, self.col_of(self.i));
         self.i += 1; // opening quote
         while let Some(c) = self.peek(0) {
             if c == '\\' {
@@ -165,21 +207,20 @@ impl Lexer {
                 continue;
             }
             if c == '\n' {
-                self.line += 1;
+                self.newline_at(self.i);
             }
             self.i += 1;
             if c == '"' {
                 break;
             }
         }
-        let end = self.i.min(self.chars.len());
-        let text: String = self.chars[start..end].iter().collect();
-        self.push(TokKind::Str, text, line);
+        self.push_span(TokKind::Str, start, line, col);
     }
 
-    /// A raw string starting at `self.i` = first `#` or quote (after the
-    /// `r`/`br`/`cr` prefix has been consumed by the caller).
-    fn raw_string_body(&mut self, start: usize, line: u32) {
+    /// A raw string starting at `self.i` = first `#` or quote. `start`,
+    /// `line`, and `col` locate the `r`/`br`/`cr` prefix the caller already
+    /// consumed, so the emitted token covers the whole literal.
+    fn raw_string_body(&mut self, start: usize, line: u32, col: u32) {
         let mut hashes = 0usize;
         while self.peek(0) == Some('#') {
             hashes += 1;
@@ -189,7 +230,7 @@ impl Lexer {
         self.i += 1; // opening quote
         'outer: while let Some(c) = self.peek(0) {
             if c == '\n' {
-                self.line += 1;
+                self.newline_at(self.i);
             }
             self.i += 1;
             if c == '"' {
@@ -202,15 +243,16 @@ impl Lexer {
                 break;
             }
         }
-        let end = self.i.min(self.chars.len());
-        let text: String = self.chars[start..end].iter().collect();
-        self.push(TokKind::Str, text, line);
+        self.push_span(TokKind::Str, start, line, col);
     }
 
-    /// Lifetime (`'a`) vs char literal (`'a'`, `'\n'`, `'('`).
+    /// Lifetime (`'a`) vs char literal (`'a'`, `'\n'`, `'('`). `start` may
+    /// sit before `self.i` when the caller consumed a `b` prefix.
     fn lifetime_or_char(&mut self) {
-        let start = self.i;
-        let line = self.line;
+        self.lifetime_or_char_from(self.i, self.line, self.col_of(self.i));
+    }
+
+    fn lifetime_or_char_from(&mut self, start: usize, line: u32, col: u32) {
         match self.peek(1) {
             Some(c) if is_ident_start(c) => {
                 // Scan the ident run after the quote: a closing quote right
@@ -221,12 +263,10 @@ impl Lexer {
                 }
                 if self.chars.get(j) == Some(&'\'') {
                     self.i = j + 1;
-                    let text: String = self.chars[start..self.i].iter().collect();
-                    self.push(TokKind::Str, text, line);
+                    self.push_span(TokKind::Str, start, line, col);
                 } else {
                     self.i = j;
-                    let text: String = self.chars[start..self.i].iter().collect();
-                    self.push(TokKind::Lifetime, text, line);
+                    self.push_span(TokKind::Lifetime, start, line, col);
                 }
             }
             _ => {
@@ -238,16 +278,14 @@ impl Lexer {
                         continue;
                     }
                     if c == '\n' {
-                        self.line += 1;
+                        self.newline_at(self.i);
                     }
                     self.i += 1;
                     if c == '\'' {
                         break;
                     }
                 }
-                let end = self.i.min(self.chars.len());
-                let text: String = self.chars[start..end].iter().collect();
-                self.push(TokKind::Str, text, line);
+                self.push_span(TokKind::Str, start, line, col);
             }
         }
     }
@@ -255,8 +293,7 @@ impl Lexer {
     /// A number, including any type suffix (`1u64`) and a fractional part
     /// (`1.5`) — but not `..` range punctuation.
     fn number(&mut self) {
-        let start = self.i;
-        let line = self.line;
+        let (start, line, col) = (self.i, self.line, self.col_of(self.i));
         while let Some(c) = self.peek(0) {
             if is_ident_continue(c) {
                 self.i += 1;
@@ -266,15 +303,13 @@ impl Lexer {
                 break;
             }
         }
-        let text: String = self.chars[start..self.i].iter().collect();
-        self.push(TokKind::Num, text, line);
+        self.push_span(TokKind::Num, start, line, col);
     }
 
     /// An identifier — or one of the literal prefixes `r"`, `r#"`, `b"`,
     /// `b'`, `br`, `c"`, `cr`, or a raw identifier `r#name`.
     fn ident_or_prefixed_literal(&mut self) {
-        let start = self.i;
-        let line = self.line;
+        let (start, line, col) = (self.i, self.line, self.col_of(self.i));
         let c = self.chars[self.i];
 
         // Raw-string / byte-string / C-string prefixes.
@@ -285,11 +320,10 @@ impl Lexer {
             ('b', Some('"'), _) | ('c', Some('"'), _) => (false, 1),
             ('b', Some('\''), _) => {
                 self.i += 1;
-                self.lifetime_or_char();
-                // Re-tag: b'x' came out as whatever lifetime_or_char chose;
-                // prepend the prefix to keep the text faithful.
+                self.lifetime_or_char_from(start, line, col);
+                // b'x' came out as whatever lifetime_or_char chose; re-tag
+                // it as a string-like literal.
                 if let Some(last) = self.out.last_mut() {
-                    last.text.insert(0, 'b');
                     last.kind = TokKind::Str;
                 }
                 return;
@@ -308,8 +342,7 @@ impl Lexer {
                     while self.peek(0).is_some_and(is_ident_continue) {
                         self.i += 1;
                     }
-                    let text: String = self.chars[start..self.i].iter().collect();
-                    self.push(TokKind::Ident, text, line);
+                    self.push_span(TokKind::Ident, start, line, col);
                     return;
                 }
                 // Hash run must end in a quote to be a raw string.
@@ -319,16 +352,22 @@ impl Lexer {
                 }
                 if self.peek(k) == Some('"') {
                     self.i += skip;
-                    self.raw_string_body(start, line);
+                    self.raw_string_body(start, line, col);
                     return;
                 }
             } else {
                 self.i += skip;
+                // Re-lex the quoted body, then widen the emitted token to
+                // cover the prefix characters too.
+                let quote_start = self.i;
                 self.string_literal();
-                // Fix up: include the prefix characters in the token text.
                 if let Some(last) = self.out.last_mut() {
-                    let prefix: String = self.chars[start..start + skip].iter().collect();
+                    let prefix: String = self.chars[start..quote_start].iter().collect();
                     last.text.insert_str(0, &prefix);
+                    last.col = col;
+                    let widen = self.byte_of[quote_start] - self.byte_of[start];
+                    last.byte_start -= widen;
+                    last.byte_len += widen;
                 }
                 return;
             }
@@ -338,8 +377,7 @@ impl Lexer {
         while self.peek(0).is_some_and(is_ident_continue) {
             self.i += 1;
         }
-        let text: String = self.chars[start..self.i].iter().collect();
-        self.push(TokKind::Ident, text, line);
+        self.push_span(TokKind::Ident, start, line, col);
     }
 }
 
@@ -386,6 +424,62 @@ mod tests {
         let toks = lex("a\nb\n\nc");
         let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
         assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn columns_and_spans_are_exact() {
+        //         123456789012345
+        let src = "let x = 42;\n  foo.bar";
+        let toks = lex(src);
+        let pos: Vec<(&str, u32, u32)> =
+            toks.iter().map(|t| (t.text.as_str(), t.line, t.col)).collect();
+        assert_eq!(
+            pos,
+            vec![
+                ("let", 1, 1),
+                ("x", 1, 5),
+                ("=", 1, 7),
+                ("42", 1, 9),
+                (";", 1, 11),
+                ("foo", 2, 3),
+                (".", 2, 6),
+                ("bar", 2, 7),
+            ]
+        );
+        for t in &toks {
+            let (s, e) = t.span();
+            assert_eq!(&src[s as usize..e as usize], t.text, "span must slice back to the text");
+        }
+    }
+
+    #[test]
+    fn spans_survive_multibyte_chars() {
+        let src = "let ä = \"π\"; x";
+        for t in lex(src) {
+            let (s, e) = t.span();
+            assert_eq!(&src[s as usize..e as usize], t.text);
+        }
+    }
+
+    #[test]
+    fn col_resets_after_multiline_tokens() {
+        let src = "/* a\n   b */ x\nlet s = \"m\nn\"; y";
+        let toks = lex(src);
+        let x = toks.iter().find(|t| t.is_ident("x")).unwrap();
+        assert_eq!((x.line, x.col), (2, 9));
+        let y = toks.iter().find(|t| t.is_ident("y")).unwrap();
+        assert_eq!((y.line, y.col), (4, 5));
+    }
+
+    #[test]
+    fn prefixed_literal_spans_cover_the_prefix() {
+        let src = "g(b\"abc\", b'q')";
+        let toks = lex(src);
+        for t in toks.iter().filter(|t| t.kind == TokKind::Str) {
+            let (s, e) = t.span();
+            assert_eq!(&src[s as usize..e as usize], t.text);
+            assert!(t.text.starts_with('b'));
+        }
     }
 
     #[test]

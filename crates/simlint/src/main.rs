@@ -1,28 +1,35 @@
 //! The `simlint` gate binary.
 //!
 //! ```text
-//! simlint [--root DIR] [--json FILE] [--quiet]
+//! simlint [--root DIR] [--json FILE] [--crates LIST] [--quiet]
 //! ```
 //!
 //! Exit status: 0 when clean, 1 on findings, 2 on usage or I/O errors.
 //! With no `--root`, walks upward from the current directory to the first
 //! directory holding both a `Cargo.toml` and a `crates/` tree (so it works
 //! from any workspace subdirectory).
+//!
+//! `--crates sim,disk` restricts which crates are *linted* (the check.sh
+//! self-lint leg uses `--crates simlint`); symbol-table and use-graph
+//! collection still spans the whole workspace, so r7's cross-crate read
+//! analysis stays accurate under a filter.
 
 #![forbid(unsafe_code)]
 
-use simlint::{render_human, render_json, run_workspace};
+use simlint::{render_human, render_json, run_workspace_filtered, LintConfig};
+use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Args {
     root: Option<PathBuf>,
     json: Option<PathBuf>,
+    crates: Option<BTreeSet<String>>,
     quiet: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { root: None, json: None, quiet: false };
+    let mut args = Args { root: None, json: None, crates: None, quiet: false };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -36,9 +43,20 @@ fn parse_args() -> Result<Args, String> {
                     it.next().ok_or_else(|| "--json needs a file path".to_string())?,
                 ));
             }
+            "--crates" => {
+                let list = it.next().ok_or_else(|| "--crates needs a comma-separated list".to_string())?;
+                let set: BTreeSet<String> =
+                    list.split(',').map(str::trim).filter(|s| !s.is_empty()).map(String::from).collect();
+                if set.is_empty() {
+                    return Err("--crates needs at least one crate name".to_string());
+                }
+                args.crates = Some(set);
+            }
             "--quiet" | "-q" => args.quiet = true,
             "--help" | "-h" => {
-                return Err("usage: simlint [--root DIR] [--json FILE] [--quiet]".to_string());
+                return Err(
+                    "usage: simlint [--root DIR] [--json FILE] [--crates LIST] [--quiet]".to_string()
+                );
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
@@ -76,7 +94,14 @@ fn find_root(explicit: Option<PathBuf>) -> Result<PathBuf, String> {
 fn run() -> Result<bool, String> {
     let args = parse_args()?;
     let root = find_root(args.root)?;
-    let report = run_workspace(&root)?;
+    let mut config = LintConfig::default_config();
+    let toml_path = root.join("simlint.toml");
+    if toml_path.is_file() {
+        let text = std::fs::read_to_string(&toml_path)
+            .map_err(|e| format!("read {}: {e}", toml_path.display()))?;
+        config.apply_toml(&text)?;
+    }
+    let report = run_workspace_filtered(&root, &config, args.crates.as_ref())?;
     if let Some(json_path) = &args.json {
         if let Some(parent) = json_path.parent() {
             if !parent.as_os_str().is_empty() {

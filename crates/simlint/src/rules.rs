@@ -1,22 +1,39 @@
-//! The determinism & robustness rules (R1–R6) and the per-file engine.
+//! The determinism & robustness rules (r1–r9) and the per-file engine.
 //!
-//! Rules operate on the lexed token stream, so tokens inside strings and
-//! comments can never fire. Each rule is deny-by-default and can be
-//! suppressed inline with a *justified* allow:
+//! Rules operate on the lexed token stream (r1–r6, r9) and on the parsed
+//! item/symbol/use graph (r7, r8), so tokens inside strings and comments
+//! can never fire. Each rule is deny-by-default and can be suppressed
+//! inline with a *justified* allow:
 //!
 //! ```text
 //! // simlint::allow(r3, "constructor contract: bad config is a caller bug")
 //! ```
 //!
 //! A trailing suppression applies to its own line; a suppression on a line
-//! of its own applies to the next line. A suppression without a reason is
-//! itself a finding — the gate stays honest.
+//! of its own applies to the next line. The suppression system is itself
+//! audited: **r8** flags a directive whose removal would produce no
+//! finding (computed by diffing the pre-suppression hit set against each
+//! directive's target) and, with `require_reason` (the default), a
+//! directive with no justification string. r8 findings are not
+//! suppressible — a stale allow is deleted, a bare one gets its reason.
+//!
+//! The engine is two-layered so cross-file rules compose with the
+//! file-local ones: [`analyze_file`] produces *raw* (pre-suppression)
+//! hits plus the parsed suppression directives, the driver merges in
+//! workspace-level r7 hits, and [`finalize`] applies suppressions,
+//! computes staleness, and emits the final [`Finding`] list. The
+//! single-file [`lint_file`] entry point runs the same pipeline with a
+//! file-local symbol table.
 
 use crate::config::{FileClass, RuleCfg};
 use crate::lexer::{lex, Tok, TokKind};
+use crate::parse::{parse_file, ParsedFile};
+use crate::symbols::{build_symbols, FileSyms, SymbolTable};
+use crate::usage::collect_reads;
+use std::collections::BTreeSet;
 
 /// Stable rule identifiers.
-pub const RULE_IDS: [&str; 6] = ["r1", "r2", "r3", "r4", "r5", "r6"];
+pub const RULE_IDS: [&str; 9] = ["r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9"];
 
 /// One diagnostic.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -25,16 +42,20 @@ pub struct Finding {
     pub path: String,
     /// 1-based line.
     pub line: u32,
-    /// Rule id (`r1`…`r6`, or `suppression` for a malformed allow).
+    /// 1-based character column.
+    pub col: u32,
+    /// Rule id (`r1`…`r9`, or `suppression` for a malformed allow).
     pub rule: String,
     /// Human message.
     pub message: String,
+    /// Half-open byte span `[start, end)` of the offending token.
+    pub span: (u32, u32),
 }
 
 impl Finding {
-    /// `file:line: rule: message` — the human diagnostic format.
+    /// `file:line:col: rule: message` — the human diagnostic format.
     pub fn render(&self) -> String {
-        format!("{}:{}: {}: {}", self.path, self.line, self.rule, self.message)
+        format!("{}:{}:{}: {}: {}", self.path, self.line, self.col, self.rule, self.message)
     }
 }
 
@@ -51,17 +72,51 @@ pub struct FileInput<'a> {
     pub src: &'a str,
 }
 
+/// One pre-suppression rule hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawHit {
+    /// Rule id.
+    pub rule: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Byte span of the offending token.
+    pub span: (u32, u32),
+    /// Human message.
+    pub message: String,
+}
+
 /// A parsed `simlint::allow` directive.
-#[derive(Debug)]
-struct Suppression {
-    rule: String,
-    has_reason: bool,
+#[derive(Debug, Clone)]
+pub struct SuppressionInfo {
+    /// The rule named by the directive (empty when unparsable).
+    pub rule: String,
+    /// Whether a non-empty quoted reason was given.
+    pub has_reason: bool,
     /// The line the directive applies to.
-    target_line: u32,
+    pub target_line: u32,
     /// The line the comment itself is on.
-    comment_line: u32,
+    pub comment_line: u32,
+    /// 1-based column of the comment token.
+    pub col: u32,
+    /// Byte span of the comment token.
+    pub span: (u32, u32),
+    /// Whether the comment sits inside a test region.
+    pub in_test: bool,
     /// Parse problem, if any (unknown rule, bad syntax).
-    problem: Option<String>,
+    pub problem: Option<String>,
+}
+
+/// The per-file analysis result: raw hits from the file-local rules plus
+/// the suppression directives. The driver may push additional
+/// workspace-level hits (r7) into `raw` before [`finalize`].
+#[derive(Debug, Default)]
+pub struct FileAnalysis {
+    /// Pre-suppression hits, test-region filtering already applied.
+    pub raw: Vec<RawHit>,
+    /// All `simlint::allow` directives in the file.
+    pub suppressions: Vec<SuppressionInfo>,
 }
 
 /// Narrowing `as` targets R5 rejects in unit/time arithmetic.
@@ -77,77 +132,228 @@ const R1_BANNED: [(&str, &str); 3] = [
 /// Wall-clock types R2 rejects inside simulation logic.
 const R2_BANNED: [&str; 3] = ["SystemTime", "Instant", "UNIX_EPOCH"];
 
-/// Lints one file under the given per-rule configs, returning findings
-/// sorted by line.
-pub fn lint_file(input: &FileInput<'_>, rules: &[(String, RuleCfg)]) -> Vec<Finding> {
-    let toks = lex(input.src);
-    let in_test = test_regions(&toks);
+fn rule_cfg<'a>(rules: &'a [(String, RuleCfg)], id: &str) -> Option<&'a RuleCfg> {
+    rules.iter().find(|(rid, _)| rid == id).map(|(_, c)| c)
+}
 
-    // Code tokens (indices into `toks`) with their test flags.
+/// Runs the file-local rules (r1–r6, r9) over one lexed+parsed file,
+/// returning pre-suppression hits and the suppression directives.
+pub fn analyze_file(
+    input: &FileInput<'_>,
+    toks: &[Tok],
+    parsed: &ParsedFile,
+    rules: &[(String, RuleCfg)],
+    symbols: &SymbolTable,
+) -> FileAnalysis {
+    let in_test = test_regions(toks);
     let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
-    let suppressions = collect_suppressions(&toks);
+    let suppressions = collect_suppressions(toks, &in_test);
 
-    let mut findings: Vec<Finding> = Vec::new();
-
-    // Malformed suppressions are findings regardless of rule scoping.
-    for s in &suppressions {
-        if let Some(problem) = &s.problem {
-            findings.push(Finding {
-                path: input.path.to_string(),
-                line: s.comment_line,
-                rule: "suppression".into(),
-                message: problem.clone(),
-            });
-        } else if !s.has_reason {
-            findings.push(Finding {
-                path: input.path.to_string(),
-                line: s.comment_line,
-                rule: "suppression".into(),
-                message: format!(
-                    "simlint::allow({}) needs a reason: simlint::allow({}, \"why\")",
-                    s.rule, s.rule
-                ),
-            });
-        }
-    }
-
+    let mut raw: Vec<RawHit> = Vec::new();
     for (rule_id, cfg) in rules {
-        if !cfg.enabled || !cfg.applies_to_crate(input.crate_key) || !cfg.applies_to_class(input.class)
+        if !cfg.enabled
+            || !cfg.applies_to_crate(input.crate_key)
+            || !cfg.applies_to_class(input.class)
         {
             continue;
         }
         let hits = match rule_id.as_str() {
-            "r1" => rule_r1(&toks, &code),
-            "r2" => rule_r2(&toks, &code),
-            "r3" => rule_r3(&toks, &code),
-            "r4" => rule_r4(&toks, &code),
-            "r5" => rule_r5(&toks, &code),
-            "r6" => rule_r6(&toks, &code),
+            "r1" => rule_r1(toks, &code),
+            "r2" => rule_r2(toks, &code),
+            "r3" => rule_r3(toks, &code),
+            "r4" => rule_r4(toks, &code),
+            "r5" => rule_r5(toks, &code),
+            "r6" => rule_r6(toks, &code),
+            "r9" => rule_r9(toks, &code, parsed, &symbols.float_fields),
             _ => Vec::new(),
         };
         for (tok_idx, message) in hits {
             if cfg.skip_test_code && in_test[tok_idx] {
                 continue;
             }
-            let line = toks[tok_idx].line;
-            let suppressed = suppressions.iter().any(|s| {
-                s.problem.is_none() && s.has_reason && s.rule == *rule_id && s.target_line == line
-            });
-            if suppressed {
-                continue;
+            let t = &toks[tok_idx];
+            let mut span = t.span();
+            if rule_id == "r9" {
+                // `==`/`!=` lex as two single-char punct tokens; widen the
+                // span so it covers the whole operator, not just its head.
+                if let Some(tail) = toks.get(tok_idx + 1) {
+                    if tail.is_punct('=') {
+                        span.1 = tail.span().1;
+                    }
+                }
             }
-            findings.push(Finding {
-                path: input.path.to_string(),
-                line,
+            raw.push(RawHit {
                 rule: rule_id.clone(),
+                line: t.line,
+                col: t.col,
+                span,
                 message,
             });
+        }
+    }
+    FileAnalysis { raw, suppressions }
+}
+
+/// Computes r7 dead-config hits from the workspace symbol table and the
+/// union of all read sites, keyed by declaring file path.
+pub fn dead_config_hits(
+    symbols: &SymbolTable,
+    reads: &BTreeSet<String>,
+    rules: &[(String, RuleCfg)],
+) -> Vec<(String, RawHit)> {
+    let Some(cfg) = rule_cfg(rules, "r7") else { return Vec::new() };
+    if !cfg.enabled {
+        return Vec::new();
+    }
+    symbols
+        .config_fields
+        .iter()
+        .filter(|f| f.deserialize && cfg.applies_to_crate(&f.crate_key) && !reads.contains(&f.field))
+        .map(|f| {
+            (
+                f.path.clone(),
+                RawHit {
+                    rule: "r7".into(),
+                    line: f.line,
+                    col: f.col,
+                    span: f.span,
+                    message: format!(
+                        "config field `{}::{}` is Deserialize-visible but has no non-serde, \
+                         non-test read anywhere in the workspace; wire it into its driver or \
+                         delete it",
+                        f.type_name, f.field
+                    ),
+                },
+            )
+        })
+        .collect()
+}
+
+/// Applies suppressions to the raw hit set, audits the directives (r8),
+/// and emits the final findings for one file.
+pub fn finalize(
+    path: &str,
+    crate_key: &str,
+    class: FileClass,
+    analysis: &FileAnalysis,
+    rules: &[(String, RuleCfg)],
+) -> Vec<Finding> {
+    let mut findings: Vec<Finding> = Vec::new();
+    let r8 = rule_cfg(rules, "r8");
+    let r8_active = r8.is_some_and(|c| {
+        c.enabled && c.applies_to_crate(crate_key) && c.applies_to_class(class)
+    });
+    let require_reason = r8.is_none_or(|c| c.require_reason);
+
+    // Malformed directives are findings regardless of rule scoping: a
+    // typo'd allow silently suppresses nothing, which is worse than noise.
+    for s in &analysis.suppressions {
+        if let Some(problem) = &s.problem {
+            findings.push(Finding {
+                path: path.to_string(),
+                line: s.comment_line,
+                col: s.col,
+                rule: "suppression".into(),
+                message: problem.clone(),
+                span: s.span,
+            });
+        }
+    }
+
+    // A directive suppresses a hit when it is well-formed, justified (or
+    // justification is waived), names the hit's rule, and targets its
+    // line. r8 itself is never suppressible.
+    let suppresses = |s: &SuppressionInfo, rule: &str, line: u32| -> bool {
+        s.problem.is_none()
+            && (s.has_reason || !require_reason)
+            && s.rule != "r8"
+            && s.rule == rule
+            && s.target_line == line
+    };
+
+    for hit in &analysis.raw {
+        if analysis.suppressions.iter().any(|s| suppresses(s, &hit.rule, hit.line)) {
+            continue;
+        }
+        findings.push(Finding {
+            path: path.to_string(),
+            line: hit.line,
+            col: hit.col,
+            rule: hit.rule.clone(),
+            message: hit.message.clone(),
+            span: hit.span,
+        });
+    }
+
+    // r8: the suppression audit.
+    if r8_active {
+        let skip_test = r8.is_some_and(|c| c.skip_test_code);
+        for s in &analysis.suppressions {
+            if s.problem.is_some() || (skip_test && s.in_test) {
+                continue;
+            }
+            let mut push = |message: String| {
+                findings.push(Finding {
+                    path: path.to_string(),
+                    line: s.comment_line,
+                    col: s.col,
+                    rule: "r8".into(),
+                    message,
+                    span: s.span,
+                });
+            };
+            if s.rule == "r8" {
+                push(
+                    "simlint::allow(r8) has no effect: r8 findings are not suppressible — \
+                     delete the stale directive or justify the bare one instead"
+                        .into(),
+                );
+                continue;
+            }
+            let live = analysis
+                .raw
+                .iter()
+                .any(|h| h.rule == s.rule && h.line == s.target_line);
+            if !live {
+                push(format!(
+                    "stale simlint::allow({}): removing it produces no {} finding on line {} — \
+                     delete the directive",
+                    s.rule, s.rule, s.target_line
+                ));
+            } else if !s.has_reason && require_reason {
+                push(format!(
+                    "simlint::allow({}) needs a reason: simlint::allow({}, \"why\")",
+                    s.rule, s.rule
+                ));
+            }
         }
     }
 
     findings.sort();
     findings.dedup();
     findings
+}
+
+/// Lints one file in isolation under the given per-rule configs, using a
+/// file-local symbol table (r7's "anywhere in the workspace" shrinks to
+/// "anywhere in this file"). The workspace driver uses the layered
+/// [`analyze_file`]/[`finalize`] pipeline instead.
+pub fn lint_file(input: &FileInput<'_>, rules: &[(String, RuleCfg)]) -> Vec<Finding> {
+    let toks = lex(input.src);
+    let parsed = parse_file(&toks);
+    let symbols = build_symbols(&[FileSyms {
+        path: input.path,
+        crate_key: input.crate_key,
+        class: input.class,
+        parsed: &parsed,
+    }]);
+    let reads = collect_reads(&toks, &parsed, input.class);
+    let mut analysis = analyze_file(input, &toks, &parsed, rules, &symbols);
+    for (hit_path, hit) in dead_config_hits(&symbols, &reads, rules) {
+        debug_assert_eq!(hit_path, input.path);
+        analysis.raw.push(hit);
+    }
+    finalize(input.path, input.crate_key, input.class, &analysis, rules)
 }
 
 // ---------------------------------------------------------------------------
@@ -300,6 +506,235 @@ fn rule_r6(toks: &[Tok], code: &[usize]) -> Vec<(usize, String)> {
 }
 
 // ---------------------------------------------------------------------------
+// R9: exact float equality
+// ---------------------------------------------------------------------------
+
+/// Punctuation that ends an operand window (scanning away from the
+/// comparison operator at bracket depth 0).
+fn ends_operand(t: &Tok) -> bool {
+    [';', ',', '{', '}', '&', '|', '=', '<', '>', '!', '?'].iter().any(|&c| t.is_punct(c))
+}
+
+/// Integer literal suffixes — a trailing one makes the literal an integer
+/// no matter what the body looks like (and `usize` contains an `e` that
+/// must not read as an exponent).
+const INT_SUFFIXES: [&str; 12] =
+    ["usize", "isize", "u128", "i128", "u64", "i64", "u32", "i32", "u16", "i16", "u8", "i8"];
+
+/// Is this numeric literal float-typed? (`1.0`, `1e3`, `2f64` — but not
+/// `0xE3`, `10u64`, `0usize`, or a bare integer.)
+fn float_shaped_num(text: &str) -> bool {
+    if text.starts_with("0x") || text.starts_with("0X") || text.starts_with("0b") || text.starts_with("0o")
+    {
+        return false;
+    }
+    if text.ends_with("f32") || text.ends_with("f64") {
+        return true;
+    }
+    if INT_SUFFIXES.iter().any(|s| text.ends_with(s)) {
+        return false;
+    }
+    text.contains('.') || text.contains('e') || text.contains('E')
+}
+
+/// R9: `==` / `!=` where either operand is float-shaped — a float literal,
+/// an `f64`/`f32` path or cast, a field whose declared type is `f64`/`f32`
+/// (workspace symbol table), or a local/param the enclosing function types
+/// as float. Exact float comparison is order-fragile: two mathematically
+/// equal sums can differ in the last ulp depending on accumulation order,
+/// which is precisely the hazard a bit-identical simulator must not build
+/// on. Compare against an explicit tolerance, or justify the exactness
+/// (sentinel values, bit-pattern round-trips) with an allow.
+fn rule_r9(
+    toks: &[Tok],
+    code: &[usize],
+    parsed: &ParsedFile,
+    float_fields: &BTreeSet<String>,
+) -> Vec<(usize, String)> {
+    // Per-function float environments: params and `let` locals with an
+    // f64/f32 annotation or a float-literal initializer.
+    let envs: Vec<((usize, usize), BTreeSet<String>)> = parsed
+        .fns
+        .iter()
+        .filter_map(|f| f.body.map(|body| (body, float_env(toks, code, f, body))))
+        .collect();
+    let env_of = |ti: usize| -> Option<&BTreeSet<String>> {
+        envs.iter()
+            .filter(|((s, e), _)| ti >= *s && ti < *e)
+            .min_by_key(|((s, e), _)| e - s)
+            .map(|(_, env)| env)
+    };
+
+    let mut out = Vec::new();
+    for (ci, &ti) in code.iter().enumerate() {
+        let t = &toks[ti];
+        // `==`: two adjacent `=` not preceded by an operator fragment;
+        // `!=`: `!` directly followed by `=`.
+        let (is_cmp, rhs_ci) = if t.is_punct('=')
+            && ci + 1 < code.len()
+            && toks[code[ci + 1]].is_punct('=')
+            && !(ci > 0 && is_op_fragment(&toks[code[ci - 1]]))
+        {
+            (true, ci + 2)
+        } else if t.is_punct('!') && ci + 1 < code.len() && toks[code[ci + 1]].is_punct('=') {
+            (true, ci + 2)
+        } else {
+            (false, 0)
+        };
+        if !is_cmp {
+            continue;
+        }
+        let env = env_of(ti);
+        let lhs_float = ci > 0 && operand_is_float(toks, code, ci - 1, false, float_fields, env);
+        let rhs_float =
+            rhs_ci < code.len() && operand_is_float(toks, code, rhs_ci, true, float_fields, env);
+        if lhs_float || rhs_float {
+            let op = if t.is_punct('=') { "==" } else { "!=" };
+            out.push((
+                ti,
+                format!(
+                    "exact float `{op}` is order-fragile (equal sums can differ in the last \
+                     ulp); compare against an explicit tolerance or justify the exactness"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Could the previous token be the first half of a compound operator
+/// (`<=`, `>=`, `+=`, `==`, …)? If so the `=` we're looking at is its tail.
+fn is_op_fragment(t: &Tok) -> bool {
+    ['=', '<', '>', '!', '+', '-', '*', '/', '%', '&', '|', '^'].iter().any(|&c| t.is_punct(c))
+}
+
+/// Walks one operand window (up to 8 code tokens, stopping at an
+/// operand-ending punct at depth 0) and reports whether anything in it is
+/// float-shaped. `forward` selects scan direction from `start` (a code
+/// index).
+fn operand_is_float(
+    toks: &[Tok],
+    code: &[usize],
+    start: usize,
+    forward: bool,
+    float_fields: &BTreeSet<String>,
+    env: Option<&BTreeSet<String>>,
+) -> bool {
+    let mut depth = 0i32;
+    let mut ci = start as isize;
+    for _ in 0..8 {
+        if ci < 0 || ci as usize >= code.len() {
+            return false;
+        }
+        let cu = ci as usize;
+        let t = &toks[code[cu]];
+        // Depth bookkeeping relative to scan direction: moving forward,
+        // `(` opens; moving backward, `)` opens.
+        let (open, close) = if forward { ('(', ')') } else { (')', '(') };
+        if t.is_punct(open) || t.is_punct(if forward { '[' } else { ']' }) {
+            depth += 1;
+        } else if t.is_punct(close) || t.is_punct(if forward { ']' } else { '[' }) {
+            if depth == 0 {
+                return false;
+            }
+            depth -= 1;
+        } else if depth == 0 && ends_operand(t) {
+            return false;
+        } else if depth == 0 {
+            if t.kind == TokKind::Num && float_shaped_num(&t.text) {
+                return true;
+            }
+            if t.is_ident("f64") || t.is_ident("f32") {
+                return true;
+            }
+            if t.kind == TokKind::Ident {
+                let prev_dot = cu > 0 && toks[code[cu - 1]].is_punct('.');
+                let next_paren = cu + 1 < code.len() && toks[code[cu + 1]].is_punct('(');
+                if prev_dot && !next_paren && float_fields.contains(&t.text) {
+                    return true;
+                }
+                if !prev_dot && !next_paren && env.is_some_and(|e| e.contains(&t.text)) {
+                    return true;
+                }
+            }
+        }
+        ci += if forward { 1 } else { -1 };
+    }
+    false
+}
+
+/// The float-typed names visible in one function body: float params plus
+/// `let` locals with an `f64`/`f32` annotation or a float-literal
+/// initializer. Scoping is function-wide (no shadow tracking) — an
+/// imprecision that can only widen r9, the conservative direction.
+fn float_env(
+    toks: &[Tok],
+    code: &[usize],
+    f: &crate::parse::FnDef,
+    body: (usize, usize),
+) -> BTreeSet<String> {
+    let mut env: BTreeSet<String> = f
+        .params
+        .iter()
+        .filter(|p| p.ty.split_whitespace().any(|w| w == "f64" || w == "f32"))
+        .map(|p| p.name.clone())
+        .collect();
+    let body_code: Vec<usize> = code.iter().copied().filter(|&ti| ti >= body.0 && ti < body.1).collect();
+    let mut ci = 0usize;
+    while ci < body_code.len() {
+        if !toks[body_code[ci]].is_ident("let") {
+            ci += 1;
+            continue;
+        }
+        let mut cj = ci + 1;
+        if cj < body_code.len() && toks[body_code[cj]].is_ident("mut") {
+            cj += 1;
+        }
+        let Some(&name_ti) = body_code.get(cj) else { break };
+        let name_tok = &toks[name_ti];
+        if name_tok.kind != TokKind::Ident {
+            ci = cj + 1;
+            continue;
+        }
+        let mut is_float = false;
+        if body_code.get(cj + 1).is_some_and(|&ti| toks[ti].is_punct(':')) {
+            // `let name: Ty … = / ;` — float when the annotation mentions
+            // f64/f32 at any position (covers `&f64`, `Option<f32>` is
+            // arguable but flagged-on-use only when compared directly).
+            let mut ck = cj + 2;
+            while ck < body_code.len() {
+                let t = &toks[body_code[ck]];
+                if t.is_punct('=') || t.is_punct(';') {
+                    break;
+                }
+                if t.is_ident("f64") || t.is_ident("f32") {
+                    is_float = true;
+                }
+                ck += 1;
+            }
+        } else if body_code.get(cj + 1).is_some_and(|&ti| toks[ti].is_punct('=')) {
+            // `let name = <literal>` — float when the initializer starts
+            // with a float-shaped number (optionally negated).
+            let mut ck = cj + 2;
+            if body_code.get(ck).is_some_and(|&ti| toks[ti].is_punct('-')) {
+                ck += 1;
+            }
+            if body_code
+                .get(ck)
+                .is_some_and(|&ti| toks[ti].kind == TokKind::Num && float_shaped_num(&toks[ti].text))
+            {
+                is_float = true;
+            }
+        }
+        if is_float {
+            env.insert(name_tok.text.clone());
+        }
+        ci = cj + 1;
+    }
+    env
+}
+
+// ---------------------------------------------------------------------------
 // Test-region detection
 // ---------------------------------------------------------------------------
 
@@ -424,10 +859,10 @@ pub fn test_regions(toks: &[Tok]) -> Vec<bool> {
 // ---------------------------------------------------------------------------
 
 /// Extracts `simlint::allow(rule, "reason")` directives from line comments.
-fn collect_suppressions(toks: &[Tok]) -> Vec<Suppression> {
+fn collect_suppressions(toks: &[Tok], in_test: &[bool]) -> Vec<SuppressionInfo> {
     let mut out = Vec::new();
     let mut last_code_line = 0u32;
-    for t in toks {
+    for (ti, t) in toks.iter().enumerate() {
         if !t.is_comment() {
             last_code_line = t.line;
             continue;
@@ -443,28 +878,26 @@ fn collect_suppressions(toks: &[Tok]) -> Vec<Suppression> {
         let Some(pos) = t.text.find("simlint::allow") else { continue };
         let rest = &t.text[pos + "simlint::allow".len()..];
         let target_line = if t.line == last_code_line { t.line } else { t.line + 1 };
+        let base = SuppressionInfo {
+            rule: String::new(),
+            has_reason: false,
+            target_line,
+            comment_line: t.line,
+            col: t.col,
+            span: t.span(),
+            in_test: in_test[ti],
+            problem: None,
+        };
         match parse_allow_args(rest) {
             Ok((rule, has_reason)) => {
                 let problem = if RULE_IDS.contains(&rule.as_str()) {
                     None
                 } else {
-                    Some(format!("simlint::allow names unknown rule `{rule}` (known: r1..r6)"))
+                    Some(format!("simlint::allow names unknown rule `{rule}` (known: r1..r9)"))
                 };
-                out.push(Suppression {
-                    rule,
-                    has_reason,
-                    target_line,
-                    comment_line: t.line,
-                    problem,
-                });
+                out.push(SuppressionInfo { rule, has_reason, problem, ..base });
             }
-            Err(msg) => out.push(Suppression {
-                rule: String::new(),
-                has_reason: false,
-                target_line,
-                comment_line: t.line,
-                problem: Some(msg),
-            }),
+            Err(msg) => out.push(SuppressionInfo { problem: Some(msg), ..base }),
         }
     }
     out
@@ -632,8 +1065,112 @@ mod tests {
         assert!(lint_sim(src).is_empty());
     }
 
+    // --- r7: dead config ---------------------------------------------------
+
     #[test]
-    fn suppression_with_reason_silences_same_and_next_line() {
+    fn r7_fires_on_unread_deserialize_config_field() {
+        let src = "#[derive(Serialize, Deserialize)]\n\
+                   pub struct XConfig { pub live: u64, pub dead: u64 }\n\
+                   pub fn run(c: &XConfig) -> u64 { c.live }";
+        let f = lint_sim(src);
+        assert_eq!(rules_of(&f), vec!["r7"]);
+        assert!(f[0].message.contains("XConfig::dead"), "{}", f[0].message);
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn r7_requires_deserialize_and_config_suffix() {
+        // No Deserialize derive: serde can't see the field, not r7's business.
+        let plain = "#[derive(Debug, Clone)]\nstruct YConfig { dead: u64 }";
+        assert!(lint_sim(plain).is_empty());
+        // Not a *Config struct: any dead-field analysis is out of scope.
+        let other = "#[derive(Deserialize)]\nstruct State { dead: u64 }";
+        assert!(lint_sim(other).is_empty());
+    }
+
+    #[test]
+    fn r7_discounts_serde_impls_and_tests() {
+        let src = "#[derive(Deserialize)]\npub struct ZConfig { pub knob: u64 }\n\
+                   impl Serialize for ZConfig { fn ser(&self) -> u64 { self.knob } }\n\
+                   #[cfg(test)]\nmod t { fn f(c: &ZConfig) -> u64 { c.knob } }";
+        assert_eq!(rules_of(&lint_sim(src)), vec!["r7"], "serde/test reads don't keep it alive");
+    }
+
+    #[test]
+    fn r7_constructor_literal_is_not_a_read_but_pattern_is() {
+        let ctor = "#[derive(Deserialize)]\npub struct CConfig { pub knob: u64 }\n\
+                    pub fn mk() -> CConfig { CConfig { knob: 1 } }";
+        assert_eq!(rules_of(&lint_sim(ctor)), vec!["r7"], "literal writes don't count");
+        let pat = "#[derive(Deserialize)]\npub struct CConfig { pub knob: u64 }\n\
+                   pub fn use_it(c: CConfig) -> u64 { let CConfig { knob } = c; knob }";
+        assert!(lint_sim(pat).is_empty(), "destructuring reads count");
+    }
+
+    #[test]
+    fn r7_respects_crate_scope_and_suppression() {
+        let src = "#[derive(Deserialize)]\nstruct QConfig { dead: u64 }";
+        assert!(lint_core(src).is_empty(), "core is outside r7's crate scope");
+        let suppressed = "#[derive(Deserialize)]\nstruct QConfig {\n\
+                          // simlint::allow(r7, \"reserved for the phase-2 driver\")\n\
+                          dead: u64,\n}";
+        assert!(lint_sim(suppressed).is_empty(), "a justified allow suppresses r7");
+    }
+
+    // --- r8: suppression audit ---------------------------------------------
+
+    #[test]
+    fn r8_flags_stale_allow_and_wrong_rule_allow() {
+        // Nothing on the target line fires r5 — the directive is dead.
+        let f = lint_sim("// simlint::allow(r5, \"bounded\")\nfn f(x: u32) -> u64 { x as u64 }");
+        assert_eq!(rules_of(&f), vec!["r8"]);
+        assert!(f[0].message.contains("stale"), "{}", f[0].message);
+        // The line fires r5, but the allow names r3: both live r5 and stale r8.
+        let wrong = "fn f(x: u64) -> u32 { x as u32 } // simlint::allow(r3, \"nope\")";
+        assert_eq!(rules_of(&lint_sim(wrong)), vec!["r5", "r8"]);
+    }
+
+    #[test]
+    fn r8_flags_allow_for_out_of_scope_rule() {
+        // r5 is not scoped to `core`, so an allow(r5) there suppresses
+        // nothing no matter what the line contains.
+        let f = lint_core("fn f(x: u64) -> u32 { x as u32 } // simlint::allow(r5, \"bounded\")");
+        assert_eq!(rules_of(&f), vec!["r8"]);
+    }
+
+    #[test]
+    fn r8_requires_a_reason_and_unreasoned_allows_do_not_suppress() {
+        let src = "fn f(x: u64) -> u32 { x as u32 } // simlint::allow(r5)";
+        let f = lint_sim(src);
+        assert_eq!(rules_of(&f), vec!["r5", "r8"]);
+        assert!(f.iter().any(|x| x.message.contains("needs a reason")));
+    }
+
+    #[test]
+    fn r8_require_reason_false_lets_bare_allows_suppress() {
+        let mut cfg = LintConfig::default_config();
+        for (id, c) in &mut cfg.rules {
+            if id == "r8" {
+                c.require_reason = false;
+            }
+        }
+        let input = FileInput {
+            path: "crates/sim/src/x.rs",
+            crate_key: "sim",
+            class: FileClass::Lib,
+            src: "fn f(x: u64) -> u32 { x as u32 } // simlint::allow(r5)",
+        };
+        assert!(lint_file(&input, &cfg.rules).is_empty());
+    }
+
+    #[test]
+    fn r8_is_not_suppressible() {
+        let f = lint_sim("// simlint::allow(r8, \"please\")\nfn f() {}");
+        assert_eq!(rules_of(&f), vec!["r8"]);
+        assert!(f[0].message.contains("not suppressible"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn live_justified_allows_are_untouched() {
         let trailing = "fn f(x: u64) -> u32 { x as u32 } // simlint::allow(r5, \"bounded\")";
         assert!(lint_sim(trailing).is_empty());
         let own_line = "// simlint::allow(r5, \"bounded\")\nfn f(x: u64) -> u32 { x as u32 }";
@@ -641,26 +1178,71 @@ mod tests {
     }
 
     #[test]
-    fn suppression_does_not_leak_to_other_lines_or_rules() {
+    fn suppression_does_not_leak_to_other_lines() {
         let src = "// simlint::allow(r5, \"bounded\")\nfn f(x: u64) -> u32 { x as u32 }\n\
                    fn g(y: u64) -> u32 { y as u32 }";
         assert_eq!(rules_of(&lint_sim(src)), vec!["r5"]);
-        let wrong_rule = "fn f(x: u64) -> u32 { x as u32 } // simlint::allow(r3, \"nope\")";
-        assert_eq!(rules_of(&lint_sim(wrong_rule)), vec!["r5"]);
-    }
-
-    #[test]
-    fn suppression_without_reason_is_a_finding_and_does_not_suppress() {
-        let src = "fn f(x: u64) -> u32 { x as u32 } // simlint::allow(r5)";
-        let f = lint_sim(src);
-        assert_eq!(rules_of(&f), vec!["r5", "suppression"]);
     }
 
     #[test]
     fn suppression_with_unknown_rule_is_a_finding() {
-        let f = lint_sim("// simlint::allow(r9, \"what\")\nfn f() {}");
+        let f = lint_sim("// simlint::allow(r42, \"what\")\nfn f() {}");
         assert_eq!(rules_of(&f), vec!["suppression"]);
     }
+
+    // --- r9: float equality ------------------------------------------------
+
+    #[test]
+    fn r9_fires_on_float_literal_comparison() {
+        let f = lint_sim("fn f(x: f64) -> bool { x == 0.0 }");
+        assert_eq!(rules_of(&f), vec!["r9"]);
+        let f = lint_sim("fn f(x: f64) -> bool { x != 1.5e3 }");
+        assert_eq!(rules_of(&f), vec!["r9"]);
+    }
+
+    #[test]
+    fn r9_fires_on_float_params_locals_and_casts() {
+        // Both sides are idents; the param type makes them float.
+        assert_eq!(rules_of(&lint_sim("fn f(a: f64, b: f64) -> bool { a == b }")), vec!["r9"]);
+        let local = "fn f(n: u64) -> bool { let frac = 0.5; frac == compute(n) }";
+        assert_eq!(rules_of(&lint_sim(local)), vec!["r9"]);
+        assert_eq!(rules_of(&lint_sim("fn f(n: u64, m: u64) -> bool { n as f64 == m as f64 }")), vec!["r9"]);
+    }
+
+    #[test]
+    fn r9_fires_on_known_float_fields() {
+        let src = "struct Stats { mean: f64 }\n\
+                   fn f(s: &Stats, t: &Stats) -> bool { s.mean == t.mean }";
+        assert_eq!(rules_of(&lint_sim(src)), vec!["r9"]);
+    }
+
+    #[test]
+    fn r9_ignores_integer_and_non_float_comparisons() {
+        assert!(lint_sim("fn f(a: u64, b: u64) -> bool { a == b && a != 0 }").is_empty());
+        assert!(lint_sim("fn f(s: &str) -> bool { s == \"x\" }").is_empty());
+        assert!(lint_sim("fn f(a: u64) -> bool { a == 0x1F }").is_empty(), "hex is integer");
+        // An integer suffix contains no exponent, even when it spells `e`.
+        let src = "fn f(k: usize) -> bool { let mut n = 0usize; n += k; n == 0 }";
+        assert!(lint_sim(src).is_empty(), "`0usize` is not a float literal");
+        // Assignment and compound operators are not comparisons.
+        assert!(lint_sim("fn f(mut x: f64) { x = 1.0; x += 2.0; }").is_empty());
+        assert!(lint_sim("fn f(x: f64) -> bool { x <= 1.0 }").is_empty(), "ordering is fine");
+    }
+
+    #[test]
+    fn r9_scope_excludes_tests_and_non_sim_crates() {
+        let test_code = "#[cfg(test)]\nmod t { fn f(x: f64) -> bool { x == 0.0 } }";
+        assert!(lint_sim(test_code).is_empty());
+        assert!(lint_core("fn f(x: f64) -> bool { x == 0.0 }").is_empty());
+    }
+
+    #[test]
+    fn r9_suppression_is_honored() {
+        let src = "fn f(x: f64) -> bool { x == 0.0 } // simlint::allow(r9, \"0.0 is a sentinel, never computed\")";
+        assert!(lint_sim(src).is_empty());
+    }
+
+    // --- cross-cutting ------------------------------------------------------
 
     #[test]
     fn cfg_not_test_is_not_a_test_region() {
@@ -696,5 +1278,15 @@ mod tests {
         let f = lint_sim(src);
         assert_eq!(rules_of(&f), vec!["r1", "r1", "r2"]);
         assert!(f.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn findings_carry_column_and_byte_span() {
+        let src = "fn f(x: u64) -> u32 { x as u32 }";
+        let f = lint_sim(src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].col, 25, "column of the `as` token");
+        let (s, e) = f[0].span;
+        assert_eq!(&src[s as usize..e as usize], "as");
     }
 }

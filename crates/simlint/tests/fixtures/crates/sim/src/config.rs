@@ -1,0 +1,12 @@
+//! Fixture config: `dead_knob` is Deserialize-visible but never read.
+
+use serde::{Deserialize, Serialize};
+
+/// Two knobs; the fixture engine reads only one.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimFixtureConfig {
+    /// Read by the fixture engine — alive.
+    pub live_knob: u64,
+    /// r7: no non-serde, non-test read anywhere in the fixture tree.
+    pub dead_knob: u64,
+}

@@ -1,0 +1,40 @@
+//! Deliberately dirty engine: one violation per token-level rule.
+//!
+//! The integration test (`tests/fixtures_fire.rs`) asserts this file's
+//! exact finding set, so every line number here is load-bearing.
+
+use crate::config::SimFixtureConfig;
+use std::collections::HashMap;
+
+pub fn keeps_live_knob_alive(c: &SimFixtureConfig) -> u64 {
+    c.live_knob
+}
+
+pub fn r2_wall_clock() {
+    let _ = std::time::Instant::now();
+}
+
+pub fn r3_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn r4_unsafe(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn r5_narrowing(x: u64) -> u32 {
+    x as u32
+}
+
+pub fn r6_unpinned_sum(xs: &[f64]) -> f64 {
+    xs.iter().copied().sum::<f64>()
+}
+
+// simlint::allow(r5, "stale: the cast this line once justified is gone")
+pub fn r8_stale_allow_target(x: u32) -> u64 {
+    u64::from(x)
+}
+
+pub fn r9_float_eq(x: f64) -> bool {
+    x == 0.0
+}

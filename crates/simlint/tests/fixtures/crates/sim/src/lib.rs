@@ -1,0 +1,7 @@
+//! Fixture crate root: a deliberately dirty mini source tree with exactly
+//! one violation per simlint rule (r1–r9), asserted line-by-line by
+//! `crates/simlint/tests/fixtures_fire.rs`. The real workspace walker
+//! never enters directories named `fixtures`.
+
+pub mod config;
+pub mod engine;

@@ -1,0 +1,92 @@
+//! Fixture gate: every rule r1–r9 must fire on the dirty mini-tree.
+//!
+//! `tests/fixtures/` holds a self-contained fixture workspace (one crate,
+//! `crates/sim`) seeded with exactly one violation per rule. Pointing
+//! `run_workspace` at that root proves each rule detects its violation at
+//! the expected position — the positive counterpart to the repo-level
+//! clean gate in `tests/simlint_clean.rs`, which only proves absence.
+
+use std::path::{Path, PathBuf};
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+#[test]
+fn every_rule_fires_exactly_once_on_the_fixture_tree() {
+    let report = simlint::run_workspace(&fixtures_root()).expect("fixture walk must succeed");
+    assert_eq!(report.files_scanned, 3, "fixture tree is lib.rs + config.rs + engine.rs");
+
+    let got: Vec<(&str, &str, u32)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule.as_str(), f.path.as_str(), f.line))
+        .collect();
+    let want = [
+        ("r7", "crates/sim/src/config.rs", 11),
+        ("r1", "crates/sim/src/engine.rs", 7),
+        ("r2", "crates/sim/src/engine.rs", 14),
+        ("r3", "crates/sim/src/engine.rs", 18),
+        ("r4", "crates/sim/src/engine.rs", 22),
+        ("r5", "crates/sim/src/engine.rs", 26),
+        ("r6", "crates/sim/src/engine.rs", 30),
+        ("r8", "crates/sim/src/engine.rs", 33),
+        ("r9", "crates/sim/src/engine.rs", 39),
+    ];
+    assert_eq!(
+        got, want,
+        "fixture findings drifted:\n{}",
+        simlint::render_human(&report)
+    );
+}
+
+#[test]
+fn fixture_spans_slice_the_offending_source_text() {
+    let report = simlint::run_workspace(&fixtures_root()).expect("fixture walk must succeed");
+    let engine_src = std::fs::read_to_string(
+        fixtures_root().join("crates/sim/src/engine.rs"),
+    )
+    .expect("fixture engine source");
+
+    // Byte spans must point at the exact token the rule objected to, so
+    // editors and the JSON v2 report can highlight it.
+    let expect = [
+        ("r1", "HashMap"),
+        ("r2", "Instant"),
+        ("r3", "unwrap"),
+        ("r4", "unsafe"),
+        ("r5", "as"),
+        ("r6", "sum"),
+        ("r9", "=="),
+    ];
+    for (rule, text) in expect {
+        let f = report
+            .findings
+            .iter()
+            .find(|f| f.rule == rule && f.path.ends_with("engine.rs"))
+            .unwrap_or_else(|| panic!("fixture must produce an {rule} finding"));
+        let (start, end) = (f.span.0 as usize, f.span.1 as usize);
+        assert_eq!(
+            &engine_src[start..end],
+            text,
+            "{rule} span must cover `{text}`"
+        );
+    }
+
+    // The r7 span covers the dead field's name in config.rs.
+    let config_src = std::fs::read_to_string(
+        fixtures_root().join("crates/sim/src/config.rs"),
+    )
+    .expect("fixture config source");
+    let r7 = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "r7")
+        .expect("fixture must produce an r7 finding");
+    assert_eq!(&config_src[r7.span.0 as usize..r7.span.1 as usize], "dead_knob");
+    assert!(
+        r7.message.contains("dead_knob"),
+        "r7 message names the field: {}",
+        r7.message
+    );
+}

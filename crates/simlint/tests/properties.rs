@@ -12,11 +12,16 @@
 //! * detection — a banned identifier spliced into real code is always
 //!   found, no matter what benign code surrounds it;
 //! * suppression — `simlint::allow` silences exactly its own rule on
-//!   exactly its own line.
+//!   exactly its own line;
+//! * parsing — the item parser is total on arbitrary input, and a struct
+//!   definition round-trips lex→parse with its name, derives, field
+//!   names, field types, and line numbers intact (the facts the r7
+//!   symbol table is built from).
 
 use proptest::collection;
 use proptest::prelude::*;
 use simlint::lexer::{lex, TokKind};
+use simlint::parse::parse_file;
 use simlint::{lint_file, FileClass, FileInput, Finding, LintConfig};
 
 /// Lints `src` as library code of the `sim` crate (in scope for every
@@ -60,6 +65,19 @@ fn banned_case() -> impl Strategy<Value = (&'static str, &'static str)> {
 
 fn join(parts: &[String]) -> String {
     parts.concat()
+}
+
+/// Field types the r7 symbol table must see through, including generics
+/// whose `,`/`<`/`>` tokens would derail a depth-unaware parser.
+fn field_ty() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("u64"),
+        Just("f64"),
+        Just("bool"),
+        Just("Vec<u64>"),
+        Just("Option<String>"),
+        Just("BTreeMap<u64, Vec<u8>>"),
+    ]
 }
 
 proptest! {
@@ -132,6 +150,73 @@ proptest! {
         }
         let got = lex(&src).iter().filter(|t| t.is_ident("zz_marker_zz")).count();
         prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn parser_is_total_on_arbitrary_bytes(bytes in collection::vec(any::<u8>(), 0..300)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let parsed = parse_file(&lex(&src));
+        let line_count = src.lines().count() as u32 + 1;
+        for s in &parsed.structs {
+            prop_assert!(s.line >= 1 && s.line <= line_count);
+        }
+        for f in &parsed.fns {
+            prop_assert!(f.line >= 1 && f.line <= line_count);
+        }
+    }
+
+    #[test]
+    fn parser_roundtrips_struct_fields(
+        name_tails in collection::vec((0u8..26, 0u32..1000), 1..8),
+        tys in collection::vec(field_ty(), 1..8),
+        derive_serde in any::<bool>(),
+        lead in collection::vec(benign_fragment(), 0..4),
+    ) {
+        // Render a config struct from generated parts, then parse it back
+        // and demand the symbol-table-relevant facts survive exactly.
+        let n = name_tails.len().min(tys.len());
+        let tails: Vec<String> = name_tails
+            .iter()
+            .map(|&(c, v)| format!("{}{v}", (b'a' + c) as char))
+            .collect();
+        let mut src = join(&lead);
+        let lead_lines = src.lines().count() as u32;
+        src.push_str(if derive_serde {
+            "#[derive(Debug, Clone, Serialize, Deserialize)]\n"
+        } else {
+            "#[derive(Debug, Clone)]\n"
+        });
+        src.push_str("pub struct PropConfig {\n");
+        for i in 0..n {
+            // The `f{i}_` prefix keeps names unique and keyword-free.
+            src.push_str(&format!("    pub f{i}_{}: {},\n", tails[i], tys[i]));
+        }
+        src.push_str("}\n");
+
+        let parsed = parse_file(&lex(&src));
+        // The benign lead may define structs of its own (`struct S7;`);
+        // the generated one must come back exactly once among them.
+        let hits: Vec<_> =
+            parsed.structs.iter().filter(|s| s.name == "PropConfig").collect();
+        prop_assert_eq!(hits.len(), 1, "one PropConfig in, one PropConfig out");
+        let s = hits[0];
+        prop_assert_eq!(s.line, lead_lines + 2);
+        prop_assert_eq!(
+            s.derives.iter().any(|d| d == "Deserialize"),
+            derive_serde,
+            "serde visibility must match the rendered derive list"
+        );
+        prop_assert_eq!(s.fields.len(), n);
+        for i in 0..n {
+            let f = &s.fields[i];
+            prop_assert_eq!(&f.name, &format!("f{i}_{}", tails[i]));
+            prop_assert_eq!(f.line, lead_lines + 3 + i as u32);
+            // Types are stored token-flattened ("Vec < u64 >"); compare
+            // whitespace-insensitively.
+            let got: String = f.ty.chars().filter(|c| !c.is_whitespace()).collect();
+            let want: String = tys[i].chars().filter(|c| !c.is_whitespace()).collect();
+            prop_assert_eq!(got, want);
+        }
     }
 
     #[test]

@@ -28,9 +28,15 @@ done
 echo "== cargo build --release (warnings deny) =="
 RUSTFLAGS="-D warnings" cargo build --release
 
-echo "== simlint =="
+echo "== simlint (r1-r9, full workspace) =="
 mkdir -p target/check
 cargo run --release -q -p simlint -- --json target/check/simlint.json
+
+echo "== simlint self-lint (--crates simlint) =="
+# The linter is held to its own r3/r4 scoping: a filtered pass over just
+# crates/simlint must come back clean too. The filter only restricts which
+# files are linted — the r7 symbol table still spans the whole workspace.
+cargo run --release -q -p simlint -- --crates simlint
 
 echo "== cargo test -q =="
 cargo test -q

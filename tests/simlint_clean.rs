@@ -8,14 +8,21 @@
 use std::path::Path;
 
 #[test]
-fn gate_covers_all_six_rules() {
+fn gate_covers_all_nine_rules() {
     // The clean gate is only as strong as the rule set behind it: pin the
-    // shipped rule ids (r6 = unpinned f64 accumulation) and that every one
-    // of them is enabled by default.
-    assert_eq!(simlint::rules::RULE_IDS, ["r1", "r2", "r3", "r4", "r5", "r6"]);
+    // shipped rule ids (r7 = dead config, r8 = stale suppressions, r9 =
+    // exact float equality) and that every one of them is enabled by
+    // default, with r8 demanding justification strings.
+    assert_eq!(
+        simlint::rules::RULE_IDS,
+        ["r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9"]
+    );
     let cfg = simlint::LintConfig::default_config();
     for (id, rule) in &cfg.rules {
         assert!(rule.enabled, "rule {id} must be enabled by default");
+        if id == "r8" {
+            assert!(rule.require_reason, "suppressions must stay justified");
+        }
     }
     assert_eq!(cfg.rules.len(), simlint::rules::RULE_IDS.len());
 }
