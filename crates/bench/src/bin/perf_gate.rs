@@ -93,6 +93,31 @@ fn gate_runner(base: &Value, fresh: &Value, threshold: f64) -> usize {
                 warns +=
                     usize::from(warn_if_slower(&format!("runner {name}"), b, f, threshold, "s"));
             }
+            // users_1e6 is the one experiment whose per-point walls are the
+            // payload (heap vs calendar at each user-count rung), so its
+            // points gate individually, matched by label. Baselines
+            // predating the family contribute nothing.
+            if name == "users_1e6" {
+                warns += gate_points(be, fe, threshold);
+            }
+        }
+    }
+    warns
+}
+
+/// Per-sweep-point wall times of one experiment, matched by point label.
+fn gate_points(base_exp: &Value, fresh_exp: &Value, threshold: f64) -> usize {
+    let mut warns = 0;
+    let base_points = base_exp.get("points").and_then(as_array).unwrap_or(&[]);
+    let fresh_points = fresh_exp.get("points").and_then(as_array).unwrap_or(&[]);
+    for bp in base_points {
+        let Some(label) = text(bp, "label") else { continue };
+        let fp = fresh_points.iter().find(|p| text(p, "label") == Some(label));
+        if let Some(fp) = fp {
+            if let (Some(b), Some(f)) = (num(bp, "wall_ms"), num(fp, "wall_ms")) {
+                warns +=
+                    usize::from(warn_if_slower(&format!("runner {label}"), b, f, threshold, "ms"));
+            }
         }
     }
     warns

@@ -3,10 +3,11 @@
 //!
 //! ```text
 //! usage: repro [EXPERIMENT ...] [--scale N] [--seed S] [--intervals K]
-//!              [--jobs J] [--shards S] [--json DIR] [--explain]
+//!              [--jobs J] [--shards S] [--event-queue heap|calendar]
+//!              [--users-full] [--json DIR] [--explain]
 //!
 //! EXPERIMENT: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 table4 fig6 ablations diag
-//!             shard_scaling all (default: all)
+//!             shard_scaling users_1e6 all (default: all)
 //! --scale N:     divide the paper's 2.8 GB array capacity by N (default 1,
 //!                i.e. full paper scale; benches use 64)
 //! --seed S:      base RNG seed (default 1991)
@@ -18,6 +19,11 @@
 //!                results are bit-identical at any S ≥ 1 — raising it lets a
 //!                point's disk effects run on worker threads, auto-sized from
 //!                what the machine affords after --jobs is accounted for)
+//! --event-queue: structure backing every simulation's event queue
+//!                (default heap; results are bit-identical either way —
+//!                calendar is the O(1) choice for million-user points)
+//! --users-full:  run the users_1e6 experiment on its full ladder (up to a
+//!                million users) instead of the CI smoke rungs
 //! --json DIR:    also write each result as DIR/<experiment>.json plus its
 //!                observability sidecar DIR/<experiment>.metrics.json, and
 //!                the timing profile as DIR/profile.json
@@ -31,8 +37,9 @@ use readopt_core::report::TextTable;
 use readopt_core::runner::{self, JobTiming};
 use readopt_core::{
     ablations, diag, fig1, fig2, fig3, fig4, fig5, fig6, shard_scaling, table1, table2, table3,
-    table4, ExperimentContext, ExperimentMetrics,
+    table4, users_scale, ExperimentContext, ExperimentMetrics,
 };
+use readopt_sim::EventQueueKind;
 use serde::Serialize;
 use std::io::Write;
 use std::time::Instant;
@@ -44,6 +51,8 @@ struct Options {
     intervals: Option<usize>,
     jobs: Option<usize>,
     shards: Option<usize>,
+    event_queue: EventQueueKind,
+    users_full: bool,
     json_dir: Option<String>,
     explain: bool,
 }
@@ -98,6 +107,8 @@ fn parse_args() -> Result<Options, String> {
         intervals: None,
         jobs: None,
         shards: None,
+        event_queue: EventQueueKind::Heap,
+        users_full: false,
         json_dir: None,
         explain: false,
     };
@@ -147,6 +158,17 @@ fn parse_args() -> Result<Options, String> {
                     return Err("--shards must be at least 1".into());
                 }
                 opts.shards = Some(s);
+            }
+            "--event-queue" => {
+                opts.event_queue = match args.next().ok_or("--event-queue needs a value")?.as_str()
+                {
+                    "heap" => EventQueueKind::Heap,
+                    "calendar" => EventQueueKind::Calendar,
+                    other => return Err(format!("--event-queue: unknown backend {other}")),
+                };
+            }
+            "--users-full" => {
+                opts.users_full = true;
             }
             "--json" => {
                 opts.json_dir = Some(args.next().ok_or("--json needs a directory")?);
@@ -219,8 +241,8 @@ fn main() {
                 eprintln!("error: {e}\n");
             }
             eprintln!(
-                "usage: repro [EXPERIMENT ...] [--scale N] [--seed S] [--intervals K] [--jobs J] [--shards S] [--json DIR] [--explain]\n\
-                 experiments: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 table4 fig6 ablations diag shard_scaling all"
+                "usage: repro [EXPERIMENT ...] [--scale N] [--seed S] [--intervals K] [--jobs J] [--shards S] [--event-queue heap|calendar] [--users-full] [--json DIR] [--explain]\n\
+                 experiments: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 table4 fig6 ablations diag shard_scaling users_1e6 all"
             );
             std::process::exit(if e == "help" { 0 } else { 2 });
         }
@@ -239,15 +261,20 @@ fn main() {
     if let Some(k) = opts.intervals {
         ctx.max_intervals = k;
     }
+    ctx = ctx.with_event_queue(opts.event_queue);
 
     println!(
-        "readopt repro — array: {} disks, {:.2} GB usable (scale 1/{}), seed {}, {} jobs, {} shards\n",
+        "readopt repro — array: {} disks, {:.2} GB usable (scale 1/{}), seed {}, {} jobs, {} shards, {} queue\n",
         ctx.array.ndisks,
         ctx.array.capacity_bytes() as f64 / 1e9,
         opts.scale.max(1),
         ctx.seed,
         jobs,
-        ctx.shards
+        ctx.shards,
+        match ctx.event_queue {
+            EventQueueKind::Heap => "heap",
+            EventQueueKind::Calendar => "calendar",
+        }
     );
 
     let run_all = opts.experiments.iter().any(|e| e == "all");
@@ -302,6 +329,7 @@ fn main() {
     experiment!("table4", table4::run_profiled(&ctx));
     experiment!("fig6", fig6::run_profiled(&ctx), |r: &fig6::Fig6| println!("{}", r.chart()));
     experiment!("shard_scaling", shard_scaling::run_profiled(&ctx));
+    experiment!("users_1e6", users_scale::run_profiled(&ctx, opts.users_full));
     if wants("ablations") {
         let t0 = Instant::now();
         let mut timings = Vec::new();

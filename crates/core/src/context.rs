@@ -2,7 +2,7 @@
 
 use readopt_alloc::PolicyConfig;
 use readopt_disk::ArrayConfig;
-use readopt_sim::{FragReport, PerfReport, SimConfig, Simulation, TestMetrics};
+use readopt_sim::{EventQueueKind, FragReport, PerfReport, SimConfig, Simulation, TestMetrics};
 use readopt_workloads::WorkloadKind;
 use serde::{Deserialize, Serialize};
 
@@ -27,6 +27,10 @@ pub struct ExperimentContext {
     /// after `jobs` point-level workers are accounted for), 1 = in-line,
     /// higher = that many threads (capped at `shards`).
     pub shard_workers: usize,
+    /// Which structure backs every simulation's event queue. Results are
+    /// bit-identical on either backend; `Calendar` is the O(1) choice for
+    /// million-user points.
+    pub event_queue: EventQueueKind,
 }
 
 impl ExperimentContext {
@@ -39,6 +43,7 @@ impl ExperimentContext {
             jobs: 1,
             shards: 1,
             shard_workers: 0,
+            event_queue: EventQueueKind::Heap,
         }
     }
 
@@ -52,6 +57,7 @@ impl ExperimentContext {
             jobs: 1,
             shards: 1,
             shard_workers: 0,
+            event_queue: EventQueueKind::Heap,
         }
     }
 
@@ -80,6 +86,12 @@ impl ExperimentContext {
         self
     }
 
+    /// With a different event-queue backend.
+    pub fn with_event_queue(mut self, kind: EventQueueKind) -> Self {
+        self.event_queue = kind;
+        self
+    }
+
     /// Builds the simulation configuration for one (workload, policy) pair.
     pub fn sim_config(&self, workload: WorkloadKind, policy: PolicyConfig) -> SimConfig {
         let types = workload.build(self.array.capacity_bytes());
@@ -96,6 +108,7 @@ impl ExperimentContext {
         } else {
             self.shard_workers.min(cfg.shards)
         };
+        cfg.event_queue = self.event_queue;
         cfg
     }
 
@@ -231,6 +244,18 @@ mod tests {
             .with_shards(3)
             .sim_config(WorkloadKind::Timesharing, PolicyConfig::paper_extent_based());
         assert!((1..=3).contains(&cfg.shard_workers));
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn event_queue_backend_flows_into_sim_config() {
+        let ctx = ExperimentContext::fast(64);
+        let cfg = ctx.sim_config(WorkloadKind::Timesharing, PolicyConfig::paper_extent_based());
+        assert_eq!(cfg.event_queue, EventQueueKind::Heap, "heap by default");
+        let cfg = ctx
+            .with_event_queue(EventQueueKind::Calendar)
+            .sim_config(WorkloadKind::Timesharing, PolicyConfig::paper_extent_based());
+        assert_eq!(cfg.event_queue, EventQueueKind::Calendar);
         cfg.validate().unwrap();
     }
 

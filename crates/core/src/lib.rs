@@ -18,6 +18,7 @@
 //! | [`ablations`] | §6 extensions: RAID-5 (incl. degraded mode), stripe unit, file-mix, Koch reallocation, FFS |
 //! | [`diag`]   | disk-time decomposition diagnostics |
 //! | [`shard_scaling`] | sharded-engine wall-clock scaling (results-invariant) |
+//! | [`users_scale`] | `users_1e6` — heap vs calendar queue at rising user counts (results-invariant) |
 //!
 //! Every driver takes an [`ExperimentContext`] choosing full (paper-scale)
 //! or scaled-down arrays; results are serde-serializable and printable as
@@ -50,6 +51,7 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod table4;
+pub mod users_scale;
 
 pub use context::ExperimentContext;
 pub use metrics::{ExperimentMetrics, PointMetrics};

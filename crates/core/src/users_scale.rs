@@ -1,0 +1,234 @@
+//! `users_1e6` scaling family: one small-file point, repeated at
+//! exponentially increasing user counts on both event-queue backends.
+//!
+//! The calendar queue's contract is *bit-identical pops at O(1) cost* — so
+//! this driver is both a benchmark and an acceptance check: each rung runs
+//! the identical configuration once per backend ([`EventQueueKind::Heap`],
+//! [`EventQueueKind::Calendar`]), hard-asserts the application reports and
+//! event counts match, and records the wall-clock ratio. The workload
+//! ([`FileTypeConfig::many_users`]) holds ~`users` events pending and pops
+//! ~2×`users` of them per run, so the rungs sweep the regime where the
+//! heap's `O(log n)` per-pop cost becomes visible and the calendar's does
+//! not.
+//!
+//! CI runs the smoke ladder (≤ 16 k users); the full ladder tops out at a
+//! million users behind `repro --users-full`. Points run sequentially
+//! (never fanned across the runner's job pool) so the timings measure the
+//! queue, not scheduler contention.
+
+use crate::context::ExperimentContext;
+use crate::metrics::ExperimentMetrics;
+use crate::report::TextTable;
+use crate::runner::{self, Job, JobTiming};
+use readopt_alloc::{ExtentConfig, FitStrategy, PolicyConfig};
+use readopt_disk::SimDuration;
+use readopt_sim::{EventQueueKind, FileTypeConfig, PerfReport, SimConfig, Simulation};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The user counts CI visits (in order, ascending).
+pub const SMOKE_LADDER: [u32; 3] = [1_000, 4_000, 16_000];
+
+/// The full ladder (`repro --users-full`): adds the rungs where queue cost
+/// dominates, topping out at the family's namesake million users.
+pub const FULL_LADDER: [u32; 5] = [1_000, 4_000, 16_000, 100_000, 1_000_000];
+
+/// One rung's measurement: the same simulation on both backends.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UsersScalePoint {
+    /// User count (= pending-event count) of this rung.
+    pub users: u32,
+    /// Events popped during the measured application test — identical on
+    /// both backends by assertion.
+    pub events: u64,
+    /// Wall-clock of the heap-backed run, seconds.
+    pub wall_heap_s: f64,
+    /// Wall-clock of the calendar-backed run, seconds.
+    pub wall_calendar_s: f64,
+    /// Application throughput, % of max — identical on both backends.
+    pub application_pct: f64,
+    /// Heap wall / calendar wall (> 1 means the calendar won).
+    pub calendar_speedup: f64,
+}
+
+/// The full scaling sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UsersScale {
+    /// Whether the full (million-user) ladder ran, or just the smoke rungs.
+    pub full_ladder: bool,
+    /// One entry per rung, ascending user count.
+    pub points: Vec<UsersScalePoint>,
+    /// Calendar speedup at the largest rung (the headline number the perf
+    /// gate tracks, warn-only).
+    pub speedup_at_max_users: f64,
+}
+
+/// Builds one rung's configuration. Everything except `users` and the
+/// backend is pinned so the two runs per rung — and consecutive snapshots
+/// of the same rung — are comparable.
+fn point_config(ctx: &ExperimentContext, users: u32, kind: EventQueueKind) -> SimConfig {
+    let policy = PolicyConfig::Extent(ExtentConfig {
+        // Small extents matched to the 64 KB files: allocation stays cheap
+        // and successful, keeping the event queue the measured structure.
+        range_means_bytes: vec![8 * 1024, 64 * 1024],
+        fit: FitStrategy::FirstFit,
+        sigma_frac: 0.1,
+    });
+    let mut cfg = SimConfig::new(ctx.array, policy, vec![FileTypeConfig::many_users(users)]);
+    // One-second intervals over a short window: with a 3 s think time the
+    // six measured seconds pop ~2×`users` events, which is enough signal
+    // without making the million-user rung take minutes.
+    cfg.interval = SimDuration::from_secs(1.0);
+    cfg.max_intervals = 6;
+    cfg.shards = 1;
+    cfg.shard_workers = 1;
+    cfg.event_queue = kind;
+    cfg
+}
+
+/// Runs one rung on one backend: application test only (the sequential
+/// test exercises the disk model, not the queue).
+fn run_point(cfg: SimConfig, seed: u64) -> (PerfReport, u64) {
+    let mut sim = Simulation::new(&cfg, seed.wrapping_add(1));
+    sim.reset_counters();
+    sim.storage_reset_for_probe();
+    let report = sim.run_application_test();
+    (report, sim.engine_counters().events)
+}
+
+/// Runs the sweep on the smoke or full ladder.
+pub fn run(ctx: &ExperimentContext, full: bool) -> UsersScale {
+    run_profiled(ctx, full).0
+}
+
+/// As [`run`], also returning per-point wall-clock timings and an (empty)
+/// observability sidecar — the per-backend equality assertions are the
+/// observability here.
+pub fn run_profiled(ctx: &ExperimentContext, full: bool) -> (UsersScale, Vec<JobTiming>, ExperimentMetrics) {
+    let ladder: &[u32] = if full { &FULL_LADDER } else { &SMOKE_LADDER };
+    let (points, timings) = run_ladder(ctx, ladder);
+    let speedup = points.last().map_or(1.0, |p| p.calendar_speedup);
+    let result = UsersScale { full_ladder: full, points, speedup_at_max_users: speedup };
+    (result, timings, ExperimentMetrics::empty("users_1e6"))
+}
+
+/// Runs an explicit ladder (tests use a tiny one). Each rung runs heap
+/// first, then calendar, and asserts the two runs are bit-identical.
+pub fn run_ladder(
+    ctx: &ExperimentContext,
+    ladder: &[u32],
+) -> (Vec<UsersScalePoint>, Vec<JobTiming>) {
+    let mut points: Vec<UsersScalePoint> = Vec::new();
+    let mut timings: Vec<JobTiming> = Vec::new();
+    for &users in ladder {
+        let mut walls = [0.0f64; 2];
+        let mut outcomes: Vec<(PerfReport, u64)> = Vec::new();
+        for (i, kind) in [EventQueueKind::Heap, EventQueueKind::Calendar].into_iter().enumerate() {
+            let cfg = point_config(ctx, users, kind);
+            let seed = ctx.seed;
+            let backend = match kind {
+                EventQueueKind::Heap => "heap",
+                EventQueueKind::Calendar => "calendar",
+            };
+            let label = format!("users_1e6/u{users}/{backend}");
+            // One job through the runner (sequentially: one job, one
+            // thread) so the wall-clock comes from the same
+            // instrumentation as every other experiment's profile.
+            let out = runner::run_jobs(1, vec![Job::new(label, move || run_point(cfg, seed))]);
+            let outcome = out.results.into_iter().next();
+            let timing = out.timings.into_iter().next();
+            let (Some(outcome), Some(timing)) = (outcome, timing) else {
+                continue;
+            };
+            walls[i] = timing.wall_ms / 1e3;
+            outcomes.push(outcome);
+            timings.push(timing);
+        }
+        let [Some((heap_report, heap_events)), Some((cal_report, cal_events))] =
+            [outcomes.first(), outcomes.get(1)]
+        else {
+            continue;
+        };
+        assert_eq!(
+            heap_report, cal_report,
+            "calendar run diverged from the heap reference at {users} users"
+        );
+        assert_eq!(
+            heap_events, cal_events,
+            "calendar popped a different event count at {users} users"
+        );
+        points.push(UsersScalePoint {
+            users,
+            events: *heap_events,
+            wall_heap_s: walls[0],
+            wall_calendar_s: walls[1],
+            application_pct: heap_report.throughput_pct,
+            calendar_speedup: walls[0] / walls[1].max(1e-9),
+        });
+    }
+    (points, timings)
+}
+
+impl fmt::Display for UsersScale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ladder = if self.full_ladder { "full ladder" } else { "smoke ladder" };
+        let mut t = TextTable::new(format!(
+            "users_1e6 scaling ({ladder}; heap vs calendar, identical output asserted per rung)"
+        ))
+        .headers(["users", "events", "heap wall", "calendar wall", "application", "speedup"]);
+        for p in &self.points {
+            t.row([
+                p.users.to_string(),
+                p.events.to_string(),
+                format!("{:.2}s", p.wall_heap_s),
+                format!("{:.2}s", p.wall_calendar_s),
+                format!("{:.1}%", p.application_pct),
+                format!("{:.2}x", p.calendar_speedup),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The sweep asserts backend equality internally; this exercises it
+    /// end to end at a tiny rung so the calendar backend runs under the
+    /// experiment plumbing (not just the queue-level differential tests).
+    #[test]
+    fn tiny_ladder_is_bit_identical_across_backends() {
+        let ctx = ExperimentContext::fast(64);
+        let (points, timings) = run_ladder(&ctx, &[64, 256]);
+        assert_eq!(points.len(), 2);
+        assert_eq!(timings.len(), 4, "one timing per (rung, backend)");
+        assert!(points[0].users == 64 && points[1].users == 256);
+        for p in &points {
+            assert!(p.events > 0, "the measured window popped events");
+            assert!(p.wall_heap_s >= 0.0 && p.wall_calendar_s >= 0.0);
+            assert!(p.calendar_speedup > 0.0);
+        }
+        assert!(
+            points[1].events > points[0].events,
+            "event volume scales with the user count ({} vs {})",
+            points[1].events,
+            points[0].events,
+        );
+    }
+
+    #[test]
+    fn smoke_result_shape_and_labels() {
+        let ctx = ExperimentContext::fast(64);
+        let (result, timings, metrics) = run_profiled(&ctx, false);
+        assert!(!result.full_ladder);
+        assert_eq!(result.points.len(), SMOKE_LADDER.len());
+        assert_eq!(timings.len(), 2 * SMOKE_LADDER.len());
+        assert_eq!(metrics.experiment, "users_1e6");
+        assert!(timings.iter().any(|t| t.label == "users_1e6/u1000/heap"));
+        assert!(timings.iter().any(|t| t.label == "users_1e6/u16000/calendar"));
+        assert_eq!(result.speedup_at_max_users, result.points.last().map_or(1.0, |p| p.calendar_speedup));
+        let shown = result.to_string();
+        assert!(shown.contains("users_1e6 scaling"));
+    }
+}

@@ -1,0 +1,745 @@
+//! Calendar-queue event scheduling: O(1) amortized insert/pop.
+//!
+//! The binary heap behind [`crate::event::EventQueue`] costs O(log n) per
+//! operation — 20 cache-missing levels at a million pending events. This
+//! module provides the alternative backend: a **sliding calendar queue**
+//! (Brown 1988 / timing-wheel family) with
+//!
+//! * a *wheel* of `B` buckets, bucket `b` holding the events whose time
+//!   falls in `[day_start + b·width, day_start + (b+1)·width)`;
+//! * an *overflow* level (an ordinary binary heap) for events at or past
+//!   the wheel's horizon, drained back into the wheel as the cursor
+//!   advances (a two-level hierarchy: near events O(1), far events pay the
+//!   log only when they are actually near);
+//! * *adaptive* geometry: the bucket count tracks the population (doubling
+//!   / quartering with hysteresis) and the bucket width tracks the
+//!   observed inter-pop gap, so steady-state occupancy stays O(1) per
+//!   bucket across wildly different event densities. The width is
+//!   re-tracked on pops too (not just at population-triggered rebuilds):
+//!   a queue whose population is constant — every pop matched by a
+//!   reschedule, the `users_1e6` steady state — would otherwise keep the
+//!   geometry chosen during its fill phase forever, scanning long
+//!   chains on every pop.
+//!
+//! Event records live in an [`EventArena`] — a slab with an intrusive
+//! free-list, so scheduling allocates nothing per event and bucket chains
+//! are `u32` links through one contiguous allocation instead of boxed
+//! nodes scattered over the heap.
+//!
+//! # Determinism contract
+//!
+//! `pop` returns events in **exactly** the order the binary heap would:
+//! ascending `(time, seq, user)`. The argument:
+//!
+//! * the wheel's buckets partition an increasing time range, and every
+//!   wheel event time is strictly below every overflow event time (the
+//!   horizon separates them), so the first non-empty bucket at or after
+//!   the cursor contains the global minimum;
+//! * events with equal times always land in the same bucket, and the
+//!   bucket scan selects the minimum by the *full* `(time, seq, user)`
+//!   key — the heap's exact tie-break;
+//! * all arithmetic saturates, so far-future sentinels (`SimTime::MAX`)
+//!   are ordered correctly from the overflow level.
+
+use crate::event::{Event, UserId};
+use readopt_disk::SimTime;
+use serde::{de_field, Deserialize, Error, Serialize, Value};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Null link terminating bucket chains and the arena free-list.
+const NIL: u32 = u32::MAX;
+
+/// Smallest wheel the adaptive resize will shrink to.
+const MIN_BUCKETS: usize = 64;
+
+/// Largest wheel the adaptive resize will grow to (4 Mi buckets — 16 MiB
+/// of links, sized for the `users_1e6` workload family).
+const MAX_BUCKETS: usize = 1 << 22;
+
+/// Widest bucket the gap estimator may choose (2^40 µs ≈ 12.7 days of
+/// simulated time per bucket) — keeps `1 << shift` far from overflow.
+const MAX_SHIFT: u32 = 40;
+
+/// Wheel-sizing slack: buckets per pending event. With the bucket width
+/// tracking the inter-pop gap, the horizon covers ~`BUCKETS_PER_EVENT`×
+/// the pending-time span, so a steady-state reschedule (`now` + one
+/// think time) usually lands inside the wheel at O(1) instead of
+/// transiting the overflow heap at O(log n). Costs one extra sequential
+/// cursor visit per pop per factor of slack — far cheaper.
+const BUCKETS_PER_EVENT: usize = 4;
+
+/// Generation-checked handle into an [`EventArena`] slot.
+///
+/// Handles are only minted by [`EventArena::insert`]; a handle whose slot
+/// has since been freed (or freed and reused) no longer resolves. The
+/// generation parity encodes occupancy — odd while the slot is live, even
+/// while it sits on the free-list — so a stale handle can never alias a
+/// reused slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventHandle {
+    /// Slot index.
+    pub index: u32,
+    /// Generation the slot had when the handle was minted (odd = live).
+    pub generation: u32,
+}
+
+/// One event record, read back through [`EventArena::get`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Scheduled time.
+    pub time: SimTime,
+    /// Global schedule sequence number (the tie-break after time).
+    pub seq: u64,
+    /// Acting user.
+    pub user: u32,
+}
+
+/// Slab allocator for pending-event records: parallel arrays indexed by
+/// `u32` slot, with an intrusive free-list threaded through `next`.
+///
+/// The calendar queue links bucket chains through the same `next` field,
+/// so one contiguous arena holds every pending event — no per-event `Box`,
+/// no pointer chasing across the allocator's whims. The public API is
+/// generation-checked ([`EventHandle`]); the queue uses the raw
+/// crate-internal accessors on indices it owns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventArena {
+    /// Scheduled times, one per slot.
+    times: Vec<SimTime>,
+    /// Global sequence numbers, one per slot.
+    seqs: Vec<u64>,
+    /// Acting users, one per slot.
+    users: Vec<u32>,
+    /// Intrusive link: bucket chain while live, free-list while free.
+    next: Vec<u32>,
+    /// Slot generations; odd = live, even = free.
+    gen: Vec<u32>,
+    /// Head of the free-list (`NIL` when every slot is live).
+    free_head: u32,
+    /// Number of live slots.
+    live: usize,
+}
+
+impl Default for EventArena {
+    fn default() -> Self {
+        EventArena {
+            times: Vec::new(),
+            seqs: Vec::new(),
+            users: Vec::new(),
+            next: Vec::new(),
+            gen: Vec::new(),
+            free_head: NIL,
+            live: 0,
+        }
+    }
+}
+
+impl EventArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        EventArena::default()
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no records are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total slots ever allocated (live + free-listed).
+    pub fn capacity(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Allocates a record, reusing the most recently freed slot first.
+    /// Returns a generation-checked handle.
+    pub fn insert(&mut self, time: SimTime, seq: u64, user: u32) -> EventHandle {
+        let index = self.alloc(time, seq, user);
+        EventHandle { index, generation: self.gen[index as usize] }
+    }
+
+    /// Reads a record back; `None` once the slot has been freed (stale
+    /// handles never resolve, even after the slot is reused).
+    pub fn get(&self, h: EventHandle) -> Option<EventRecord> {
+        let i = h.index as usize;
+        if i < self.gen.len() && self.gen[i] == h.generation && h.generation % 2 == 1 {
+            Some(EventRecord { time: self.times[i], seq: self.seqs[i], user: self.users[i] })
+        } else {
+            None
+        }
+    }
+
+    /// Frees the record behind `h`. Returns `false` (and does nothing) for
+    /// a stale or never-valid handle.
+    pub fn remove(&mut self, h: EventHandle) -> bool {
+        if self.get(h).is_none() {
+            return false;
+        }
+        self.free(h.index);
+        true
+    }
+
+    /// Raw allocation for the queue's hot path: pops the free-list or
+    /// grows the slab. The returned slot's `next` is `NIL`.
+    pub(crate) fn alloc(&mut self, time: SimTime, seq: u64, user: u32) -> u32 {
+        if self.free_head != NIL {
+            let i = self.free_head;
+            let iu = i as usize;
+            self.free_head = self.next[iu];
+            self.times[iu] = time;
+            self.seqs[iu] = seq;
+            self.users[iu] = user;
+            self.next[iu] = NIL;
+            self.gen[iu] = self.gen[iu].wrapping_add(1); // even → odd: live
+            self.live += 1;
+            return i;
+        }
+        let i = u32::try_from(self.times.len())
+            // simlint::allow(r3, "4 billion concurrently pending events exceeds any addressable workload; the slab reuses slots long before this")
+            .unwrap_or_else(|_| unreachable!("event arena exceeds u32 slots"));
+        self.times.push(time);
+        self.seqs.push(seq);
+        self.users.push(user);
+        self.next.push(NIL);
+        self.gen.push(1); // first generation: live
+        self.live += 1;
+        i
+    }
+
+    /// Raw free for the queue's hot path: pushes the slot onto the
+    /// free-list and flips its generation to even (invalidating handles).
+    pub(crate) fn free(&mut self, i: u32) {
+        let iu = i as usize;
+        debug_assert!(self.gen[iu] % 2 == 1, "double free of arena slot {i}");
+        self.gen[iu] = self.gen[iu].wrapping_add(1); // odd → even: free
+        self.next[iu] = self.free_head;
+        self.free_head = i;
+        self.live -= 1;
+    }
+
+    /// Time of slot `i` (queue-internal; `i` must be live).
+    pub(crate) fn time(&self, i: u32) -> SimTime {
+        self.times[i as usize]
+    }
+
+    /// Sequence number of slot `i` (queue-internal; `i` must be live).
+    pub(crate) fn seq(&self, i: u32) -> u64 {
+        self.seqs[i as usize]
+    }
+
+    /// User of slot `i` (queue-internal; `i` must be live).
+    pub(crate) fn user(&self, i: u32) -> u32 {
+        self.users[i as usize]
+    }
+
+    /// Chain link of slot `i` (queue-internal; `i` must be live).
+    pub(crate) fn next(&self, i: u32) -> u32 {
+        self.next[i as usize]
+    }
+
+    /// Rewrites the chain link of slot `i` (queue-internal).
+    pub(crate) fn set_next(&mut self, i: u32, n: u32) {
+        self.next[i as usize] = n;
+    }
+
+    /// Drops every record and every free-listed slot (queue-internal:
+    /// rebuilds re-insert from scratch; outstanding public handles are
+    /// not expected across a clear).
+    pub(crate) fn clear(&mut self) {
+        self.times.clear();
+        self.seqs.clear();
+        self.users.clear();
+        self.next.clear();
+        self.gen.clear();
+        self.free_head = NIL;
+        self.live = 0;
+    }
+
+    /// Consistency check used by the serde load path (and tests): parallel
+    /// array lengths agree, the free-list is acyclic, in bounds, visits
+    /// exactly the even-generation slots, and the live count matches.
+    fn validate(&self) -> Result<(), String> {
+        let n = self.times.len();
+        if self.seqs.len() != n || self.users.len() != n || self.next.len() != n || self.gen.len() != n {
+            return Err("parallel arrays disagree on length".into());
+        }
+        let free_slots = n.checked_sub(self.live).ok_or("live count exceeds slot count")?;
+        let mut seen = vec![false; n];
+        let mut walked = 0usize;
+        let mut i = self.free_head;
+        while i != NIL {
+            let iu = i as usize;
+            if iu >= n {
+                return Err(format!("free-list index {i} out of bounds"));
+            }
+            if seen[iu] {
+                return Err(format!("free-list cycle through slot {i}"));
+            }
+            if self.gen[iu] % 2 == 1 {
+                return Err(format!("live slot {i} on the free-list"));
+            }
+            seen[iu] = true;
+            walked += 1;
+            if walked > n {
+                return Err("free-list longer than the slab".into());
+            }
+            i = self.next[iu];
+        }
+        if walked != free_slots {
+            return Err(format!("free-list holds {walked} slots, expected {free_slots}"));
+        }
+        for (idx, g) in self.gen.iter().enumerate() {
+            if g % 2 == 0 && !seen[idx] {
+                return Err(format!("free slot {idx} missing from the free-list"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Serialize for EventArena {
+    fn to_value(&self) -> Value {
+        // Everything here is ground truth (the free-list order determines
+        // future slot reuse, so `next`/`free_head` must round-trip
+        // exactly); nothing is derived.
+        Value::Object(vec![
+            ("times".to_string(), self.times.to_value()),
+            ("seqs".to_string(), self.seqs.to_value()),
+            ("users".to_string(), self.users.to_value()),
+            ("next".to_string(), self.next.to_value()),
+            ("gen".to_string(), self.gen.to_value()),
+            ("free_head".to_string(), self.free_head.to_value()),
+            ("live".to_string(), self.live.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for EventArena {
+    /// Reconstructs the arena and **validates** it: mismatched parallel
+    /// arrays, a cyclic or out-of-bounds free-list, or a live count that
+    /// disagrees with the generation parities is rejected loudly instead
+    /// of corrupting slot reuse later.
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let arena = EventArena {
+            times: de_field(v, "times")?,
+            seqs: de_field(v, "seqs")?,
+            users: de_field(v, "users")?,
+            next: de_field(v, "next")?,
+            gen: de_field(v, "gen")?,
+            free_head: de_field(v, "free_head")?,
+            live: de_field(v, "live")?,
+        };
+        arena
+            .validate()
+            .map_err(|why| Error::msg(format!("corrupt EventArena snapshot: {why}")))?;
+        Ok(arena)
+    }
+}
+
+/// The calendar-queue backend (see the module docs for the design and the
+/// determinism argument).
+#[derive(Debug)]
+pub struct CalendarQueue {
+    arena: EventArena,
+    /// Bucket chain heads (`NIL` = empty). Length is always a power of two.
+    buckets: Vec<u32>,
+    /// Lowest bucket index that may be non-empty; only ever lowered by an
+    /// insert into an earlier bucket, otherwise advances monotonically.
+    cursor: usize,
+    /// Time (µs) of bucket 0's left edge.
+    day_start: u64,
+    /// log2 of the bucket width in µs.
+    shift: u32,
+    /// Events currently in wheel buckets (the rest sit in `overflow`).
+    wheel_len: usize,
+    /// Far-future events: everything at or past the horizon.
+    overflow: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    /// Total pending events.
+    len: usize,
+    /// Last popped time (µs), for the gap estimator.
+    last_pop_us: u64,
+    /// Exponential moving average of inter-pop gaps in 8.8-style fixed
+    /// point (µs × 256, ≥ 256) — the deterministic density signal that
+    /// sizes bucket widths. Fixed point matters: at a 1/64 EWMA weight an
+    /// integer-µs average would lose ~0.5 µs to truncation per update,
+    /// which outweighs the `(gap − avg)/64` pull for gaps under ~64 µs
+    /// and collapses the estimate to the floor.
+    avg_gap_q8: u64,
+}
+
+impl Default for CalendarQueue {
+    fn default() -> Self {
+        CalendarQueue::new()
+    }
+}
+
+impl CalendarQueue {
+    /// An empty queue with the minimum wheel.
+    pub fn new() -> Self {
+        CalendarQueue {
+            arena: EventArena::new(),
+            buckets: vec![NIL; MIN_BUCKETS],
+            cursor: 0,
+            day_start: 0,
+            shift: 10, // 1.024 ms buckets until the gap estimator has data
+            wheel_len: 0,
+            overflow: BinaryHeap::new(),
+            len: 0,
+            last_pop_us: 0,
+            avg_gap_q8: 1024 << 8,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// First µs past the wheel's coverage (saturating; events at or past
+    /// it live in the overflow heap).
+    fn horizon(&self) -> u64 {
+        let width = 1u64 << self.shift;
+        self.day_start.saturating_add((self.buckets.len() as u64).saturating_mul(width))
+    }
+
+    /// Bucket width exponent for an observed inter-pop gap: the largest
+    /// power of two at or below the gap, clamped to the supported range.
+    fn shift_for_gap(gap_us: u64) -> u32 {
+        (63 - gap_us.max(1).leading_zeros()).min(MAX_SHIFT)
+    }
+
+    /// Wheel size for a population: [`BUCKETS_PER_EVENT`] buckets per
+    /// pending event, clamped and rounded to a power of two.
+    fn target_buckets(len: usize) -> usize {
+        len.saturating_mul(BUCKETS_PER_EVENT).clamp(MIN_BUCKETS, MAX_BUCKETS).next_power_of_two()
+    }
+
+    /// Schedules `(time, seq, user)`.
+    pub fn insert(&mut self, time: SimTime, seq: u64, user: u32) {
+        let t = time.as_us();
+        if t < self.day_start {
+            // Behind the wheel (only adversarial schedules do this — the
+            // engine's clock is monotone): rebuild anchored at the new
+            // minimum. O(n), amortized away by its rarity.
+            self.len += 1;
+            self.rebuild(Some((time, seq, user)));
+            return;
+        }
+        if t >= self.horizon() {
+            self.overflow.push(Reverse((time, seq, user)));
+        } else {
+            self.place_in_wheel(time, seq, user);
+        }
+        self.len += 1;
+        if Self::target_buckets(self.len) > self.buckets.len() {
+            self.rebuild(None);
+        }
+    }
+
+    /// Links an in-horizon event into its bucket. Caller guarantees
+    /// `day_start ≤ time < horizon`.
+    fn place_in_wheel(&mut self, time: SimTime, seq: u64, user: u32) {
+        let b = ((time.as_us() - self.day_start) >> self.shift) as usize;
+        debug_assert!(b < self.buckets.len(), "bucket index past the horizon");
+        let i = self.arena.alloc(time, seq, user);
+        self.arena.set_next(i, self.buckets[b]);
+        self.buckets[b] = i;
+        if b < self.cursor {
+            self.cursor = b;
+        }
+        self.wheel_len += 1;
+    }
+
+    /// Advances the cursor to the first non-empty bucket. Caller
+    /// guarantees `wheel_len > 0`; the cursor invariant (no wheel event
+    /// below it) makes that bucket hold the global wheel minimum.
+    fn advance_cursor(&mut self) {
+        while self.cursor < self.buckets.len() && self.buckets[self.cursor] == NIL {
+            self.cursor += 1;
+        }
+        debug_assert!(self.cursor < self.buckets.len(), "wheel_len > 0 but no bucket found");
+    }
+
+    /// Index of the minimum-key event in the cursor bucket, with its
+    /// predecessor in the chain (`NIL` when the minimum is the head).
+    fn min_in_cursor_bucket(&self) -> (u32, u32) {
+        let head = self.buckets[self.cursor];
+        debug_assert_ne!(head, NIL, "cursor bucket is empty");
+        let mut best = head;
+        let mut best_prev = NIL;
+        let mut best_key = (self.arena.time(head), self.arena.seq(head), self.arena.user(head));
+        let mut prev = head;
+        let mut i = self.arena.next(head);
+        while i != NIL {
+            let key = (self.arena.time(i), self.arena.seq(i), self.arena.user(i));
+            if key < best_key {
+                best = i;
+                best_prev = prev;
+                best_key = key;
+            }
+            prev = i;
+            i = self.arena.next(i);
+        }
+        (best, best_prev)
+    }
+
+    /// The earliest pending `(time, seq)` key. Advances the cursor past
+    /// empty buckets (observationally pure memoization, hence `&mut`).
+    pub fn peek_key(&mut self) -> Option<(SimTime, u64)> {
+        self.peek_full().map(|(t, s, _)| (t, s))
+    }
+
+    /// The earliest pending time.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.peek_full().map(|(t, _, _)| t)
+    }
+
+    fn peek_full(&mut self) -> Option<(SimTime, u64, u32)> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.wheel_len == 0 {
+            // Wheel empty ⇒ the overflow minimum is the global minimum.
+            return self.overflow.peek().map(|&Reverse(k)| k);
+        }
+        self.advance_cursor();
+        let (best, _) = self.min_in_cursor_bucket();
+        Some((self.arena.time(best), self.arena.seq(best), self.arena.user(best)))
+    }
+
+    /// Removes and returns the earliest event (full `(time, seq, user)`
+    /// order — identical to the binary heap's).
+    pub fn pop(&mut self) -> Option<Event> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.wheel_len == 0 {
+            self.refill_from_overflow();
+        }
+        let (time, user) = if self.wheel_len == 0 {
+            // Nothing refilled: the remaining events sit at the saturation
+            // horizon (e.g. `SimTime::MAX` sentinels). The overflow heap
+            // is ordered by the full key, so popping it directly is exact.
+            let Reverse((t, _, u)) = self.overflow.pop()?;
+            (t, u)
+        } else {
+            self.advance_cursor();
+            let (best, best_prev) = self.min_in_cursor_bucket();
+            let nxt = self.arena.next(best);
+            if best_prev == NIL {
+                self.buckets[self.cursor] = nxt;
+            } else {
+                self.arena.set_next(best_prev, nxt);
+            }
+            let t = self.arena.time(best);
+            let u = self.arena.user(best);
+            self.arena.free(best);
+            self.wheel_len -= 1;
+            (t, u)
+        };
+        self.len -= 1;
+        // Deterministic density estimate: EWMA of inter-pop gaps feeds the
+        // next geometry change (refill or rebuild), never the live wheel.
+        let gap = t_us_clamped(time).saturating_sub(self.last_pop_us);
+        self.last_pop_us = t_us_clamped(time);
+        // The 1/64 weight matters: inter-pop gaps are roughly exponential
+        // (CV ≈ 1), and the drift trigger below only has a 2-exponent (4×)
+        // hysteresis band. A fast EWMA's noise band would straddle a
+        // power-of-two boundary and thrash O(n) rebuilds; at 1/64 the
+        // estimate's jitter is ~0.13 in log2 — far inside the band.
+        self.avg_gap_q8 =
+            ((self.avg_gap_q8 * 63 + (gap.min(1 << MAX_SHIFT) << 8)) / 64).max(1 << 8);
+        // Geometry re-track: shrink an oversized wheel (4× hysteresis
+        // below the sizing target), and — crucially for workloads that
+        // fill first and pop later — rebuild when the observed pop
+        // cadence has drifted ≥ 2 width exponents (4×) from the wheel's
+        // bucket width. Without the drift trigger a constant-population
+        // queue (every pop matched by a reschedule) would keep its
+        // fill-time geometry forever; the 2-exponent hysteresis keeps
+        // EWMA jitter around a width boundary from thrashing rebuilds.
+        let target = Self::target_buckets(self.len);
+        if target < self.buckets.len() / 4
+            || (self.len > 0 && Self::shift_for_gap(self.avg_gap_q8 >> 8).abs_diff(self.shift) >= 2)
+        {
+            self.rebuild(None);
+        }
+        Some(Event { time, user: UserId(user) })
+    }
+
+    /// Re-anchors the (empty) wheel at the overflow minimum and drains
+    /// every overflow event below the new horizon into buckets. Also the
+    /// moment the bucket width re-tracks the observed pop cadence — the
+    /// wheel is empty, so the geometry may change freely.
+    fn refill_from_overflow(&mut self) {
+        debug_assert_eq!(self.wheel_len, 0, "refill with wheel events pending");
+        let Some(&Reverse((tmin, _, _))) = self.overflow.peek() else {
+            return;
+        };
+        self.shift = Self::shift_for_gap(self.avg_gap_q8 >> 8);
+        self.day_start = (tmin.as_us() >> self.shift) << self.shift;
+        self.cursor = 0;
+        let horizon = self.horizon();
+        while let Some(&Reverse((t, _, _))) = self.overflow.peek() {
+            if t.as_us() >= horizon {
+                break;
+            }
+            let Some(Reverse((t, s, u))) = self.overflow.pop() else {
+                break; // unreachable: peek just succeeded
+            };
+            self.place_in_wheel(t, s, u);
+        }
+    }
+
+    /// Collects every pending event, re-chooses the geometry (bucket count
+    /// from the population, width from the pop-gap EWMA, anchor at the
+    /// minimum pending time), and redistributes. O(n + buckets), amortized
+    /// O(1) by the doubling/quartering triggers.
+    fn rebuild(&mut self, extra: Option<(SimTime, u64, u32)>) {
+        let mut all: Vec<(SimTime, u64, u32)> = Vec::with_capacity(self.len);
+        for b in 0..self.buckets.len() {
+            let mut i = self.buckets[b];
+            while i != NIL {
+                all.push((self.arena.time(i), self.arena.seq(i), self.arena.user(i)));
+                i = self.arena.next(i);
+            }
+        }
+        // `into_vec` hands back the raw heap storage in O(1) — the order
+        // does not matter here, redistribution re-sorts by bucket.
+        for Reverse(trip) in std::mem::take(&mut self.overflow).into_vec() {
+            all.push(trip);
+        }
+        if let Some(trip) = extra {
+            all.push(trip);
+        }
+        debug_assert_eq!(all.len(), self.len, "rebuild lost or duplicated events");
+        self.arena.clear();
+        let nbuckets = Self::target_buckets(all.len());
+        self.buckets.clear();
+        self.buckets.resize(nbuckets, NIL);
+        self.shift = Self::shift_for_gap(self.avg_gap_q8 >> 8);
+        let min_us = all.iter().map(|&(t, _, _)| t.as_us()).min().unwrap_or(0);
+        self.day_start = (min_us >> self.shift) << self.shift;
+        self.cursor = 0;
+        self.wheel_len = 0;
+        let horizon = self.horizon();
+        for (t, s, u) in all {
+            if t.as_us() >= horizon {
+                self.overflow.push(Reverse((t, s, u)));
+            } else {
+                self.place_in_wheel(t, s, u);
+            }
+        }
+    }
+}
+
+/// `as_us` clamped away from the `u64::MAX` sentinel so the gap EWMA
+/// arithmetic stays far from overflow.
+fn t_us_clamped(t: SimTime) -> u64 {
+    t.as_us().min(1 << 62)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_us(us)
+    }
+
+    #[test]
+    fn arena_allocates_reuses_and_checks_generations() {
+        let mut a = EventArena::new();
+        let h0 = a.insert(t(10), 0, 1);
+        let h1 = a.insert(t(20), 1, 2);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(h0).map(|r| r.user), Some(1));
+        assert!(a.remove(h0));
+        assert_eq!(a.get(h0), None, "freed handle no longer resolves");
+        assert!(!a.remove(h0), "double free is rejected");
+        // Reuse: the freed slot comes back with a new generation.
+        let h2 = a.insert(t(30), 2, 3);
+        assert_eq!(h2.index, h0.index, "LIFO slot reuse");
+        assert_ne!(h2.generation, h0.generation);
+        assert_eq!(a.get(h0), None, "stale handle misses the reused slot");
+        assert_eq!(a.get(h2).map(|r| r.seq), Some(2));
+        assert_eq!(a.get(h1).map(|r| r.time), Some(t(20)));
+        assert_eq!(a.capacity(), 2, "no slab growth after reuse");
+    }
+
+    #[test]
+    fn arena_serde_round_trips_and_rejects_corruption() {
+        let mut a = EventArena::new();
+        let hs: Vec<_> = (0..5).map(|i| a.insert(t(i * 100), i, 7)).collect();
+        a.remove(hs[1]);
+        a.remove(hs[3]);
+        let v = a.to_value();
+        let back = EventArena::from_value(&v).expect("round trip");
+        assert_eq!(a, back);
+        // Corrupt the live count: validation must reject it.
+        let Value::Object(mut pairs) = v.clone() else { panic!("object") };
+        for (k, val) in &mut pairs {
+            if k == "live" {
+                *val = Value::U64(5);
+            }
+        }
+        let err = EventArena::from_value(&Value::Object(pairs)).unwrap_err();
+        assert!(err.to_string().contains("corrupt EventArena snapshot"), "{err}");
+    }
+
+    #[test]
+    fn pops_in_full_key_order() {
+        let mut q = CalendarQueue::new();
+        q.insert(t(300), 2, 9);
+        q.insert(t(100), 0, 4);
+        q.insert(t(300), 1, 5);
+        q.insert(t(200), 3, 6);
+        let order: Vec<(u64, u32)> =
+            std::iter::from_fn(|| q.pop()).map(|e| (e.time.as_us(), e.user.0)).collect();
+        assert_eq!(order, vec![(100, 4), (200, 6), (300, 5), (300, 9)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_future_events_route_through_overflow() {
+        let mut q = CalendarQueue::new();
+        q.insert(t(50), 0, 1);
+        q.insert(SimTime::MAX, 1, 2); // saturation sentinel
+        q.insert(t(10_000_000_000), 2, 3); // ~2.8 simulated hours out
+        assert_eq!(q.peek_time(), Some(t(50)));
+        assert_eq!(q.pop().map(|e| e.user.0), Some(1));
+        assert_eq!(q.pop().map(|e| e.user.0), Some(3));
+        assert_eq!(q.pop().map(|e| e.user.0), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn grows_and_shrinks_through_rebuilds() {
+        let mut q = CalendarQueue::new();
+        // Push enough to force several doublings past MIN_BUCKETS…
+        for i in 0..2000u64 {
+            q.insert(t(i * 37 % 5000), i, (i % 13) as u32);
+        }
+        assert_eq!(q.len(), 2000);
+        assert!(q.buckets.len() > MIN_BUCKETS, "wheel grew");
+        // …then drain fully (exercising the shrink trigger) in exact order.
+        let mut last = (SimTime::ZERO, 0u64);
+        let mut n = 0;
+        let mut q2 = std::mem::take(&mut q); // CalendarQueue: Default for take
+        while let Some(e) = q2.pop() {
+            n += 1;
+            assert!((e.time, 0) >= (last.0, 0), "time went backwards");
+            last = (e.time, 0);
+        }
+        assert_eq!(n, 2000);
+    }
+}

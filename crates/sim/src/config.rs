@@ -1,5 +1,6 @@
 //! Top-level simulation configuration.
 
+use crate::event::EventQueueKind;
 use crate::filetype::FileTypeConfig;
 use readopt_alloc::PolicyConfig;
 use readopt_disk::{ArrayConfig, SimDuration};
@@ -45,6 +46,11 @@ pub struct SimConfig {
     /// values are capped at [`shards`](SimConfig::shards). Execution-only:
     /// never affects results.
     pub shard_workers: usize,
+    /// Which structure backs the event queue (heap by default, calendar
+    /// for O(1) scheduling at million-user densities). Purely a speed
+    /// knob: both backends pop in the identical `(time, seq, user)` order,
+    /// so results are bit-identical either way.
+    pub event_queue: EventQueueKind,
 }
 
 impl SimConfig {
@@ -63,6 +69,7 @@ impl SimConfig {
             max_allocation_ops: 10_000_000,
             shards: 1,
             shard_workers: 0,
+            event_queue: EventQueueKind::Heap,
         }
     }
 
@@ -139,8 +146,18 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn event_queue_defaults_to_heap() {
         let c = config();
+        assert_eq!(c.event_queue, EventQueueKind::Heap, "calendar is opt-in");
+        let mut c = config();
+        c.event_queue = EventQueueKind::Calendar;
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut c = config();
+        c.event_queue = EventQueueKind::Calendar;
         let json = serde_json::to_string(&c).unwrap();
         let back: SimConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(c, back);

@@ -2,7 +2,7 @@
 //! workload together and runs the paper's three test procedures (§2.2, §3).
 
 use crate::config::SimConfig;
-use crate::event::UserId;
+use crate::event::{EventQueueKind, UserId};
 use crate::filetype::{FileTypeConfig, OpKind};
 use crate::measure::ThroughputMeter;
 use crate::metrics::{AllocGauges, EngineCounters, StorageMetrics, TestMetrics};
@@ -12,6 +12,7 @@ use crate::shard::{
     worker_loop, CloseOnDrop, EffectChannels, EffectPipeline, EventRec, MarkDeadOnPanic,
     ShardedEventQueue,
 };
+use crate::state::{FileTable, UserTable};
 use readopt_alloc::{AllocError, Extent, FileHints, FileId, Policy};
 use readopt_disk::{
     calibrate_max_bandwidth, Disk, IoKind, IoRequest, PiecePlan, SimDuration, SimTime, Storage,
@@ -28,22 +29,12 @@ enum Mode {
     AllocationOnly,
 }
 
-/// One simulated file.
-#[derive(Debug, Clone)]
-struct SimFile {
-    policy_id: FileId,
-    type_idx: usize,
-    /// Bytes of real data, in disk units ("used" space for internal
-    /// fragmentation accounting).
-    logical_units: u64,
-    /// Sequential-access cursor, in units.
-    cursor: u64,
-    /// False once the file has been retired (its slot could not be
-    /// re-created after a delete on a full disk).
-    live: bool,
-    /// This file's position in `files_by_type[type_idx]`, maintained so
-    /// retirement is an O(1) swap-remove instead of an O(n) scan.
-    pos_in_type: usize,
+/// Converts a population-bounded count (files, users, types, positions)
+/// to the `u32` width the SoA state tables index by.
+fn small_u32(n: usize) -> u32 {
+    u32::try_from(n)
+        // simlint::allow(r3, "counts here are bounded by the configured file/user/type populations, far below u32")
+        .unwrap_or_else(|_| unreachable!("population count exceeds u32"))
 }
 
 /// What a single event step produced.
@@ -78,10 +69,13 @@ pub struct Simulation {
     storage: Box<dyn Storage>,
     policy: Box<dyn Policy>,
     types: Vec<FileTypeConfig>,
-    files: Vec<SimFile>,
-    files_by_type: Vec<Vec<usize>>,
-    /// user → file-type index.
-    users: Vec<usize>,
+    /// Per-file hot state, packed struct-of-arrays (see [`crate::state`]).
+    /// Slots are never freed — retirement marks a file dead in place — so
+    /// raw indices stay stable for the whole run.
+    files: FileTable,
+    files_by_type: Vec<Vec<u32>>,
+    /// user → file-type index, packed struct-of-arrays.
+    users: UserTable,
     queue: ShardedEventQueue,
     rng: SimRng,
     unit_bytes: u64,
@@ -113,6 +107,9 @@ pub struct Simulation {
     disk_full_at_counter_reset: u64,
     /// Event-queue shard count (≥ 1); results-invariant by construction.
     shards: usize,
+    /// Which structure backs the event queue; results-invariant (both
+    /// backends pop in identical order), re-applied on `schedule_users`.
+    event_queue: EventQueueKind,
     /// Configured effect-worker thread count (0/1 = in-line execution).
     shard_workers: usize,
     /// True while the pipelined loop is deciding: `transfer` then *plans*
@@ -145,10 +142,10 @@ impl Simulation {
             storage,
             policy,
             types: config.file_types.clone(),
-            files: Vec::new(),
+            files: FileTable::new(),
             files_by_type: vec![Vec::new(); config.file_types.len()],
-            users: Vec::new(),
-            queue: ShardedEventQueue::new(config.shards),
+            users: UserTable::new(),
+            queue: ShardedEventQueue::with_kind(config.shards, config.event_queue),
             rng,
             unit_bytes,
             max_bw,
@@ -172,6 +169,7 @@ impl Simulation {
             ops_at_counter_reset: 0,
             disk_full_at_counter_reset: 0,
             shards: config.shards.max(1),
+            event_queue: config.event_queue,
             shard_workers: config.shard_workers,
             planning: false,
             pending_span: None,
@@ -273,18 +271,11 @@ impl Simulation {
                         continue;
                     }
                 };
-                let file_idx = self.files.len();
-                self.files.push(SimFile {
-                    policy_id,
-                    type_idx: t_idx,
-                    logical_units: 0,
-                    cursor: 0,
-                    live: true,
-                    pos_in_type: self.files_by_type[t_idx].len(),
-                });
+                let pos = small_u32(self.files_by_type[t_idx].len());
+                let file_idx = self.files.push(policy_id, small_u32(t_idx), 0, pos);
                 self.files_by_type[t_idx].push(file_idx);
                 let target_units = self.to_units(target_bytes);
-                self.grow_file(file_idx, target_units);
+                self.grow_file(file_idx as usize, target_units);
             }
         }
     }
@@ -292,14 +283,14 @@ impl Simulation {
     /// Grows `file` by repeated chunked extends until its logical size
     /// reaches `target_units` (or the disk fills). No I/O is charged.
     fn grow_file(&mut self, file_idx: usize, target_units: u64) {
-        let chunk = self.to_units(self.types[self.files[file_idx].type_idx].rw_size_bytes);
-        while self.files[file_idx].logical_units < target_units {
-            let delta = chunk.min(target_units - self.files[file_idx].logical_units);
+        let chunk = self.to_units(self.types[self.files.type_idx[file_idx] as usize].rw_size_bytes);
+        while self.files.logical_units[file_idx] < target_units {
+            let delta = chunk.min(target_units - self.files.logical_units[file_idx]);
             if self.ensure_allocated(file_idx, delta).is_err() {
                 self.disk_full_events += 1;
                 break;
             }
-            self.files[file_idx].logical_units += delta;
+            self.files.logical_units[file_idx] += delta;
         }
     }
 
@@ -307,11 +298,11 @@ impl Simulation {
     /// extending through the policy when needed ("each time a file grows
     /// beyond its current allocation").
     fn ensure_allocated(&mut self, file_idx: usize, delta: u64) -> Result<(), AllocError> {
-        let f = &self.files[file_idx];
-        let allocated = self.policy.allocated_units(f.policy_id)?;
-        let needed = (f.logical_units + delta).saturating_sub(allocated);
+        let policy_id = self.files.policy_id[file_idx];
+        let allocated = self.policy.allocated_units(policy_id)?;
+        let needed = (self.files.logical_units[file_idx] + delta).saturating_sub(allocated);
         if needed > 0 {
-            self.policy.extend(f.policy_id, needed)?;
+            self.policy.extend(policy_id, needed)?;
         }
         Ok(())
     }
@@ -321,21 +312,22 @@ impl Simulation {
     /// system should be before measurements begin". Files are grown
     /// round-robin in rw-sized chunks; no I/O is charged.
     fn fill_to_lower_bound(&mut self) {
-        if self.files.is_empty() {
+        let nfiles = self.files.capacity();
+        if nfiles == 0 {
             return;
         }
         let mut idx = 0;
         let mut failures = 0;
-        while self.utilization() < self.util_lower && failures < self.files.len() {
-            let file_idx = idx % self.files.len();
+        while self.utilization() < self.util_lower && failures < nfiles {
+            let file_idx = idx % nfiles;
             idx += 1;
-            if !self.files[file_idx].live {
+            if !self.files.live[file_idx] {
                 failures += 1;
                 continue;
             }
-            let chunk = self.to_units(self.types[self.files[file_idx].type_idx].rw_size_bytes);
+            let chunk = self.to_units(self.types[self.files.type_idx[file_idx] as usize].rw_size_bytes);
             if self.ensure_allocated(file_idx, chunk).is_ok() {
-                self.files[file_idx].logical_units += chunk;
+                self.files.logical_units[file_idx] += chunk;
                 failures = 0;
             } else {
                 failures += 1;
@@ -346,17 +338,13 @@ impl Simulation {
     /// Discards pending events and schedules every user afresh: start times
     /// uniform in `[now, now + users × hit frequency)` per §2.2 phase one.
     fn schedule_users(&mut self) {
-        self.queue = ShardedEventQueue::new(self.shards);
+        self.queue = ShardedEventQueue::with_kind(self.shards, self.event_queue);
         self.users.clear();
         for (t_idx, t) in self.types.iter().enumerate() {
             let spread = f64::from(t.num_users) * t.hit_frequency_ms;
+            let t32 = small_u32(t_idx);
             for _ in 0..t.num_users {
-                let user = UserId(
-                    u32::try_from(self.users.len())
-                        // simlint::allow(r3, "user counts are Table 2 scale, nowhere near u32")
-                        .unwrap_or_else(|_| unreachable!("user count exceeds u32")),
-                );
-                self.users.push(t_idx);
+                let user = UserId(self.users.push(t32));
                 let start = self.clock + SimDuration::from_ms(self.rng.uniform_f64(0.0, spread.max(1.0)));
                 self.queue.schedule(start, user);
             }
@@ -384,7 +372,7 @@ impl Simulation {
         let ev = self.queue.pop().unwrap_or_else(|| unreachable!("step called with an empty queue"));
         self.counters.events += 1;
         self.clock = ev.time;
-        let t_idx = self.users[ev.user.0 as usize];
+        let t_idx = self.users.type_of(ev.user.0) as usize;
         let outcome;
         let completion;
         let op_ran;
@@ -392,7 +380,8 @@ impl Simulation {
             (outcome, completion) = (StepOutcome::Ran, self.clock);
             op_ran = false;
         } else {
-            let file_idx = self.files_by_type[t_idx][self.rng.index(self.files_by_type[t_idx].len())];
+            let file_idx =
+                self.files_by_type[t_idx][self.rng.index(self.files_by_type[t_idx].len())] as usize;
             let op = {
                 let t = &self.types[t_idx];
                 match mode {
@@ -432,32 +421,32 @@ impl Simulation {
         let whole_file = mode == Mode::Sequential;
         match op {
             OpKind::Read | OpKind::Write => {
-                let logical = self.files[file_idx].logical_units;
+                let logical = self.files.logical_units[file_idx];
                 if logical == 0 {
                     // Nothing to transfer yet; grow instead (a brand-new
                     // file's first operation is its creation write).
                     return self.do_extend(file_idx, mode);
                 }
+                let t_idx = self.files.type_idx[file_idx] as usize;
                 let size = if whole_file {
                     logical
                 } else {
-                    let t = &self.types[self.files[file_idx].type_idx];
-                    let bytes = t.sample_rw_bytes(&mut self.rng);
+                    let bytes = self.types[t_idx].sample_rw_bytes(&mut self.rng);
                     self.to_units(bytes).min(logical)
                 };
                 let offset = if whole_file {
                     0
-                } else if self.types[self.files[file_idx].type_idx].sequential_access {
-                    let f = &mut self.files[file_idx];
-                    if f.cursor + size > logical {
-                        f.cursor = 0;
+                } else if self.types[t_idx].sequential_access {
+                    let cursor = &mut self.files.cursor[file_idx];
+                    if *cursor + size > logical {
+                        *cursor = 0;
                     }
-                    let off = f.cursor;
-                    f.cursor += size;
+                    let off = *cursor;
+                    *cursor += size;
                     off
                 } else {
                     let off = self.rng.uniform_u64(0, logical - size);
-                    let t = &self.types[self.files[file_idx].type_idx];
+                    let t = &self.types[t_idx];
                     if t.page_aligned {
                         // Database-style page access: offsets fall on
                         // page (mean r/w size) boundaries.
@@ -500,7 +489,7 @@ impl Simulation {
         // allocator profile.
         let mut runs = std::mem::take(&mut self.runs_scratch);
         self.policy
-            .file_map(self.files[file_idx].policy_id)
+            .file_map(self.files.policy_id[file_idx])
             // simlint::allow(r3, "file_idx is drawn from the live set on the previous step")
             .unwrap_or_else(|_| unreachable!("transfer targets a live file"))
             .map_range_into(offset_units, size_units, &mut runs);
@@ -536,34 +525,34 @@ impl Simulation {
     }
 
     fn do_extend(&mut self, file_idx: usize, mode: Mode) -> (StepOutcome, SimTime) {
-        let t = &self.types[self.files[file_idx].type_idx];
+        let t = &self.types[self.files.type_idx[file_idx] as usize];
         let bytes = t.sample_rw_bytes(&mut self.rng);
         let delta = self.to_units(bytes);
         if self.ensure_allocated(file_idx, delta).is_err() {
             self.disk_full_events += 1;
             return (StepOutcome::AllocationFailed, self.clock);
         }
-        let old_logical = self.files[file_idx].logical_units;
-        self.files[file_idx].logical_units += delta;
+        let old_logical = self.files.logical_units[file_idx];
+        self.files.logical_units[file_idx] += delta;
         let io = mode != Mode::AllocationOnly;
         let completion = self.transfer(file_idx, old_logical, delta, IoKind::Write, io);
         (StepOutcome::Ran, completion)
     }
 
     fn do_truncate(&mut self, file_idx: usize) -> StepOutcome {
-        let t_units = self.to_units(self.types[self.files[file_idx].type_idx].truncate_size_bytes);
-        let f = &mut self.files[file_idx];
-        let new_logical = f.logical_units.saturating_sub(t_units);
-        f.logical_units = new_logical;
+        let t_units = self.to_units(self.types[self.files.type_idx[file_idx] as usize].truncate_size_bytes);
+        let policy_id = self.files.policy_id[file_idx];
+        let new_logical = self.files.logical_units[file_idx].saturating_sub(t_units);
+        self.files.logical_units[file_idx] = new_logical;
         let allocated = self
             .policy
-            .allocated_units(f.policy_id)
+            .allocated_units(policy_id)
             // simlint::allow(r3, "file_idx is drawn from the live set on the previous step")
             .unwrap_or_else(|_| unreachable!("truncate targets a live file"));
         let reclaimable = allocated.saturating_sub(new_logical);
         if reclaimable > 0 {
             self.policy
-                .truncate(f.policy_id, reclaimable)
+                .truncate(policy_id, reclaimable)
                 // simlint::allow(r3, "same live file as the allocated_units call above")
                 .unwrap_or_else(|_| unreachable!("truncate targets a live file"));
         }
@@ -575,9 +564,9 @@ impl Simulation {
     /// stationary). In I/O modes the re-created contents are written out,
     /// which is the "created, read, and deleted" traffic of the TS workload.
     fn do_delete(&mut self, file_idx: usize, mode: Mode) -> (StepOutcome, SimTime) {
-        let t_idx = self.files[file_idx].type_idx;
+        let t_idx = self.files.type_idx[file_idx] as usize;
         self.policy
-            .delete(self.files[file_idx].policy_id)
+            .delete(self.files.policy_id[file_idx])
             // simlint::allow(r3, "file_idx is drawn from the live set on the previous step")
             .unwrap_or_else(|_| unreachable!("delete targets a live file"));
         let hints = Self::hints(&self.types[t_idx]);
@@ -587,16 +576,13 @@ impl Simulation {
             self.retire_file(file_idx);
             return (StepOutcome::AllocationFailed, self.clock);
         };
-        {
-            let f = &mut self.files[file_idx];
-            f.policy_id = new_id;
-            f.logical_units = 0;
-            f.cursor = 0;
-        }
+        self.files.policy_id[file_idx] = new_id;
+        self.files.logical_units[file_idx] = 0;
+        self.files.cursor[file_idx] = 0;
         let target_bytes = self.types[t_idx].sample_initial_bytes(&mut self.rng);
         let target_units = self.to_units(target_bytes);
         self.grow_file(file_idx, target_units);
-        let grown = self.files[file_idx].logical_units;
+        let grown = self.files.logical_units[file_idx];
         let io = mode != Mode::AllocationOnly;
         let completion = self.transfer(file_idx, 0, grown, IoKind::Write, io);
         // grow_file logged any disk-full condition and stopped short.
@@ -608,15 +594,19 @@ impl Simulation {
     /// the index's last entry is swapped into the vacated slot and its
     /// `pos_in_type` updated to match.
     fn retire_file(&mut self, file_idx: usize) {
-        let t_idx = self.files[file_idx].type_idx;
-        let pos = self.files[file_idx].pos_in_type;
-        debug_assert_eq!(self.files_by_type[t_idx][pos], file_idx, "pos_in_type out of sync");
+        let t_idx = self.files.type_idx[file_idx] as usize;
+        let pos = self.files.pos_in_type[file_idx] as usize;
+        debug_assert_eq!(
+            self.files_by_type[t_idx][pos] as usize,
+            file_idx,
+            "pos_in_type out of sync"
+        );
         self.files_by_type[t_idx].swap_remove(pos);
         if let Some(&moved) = self.files_by_type[t_idx].get(pos) {
-            self.files[moved].pos_in_type = pos;
+            self.files.pos_in_type[moved as usize] = small_u32(pos);
         }
-        self.files[file_idx].live = false;
-        self.files[file_idx].logical_units = 0;
+        self.files.live[file_idx] = false;
+        self.files.logical_units[file_idx] = 0;
     }
 
     /// Runs the policy's offline reallocation pass (Koch's nightly
@@ -626,7 +616,11 @@ impl Simulation {
     pub fn run_reallocation(&mut self) -> Option<u64> {
         let mut logical = std::mem::take(&mut self.realloc_scratch);
         logical.clear();
-        logical.extend(self.files.iter().filter(|f| f.live).map(|f| (f.policy_id, f.logical_units)));
+        logical.extend(
+            (0..self.files.capacity())
+                .filter(|&i| self.files.live[i])
+                .map(|i| (self.files.policy_id[i], self.files.logical_units[i])),
+        );
         let moved = self
             .policy
             .reallocate(&logical)
@@ -659,20 +653,21 @@ impl Simulation {
         let mut used = 0u64;
         let mut extents = 0usize;
         let mut live = 0u64;
-        for f in &self.files {
-            if !f.live {
+        for i in 0..self.files.capacity() {
+            if !self.files.live[i] {
                 continue;
             }
+            let policy_id = self.files.policy_id[i];
             let a = self
                 .policy
-                .allocated_units(f.policy_id)
+                .allocated_units(policy_id)
                 // simlint::allow(r3, "the loop skips non-live files two lines up")
                 .unwrap_or_else(|_| unreachable!("fragmentation_report visits live files only"));
             allocated += a;
-            used += f.logical_units.min(a);
+            used += self.files.logical_units[i].min(a);
             extents += self
                 .policy
-                .allocation_count(f.policy_id)
+                .allocation_count(policy_id)
                 // simlint::allow(r3, "the loop skips non-live files above")
                 .unwrap_or_else(|_| unreachable!("fragmentation_report visits live files only"));
             live += 1;
@@ -1064,10 +1059,11 @@ mod tests {
         let c = small_config(small_extent_policy());
         let sim = Simulation::new(&c, 1);
         assert_eq!(sim.files.len(), 64);
-        for f in &sim.files {
-            assert!(f.logical_units >= (256 - 64) * 1024 / 1024, "file too small");
+        for i in 0..sim.files.capacity() {
+            assert!(sim.files.logical_units[i] >= (256 - 64) * 1024 / 1024, "file too small");
             assert!(
-                sim.policy.allocated_units(f.policy_id).unwrap() >= f.logical_units,
+                sim.policy.allocated_units(sim.files.policy_id[i]).unwrap()
+                    >= sim.files.logical_units[i],
                 "allocation below logical size"
             );
         }
@@ -1262,14 +1258,22 @@ mod tests {
     fn assert_selection_index_consistent(sim: &Simulation) {
         for (t_idx, idxs) in sim.files_by_type.iter().enumerate() {
             for (pos, &file_idx) in idxs.iter().enumerate() {
-                let f = &sim.files[file_idx];
-                assert!(f.live, "retired file {file_idx} still selectable");
-                assert_eq!(f.type_idx, t_idx, "file {file_idx} listed under wrong type");
-                assert_eq!(f.pos_in_type, pos, "stale pos_in_type for file {file_idx}");
+                let i = file_idx as usize;
+                assert!(sim.files.live[i], "retired file {file_idx} still selectable");
+                assert_eq!(
+                    sim.files.type_idx[i] as usize,
+                    t_idx,
+                    "file {file_idx} listed under wrong type"
+                );
+                assert_eq!(
+                    sim.files.pos_in_type[i] as usize,
+                    pos,
+                    "stale pos_in_type for file {file_idx}"
+                );
             }
         }
         let listed: usize = sim.files_by_type.iter().map(Vec::len).sum();
-        let live = sim.files.iter().filter(|f| f.live).count();
+        let live = (0..sim.files.capacity()).filter(|&i| sim.files.live[i]).count();
         assert_eq!(listed, live, "index and live population disagree");
     }
 
@@ -1280,10 +1284,10 @@ mod tests {
         assert_selection_index_consistent(&sim);
         // Retire from the middle, the front, and the back: each swap-remove
         // moves a different entry (or none) into the vacated slot.
-        for file_idx in [20, 0, sim.files.len() - 1, 21] {
-            sim.policy.delete(sim.files[file_idx].policy_id).unwrap();
+        for file_idx in [20, 0, sim.files.capacity() - 1, 21] {
+            sim.policy.delete(sim.files.policy_id[file_idx]).unwrap();
             sim.retire_file(file_idx);
-            assert!(!sim.files[file_idx].live);
+            assert!(!sim.files.live[file_idx]);
             assert_selection_index_consistent(&sim);
         }
         // The engine still runs (selection draws only from live files) and
@@ -1298,7 +1302,7 @@ mod tests {
         let mut c = small_config(small_extent_policy());
         c.file_types[0].num_files = 1;
         let mut sim = Simulation::new(&c, 18);
-        sim.policy.delete(sim.files[0].policy_id).unwrap();
+        sim.policy.delete(sim.files.policy_id[0]).unwrap();
         sim.retire_file(0);
         assert!(sim.files_by_type[0].is_empty());
         assert_selection_index_consistent(&sim);

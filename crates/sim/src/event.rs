@@ -1,4 +1,4 @@
-//! The event heap (§2.2).
+//! The event queue (§2.2).
 //!
 //! "The events are maintained in a heap, sorted by their scheduled time. The
 //! simulation runs by selecting the first event from the heap … After
@@ -7,8 +7,18 @@
 //! event is scheduled at that newly calculated time."
 //!
 //! Ties are broken by a monotone sequence number so runs are deterministic.
+//!
+//! Two interchangeable backends implement this contract behind
+//! [`EventQueueKind`]: the paper's binary heap (O(log n), the reference)
+//! and the calendar queue in [`crate::calendar`] (amortized O(1) at
+//! million-user densities). Both pop in exactly ascending
+//! `(time, seq, user)` order, so the choice is invisible to digests,
+//! goldens, and metrics sidecars — pinned by `tests/engine_digest.rs` and
+//! the differential battery in `crates/sim/tests/queue_equiv.rs`.
 
+use crate::calendar::CalendarQueue;
 use readopt_disk::SimTime;
+use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -25,57 +35,122 @@ pub struct Event {
     pub user: UserId,
 }
 
-/// Min-heap of events ordered by (time, insertion sequence).
-#[derive(Debug, Default)]
+/// Which scheduling structure backs an [`EventQueue`].
+///
+/// Selected by `SimConfig::event_queue` / `repro --event-queue`. Both
+/// backends are observably identical (same pop order, same results, same
+/// sidecar bytes); they differ only in asymptotics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventQueueKind {
+    /// Binary min-heap keyed `(time, seq, user)` — the paper's structure
+    /// and the reference semantics. O(log n) per operation.
+    #[default]
+    Heap,
+    /// Sliding calendar queue with an overflow heap and an arena-backed
+    /// wheel (see [`crate::calendar`]). Amortized O(1) per operation.
+    Calendar,
+}
+
+/// The two concrete scheduling structures.
+#[derive(Debug)]
+enum Backend {
+    Heap(BinaryHeap<Reverse<(SimTime, u64, u32)>>),
+    Calendar(CalendarQueue),
+}
+
+/// Min-queue of events ordered by `(time, insertion sequence, user)`,
+/// backed by either structure in [`EventQueueKind`].
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    backend: Backend,
     seq: u64,
 }
 
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
 impl EventQueue {
-    /// An empty queue.
+    /// An empty queue on the default (heap) backend.
     pub fn new() -> Self {
-        EventQueue::default()
+        EventQueue::with_kind(EventQueueKind::Heap)
+    }
+
+    /// An empty queue on the chosen backend.
+    pub fn with_kind(kind: EventQueueKind) -> Self {
+        let backend = match kind {
+            EventQueueKind::Heap => Backend::Heap(BinaryHeap::new()),
+            EventQueueKind::Calendar => Backend::Calendar(CalendarQueue::new()),
+        };
+        EventQueue { backend, seq: 0 }
+    }
+
+    /// Which backend this queue runs on.
+    pub fn kind(&self) -> EventQueueKind {
+        match self.backend {
+            Backend::Heap(_) => EventQueueKind::Heap,
+            Backend::Calendar(_) => EventQueueKind::Calendar,
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Heap(h) => h.len(),
+            Backend::Calendar(c) => c.len(),
+        }
     }
 
     /// True when no events remain.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Schedules `user` to act at `time`.
     pub fn schedule(&mut self, time: SimTime, user: UserId) {
-        self.heap.push(Reverse((time, self.seq, user.0)));
+        let seq = self.seq;
         self.seq += 1;
+        self.schedule_with_seq(time, user, seq);
     }
 
     /// Schedules `user` at `time` under an externally assigned sequence
     /// number. Used by the sharded queue, which stamps one *global*
-    /// sequence across all shard-local heaps so the k-way merge reproduces
+    /// sequence across all shard-local queues so the k-way merge reproduces
     /// the single-queue tie-break exactly.
     pub fn schedule_with_seq(&mut self, time: SimTime, user: UserId, seq: u64) {
-        self.heap.push(Reverse((time, seq, user.0)));
+        match &mut self.backend {
+            Backend::Heap(h) => h.push(Reverse((time, seq, user.0))),
+            Backend::Calendar(c) => c.insert(time, seq, user.0),
+        }
     }
 
-    /// The earliest pending event time, if any.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse((t, _, _))| *t)
+    /// The earliest pending event time, if any. `&mut` because the
+    /// calendar backend memoizes its bucket-cursor advance while peeking
+    /// (observationally pure — the answer never changes).
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        match &mut self.backend {
+            Backend::Heap(h) => h.peek().map(|Reverse((t, _, _))| *t),
+            Backend::Calendar(c) => c.peek_time(),
+        }
     }
 
     /// The full ordering key `(time, seq)` of the earliest pending event —
-    /// what the sharded queue's merge compares across shard heaps.
-    pub fn peek_key(&self) -> Option<(SimTime, u64)> {
-        self.heap.peek().map(|Reverse((t, s, _))| (*t, *s))
+    /// what the sharded queue's merge compares across shard queues.
+    pub fn peek_key(&mut self) -> Option<(SimTime, u64)> {
+        match &mut self.backend {
+            Backend::Heap(h) => h.peek().map(|Reverse((t, s, _))| (*t, *s)),
+            Backend::Calendar(c) => c.peek_key(),
+        }
     }
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop().map(|Reverse((time, _, user))| Event { time, user: UserId(user) })
+        match &mut self.backend {
+            Backend::Heap(h) => h.pop().map(|Reverse((time, _, user))| Event { time, user: UserId(user) }),
+            Backend::Calendar(c) => c.pop(),
+        }
     }
 }
 
@@ -83,39 +158,66 @@ impl EventQueue {
 mod tests {
     use super::*;
 
+    const KINDS: [EventQueueKind; 2] = [EventQueueKind::Heap, EventQueueKind::Calendar];
+
     fn t(ms: f64) -> SimTime {
         SimTime::from_ms(ms)
     }
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(t(30.0), UserId(3));
-        q.schedule(t(10.0), UserId(1));
-        q.schedule(t(20.0), UserId(2));
-        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| e.user.0).collect();
-        assert_eq!(order, vec![1, 2, 3]);
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            q.schedule(t(30.0), UserId(3));
+            q.schedule(t(10.0), UserId(1));
+            q.schedule(t(20.0), UserId(2));
+            let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| e.user.0).collect();
+            assert_eq!(order, vec![1, 2, 3], "{kind:?}");
+        }
     }
 
     #[test]
     fn ties_break_by_insertion_order() {
-        let mut q = EventQueue::new();
-        q.schedule(t(5.0), UserId(9));
-        q.schedule(t(5.0), UserId(4));
-        q.schedule(t(5.0), UserId(7));
-        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| e.user.0).collect();
-        assert_eq!(order, vec![9, 4, 7], "FIFO among equal timestamps");
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            q.schedule(t(5.0), UserId(9));
+            q.schedule(t(5.0), UserId(4));
+            q.schedule(t(5.0), UserId(7));
+            let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| e.user.0).collect();
+            assert_eq!(order, vec![9, 4, 7], "FIFO among equal timestamps ({kind:?})");
+        }
+    }
+
+    #[test]
+    fn ties_break_by_time_then_seq_then_user() {
+        // Regression: the ordering key is the full (time, seq, user)
+        // tuple. The sharded queue stamps external seqs, so equal
+        // (time, seq) pairs are reachable — the third field must break
+        // them identically on every backend (ascending user), or a
+        // backend swap could silently reorder equal-time events.
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            q.schedule_with_seq(t(5.0), UserId(8), 7);
+            q.schedule_with_seq(t(5.0), UserId(2), 7); // exact (time, seq) tie
+            q.schedule_with_seq(t(5.0), UserId(5), 3); // lower seq wins first
+            q.schedule_with_seq(t(1.0), UserId(9), 99); // earlier time wins all
+            let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|e| e.user.0).collect();
+            assert_eq!(order, vec![9, 5, 2, 8], "time, then seq, then user ({kind:?})");
+        }
     }
 
     #[test]
     fn peek_matches_pop() {
-        let mut q = EventQueue::new();
-        assert_eq!(q.peek_time(), None);
-        q.schedule(t(2.0), UserId(0));
-        q.schedule(t(1.0), UserId(1));
-        assert_eq!(q.peek_time(), Some(t(1.0)));
-        assert_eq!(q.pop().unwrap().user, UserId(1));
-        assert_eq!(q.len(), 1);
-        assert!(!q.is_empty());
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            assert_eq!(q.peek_time(), None);
+            q.schedule(t(2.0), UserId(0));
+            q.schedule(t(1.0), UserId(1));
+            assert_eq!(q.peek_time(), Some(t(1.0)), "{kind:?}");
+            assert_eq!(q.pop().unwrap().user, UserId(1), "{kind:?}");
+            assert_eq!(q.len(), 1);
+            assert!(!q.is_empty());
+            assert_eq!(q.kind(), kind);
+        }
     }
 }

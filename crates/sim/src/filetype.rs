@@ -162,6 +162,27 @@ impl FileTypeConfig {
     pub fn sample_initial_bytes(&self, rng: &mut SimRng) -> u64 {
         rng.size_uniform(self.initial_size_bytes, self.initial_deviation_bytes, 1)
     }
+
+    /// The `users_1e6` scaling family: `num_users` parallel event streams
+    /// over a fixed 512-file population of small (64 KB) files.
+    ///
+    /// The think time is fixed (3 s) and the start spread is compressed to
+    /// one think time, so a run performs on the order of `num_users`
+    /// operations per measured window while holding ~`num_users` events
+    /// pending — the event queue, not the disk arithmetic, is the
+    /// structure under measurement as the rung count climbs toward 1e6.
+    pub fn many_users(num_users: u32) -> Self {
+        FileTypeConfig {
+            name: format!("users-{num_users}"),
+            num_files: 512,
+            num_users: num_users.max(1),
+            process_time_ms: 3000.0,
+            hit_frequency_ms: 3000.0 / f64::from(num_users.max(1)),
+            initial_size_bytes: 64 * 1024,
+            initial_deviation_bytes: 16 * 1024,
+            ..FileTypeConfig::default()
+        }
+    }
 }
 
 /// A builder-style default useful in tests and examples: a single generic

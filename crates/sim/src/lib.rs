@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod calendar;
 pub mod config;
 pub mod engine;
 pub mod event;
@@ -50,12 +51,16 @@ pub mod metrics;
 pub mod results;
 pub mod rng;
 pub mod shard;
+pub mod state;
 
+pub use calendar::{CalendarQueue, EventArena, EventHandle, EventRecord};
 pub use config::SimConfig;
 pub use engine::Simulation;
+pub use event::{Event, EventQueue, EventQueueKind, UserId};
 pub use filetype::{FileTypeConfig, OpKind};
 pub use measure::{percentile_ms, percentile_of_sorted_ms, ThroughputMeter};
 pub use metrics::{AllocGauges, DiskPhaseMetrics, EngineCounters, StorageMetrics, TestMetrics};
 pub use results::{FragReport, PerfReport, SuiteReport};
 pub use rng::SimRng;
 pub use shard::ShardedEventQueue;
+pub use state::{FileSlot, FileTable, FileView, UserTable};

@@ -33,7 +33,7 @@
 //!    pending reschedules always receive larger global sequence numbers.
 //!    The window is tracked as a classic monotone min-deque.
 
-use crate::event::{Event, EventQueue, UserId};
+use crate::event::{Event, EventQueue, EventQueueKind, UserId};
 use readopt_disk::{Disk, PiecePlan, SimTime};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, PoisonError};
@@ -53,11 +53,18 @@ pub struct ShardedEventQueue {
 }
 
 impl ShardedEventQueue {
-    /// An empty queue over `nshards ≥ 1` shards.
+    /// An empty queue over `nshards ≥ 1` shards on the default (heap)
+    /// backend.
     pub fn new(nshards: usize) -> Self {
+        ShardedEventQueue::with_kind(nshards, EventQueueKind::Heap)
+    }
+
+    /// An empty queue over `nshards ≥ 1` shards, every shard-local queue
+    /// on the chosen backend.
+    pub fn with_kind(nshards: usize, kind: EventQueueKind) -> Self {
         let nshards = nshards.max(1);
         ShardedEventQueue {
-            shards: (0..nshards).map(|_| EventQueue::new()).collect(),
+            shards: (0..nshards).map(|_| EventQueue::with_kind(kind)).collect(),
             seq: 0,
             len: 0,
         }
@@ -93,9 +100,11 @@ impl ShardedEventQueue {
     }
 
     /// The shard index holding the globally earliest event, if any.
-    fn min_shard(&self) -> Option<usize> {
+    /// `&mut` because peeking a calendar-backed shard advances its bucket
+    /// cursor (observationally pure memoization).
+    fn min_shard(&mut self) -> Option<usize> {
         let mut best: Option<(usize, (SimTime, u64))> = None;
-        for (i, shard) in self.shards.iter().enumerate() {
+        for (i, shard) in self.shards.iter_mut().enumerate() {
             if let Some(key) = shard.peek_key() {
                 if best.is_none_or(|(_, k)| key < k) {
                     best = Some((i, key));
@@ -106,8 +115,9 @@ impl ShardedEventQueue {
     }
 
     /// The earliest pending event time across all shards, if any.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.min_shard().and_then(|i| self.shards[i].peek_time())
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        let i = self.min_shard()?;
+        self.shards[i].peek_time()
     }
 
     /// Removes and returns the globally earliest event (k-way merge pop).
@@ -512,30 +522,33 @@ mod tests {
             }
             out
         };
-        for shards in [1usize, 2, 3, 7, 16, 64] {
-            for pops_between in [0usize, 2] {
-                let mut q = ShardedEventQueue::new(shards);
-                let mut merged = Vec::new();
-                for (i, &(time, user)) in script.iter().enumerate() {
-                    q.schedule(t(time), UserId(user));
-                    if i % (pops_between + 1) == pops_between {
-                        let peek = q.peek_time();
-                        if let Some(e) = q.pop() {
-                            assert_eq!(peek, Some(e.time), "peek/pop disagree");
-                            merged.push((e.time, e.user.0));
+        for kind in [EventQueueKind::Heap, EventQueueKind::Calendar] {
+            for shards in [1usize, 2, 3, 7, 16, 64] {
+                for pops_between in [0usize, 2] {
+                    let mut q = ShardedEventQueue::with_kind(shards, kind);
+                    let mut merged = Vec::new();
+                    for (i, &(time, user)) in script.iter().enumerate() {
+                        q.schedule(t(time), UserId(user));
+                        if i % (pops_between + 1) == pops_between {
+                            let peek = q.peek_time();
+                            if let Some(e) = q.pop() {
+                                assert_eq!(peek, Some(e.time), "peek/pop disagree");
+                                merged.push((e.time, e.user.0));
+                            }
                         }
                     }
+                    while let Some(e) = q.pop() {
+                        merged.push((e.time, e.user.0));
+                    }
+                    assert_eq!(
+                        merged,
+                        reference(pops_between),
+                        "merge order diverged at {shards} shards \
+                         (pops_between={pops_between}, {kind:?})"
+                    );
+                    assert!(q.is_empty());
+                    assert_eq!(q.len(), 0);
                 }
-                while let Some(e) = q.pop() {
-                    merged.push((e.time, e.user.0));
-                }
-                assert_eq!(
-                    merged,
-                    reference(pops_between),
-                    "merge order diverged at {shards} shards (pops_between={pops_between})"
-                );
-                assert!(q.is_empty());
-                assert_eq!(q.len(), 0);
             }
         }
     }

@@ -1,0 +1,185 @@
+//! Differential property tests: the calendar-queue backend must pop in an
+//! order *identical* to the binary-heap backend under arbitrary operation
+//! sequences.
+//!
+//! The same pseudo-random schedule/pop stream is replayed against both
+//! backends of [`EventQueue`]; after every single operation the lengths,
+//! peeked keys, and popped events must match exactly. This is the
+//! invariant that lets the O(1) calendar structure replace the heap
+//! without perturbing a byte of the paper's simulation results: both pop
+//! strictly by `(time, seq, user)`.
+//!
+//! The shaped time draws deliberately hit the calendar's interesting
+//! regimes: dense ties sharing one bucket, zero-delay reschedules at the
+//! current minimum, wide gaps that trigger bucket-width adaptation and
+//! grow/shrink rebuilds, and far-future times that route through the
+//! overflow heap and back out through a refill.
+
+use proptest::prelude::*;
+use readopt_disk::SimTime;
+use readopt_sim::{EventQueue, EventQueueKind, UserId};
+
+/// One step of the op stream; fields are raw entropy shaped inside the
+/// driver (selector, time entropy, user entropy).
+type RawOp = (u8, u32, u16);
+
+/// Replays `ops` against both backends, asserting identical observable
+/// behaviour after every step, then drains both to empty.
+fn run_differential(ops: &[RawOp]) {
+    let mut heap = EventQueue::with_kind(EventQueueKind::Heap);
+    let mut cal = EventQueue::with_kind(EventQueueKind::Calendar);
+    // The engine's clock is monotone, so times are shaped relative to the
+    // most recent pop — but a below-minimum schedule is still legal and
+    // occasionally produced (selector 3 with an empty queue after pops).
+    let mut last: u64 = 0;
+    for &(sel, t_raw, user_raw) in ops {
+        let user = UserId(u32::from(user_raw));
+        match sel % 8 {
+            0 => {
+                // Dense ties: a handful of quantized millisecond slots, so
+                // many events share one time (and one calendar bucket).
+                let t = SimTime::from_us(last + u64::from(t_raw % 4) * 1000);
+                heap.schedule(t, user);
+                cal.schedule(t, user);
+            }
+            1 => {
+                // Wide spread: microsecond-granular gaps up to ~4 s, the
+                // bread-and-butter regime the width adaptation tracks.
+                let t = SimTime::from_us(last + u64::from(t_raw));
+                heap.schedule(t, user);
+                cal.schedule(t, user);
+            }
+            2 => {
+                // Far future: beyond any plausible wheel horizon, forcing
+                // the overflow heap and a later refill (or a direct
+                // overflow pop when the wheel cannot cover the span).
+                let t = SimTime::from_us(last + (u64::from(t_raw) << 24));
+                heap.schedule(t, user);
+                cal.schedule(t, user);
+            }
+            3 => {
+                // Zero-delay reschedule: exactly the current minimum (the
+                // engine's "act again immediately" pattern).
+                let t = heap.peek_time().unwrap_or(SimTime::from_us(last));
+                heap.schedule(t, user);
+                cal.schedule(t, user);
+            }
+            4..=6 => {
+                assert_eq!(heap.peek_key(), cal.peek_key(), "peek_key diverged before pop");
+                let eh = heap.pop();
+                let ec = cal.pop();
+                assert_eq!(eh, ec, "pop diverged");
+                if let Some(e) = eh {
+                    last = e.time.as_us();
+                }
+            }
+            _ => {
+                assert_eq!(heap.peek_time(), cal.peek_time(), "peek_time diverged");
+                assert_eq!(heap.peek_key(), cal.peek_key(), "peek_key diverged");
+            }
+        }
+        assert_eq!(heap.len(), cal.len(), "lengths diverged");
+    }
+    while let Some(e) = heap.pop() {
+        assert_eq!(Some(e), cal.pop(), "drain diverged");
+    }
+    assert!(cal.pop().is_none(), "calendar still had events after the heap drained");
+    assert!(cal.is_empty() && heap.is_empty());
+}
+
+fn raw_ops() -> impl Strategy<Value = Vec<RawOp>> {
+    proptest::collection::vec((any::<u8>(), any::<u32>(), any::<u16>()), 1..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary interleavings of shaped schedules, pops, and peeks.
+    #[test]
+    fn calendar_matches_heap_under_arbitrary_interleavings(ops in raw_ops()) {
+        run_differential(&ops);
+    }
+
+    /// Burst-then-drain: schedule-heavy prefixes push the wheel through
+    /// its grow boundary, the drain suffix pushes it back through shrink.
+    #[test]
+    fn calendar_matches_heap_across_resize_boundaries(
+        ops in proptest::collection::vec((0u8..4, any::<u32>(), any::<u16>()), 64..512),
+        drains in 32usize..256,
+    ) {
+        // All-schedule prefix (selectors 0-3), then an all-pop suffix.
+        let mut ops = ops;
+        ops.extend(std::iter::repeat_n((4u8, 0u32, 0u16), drains));
+        run_differential(&ops);
+    }
+
+    /// Tie storms: every event lands in one of two time slots, so the
+    /// bucket-local scan carries the entire ordering burden.
+    #[test]
+    fn calendar_matches_heap_under_tie_storms(
+        ops in proptest::collection::vec((any::<u8>(), 0u32..2, any::<u16>()), 1..300),
+    ) {
+        let shaped: Vec<RawOp> =
+            ops.iter().map(|&(sel, t, u)| (if sel % 2 == 0 { 0 } else { 4 }, t, u)).collect();
+        run_differential(&shaped);
+    }
+
+    /// Overflow stress: most schedules are far-future, so the overflow
+    /// heap and its refill path dominate.
+    #[test]
+    fn calendar_matches_heap_through_overflow_and_refill(
+        ops in proptest::collection::vec((any::<u8>(), any::<u32>(), any::<u16>()), 1..300),
+    ) {
+        let shaped: Vec<RawOp> = ops
+            .iter()
+            .map(|&(sel, t, u)| (if sel % 3 == 0 { 2 } else { sel % 8 }, t, u))
+            .collect();
+        run_differential(&shaped);
+    }
+}
+
+/// Deterministic large script: 20 k events across every regime at once
+/// (ties, wide gaps, far future), drained in two waves with a mid-drain
+/// reinsertion burst — the wheel provably grows, refills from overflow,
+/// and shrinks within one run.
+#[test]
+fn large_mixed_script_stays_identical() {
+    let mut heap = EventQueue::with_kind(EventQueueKind::Heap);
+    let mut cal = EventQueue::with_kind(EventQueueKind::Calendar);
+    let mut x: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut draw = || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let mut schedule = |heap: &mut EventQueue, cal: &mut EventQueue, base: u64, i: u64| {
+        let r = draw();
+        let t = match i % 4 {
+            0 => base + (r % 8) * 500,           // ties in a few slots
+            1 => base + r % 4_000_000,           // up to 4 s spread
+            2 => base + (r % 64) << 32,          // far future (overflow)
+            _ => base,                           // zero delay
+        };
+        let user = UserId((r >> 32) as u32);
+        heap.schedule(SimTime::from_us(t), user);
+        cal.schedule(SimTime::from_us(t), user);
+    };
+    for i in 0..20_000u64 {
+        schedule(&mut heap, &mut cal, 0, i);
+    }
+    let mut last = 0;
+    for _ in 0..10_000 {
+        assert_eq!(heap.peek_key(), cal.peek_key());
+        let (eh, ec) = (heap.pop(), cal.pop());
+        assert_eq!(eh, ec);
+        last = eh.map_or(last, |e| e.time.as_us());
+    }
+    for i in 0..5_000u64 {
+        schedule(&mut heap, &mut cal, last, i);
+    }
+    while let Some(e) = heap.pop() {
+        assert_eq!(Some(e), cal.pop());
+    }
+    assert!(cal.pop().is_none());
+}

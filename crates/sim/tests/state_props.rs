@@ -1,0 +1,243 @@
+//! Property tests for the compact SoA state stores: [`FileTable`] and
+//! [`EventArena`] against a naive model under arbitrary alloc/free/reuse
+//! sequences, stale-handle safety via generation checks, and the
+//! snapshot→load path (round-trip equality plus loud rejection of
+//! corrupted snapshots, the same contract the allocator's `FreeBitmap`
+//! established).
+
+use proptest::prelude::*;
+use readopt_alloc::FileId;
+use readopt_disk::SimTime;
+use readopt_sim::{EventArena, EventHandle, FileSlot, FileTable};
+use serde::{Deserialize, Serialize, Value};
+
+/// One step of the op stream; fields are raw entropy shaped inside the
+/// driver.
+type RawOp = (u8, u16);
+
+fn raw_ops() -> impl Strategy<Value = Vec<RawOp>> {
+    proptest::collection::vec((any::<u8>(), any::<u16>()), 1..200)
+}
+
+/// Returns `v` with the object field `key` replaced by `new` — the
+/// corruption tool for snapshot-rejection tests.
+fn with_field(v: &Value, key: &str, new: Value) -> Value {
+    let Value::Object(fields) = v else { panic!("snapshot is not an object") };
+    assert!(fields.iter().any(|(k, _)| k == key), "no field {key} to corrupt");
+    Value::Object(
+        fields
+            .iter()
+            .map(|(k, val)| (k.clone(), if k == key { new.clone() } else { val.clone() }))
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// FileTable vs a naive model: every live handle reads back exactly
+    /// what was written, LIFO slot reuse is observable through handle
+    /// indices, and freed handles go permanently dead (stale `get` is
+    /// `None`, stale `remove` is a no-op) even after the slot is reused.
+    #[test]
+    fn file_table_matches_model(ops in raw_ops()) {
+        let mut table = FileTable::new();
+        let mut live: Vec<(FileSlot, FileId, u32)> = Vec::new();
+        let mut graveyard: Vec<FileSlot> = Vec::new();
+        let mut free_model: Vec<u32> = Vec::new();
+        let mut next_id = 0u32;
+        for &(sel, arg) in &ops {
+            match sel % 4 {
+                0 | 3 => {
+                    let id = FileId(next_id);
+                    let type_idx = u32::from(arg % 7);
+                    next_id += 1;
+                    let slot = table.insert(id, type_idx);
+                    // Most recently freed slot is reused first.
+                    if let Some(expected) = free_model.pop() {
+                        assert_eq!(slot.index, expected, "reuse is not LIFO");
+                    } else {
+                        assert_eq!(slot.index as usize, table.capacity() - 1, "fresh slots append");
+                    }
+                    assert_eq!(slot.generation % 2, 1, "live handles carry odd generations");
+                    live.push((slot, id, type_idx));
+                }
+                1 if !live.is_empty() => {
+                    let (slot, _, _) = live.swap_remove(arg as usize % live.len());
+                    assert!(table.remove(slot), "removing a live handle succeeds");
+                    assert_eq!(table.get(slot), None, "freed handle reads as dead");
+                    free_model.push(slot.index);
+                    graveyard.push(slot);
+                }
+                2 if !graveyard.is_empty() => {
+                    let stale = graveyard[arg as usize % graveyard.len()];
+                    assert_eq!(table.get(stale), None, "stale handle must not read");
+                    let cap = table.capacity();
+                    let len = table.len();
+                    assert!(!table.remove(stale), "stale remove must be a no-op");
+                    assert_eq!((table.capacity(), table.len()), (cap, len), "stale remove mutated");
+                }
+                _ => {}
+            }
+            assert_eq!(table.len(), live.len(), "live count diverged");
+            assert_eq!(table.capacity(), live.len() + free_model.len(), "slot count diverged");
+            assert_eq!(table.is_empty(), live.is_empty());
+        }
+        for &(slot, id, type_idx) in &live {
+            let view = table.get(slot).expect("live handle reads back");
+            assert_eq!((view.policy_id, view.type_idx), (id, type_idx));
+        }
+    }
+
+    /// Snapshot → load rebuilds an identical FileTable (every handle,
+    /// live or stale, behaves the same), and corrupted snapshots are
+    /// rejected loudly rather than rebuilt into quiet slot-reuse bugs.
+    #[test]
+    fn file_table_snapshot_roundtrip_and_rejection(ops in raw_ops()) {
+        let mut table = FileTable::new();
+        let mut handles: Vec<FileSlot> = Vec::new();
+        for &(sel, arg) in &ops {
+            if sel % 3 != 2 || handles.is_empty() {
+                handles.push(table.insert(FileId(u32::from(arg)), u32::from(arg % 5)));
+            } else {
+                let slot = handles[arg as usize % handles.len()];
+                table.remove(slot);
+            }
+        }
+        let json = serde_json::to_string(&table).expect("serialize");
+        let back: FileTable = serde_json::from_str(&json).expect("load a clean snapshot");
+        assert_eq!(table, back, "round trip is identity");
+        for &h in &handles {
+            assert_eq!(table.get(h), back.get(h), "handle behaviour diverged after reload");
+        }
+
+        let v = table.to_value();
+        // An out-of-bounds free-stack index.
+        let cap = table.capacity();
+        let oob = with_field(&v, "free", vec![u32::try_from(cap).unwrap()].to_value());
+        prop_assert!(FileTable::from_value(&oob).is_err(), "out-of-bounds free stack accepted");
+        // Parallel arrays disagreeing on length.
+        let short = with_field(&v, "live", vec![true; cap + 1].to_value());
+        prop_assert!(FileTable::from_value(&short).is_err(), "ragged columns accepted");
+        // A live slot pushed onto the free stack (only possible when one
+        // exists).
+        if let Some(live_idx) = (0..cap as u32).find(|&i| {
+            table.get(FileSlot { index: i, generation: 1 }).is_some()
+        }) {
+            let bad = with_field(&v, "free", vec![live_idx].to_value());
+            prop_assert!(FileTable::from_value(&bad).is_err(), "live slot on free stack accepted");
+        }
+    }
+
+    /// EventArena vs a naive model: the same alloc/free/reuse, stale
+    /// handle, and generation-parity contract as the FileTable, with the
+    /// free-list threaded through the records themselves.
+    #[test]
+    fn event_arena_matches_model(ops in raw_ops()) {
+        let mut arena = EventArena::new();
+        let mut live: Vec<(EventHandle, SimTime, u64, u32)> = Vec::new();
+        let mut graveyard: Vec<EventHandle> = Vec::new();
+        let mut freed = 0usize;
+        let mut seq = 0u64;
+        for &(sel, arg) in &ops {
+            match sel % 4 {
+                0 | 3 => {
+                    let time = SimTime::from_us(u64::from(arg) * 17);
+                    let user = u32::from(arg % 11);
+                    seq += 1;
+                    let h = arena.insert(time, seq, user);
+                    assert_eq!(h.generation % 2, 1, "live handles carry odd generations");
+                    if freed > 0 {
+                        freed -= 1;
+                    } else {
+                        assert_eq!(h.index as usize, arena.capacity() - 1, "fresh slots append");
+                    }
+                    live.push((h, time, seq, user));
+                }
+                1 if !live.is_empty() => {
+                    let (h, _, _, _) = live.swap_remove(arg as usize % live.len());
+                    assert!(arena.remove(h), "removing a live handle succeeds");
+                    assert_eq!(arena.get(h), None, "freed handle reads as dead");
+                    graveyard.push(h);
+                    freed += 1;
+                }
+                2 if !graveyard.is_empty() => {
+                    let stale = graveyard[arg as usize % graveyard.len()];
+                    assert_eq!(arena.get(stale), None, "stale handle must not read");
+                    let len = arena.len();
+                    assert!(!arena.remove(stale), "stale remove must be a no-op");
+                    assert_eq!(arena.len(), len, "stale remove mutated the arena");
+                }
+                _ => {}
+            }
+            assert_eq!(arena.len(), live.len(), "live count diverged");
+            assert_eq!(arena.capacity(), live.len() + freed, "slot count diverged");
+        }
+        for &(h, time, s, user) in &live {
+            let rec = arena.get(h).expect("live handle reads back");
+            assert_eq!((rec.time, rec.seq, rec.user), (time, s, user));
+        }
+    }
+
+    /// Snapshot → load rebuilds an identical EventArena, and corrupted
+    /// snapshots (dangling or cyclic free-lists, ragged columns) are
+    /// rejected.
+    #[test]
+    fn event_arena_snapshot_roundtrip_and_rejection(ops in raw_ops()) {
+        let mut arena = EventArena::new();
+        let mut handles: Vec<EventHandle> = Vec::new();
+        for (i, &(sel, arg)) in ops.iter().enumerate() {
+            if sel % 3 != 2 || handles.is_empty() {
+                handles.push(arena.insert(
+                    SimTime::from_us(u64::from(arg)),
+                    i as u64,
+                    u32::from(arg % 13),
+                ));
+            } else {
+                let h = handles[arg as usize % handles.len()];
+                arena.remove(h);
+            }
+        }
+        let json = serde_json::to_string(&arena).expect("serialize");
+        let back: EventArena = serde_json::from_str(&json).expect("load a clean snapshot");
+        assert_eq!(arena, back, "round trip is identity");
+        for &h in &handles {
+            assert_eq!(arena.get(h), back.get(h), "handle behaviour diverged after reload");
+        }
+
+        let v = arena.to_value();
+        let cap = u32::try_from(arena.capacity()).unwrap();
+        // Free head pointing past the slab.
+        let dangling = with_field(&v, "free_head", cap.to_value());
+        prop_assert!(EventArena::from_value(&dangling).is_err(), "dangling free head accepted");
+        // A self-cycle in the free-list (needs at least one freed slot;
+        // `next` of a freed slot pointing at itself never terminates).
+        if arena.capacity() > arena.len() {
+            let gens: Vec<u32> = de_gen(&v);
+            if let Some(free_idx) = gens.iter().position(|g| g % 2 == 0) {
+                let mut next: Vec<u32> = de_next(&v);
+                next[free_idx] = u32::try_from(free_idx).unwrap();
+                let cyclic = with_field(
+                    &with_field(&v, "next", next.to_value()),
+                    "free_head",
+                    u32::try_from(free_idx).unwrap().to_value(),
+                );
+                prop_assert!(
+                    EventArena::from_value(&cyclic).is_err(),
+                    "cyclic free-list accepted"
+                );
+            }
+        }
+        // Ragged columns.
+        let ragged = with_field(&v, "users", vec![0u32; arena.capacity() + 2].to_value());
+        prop_assert!(EventArena::from_value(&ragged).is_err(), "ragged columns accepted");
+    }
+}
+
+fn de_gen(v: &Value) -> Vec<u32> {
+    serde::de_field(v, "gen").expect("gen column")
+}
+
+fn de_next(v: &Value) -> Vec<u32> {
+    serde::de_field(v, "next").expect("next column")
+}

@@ -4,9 +4,11 @@
 # smoke run of the reproduction at fast scale with the metrics sidecars
 # enabled. A second 1-job smoke run re-derives the sidecars and byte-
 # compares them against the 2-job run — the observability layer must be
-# deterministic at any worker count — and a third run at --shards 2
+# deterministic at any worker count — a third run at --shards 2
 # byte-compares again: the sharded engine must be results-invariant in
-# the shard count too. The smoke run's timing profile
+# the shard count too — and a fourth run at --event-queue calendar
+# byte-compares once more: the calendar-queue backend must be
+# results-invariant in the queue structure. The smoke run's timing profile
 # (per-experiment wall clock, per-sweep-point breakdown, and the measured
 # metrics-snapshot overhead) is snapshotted into BENCH_runner.json at the
 # repo root; the lint report is snapshotted into target/check/simlint.json.
@@ -43,7 +45,7 @@ cargo test -q
 
 echo "== repro smoke (scale 1/64, 2 jobs, metrics on) =="
 cargo run --release -p readopt-core --bin repro -- \
-    fig1 fig2 table4 shard_scaling --scale 64 --intervals 4 --jobs 2 --json target/check
+    fig1 fig2 table4 shard_scaling users_1e6 --scale 64 --intervals 4 --jobs 2 --json target/check
 
 echo "== sidecar determinism (re-run at 1 job, byte-compare) =="
 mkdir -p target/check-j1
@@ -73,6 +75,23 @@ for exp in fig1 fig2 table4; do
         || { echo "ERROR: $exp results differ between --shards 1 and --shards 2"; exit 1; }
 done
 echo "   results byte-identical across shard counts"
+
+echo "== event-queue determinism (re-run on calendar backend, byte-compare) =="
+# users_1e6 asserts heap/calendar equality inside its driver on every run
+# above; this leg pins the production experiments to the same contract end
+# to end: the calendar-backed engine must reproduce the heap-backed results
+# and sidecars byte for byte.
+mkdir -p target/check-cal
+cargo run --release -q -p readopt-core --bin repro -- \
+    fig1 fig2 table4 --scale 64 --intervals 4 --jobs 1 --event-queue calendar \
+    --json target/check-cal > /dev/null
+for exp in fig1 fig2 table4; do
+    cmp "target/check-j1/$exp.metrics.json" "target/check-cal/$exp.metrics.json" \
+        || { echo "ERROR: $exp metrics sidecar differs between heap and calendar event queues"; exit 1; }
+    cmp "target/check-j1/$exp.json" "target/check-cal/$exp.json" \
+        || { echo "ERROR: $exp results differ between heap and calendar event queues"; exit 1; }
+done
+echo "   results byte-identical across event-queue backends"
 
 echo "== allocator microbench (bitmap vs btree backends) =="
 cargo run --release -q -p readopt-bench --bin alloc_bench -- \

@@ -5,21 +5,56 @@
 //! compared as a string. Any change to RNG draw order, event scheduling,
 //! allocator decisions, or percentile arithmetic shows up here as a diff —
 //! the guard that hot-path refactors (swap-remove file retirement,
-//! single-sort percentiles, bitmap free-space backends) stay bit-identical.
+//! single-sort percentiles, bitmap free-space backends, the calendar event
+//! queue) stay bit-identical.
 
 use readopt::alloc::{ExtentConfig, FitStrategy, PolicyConfig};
 use readopt::disk::ArrayConfig;
-use readopt::sim::{FileTypeConfig, SimConfig, Simulation};
+use readopt::sim::{EventQueueKind, FileTypeConfig, SimConfig, Simulation};
+
+/// The one true extent digest: every (backend, shards, workers) cell of
+/// the matrix below must produce exactly this string.
+const EXTENT_DIGEST: &str = "extent: ops=2460 bytes=140884992 thr=30.918025107602 \
+    p50=67.095000000000 p99=276.038000000000 frag_ops=60000 ext=80.599537037037 \
+    int=1.133516286839";
+
+const FFS_DIGEST: &str = "ffs: ops=2711 bytes=156456960 thr=35.426058145046 \
+    p50=58.780000000000 p99=215.447000000000 frag_ops=60000 ext=79.497685185185 \
+    int=0.158067065598";
+
+const BUDDY_DIGEST: &str = "buddy: ops=2770 bytes=160079872 thr=36.674232332844 \
+    p50=52.421000000000 p99=213.894000000000 frag_ops=60000 ext=70.370370370370 \
+    int=33.179687500000";
+
+fn extent_policy() -> PolicyConfig {
+    PolicyConfig::Extent(ExtentConfig {
+        range_means_bytes: vec![8 * 1024, 64 * 1024],
+        fit: FitStrategy::FirstFit,
+        sigma_frac: 0.1,
+    })
+}
 
 /// Runs the delete-heavy mixed workload for one policy and formats the
 /// digest line.
 fn digest(name: &str, policy: PolicyConfig) -> String {
-    digest_sharded(name, policy, 1, 0)
+    digest_matrix(name, policy, 1, 0, EventQueueKind::Heap)
 }
 
-/// Same digest under an explicit shard/worker configuration — the sharded
-/// engine's absolute invariant is that this string never depends on either.
+/// Same digest under an explicit shard/worker configuration.
 fn digest_sharded(name: &str, policy: PolicyConfig, shards: usize, shard_workers: usize) -> String {
+    digest_matrix(name, policy, shards, shard_workers, EventQueueKind::Heap)
+}
+
+/// Same digest under an explicit (shards, workers, queue backend) cell —
+/// the engine's absolute invariant is that this string never depends on
+/// any of the three.
+fn digest_matrix(
+    name: &str,
+    policy: PolicyConfig,
+    shards: usize,
+    shard_workers: usize,
+    event_queue: EventQueueKind,
+) -> String {
     let array = ArrayConfig::scaled(64);
     let t = FileTypeConfig {
         num_files: 32,
@@ -40,6 +75,7 @@ fn digest_sharded(name: &str, policy: PolicyConfig, shards: usize, shard_workers
     c.max_allocation_ops = 60_000;
     c.shards = shards;
     c.shard_workers = shard_workers;
+    c.event_queue = event_queue;
     let mut sim = Simulation::new(&c, 99);
     let app = sim.run_application_test();
     let frag = sim.run_allocation_test();
@@ -56,36 +92,24 @@ fn digest_sharded(name: &str, policy: PolicyConfig, shards: usize, shard_workers
     )
 }
 
+/// Collapses the continuation-indented digest consts to single-line form.
+fn oneline(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
 #[test]
 fn extent_digest_is_pinned() {
-    let policy = PolicyConfig::Extent(ExtentConfig {
-        range_means_bytes: vec![8 * 1024, 64 * 1024],
-        fit: FitStrategy::FirstFit,
-        sigma_frac: 0.1,
-    });
-    assert_eq!(
-        digest("extent", policy),
-        "extent: ops=2460 bytes=140884992 thr=30.918025107602 p50=67.095000000000 \
-         p99=276.038000000000 frag_ops=60000 ext=80.599537037037 int=1.133516286839"
-    );
+    assert_eq!(digest("extent", extent_policy()), oneline(EXTENT_DIGEST));
 }
 
 #[test]
 fn ffs_digest_is_pinned() {
-    assert_eq!(
-        digest("ffs", PolicyConfig::ffs_classic()),
-        "ffs: ops=2711 bytes=156456960 thr=35.426058145046 p50=58.780000000000 \
-         p99=215.447000000000 frag_ops=60000 ext=79.497685185185 int=0.158067065598"
-    );
+    assert_eq!(digest("ffs", PolicyConfig::ffs_classic()), oneline(FFS_DIGEST));
 }
 
 #[test]
 fn buddy_digest_is_pinned() {
-    assert_eq!(
-        digest("buddy", PolicyConfig::paper_buddy()),
-        "buddy: ops=2770 bytes=160079872 thr=36.674232332844 p50=52.421000000000 \
-         p99=213.894000000000 frag_ops=60000 ext=70.370370370370 int=33.179687500000"
-    );
+    assert_eq!(digest("buddy", PolicyConfig::paper_buddy()), oneline(BUDDY_DIGEST));
 }
 
 /// The sharded engine's absolute invariant: the exact pinned digest at any
@@ -94,12 +118,10 @@ fn buddy_digest_is_pinned() {
 /// here), plus several worker counts below and at the shard count.
 #[test]
 fn ffs_digest_is_shard_invariant() {
-    let expected = "ffs: ops=2711 bytes=156456960 thr=35.426058145046 p50=58.780000000000 \
-         p99=215.447000000000 frag_ops=60000 ext=79.497685185185 int=0.158067065598";
     for (shards, workers) in [(2, 2), (4, 2), (4, 4), (7, 3), (16, 4)] {
         assert_eq!(
             digest_sharded("ffs", PolicyConfig::ffs_classic(), shards, workers),
-            expected,
+            oneline(FFS_DIGEST),
             "digest diverged at shards={shards} workers={workers}"
         );
     }
@@ -110,19 +132,10 @@ fn ffs_digest_is_shard_invariant() {
 /// in-line loop (workers 0/1, or more workers than shards — capped).
 #[test]
 fn extent_digest_is_shard_invariant() {
-    let policy = || {
-        PolicyConfig::Extent(ExtentConfig {
-            range_means_bytes: vec![8 * 1024, 64 * 1024],
-            fit: FitStrategy::FirstFit,
-            sigma_frac: 0.1,
-        })
-    };
-    let expected = "extent: ops=2460 bytes=140884992 thr=30.918025107602 p50=67.095000000000 \
-         p99=276.038000000000 frag_ops=60000 ext=80.599537037037 int=1.133516286839";
     for (shards, workers) in [(4, 0), (4, 1), (2, 8), (4, 4), (7, 7)] {
         assert_eq!(
-            digest_sharded("extent", policy(), shards, workers),
-            expected,
+            digest_sharded("extent", extent_policy(), shards, workers),
+            oneline(EXTENT_DIGEST),
             "digest diverged at shards={shards} workers={workers}"
         );
     }
@@ -134,7 +147,34 @@ fn extent_digest_is_shard_invariant() {
 fn buddy_digest_is_shard_invariant() {
     assert_eq!(
         digest_sharded("buddy", PolicyConfig::paper_buddy(), 4, 4),
-        "buddy: ops=2770 bytes=160079872 thr=36.674232332844 p50=52.421000000000 \
-         p99=213.894000000000 frag_ops=60000 ext=70.370370370370 int=33.179687500000"
+        oneline(BUDDY_DIGEST)
     );
+}
+
+/// The calendar-queue backend's absolute invariant, crossed with the
+/// sharded engine's: the exact pinned digest at every (backend, shards)
+/// cell — serial, even, prime, shards > disks, and shards > users — with
+/// workers capped at 4 so the threaded path runs where it can.
+#[test]
+fn ffs_digest_is_event_queue_invariant_across_shard_matrix() {
+    for kind in [EventQueueKind::Heap, EventQueueKind::Calendar] {
+        for shards in [1usize, 2, 4, 7, 16] {
+            assert_eq!(
+                digest_matrix("ffs", PolicyConfig::ffs_classic(), shards, shards.min(4), kind),
+                oneline(FFS_DIGEST),
+                "digest diverged at {kind:?} × shards={shards}"
+            );
+        }
+    }
+}
+
+/// Calendar legs for the other two policy families: serial and a threaded
+/// shard configuration each.
+#[test]
+fn extent_and_buddy_digests_are_calendar_invariant() {
+    let cal = EventQueueKind::Calendar;
+    assert_eq!(digest_matrix("extent", extent_policy(), 1, 0, cal), oneline(EXTENT_DIGEST));
+    assert_eq!(digest_matrix("extent", extent_policy(), 7, 3, cal), oneline(EXTENT_DIGEST));
+    assert_eq!(digest_matrix("buddy", PolicyConfig::paper_buddy(), 1, 0, cal), oneline(BUDDY_DIGEST));
+    assert_eq!(digest_matrix("buddy", PolicyConfig::paper_buddy(), 4, 4, cal), oneline(BUDDY_DIGEST));
 }
