@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! usage: repro [EXPERIMENT ...] [--scale N] [--seed S] [--intervals K]
-//!              [--jobs J] [--shards S] [--event-queue heap|calendar]
+//!              [--jobs J] [--workers W] [--shards S]
+//!              [--event-queue heap|calendar]
 //!              [--users-full] [--json DIR] [--explain]
 //!
 //! EXPERIMENT: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 table4 fig6 ablations diag
@@ -15,6 +16,11 @@
 //! --jobs J:      worker threads for the sweep-point runner (default: the
 //!                machine's available parallelism; results are bit-identical
 //!                at any J)
+//! --workers W:   worker *processes* for the registered sweeps (default 0 =
+//!                in-process threads; W ≥ 2 forks that many `--worker-agent`
+//!                copies of this binary and distributes points over pipes —
+//!                results are bit-identical at any W, and dead or hung
+//!                workers are respawned with their points retried)
 //! --shards S:    event-queue shards inside each simulation point (default 1;
 //!                results are bit-identical at any S ≥ 1 — raising it lets a
 //!                point's disk effects run on worker threads, auto-sized from
@@ -25,19 +31,23 @@
 //! --users-full:  run the users_1e6 experiment on its full ladder (up to a
 //!                million users) instead of the CI smoke rungs
 //! --json DIR:    also write each result as DIR/<experiment>.json plus its
-//!                observability sidecar DIR/<experiment>.metrics.json, and
-//!                the timing profile as DIR/profile.json
+//!                observability sidecars DIR/<experiment>.metrics.json and
+//!                DIR/<experiment>.hist.json (per-point latency percentiles),
+//!                and the timing profile as DIR/profile.json
 //! --explain:     print each experiment's per-phase disk-time breakdown
 //!                (seek / rotation / transfer / queue wait per sweep point)
 //!                and the Wren IV analytic cross-check against Table 1
+//!
+//! repro --worker-agent   (internal) serve a coordinator over stdin/stdout;
+//!                        spawned by --workers, never invoked by hand
 //! ```
 
-use readopt_core::metrics::{cross_check_table, wren_iv_cross_check};
+use readopt_core::metrics::{cross_check_table, wren_iv_cross_check, ExperimentHist};
 use readopt_core::report::TextTable;
 use readopt_core::runner::{self, JobTiming};
 use readopt_core::{
-    ablations, diag, fig1, fig2, fig3, fig4, fig5, fig6, shard_scaling, table1, table2, table3,
-    table4, users_scale, ExperimentContext, ExperimentMetrics,
+    ablations, diag, distreg, fig1, fig2, fig3, fig4, fig5, fig6, shard_scaling, table1, table2,
+    table3, table4, users_scale, ExperimentContext, ExperimentMetrics,
 };
 use readopt_sim::EventQueueKind;
 use serde::Serialize;
@@ -50,6 +60,7 @@ struct Options {
     seed: u64,
     intervals: Option<usize>,
     jobs: Option<usize>,
+    workers: usize,
     shards: Option<usize>,
     event_queue: EventQueueKind,
     users_full: bool,
@@ -58,12 +69,46 @@ struct Options {
 }
 
 /// Wall-clock account of one experiment run: total plus per-sweep-point
-/// timings from the runner.
+/// timings from the runner (or, under `--workers`, from the worker agents).
 #[derive(Serialize)]
 struct ExperimentProfile {
     experiment: String,
     wall_s: f64,
+    /// Latency samples beyond the per-test reservoir cap, summed over the
+    /// experiment's points (0 means every percentile is exact).
+    dropped_latency_samples: u64,
     points: Vec<JobTiming>,
+}
+
+/// The `--worker-agent` body: bind the coordinator's context, compute
+/// registered sweep points by (experiment, index) until shutdown.
+struct AgentRunner {
+    ctx: Option<ExperimentContext>,
+}
+
+impl readopt_dist::PointRunner for AgentRunner {
+    fn init(&mut self, ctx_json: &str) -> Result<(), String> {
+        let ctx: ExperimentContext =
+            serde_json::from_str(ctx_json).map_err(|e| format!("parse context: {e}"))?;
+        self.ctx = Some(ctx);
+        Ok(())
+    }
+
+    fn run(&mut self, experiment: &str, index: u64) -> Result<String, String> {
+        let ctx = self.ctx.as_ref().ok_or("point assigned before init")?;
+        distreg::run_point(ctx, experiment, index)
+    }
+}
+
+fn worker_agent_main() -> ! {
+    let mut runner = AgentRunner { ctx: None };
+    match readopt_dist::serve_stdio(&mut runner, &readopt_dist::WorkerOptions::default()) {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("worker-agent: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 /// The whole run's timing profile (written as `profile.json`).
@@ -106,6 +151,7 @@ fn parse_args() -> Result<Options, String> {
         seed: 1991,
         intervals: None,
         jobs: None,
+        workers: 0,
         shards: None,
         event_queue: EventQueueKind::Heap,
         users_full: false,
@@ -147,6 +193,13 @@ fn parse_args() -> Result<Options, String> {
                     return Err("--jobs must be at least 1".into());
                 }
                 opts.jobs = Some(j);
+            }
+            "--workers" => {
+                opts.workers = args
+                    .next()
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
             }
             "--shards" => {
                 let s: usize = args
@@ -234,6 +287,12 @@ fn profile_table(profiles: &[ExperimentProfile], jobs: usize) -> String {
 }
 
 fn main() {
+    // The worker-agent mode bypasses normal argument handling entirely:
+    // its whole contract is the frame protocol on stdin/stdout.
+    if std::env::args().skip(1).any(|a| a == "--worker-agent") {
+        worker_agent_main();
+    }
+
     let opts = match parse_args() {
         Ok(o) => o,
         Err(e) => {
@@ -241,7 +300,7 @@ fn main() {
                 eprintln!("error: {e}\n");
             }
             eprintln!(
-                "usage: repro [EXPERIMENT ...] [--scale N] [--seed S] [--intervals K] [--jobs J] [--shards S] [--event-queue heap|calendar] [--users-full] [--json DIR] [--explain]\n\
+                "usage: repro [EXPERIMENT ...] [--scale N] [--seed S] [--intervals K] [--jobs J] [--workers W] [--shards S] [--event-queue heap|calendar] [--users-full] [--json DIR] [--explain]\n\
                  experiments: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 table4 fig6 ablations diag shard_scaling users_1e6 all"
             );
             std::process::exit(if e == "help" { 0 } else { 2 });
@@ -261,10 +320,10 @@ fn main() {
     if let Some(k) = opts.intervals {
         ctx.max_intervals = k;
     }
-    ctx = ctx.with_event_queue(opts.event_queue);
+    ctx = ctx.with_event_queue(opts.event_queue).with_workers(opts.workers);
 
     println!(
-        "readopt repro — array: {} disks, {:.2} GB usable (scale 1/{}), seed {}, {} jobs, {} shards, {} queue\n",
+        "readopt repro — array: {} disks, {:.2} GB usable (scale 1/{}), seed {}, {} jobs, {} shards, {} queue{}\n",
         ctx.array.ndisks,
         ctx.array.capacity_bytes() as f64 / 1e9,
         opts.scale.max(1),
@@ -274,6 +333,11 @@ fn main() {
         match ctx.event_queue {
             EventQueueKind::Heap => "heap",
             EventQueueKind::Calendar => "calendar",
+        },
+        if ctx.workers >= 2 {
+            format!(", {} worker processes", ctx.workers)
+        } else {
+            String::new()
         }
     );
 
@@ -282,9 +346,21 @@ fn main() {
     let t_start = Instant::now();
     let mut profiles: Vec<ExperimentProfile> = Vec::new();
 
+    // Under --workers, registered sweeps ran distributed; their profile
+    // entries get a `dist/` prefix so the perf gate tracks them as a
+    // separate (warn-only) family instead of comparing process-distributed
+    // wall clocks against in-process history.
+    let profile_name = |name: &str| {
+        if ctx.workers >= 2 && distreg::supports(name) {
+            format!("dist/{name}")
+        } else {
+            name.to_string()
+        }
+    };
+
     // Each arm runs one experiment's profiled driver, prints its table (and
     // chart where the figure has one), records the timing profile, and
-    // writes the JSON artifact plus its metrics sidecar.
+    // writes the JSON artifact plus its metrics and histogram sidecars.
     macro_rules! experiment {
         ($name:literal, $body:expr) => {
             experiment!($name, $body, |_result| {});
@@ -292,7 +368,7 @@ fn main() {
         ($name:literal, $body:expr, $chart:expr) => {
             if wants($name) {
                 let t0 = Instant::now();
-                let (result, timings, metrics) = $body;
+                let (result, timings, metrics, hists) = $body;
                 println!("{result}");
                 #[allow(clippy::redundant_closure_call)]
                 ($chart)(&result);
@@ -304,9 +380,13 @@ fn main() {
                 if !metrics.points.is_empty() {
                     write_json(&opts.json_dir, concat!($name, ".metrics"), &metrics);
                 }
+                if !hists.points.is_empty() {
+                    write_json(&opts.json_dir, concat!($name, ".hist"), &hists);
+                }
                 profiles.push(ExperimentProfile {
-                    experiment: $name.to_string(),
+                    experiment: profile_name($name),
                     wall_s: t0.elapsed().as_secs_f64(),
+                    dropped_latency_samples: hists.dropped_samples(),
                     points: timings,
                 });
                 let _ = std::io::stdout().flush();
@@ -315,20 +395,44 @@ fn main() {
     }
 
     // table1/table2 are parameter dumps with no sweep to fan out; they run
-    // inline and appear in the profile with no per-point breakdown and an
-    // empty metrics sidecar (nothing to decompose).
-    experiment!("table1", (table1::run(&ctx), Vec::new(), ExperimentMetrics::empty("table1")));
-    experiment!("table2", (table2::run(&ctx), Vec::new(), ExperimentMetrics::empty("table2")));
+    // inline and appear in the profile with no per-point breakdown and
+    // empty metrics/histogram sidecars (nothing to decompose). fig3 and
+    // shard_scaling derive from other sweeps' simulations and keep no
+    // latency reservoir of their own.
+    experiment!(
+        "table1",
+        (
+            table1::run(&ctx),
+            Vec::new(),
+            ExperimentMetrics::empty("table1"),
+            ExperimentHist::empty("table1")
+        )
+    );
+    experiment!(
+        "table2",
+        (
+            table2::run(&ctx),
+            Vec::new(),
+            ExperimentMetrics::empty("table2"),
+            ExperimentHist::empty("table2")
+        )
+    );
     experiment!("diag", diag::run_profiled(&ctx));
     experiment!("table3", table3::run_profiled(&ctx));
     experiment!("fig1", fig1::run_profiled(&ctx), |r: &fig1::Fig1| println!("{}", r.chart()));
     experiment!("fig2", fig2::run_profiled(&ctx), |r: &fig2::Fig2| println!("{}", r.chart()));
-    experiment!("fig3", fig3::run_profiled(ctx.jobs));
+    experiment!("fig3", {
+        let (r, t, m) = fig3::run_profiled(ctx.jobs);
+        (r, t, m, ExperimentHist::empty("fig3"))
+    });
     experiment!("fig4", fig4::run_profiled(&ctx), |r: &fig4::Fig4| println!("{}", r.chart()));
     experiment!("fig5", fig5::run_profiled(&ctx), |r: &fig5::Fig5| println!("{}", r.chart()));
     experiment!("table4", table4::run_profiled(&ctx));
     experiment!("fig6", fig6::run_profiled(&ctx), |r: &fig6::Fig6| println!("{}", r.chart()));
-    experiment!("shard_scaling", shard_scaling::run_profiled(&ctx));
+    experiment!("shard_scaling", {
+        let (r, t, m) = shard_scaling::run_profiled(&ctx);
+        (r, t, m, ExperimentHist::empty("shard_scaling"))
+    });
     experiment!("users_1e6", users_scale::run_profiled(&ctx, opts.users_full));
     if wants("ablations") {
         let t0 = Instant::now();
@@ -356,6 +460,7 @@ fn main() {
         profiles.push(ExperimentProfile {
             experiment: "ablations".to_string(),
             wall_s: t0.elapsed().as_secs_f64(),
+            dropped_latency_samples: 0,
             points: timings,
         });
         let _ = std::io::stdout().flush();

@@ -2,7 +2,9 @@
 
 use readopt_alloc::PolicyConfig;
 use readopt_disk::ArrayConfig;
-use readopt_sim::{EventQueueKind, FragReport, PerfReport, SimConfig, Simulation, TestMetrics};
+use readopt_sim::{
+    EventQueueKind, FragReport, PerfReport, SimConfig, Simulation, TestHist, TestMetrics,
+};
 use readopt_workloads::WorkloadKind;
 use serde::{Deserialize, Serialize};
 
@@ -31,6 +33,10 @@ pub struct ExperimentContext {
     /// bit-identical on either backend; `Calendar` is the O(1) choice for
     /// million-user points.
     pub event_queue: EventQueueKind,
+    /// Worker *processes* to distribute registered sweeps across (see
+    /// `crates/dist`): 0 or 1 means in-process threads (`jobs`), ≥ 2 forks
+    /// that many worker agents. Results are bit-identical either way.
+    pub workers: usize,
 }
 
 impl ExperimentContext {
@@ -44,6 +50,7 @@ impl ExperimentContext {
             shards: 1,
             shard_workers: 0,
             event_queue: EventQueueKind::Heap,
+            workers: 0,
         }
     }
 
@@ -58,6 +65,7 @@ impl ExperimentContext {
             shards: 1,
             shard_workers: 0,
             event_queue: EventQueueKind::Heap,
+            workers: 0,
         }
     }
 
@@ -89,6 +97,12 @@ impl ExperimentContext {
     /// With a different event-queue backend.
     pub fn with_event_queue(mut self, kind: EventQueueKind) -> Self {
         self.event_queue = kind;
+        self
+    }
+
+    /// With a worker-process count (≥ 2 distributes registered sweeps).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
         self
     }
 
@@ -125,11 +139,24 @@ impl ExperimentContext {
         workload: WorkloadKind,
         policy: PolicyConfig,
     ) -> (FragReport, TestMetrics) {
+        let (frag, metrics, _) = self.run_allocation_observed(workload, policy);
+        (frag, metrics)
+    }
+
+    /// Like [`Self::run_allocation_metered`] but also snapshots the
+    /// log-bucketed latency histogram (another pure read — the report and
+    /// metrics stay bit-identical).
+    pub fn run_allocation_observed(
+        &self,
+        workload: WorkloadKind,
+        policy: PolicyConfig,
+    ) -> (FragReport, TestMetrics, TestHist) {
         let cfg = self.sim_config(workload, policy);
         let mut sim = Simulation::new(&cfg, self.seed);
         let frag = sim.run_allocation_test();
         let metrics = sim.metrics_snapshot("allocation", sim.now().as_ms());
-        (frag, metrics)
+        let hist = sim.latency_hist("allocation");
+        (frag, metrics, hist)
     }
 
     /// Runs the §3 application + sequential tests for one pair (one
@@ -151,17 +178,31 @@ impl ExperimentContext {
         workload: WorkloadKind,
         policy: PolicyConfig,
     ) -> ((PerfReport, PerfReport), Vec<TestMetrics>) {
+        let (reports, metrics, _) = self.run_performance_observed(workload, policy);
+        (reports, metrics)
+    }
+
+    /// Like [`Self::run_performance_metered`] but also snapshots each
+    /// test's log-bucketed latency histogram (pure reads taken before the
+    /// inter-test reset, so reports and metrics stay bit-identical).
+    pub fn run_performance_observed(
+        &self,
+        workload: WorkloadKind,
+        policy: PolicyConfig,
+    ) -> ((PerfReport, PerfReport), Vec<TestMetrics>, Vec<TestHist>) {
         let cfg = self.sim_config(workload, policy);
         let mut sim = Simulation::new(&cfg, self.seed.wrapping_add(1));
         sim.reset_counters();
         sim.storage_reset_for_probe();
         let app = sim.run_application_test();
         let m_app = sim.metrics_snapshot("application", app.measured_ms);
+        let h_app = sim.latency_hist("application");
         sim.reset_counters();
         sim.storage_reset_for_probe();
         let seq = sim.run_sequential_test();
         let m_seq = sim.metrics_snapshot("sequential", seq.measured_ms);
-        ((app, seq), vec![m_app, m_seq])
+        let h_seq = sim.latency_hist("sequential");
+        ((app, seq), vec![m_app, m_seq], vec![h_app, h_seq])
     }
 
     /// The extent-based policy for `workload` with `n` ranges and the given

@@ -8,10 +8,11 @@
 //! how much of each the policies buy.
 
 use crate::context::ExperimentContext;
+use crate::distreg;
 use crate::fig6::policies_for;
-use crate::metrics::{ExperimentMetrics, PointMetrics};
+use crate::metrics::{split3, ExperimentHist, ExperimentMetrics, PointHist, PointMetrics};
 use crate::report::{pct, TextTable};
-use crate::runner::{self, Job, JobTiming};
+use crate::runner::{Job, JobTiming};
 use readopt_sim::Simulation;
 use readopt_workloads::WorkloadKind;
 use serde::{Deserialize, Serialize};
@@ -52,8 +53,25 @@ pub fn run(ctx: &ExperimentContext) -> Diag {
 }
 
 /// As [`run`], also returning per-cell wall-clock timings and the
-/// observability sidecar (the same snapshots the rows are derived from).
-pub fn run_profiled(ctx: &ExperimentContext) -> (Diag, Vec<JobTiming>, ExperimentMetrics) {
+/// observability sidecars (the same snapshots the rows are derived from,
+/// plus per-cell latency histograms).
+pub fn run_profiled(
+    ctx: &ExperimentContext,
+) -> (Diag, Vec<JobTiming>, ExperimentMetrics, ExperimentHist) {
+    let out = distreg::run_jobs_ctx(ctx, "diag", dist_jobs(ctx));
+    let (rows, metrics, hists) = split3(out.results);
+    (
+        Diag { rows },
+        out.timings,
+        ExperimentMetrics::new("diag", metrics),
+        ExperimentHist::new("diag", hists),
+    )
+}
+
+/// The 12 cells as registry jobs (identical enumeration in every process).
+pub(crate) fn dist_jobs(
+    ctx: &ExperimentContext,
+) -> Vec<Job<'static, (DiagRow, PointMetrics, PointHist)>> {
     let ctx = *ctx;
     let mut jobs = Vec::new();
     for wl in [
@@ -69,6 +87,7 @@ pub fn run_profiled(ctx: &ExperimentContext) -> (Diag, Vec<JobTiming>, Experimen
                 let mut sim = Simulation::new(&cfg, ctx.seed.wrapping_add(1));
                 let app = sim.run_application_test();
                 let tm = sim.metrics_snapshot("application", app.measured_ms);
+                let th = sim.latency_hist("application");
                 let c = &tm.storage.combined;
                 let (seek, rotation, transfer) = c.phase_shares_pct();
                 let row = DiagRow {
@@ -83,13 +102,15 @@ pub fn run_profiled(ctx: &ExperimentContext) -> (Diag, Vec<JobTiming>, Experimen
                         / 1024.0,
                     disk_utilization: tm.storage.combined.utilization,
                 };
-                (row, PointMetrics::new(point_label, vec![tm]))
+                (
+                    row,
+                    PointMetrics::new(point_label.clone(), vec![tm]),
+                    PointHist::new(point_label, vec![th]),
+                )
             }));
         }
     }
-    let out = runner::run_jobs(ctx.jobs, jobs);
-    let (rows, metrics) = out.results.into_iter().unzip();
-    (Diag { rows }, out.timings, ExperimentMetrics::new("diag", metrics))
+    jobs
 }
 
 impl fmt::Display for Diag {

@@ -8,9 +8,10 @@
 //! unclustered slightly worse external fragmentation.
 
 use crate::context::ExperimentContext;
-use crate::metrics::{ExperimentMetrics, PointMetrics};
+use crate::distreg;
+use crate::metrics::{ExperimentHist, ExperimentMetrics, PointHist, PointMetrics};
 use crate::report::{pct, BarChart, TextTable};
-use crate::runner::{self, Job, JobTiming};
+use crate::runner::{self, Job, JobTiming, RunOutcome};
 use readopt_alloc::{PolicyConfig, RestrictedConfig};
 use readopt_workloads::WorkloadKind;
 use serde::{Deserialize, Serialize};
@@ -53,15 +54,27 @@ pub fn sweep_configs() -> Vec<(usize, u64, bool)> {
     out
 }
 
+/// One sweep point's full output: result + metrics + latency histogram.
+type Fig1Out = (Fig1Point, PointMetrics, PointHist);
+
 /// Runs the allocation test across the whole sweep.
 pub fn run(ctx: &ExperimentContext) -> Fig1 {
     run_profiled(ctx).0
 }
 
 /// As [`run`], also returning per-point wall-clock timings and the
-/// observability sidecar (per-point metrics in sweep order).
-pub fn run_profiled(ctx: &ExperimentContext) -> (Fig1, Vec<JobTiming>, ExperimentMetrics) {
-    run_sweep(ctx, &WorkloadKind::all(), &sweep_configs())
+/// observability sidecars (per-point metrics and latency histograms, both
+/// in sweep order).
+pub fn run_profiled(
+    ctx: &ExperimentContext,
+) -> (Fig1, Vec<JobTiming>, ExperimentMetrics, ExperimentHist) {
+    assemble(distreg::run_jobs_ctx(ctx, "fig1", dist_jobs(ctx)))
+}
+
+/// The full sweep as registry jobs (worker agents enumerate the identical
+/// list, so a point index means the same configuration in every process).
+pub(crate) fn dist_jobs(ctx: &ExperimentContext) -> Vec<Job<'static, Fig1Out>> {
+    sweep_jobs(ctx, &WorkloadKind::all(), &sweep_configs())
 }
 
 /// Runs an arbitrary subset of the sweep (used by the determinism tests to
@@ -70,7 +83,15 @@ pub fn run_sweep(
     ctx: &ExperimentContext,
     workloads: &[WorkloadKind],
     configs: &[(usize, u64, bool)],
-) -> (Fig1, Vec<JobTiming>, ExperimentMetrics) {
+) -> (Fig1, Vec<JobTiming>, ExperimentMetrics, ExperimentHist) {
+    assemble(runner::run_jobs(ctx.jobs, sweep_jobs(ctx, workloads, configs)))
+}
+
+fn sweep_jobs(
+    ctx: &ExperimentContext,
+    workloads: &[WorkloadKind],
+    configs: &[(usize, u64, bool)],
+) -> Vec<Job<'static, Fig1Out>> {
     let ctx = *ctx;
     let mut jobs = Vec::new();
     for &wl in workloads {
@@ -85,7 +106,7 @@ pub fn run_sweep(
                 let policy = PolicyConfig::Restricted(RestrictedConfig::sweep_point(
                     nsizes, grow, clustered,
                 ));
-                let (frag, tm) = ctx.run_allocation_metered(wl, policy);
+                let (frag, tm, th) = ctx.run_allocation_observed(wl, policy);
                 let point = Fig1Point {
                     workload: wl.short_name().to_string(),
                     nsizes,
@@ -94,13 +115,27 @@ pub fn run_sweep(
                     internal_pct: frag.internal_pct,
                     external_pct: frag.external_pct,
                 };
-                (point, PointMetrics::new(point_label, vec![tm]))
+                (
+                    point,
+                    PointMetrics::new(point_label.clone(), vec![tm]),
+                    PointHist::new(point_label, vec![th]),
+                )
             }));
         }
     }
-    let out = runner::run_jobs(ctx.jobs, jobs);
-    let (points, metrics) = out.results.into_iter().unzip();
-    (Fig1 { points }, out.timings, ExperimentMetrics::new("fig1", metrics))
+    jobs
+}
+
+fn assemble(
+    out: RunOutcome<Fig1Out>,
+) -> (Fig1, Vec<JobTiming>, ExperimentMetrics, ExperimentHist) {
+    let (points, metrics, hists) = crate::metrics::split3(out.results);
+    (
+        Fig1 { points },
+        out.timings,
+        ExperimentMetrics::new("fig1", metrics),
+        ExperimentHist::new("fig1", hists),
+    )
 }
 
 impl Fig1 {

@@ -6,10 +6,11 @@
 //! the grow factor matters mostly for TS (the Figure 3 interaction).
 
 use crate::context::ExperimentContext;
+use crate::distreg;
 use crate::fig1::sweep_configs;
-use crate::metrics::{ExperimentMetrics, PointMetrics};
+use crate::metrics::{split3, ExperimentHist, ExperimentMetrics, PointHist, PointMetrics};
 use crate::report::{pct, BarChart, TextTable};
-use crate::runner::{self, Job, JobTiming};
+use crate::runner::{self, Job, JobTiming, RunOutcome};
 use readopt_alloc::{PolicyConfig, RestrictedConfig};
 use readopt_workloads::WorkloadKind;
 use serde::{Deserialize, Serialize};
@@ -39,15 +40,26 @@ pub struct Fig2 {
     pub points: Vec<Fig2Point>,
 }
 
+/// One sweep point's full output: result + metrics + latency histograms.
+type Fig2Out = (Fig2Point, PointMetrics, PointHist);
+
 /// Runs the performance tests across the whole sweep.
 pub fn run(ctx: &ExperimentContext) -> Fig2 {
     run_profiled(ctx).0
 }
 
 /// As [`run`], also returning per-point wall-clock timings and the
-/// observability sidecar (per-point metrics in sweep order).
-pub fn run_profiled(ctx: &ExperimentContext) -> (Fig2, Vec<JobTiming>, ExperimentMetrics) {
-    run_sweep(ctx, &WorkloadKind::all(), &sweep_configs())
+/// observability sidecars (per-point metrics and latency histograms, both
+/// in sweep order).
+pub fn run_profiled(
+    ctx: &ExperimentContext,
+) -> (Fig2, Vec<JobTiming>, ExperimentMetrics, ExperimentHist) {
+    assemble(distreg::run_jobs_ctx(ctx, "fig2", dist_jobs(ctx)))
+}
+
+/// The full sweep as registry jobs (identical enumeration in every process).
+pub(crate) fn dist_jobs(ctx: &ExperimentContext) -> Vec<Job<'static, Fig2Out>> {
+    sweep_jobs(ctx, &WorkloadKind::all(), &sweep_configs())
 }
 
 /// Runs an arbitrary subset of the sweep (used by the determinism tests to
@@ -56,7 +68,15 @@ pub fn run_sweep(
     ctx: &ExperimentContext,
     workloads: &[WorkloadKind],
     configs: &[(usize, u64, bool)],
-) -> (Fig2, Vec<JobTiming>, ExperimentMetrics) {
+) -> (Fig2, Vec<JobTiming>, ExperimentMetrics, ExperimentHist) {
+    assemble(runner::run_jobs(ctx.jobs, sweep_jobs(ctx, workloads, configs)))
+}
+
+fn sweep_jobs(
+    ctx: &ExperimentContext,
+    workloads: &[WorkloadKind],
+    configs: &[(usize, u64, bool)],
+) -> Vec<Job<'static, Fig2Out>> {
     let ctx = *ctx;
     let mut jobs = Vec::new();
     for &wl in workloads {
@@ -71,7 +91,7 @@ pub fn run_sweep(
                 let policy = PolicyConfig::Restricted(RestrictedConfig::sweep_point(
                     nsizes, grow, clustered,
                 ));
-                let ((app, seq), tms) = ctx.run_performance_metered(wl, policy);
+                let ((app, seq), tms, ths) = ctx.run_performance_observed(wl, policy);
                 let point = Fig2Point {
                     workload: wl.short_name().to_string(),
                     nsizes,
@@ -80,13 +100,27 @@ pub fn run_sweep(
                     application_pct: app.throughput_pct,
                     sequential_pct: seq.throughput_pct,
                 };
-                (point, PointMetrics::new(point_label, tms))
+                (
+                    point,
+                    PointMetrics::new(point_label.clone(), tms),
+                    PointHist::new(point_label, ths),
+                )
             }));
         }
     }
-    let out = runner::run_jobs(ctx.jobs, jobs);
-    let (points, metrics) = out.results.into_iter().unzip();
-    (Fig2 { points }, out.timings, ExperimentMetrics::new("fig2", metrics))
+    jobs
+}
+
+fn assemble(
+    out: RunOutcome<Fig2Out>,
+) -> (Fig2, Vec<JobTiming>, ExperimentMetrics, ExperimentHist) {
+    let (points, metrics, hists) = split3(out.results);
+    (
+        Fig2 { points },
+        out.timings,
+        ExperimentMetrics::new("fig2", metrics),
+        ExperimentHist::new("fig2", hists),
+    )
 }
 
 impl Fig2 {

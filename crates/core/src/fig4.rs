@@ -7,9 +7,10 @@
 //! 5 %"; best-fit consistently fragments (slightly) less.
 
 use crate::context::ExperimentContext;
-use crate::metrics::{ExperimentMetrics, PointMetrics};
+use crate::distreg;
+use crate::metrics::{split3, ExperimentHist, ExperimentMetrics, PointHist, PointMetrics};
 use crate::report::{pct, BarChart, TextTable};
-use crate::runner::{self, Job, JobTiming};
+use crate::runner::{Job, JobTiming};
 use readopt_alloc::FitStrategy;
 use readopt_workloads::WorkloadKind;
 use serde::{Deserialize, Serialize};
@@ -45,8 +46,24 @@ pub fn run(ctx: &ExperimentContext) -> Fig4 {
 }
 
 /// As [`run`], also returning per-point wall-clock timings and the
-/// observability sidecar (per-point metrics in sweep order).
-pub fn run_profiled(ctx: &ExperimentContext) -> (Fig4, Vec<JobTiming>, ExperimentMetrics) {
+/// observability sidecars (per-point metrics and latency histograms).
+pub fn run_profiled(
+    ctx: &ExperimentContext,
+) -> (Fig4, Vec<JobTiming>, ExperimentMetrics, ExperimentHist) {
+    let out = distreg::run_jobs_ctx(ctx, "fig4", dist_jobs(ctx));
+    let (points, metrics, hists) = split3(out.results);
+    (
+        Fig4 { points },
+        out.timings,
+        ExperimentMetrics::new("fig4", metrics),
+        ExperimentHist::new("fig4", hists),
+    )
+}
+
+/// The full sweep as registry jobs (identical enumeration in every process).
+pub(crate) fn dist_jobs(
+    ctx: &ExperimentContext,
+) -> Vec<Job<'static, (Fig4Point, PointMetrics, PointHist)>> {
     let ctx = *ctx;
     let mut jobs = Vec::new();
     for wl in WorkloadKind::all() {
@@ -56,7 +73,7 @@ pub fn run_profiled(ctx: &ExperimentContext) -> (Fig4, Vec<JobTiming>, Experimen
                 let point_label = label.clone();
                 jobs.push(Job::new(label, move || {
                     let policy = ctx.extent_policy(wl, n_ranges, fit);
-                    let (frag, tm) = ctx.run_allocation_metered(wl, policy);
+                    let (frag, tm, th) = ctx.run_allocation_observed(wl, policy);
                     let point = Fig4Point {
                         workload: wl.short_name().to_string(),
                         n_ranges,
@@ -65,14 +82,16 @@ pub fn run_profiled(ctx: &ExperimentContext) -> (Fig4, Vec<JobTiming>, Experimen
                         external_pct: frag.external_pct,
                         avg_extents_per_file: frag.avg_extents_per_file,
                     };
-                    (point, PointMetrics::new(point_label, vec![tm]))
+                    (
+                        point,
+                        PointMetrics::new(point_label.clone(), vec![tm]),
+                        PointHist::new(point_label, vec![th]),
+                    )
                 }));
             }
         }
     }
-    let out = runner::run_jobs(ctx.jobs, jobs);
-    let (points, metrics) = out.results.into_iter().unzip();
-    (Fig4 { points }, out.timings, ExperimentMetrics::new("fig4", metrics))
+    jobs
 }
 
 impl Fig4 {

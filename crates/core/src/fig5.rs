@@ -7,9 +7,10 @@
 //! out (Table 4).
 
 use crate::context::ExperimentContext;
-use crate::metrics::{ExperimentMetrics, PointMetrics};
+use crate::distreg;
+use crate::metrics::{split3, ExperimentHist, ExperimentMetrics, PointHist, PointMetrics};
 use crate::report::{pct, BarChart, TextTable};
-use crate::runner::{self, Job, JobTiming};
+use crate::runner::{Job, JobTiming};
 use readopt_alloc::FitStrategy;
 use readopt_workloads::WorkloadKind;
 use serde::{Deserialize, Serialize};
@@ -45,8 +46,24 @@ pub fn run(ctx: &ExperimentContext) -> Fig5 {
 }
 
 /// As [`run`], also returning per-point wall-clock timings and the
-/// observability sidecar (per-point metrics in sweep order).
-pub fn run_profiled(ctx: &ExperimentContext) -> (Fig5, Vec<JobTiming>, ExperimentMetrics) {
+/// observability sidecars (per-point metrics and latency histograms).
+pub fn run_profiled(
+    ctx: &ExperimentContext,
+) -> (Fig5, Vec<JobTiming>, ExperimentMetrics, ExperimentHist) {
+    let out = distreg::run_jobs_ctx(ctx, "fig5", dist_jobs(ctx));
+    let (points, metrics, hists) = split3(out.results);
+    (
+        Fig5 { points },
+        out.timings,
+        ExperimentMetrics::new("fig5", metrics),
+        ExperimentHist::new("fig5", hists),
+    )
+}
+
+/// The full sweep as registry jobs (identical enumeration in every process).
+pub(crate) fn dist_jobs(
+    ctx: &ExperimentContext,
+) -> Vec<Job<'static, (Fig5Point, PointMetrics, PointHist)>> {
     let ctx = *ctx;
     let mut jobs = Vec::new();
     for wl in WorkloadKind::all() {
@@ -56,7 +73,7 @@ pub fn run_profiled(ctx: &ExperimentContext) -> (Fig5, Vec<JobTiming>, Experimen
                 let point_label = label.clone();
                 jobs.push(Job::new(label, move || {
                     let policy = ctx.extent_policy(wl, n_ranges, fit);
-                    let ((app, seq), tms) = ctx.run_performance_metered(wl, policy);
+                    let ((app, seq), tms, ths) = ctx.run_performance_observed(wl, policy);
                     let point = Fig5Point {
                         workload: wl.short_name().to_string(),
                         n_ranges,
@@ -65,14 +82,16 @@ pub fn run_profiled(ctx: &ExperimentContext) -> (Fig5, Vec<JobTiming>, Experimen
                         sequential_pct: seq.throughput_pct,
                         avg_extents_per_file: seq.avg_extents_per_file,
                     };
-                    (point, PointMetrics::new(point_label, tms))
+                    (
+                        point,
+                        PointMetrics::new(point_label.clone(), tms),
+                        PointHist::new(point_label, ths),
+                    )
                 }));
             }
         }
     }
-    let out = runner::run_jobs(ctx.jobs, jobs);
-    let (points, metrics) = out.results.into_iter().unzip();
-    (Fig5 { points }, out.timings, ExperimentMetrics::new("fig5", metrics))
+    jobs
 }
 
 impl Fig5 {

@@ -13,9 +13,10 @@
 //! application via its enormous blocks.
 
 use crate::context::ExperimentContext;
-use crate::metrics::{ExperimentMetrics, PointMetrics};
+use crate::distreg;
+use crate::metrics::{split3, ExperimentHist, ExperimentMetrics, PointHist, PointMetrics};
 use crate::report::{pct, BarChart, TextTable};
-use crate::runner::{self, Job, JobTiming};
+use crate::runner::{Job, JobTiming};
 use readopt_alloc::{FitStrategy, PolicyConfig};
 use readopt_workloads::WorkloadKind;
 use serde::{Deserialize, Serialize};
@@ -60,8 +61,25 @@ pub fn run(ctx: &ExperimentContext) -> Fig6 {
 }
 
 /// As [`run`], also returning per-cell wall-clock timings and the
-/// observability sidecar (per-cell metrics in sweep order).
-pub fn run_profiled(ctx: &ExperimentContext) -> (Fig6, Vec<JobTiming>, ExperimentMetrics) {
+/// observability sidecars (per-cell metrics and latency histograms, in
+/// sweep order).
+pub fn run_profiled(
+    ctx: &ExperimentContext,
+) -> (Fig6, Vec<JobTiming>, ExperimentMetrics, ExperimentHist) {
+    let out = distreg::run_jobs_ctx(ctx, "fig6", dist_jobs(ctx));
+    let (cells, metrics, hists) = split3(out.results);
+    (
+        Fig6 { cells },
+        out.timings,
+        ExperimentMetrics::new("fig6", metrics),
+        ExperimentHist::new("fig6", hists),
+    )
+}
+
+/// The 12 cells as registry jobs (identical enumeration in every process).
+pub(crate) fn dist_jobs(
+    ctx: &ExperimentContext,
+) -> Vec<Job<'static, (Fig6Cell, PointMetrics, PointHist)>> {
     let ctx = *ctx;
     let mut jobs = Vec::new();
     for wl in [
@@ -73,20 +91,22 @@ pub fn run_profiled(ctx: &ExperimentContext) -> (Fig6, Vec<JobTiming>, Experimen
             let label = format!("fig6/{}/{name}", wl.short_name());
             let point_label = label.clone();
             jobs.push(Job::new(label, move || {
-                let ((app, seq), tms) = ctx.run_performance_metered(wl, policy);
+                let ((app, seq), tms, ths) = ctx.run_performance_observed(wl, policy);
                 let cell = Fig6Cell {
                     workload: wl.short_name().to_string(),
                     policy: name,
                     application_pct: app.throughput_pct,
                     sequential_pct: seq.throughput_pct,
                 };
-                (cell, PointMetrics::new(point_label, tms))
+                (
+                    cell,
+                    PointMetrics::new(point_label.clone(), tms),
+                    PointHist::new(point_label, ths),
+                )
             }));
         }
     }
-    let out = runner::run_jobs(ctx.jobs, jobs);
-    let (cells, metrics) = out.results.into_iter().unzip();
-    (Fig6 { cells }, out.timings, ExperimentMetrics::new("fig6", metrics))
+    jobs
 }
 
 impl Fig6 {

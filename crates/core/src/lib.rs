@@ -37,6 +37,7 @@
 pub mod ablations;
 pub mod context;
 pub mod diag;
+pub mod distreg;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;

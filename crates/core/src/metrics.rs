@@ -92,6 +92,76 @@ impl ExperimentMetrics {
     }
 }
 
+/// Latency-histogram snapshots for one sweep point (`*.hist.json` sidecar).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PointHist {
+    /// The sweep point's label (same text as the runner job's label).
+    pub label: String,
+    /// One log-bucketed histogram per test the point ran, in execution
+    /// order (see [`readopt_sim::TestHist`]).
+    pub tests: Vec<readopt_sim::TestHist>,
+}
+
+impl PointHist {
+    /// A point with histograms in execution order.
+    pub fn new(label: impl Into<String>, tests: Vec<readopt_sim::TestHist>) -> Self {
+        PointHist { label: label.into(), tests }
+    }
+}
+
+/// Sidecar content for one experiment's latency percentiles:
+/// `<experiment>.hist.json`. Like the metrics sidecar, every histogram is
+/// produced inside its point's job and reassembled in sweep order, so the
+/// artifact is bit-identical at any `--jobs` or `--workers`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentHist {
+    /// Experiment name ("fig2", "table4", …).
+    pub experiment: String,
+    /// Per-sweep-point histograms in sweep order.
+    pub points: Vec<PointHist>,
+}
+
+impl ExperimentHist {
+    /// Wraps sweep-ordered point histograms.
+    pub fn new(experiment: impl Into<String>, points: Vec<PointHist>) -> Self {
+        ExperimentHist { experiment: experiment.into(), points }
+    }
+
+    /// For experiments that record no operation latencies.
+    pub fn empty(experiment: impl Into<String>) -> Self {
+        ExperimentHist { experiment: experiment.into(), points: Vec::new() }
+    }
+
+    /// Samples the engine's exact 200 k latency buffer dropped across all
+    /// points — when non-zero, the exact-buffer p50/p99 in the results were
+    /// computed over a clipped prefix and the bucketed percentiles here are
+    /// the trustworthy ones. Surfaced per experiment in `profile.json`.
+    pub fn dropped_samples(&self) -> u64 {
+        let mut dropped = 0u64;
+        for p in &self.points {
+            for t in &p.tests {
+                dropped += t.dropped;
+            }
+        }
+        dropped
+    }
+}
+
+/// Unzips a sweep's `(result, metrics, hist)` triples into parallel
+/// vectors, preserving sweep order (the three-way `unzip` every driver's
+/// reassembly needs).
+pub fn split3<A, B, C>(triples: Vec<(A, B, C)>) -> (Vec<A>, Vec<B>, Vec<C>) {
+    let mut a = Vec::with_capacity(triples.len());
+    let mut b = Vec::with_capacity(triples.len());
+    let mut c = Vec::with_capacity(triples.len());
+    for (x, y, z) in triples {
+        a.push(x);
+        b.push(y);
+        c.push(z);
+    }
+    (a, b, c)
+}
+
 /// Analytic per-phase expectations for single-sector random reads on a
 /// geometry, straight from the Table 1 parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

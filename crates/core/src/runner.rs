@@ -36,6 +36,13 @@ impl<'scope, T> Job<'scope, T> {
     pub fn label(&self) -> &str {
         &self.label
     }
+
+    /// Consumes the job and runs its closure inline. The worker agent uses
+    /// this to execute a single point by index instead of going through
+    /// the thread pool.
+    pub fn run(self) -> T {
+        (self.work)()
+    }
 }
 
 /// Wall-clock cost of one executed job.

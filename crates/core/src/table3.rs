@@ -9,9 +9,10 @@
 //! | TS       | 18.4 %   |  2.3 %   |  8.4 %      | 12.0 %     |
 
 use crate::context::ExperimentContext;
-use crate::metrics::{ExperimentMetrics, PointMetrics};
+use crate::distreg;
+use crate::metrics::{split3, ExperimentHist, ExperimentMetrics, PointHist, PointMetrics};
 use crate::report::{pct, TextTable};
-use crate::runner::{self, Job, JobTiming};
+use crate::runner::{Job, JobTiming};
 use readopt_alloc::PolicyConfig;
 use readopt_workloads::WorkloadKind;
 use serde::{Deserialize, Serialize};
@@ -45,33 +46,19 @@ pub fn run(ctx: &ExperimentContext) -> Table3 {
 }
 
 /// As [`run`], also returning per-point wall-clock timings and the
-/// observability sidecar. The allocation and performance tests of each
+/// observability sidecars. The allocation and performance tests of each
 /// workload are independent simulations, so they fan out as separate jobs
 /// (6 total).
-pub fn run_profiled(ctx: &ExperimentContext) -> (Table3, Vec<JobTiming>, ExperimentMetrics) {
-    let ctx = *ctx;
+pub fn run_profiled(
+    ctx: &ExperimentContext,
+) -> (Table3, Vec<JobTiming>, ExperimentMetrics, ExperimentHist) {
+    let out = distreg::run_jobs_ctx(ctx, "table3", dist_jobs(ctx));
+    let (values, metrics, hists): (Vec<(f64, f64)>, _, _) = split3(out.results);
     let workloads = [
         WorkloadKind::Supercomputer,
         WorkloadKind::TransactionProcessing,
         WorkloadKind::Timesharing,
     ];
-    let mut jobs: Vec<Job<((f64, f64), PointMetrics)>> = Vec::new();
-    for wl in workloads {
-        let alloc_label = format!("table3/{}/alloc", wl.short_name());
-        let alloc_point = alloc_label.clone();
-        jobs.push(Job::new(alloc_label, move || {
-            let (frag, tm) = ctx.run_allocation_metered(wl, PolicyConfig::paper_buddy());
-            ((frag.internal_pct, frag.external_pct), PointMetrics::new(alloc_point, vec![tm]))
-        }));
-        let perf_label = format!("table3/{}/perf", wl.short_name());
-        let perf_point = perf_label.clone();
-        jobs.push(Job::new(perf_label, move || {
-            let ((app, seq), tms) = ctx.run_performance_metered(wl, PolicyConfig::paper_buddy());
-            ((app.throughput_pct, seq.throughput_pct), PointMetrics::new(perf_point, tms))
-        }));
-    }
-    let out = runner::run_jobs(ctx.jobs, jobs);
-    let (values, metrics): (Vec<_>, Vec<_>) = out.results.into_iter().unzip();
     let rows = workloads
         .iter()
         .zip(values.chunks_exact(2))
@@ -83,7 +70,50 @@ pub fn run_profiled(ctx: &ExperimentContext) -> (Table3, Vec<JobTiming>, Experim
             sequential_pct: pair[1].1,
         })
         .collect();
-    (Table3 { rows }, out.timings, ExperimentMetrics::new("table3", metrics))
+    (
+        Table3 { rows },
+        out.timings,
+        ExperimentMetrics::new("table3", metrics),
+        ExperimentHist::new("table3", hists),
+    )
+}
+
+/// The 6 independent simulations as registry jobs (identical enumeration in
+/// every process): alloc then perf per workload, SC/TP/TS order.
+pub(crate) fn dist_jobs(
+    ctx: &ExperimentContext,
+) -> Vec<Job<'static, ((f64, f64), PointMetrics, PointHist)>> {
+    let ctx = *ctx;
+    let workloads = [
+        WorkloadKind::Supercomputer,
+        WorkloadKind::TransactionProcessing,
+        WorkloadKind::Timesharing,
+    ];
+    let mut jobs: Vec<Job<((f64, f64), PointMetrics, PointHist)>> = Vec::new();
+    for wl in workloads {
+        let alloc_label = format!("table3/{}/alloc", wl.short_name());
+        let alloc_point = alloc_label.clone();
+        jobs.push(Job::new(alloc_label, move || {
+            let (frag, tm, th) = ctx.run_allocation_observed(wl, PolicyConfig::paper_buddy());
+            (
+                (frag.internal_pct, frag.external_pct),
+                PointMetrics::new(alloc_point.clone(), vec![tm]),
+                PointHist::new(alloc_point, vec![th]),
+            )
+        }));
+        let perf_label = format!("table3/{}/perf", wl.short_name());
+        let perf_point = perf_label.clone();
+        jobs.push(Job::new(perf_label, move || {
+            let ((app, seq), tms, ths) =
+                ctx.run_performance_observed(wl, PolicyConfig::paper_buddy());
+            (
+                (app.throughput_pct, seq.throughput_pct),
+                PointMetrics::new(perf_point.clone(), tms),
+                PointHist::new(perf_point, ths),
+            )
+        }));
+    }
+    jobs
 }
 
 impl fmt::Display for Table3 {

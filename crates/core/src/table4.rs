@@ -13,9 +13,10 @@
 //! | 5      | 162 | 108 | 6  |
 
 use crate::context::ExperimentContext;
-use crate::metrics::{ExperimentMetrics, PointMetrics};
+use crate::distreg;
+use crate::metrics::{split3, ExperimentHist, ExperimentMetrics, PointHist, PointMetrics};
 use crate::report::TextTable;
-use crate::runner::{self, Job, JobTiming};
+use crate::runner::{Job, JobTiming};
 use readopt_alloc::FitStrategy;
 use readopt_workloads::WorkloadKind;
 use serde::{Deserialize, Serialize};
@@ -49,9 +50,29 @@ pub fn run(ctx: &ExperimentContext) -> Table4 {
 }
 
 /// As [`run`], also returning per-point wall-clock timings and the
-/// observability sidecar. Each of the 15 (range count, workload) cells is an
-/// independent simulation job.
-pub fn run_profiled(ctx: &ExperimentContext) -> (Table4, Vec<JobTiming>, ExperimentMetrics) {
+/// observability sidecars. Each of the 15 (range count, workload) cells is
+/// an independent simulation job.
+pub fn run_profiled(
+    ctx: &ExperimentContext,
+) -> (Table4, Vec<JobTiming>, ExperimentMetrics, ExperimentHist) {
+    let out = distreg::run_jobs_ctx(ctx, "table4", dist_jobs(ctx));
+    let (values, metrics, hists): (Vec<f64>, _, _) = split3(out.results);
+    let rows = (1..=5usize)
+        .zip(values.chunks_exact(3))
+        .map(|(n_ranges, v)| Table4Row { n_ranges, sc: v[0], tp: v[1], ts: v[2] })
+        .collect();
+    (
+        Table4 { rows },
+        out.timings,
+        ExperimentMetrics::new("table4", metrics),
+        ExperimentHist::new("table4", hists),
+    )
+}
+
+/// The 15 cells as registry jobs (identical enumeration in every process).
+pub(crate) fn dist_jobs(
+    ctx: &ExperimentContext,
+) -> Vec<Job<'static, (f64, PointMetrics, PointHist)>> {
     let ctx = *ctx;
     let mut jobs = Vec::new();
     for n_ranges in 1..=5usize {
@@ -64,18 +85,16 @@ pub fn run_profiled(ctx: &ExperimentContext) -> (Table4, Vec<JobTiming>, Experim
             let point_label = label.clone();
             jobs.push(Job::new(label, move || {
                 let policy = ctx.extent_policy(wl, n_ranges, FitStrategy::FirstFit);
-                let (frag, tm) = ctx.run_allocation_metered(wl, policy);
-                (frag.avg_extents_per_file, PointMetrics::new(point_label, vec![tm]))
+                let (frag, tm, th) = ctx.run_allocation_observed(wl, policy);
+                (
+                    frag.avg_extents_per_file,
+                    PointMetrics::new(point_label.clone(), vec![tm]),
+                    PointHist::new(point_label, vec![th]),
+                )
             }));
         }
     }
-    let out = runner::run_jobs(ctx.jobs, jobs);
-    let (values, metrics): (Vec<f64>, Vec<_>) = out.results.into_iter().unzip();
-    let rows = (1..=5usize)
-        .zip(values.chunks_exact(3))
-        .map(|(n_ranges, v)| Table4Row { n_ranges, sc: v[0], tp: v[1], ts: v[2] })
-        .collect();
-    (Table4 { rows }, out.timings, ExperimentMetrics::new("table4", metrics))
+    jobs
 }
 
 impl fmt::Display for Table4 {

@@ -17,12 +17,12 @@
 //! queue, not scheduler contention.
 
 use crate::context::ExperimentContext;
-use crate::metrics::ExperimentMetrics;
+use crate::metrics::{ExperimentHist, ExperimentMetrics, PointHist};
 use crate::report::TextTable;
 use crate::runner::{self, Job, JobTiming};
 use readopt_alloc::{ExtentConfig, FitStrategy, PolicyConfig};
 use readopt_disk::SimDuration;
-use readopt_sim::{EventQueueKind, FileTypeConfig, PerfReport, SimConfig, Simulation};
+use readopt_sim::{EventQueueKind, FileTypeConfig, PerfReport, SimConfig, Simulation, TestHist};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -87,13 +87,17 @@ fn point_config(ctx: &ExperimentContext, users: u32, kind: EventQueueKind) -> Si
 }
 
 /// Runs one rung on one backend: application test only (the sequential
-/// test exercises the disk model, not the queue).
-fn run_point(cfg: SimConfig, seed: u64) -> (PerfReport, u64) {
+/// test exercises the disk model, not the queue). The latency histogram
+/// rides along so the backend-equality assertion covers the full latency
+/// distribution, not just the headline report.
+fn run_point(cfg: SimConfig, seed: u64) -> (PerfReport, u64, TestHist) {
     let mut sim = Simulation::new(&cfg, seed.wrapping_add(1));
     sim.reset_counters();
     sim.storage_reset_for_probe();
     let report = sim.run_application_test();
-    (report, sim.engine_counters().events)
+    let events = sim.engine_counters().events;
+    let hist = sim.latency_hist("application");
+    (report, events, hist)
 }
 
 /// Runs the sweep on the smoke or full ladder.
@@ -101,15 +105,24 @@ pub fn run(ctx: &ExperimentContext, full: bool) -> UsersScale {
     run_profiled(ctx, full).0
 }
 
-/// As [`run`], also returning per-point wall-clock timings and an (empty)
-/// observability sidecar — the per-backend equality assertions are the
-/// observability here.
-pub fn run_profiled(ctx: &ExperimentContext, full: bool) -> (UsersScale, Vec<JobTiming>, ExperimentMetrics) {
+/// As [`run`], also returning per-point wall-clock timings, an (empty)
+/// metrics sidecar — the per-backend equality assertions are the
+/// observability here — and per-rung latency histograms (one per rung; the
+/// heap and calendar histograms are asserted identical first).
+pub fn run_profiled(
+    ctx: &ExperimentContext,
+    full: bool,
+) -> (UsersScale, Vec<JobTiming>, ExperimentMetrics, ExperimentHist) {
     let ladder: &[u32] = if full { &FULL_LADDER } else { &SMOKE_LADDER };
-    let (points, timings) = run_ladder(ctx, ladder);
+    let (points, timings, hists) = run_ladder(ctx, ladder);
     let speedup = points.last().map_or(1.0, |p| p.calendar_speedup);
     let result = UsersScale { full_ladder: full, points, speedup_at_max_users: speedup };
-    (result, timings, ExperimentMetrics::empty("users_1e6"))
+    (
+        result,
+        timings,
+        ExperimentMetrics::empty("users_1e6"),
+        ExperimentHist::new("users_1e6", hists),
+    )
 }
 
 /// Runs an explicit ladder (tests use a tiny one). Each rung runs heap
@@ -117,12 +130,13 @@ pub fn run_profiled(ctx: &ExperimentContext, full: bool) -> (UsersScale, Vec<Job
 pub fn run_ladder(
     ctx: &ExperimentContext,
     ladder: &[u32],
-) -> (Vec<UsersScalePoint>, Vec<JobTiming>) {
+) -> (Vec<UsersScalePoint>, Vec<JobTiming>, Vec<PointHist>) {
     let mut points: Vec<UsersScalePoint> = Vec::new();
     let mut timings: Vec<JobTiming> = Vec::new();
+    let mut hists: Vec<PointHist> = Vec::new();
     for &users in ladder {
         let mut walls = [0.0f64; 2];
-        let mut outcomes: Vec<(PerfReport, u64)> = Vec::new();
+        let mut outcomes: Vec<(PerfReport, u64, TestHist)> = Vec::new();
         for (i, kind) in [EventQueueKind::Heap, EventQueueKind::Calendar].into_iter().enumerate() {
             let cfg = point_config(ctx, users, kind);
             let seed = ctx.seed;
@@ -144,7 +158,7 @@ pub fn run_ladder(
             outcomes.push(outcome);
             timings.push(timing);
         }
-        let [Some((heap_report, heap_events)), Some((cal_report, cal_events))] =
+        let [Some((heap_report, heap_events, heap_hist)), Some((cal_report, cal_events, cal_hist))] =
             [outcomes.first(), outcomes.get(1)]
         else {
             continue;
@@ -157,6 +171,11 @@ pub fn run_ladder(
             heap_events, cal_events,
             "calendar popped a different event count at {users} users"
         );
+        assert_eq!(
+            heap_hist, cal_hist,
+            "calendar latency distribution diverged from the heap reference at {users} users"
+        );
+        hists.push(PointHist::new(format!("users_1e6/u{users}"), vec![heap_hist.clone()]));
         points.push(UsersScalePoint {
             users,
             events: *heap_events,
@@ -166,7 +185,7 @@ pub fn run_ladder(
             calendar_speedup: walls[0] / walls[1].max(1e-9),
         });
     }
-    (points, timings)
+    (points, timings, hists)
 }
 
 impl fmt::Display for UsersScale {
@@ -200,9 +219,11 @@ mod tests {
     #[test]
     fn tiny_ladder_is_bit_identical_across_backends() {
         let ctx = ExperimentContext::fast(64);
-        let (points, timings) = run_ladder(&ctx, &[64, 256]);
+        let (points, timings, hists) = run_ladder(&ctx, &[64, 256]);
         assert_eq!(points.len(), 2);
         assert_eq!(timings.len(), 4, "one timing per (rung, backend)");
+        assert_eq!(hists.len(), 2, "one histogram per rung");
+        assert!(hists.iter().all(|h| h.tests.len() == 1));
         assert!(points[0].users == 64 && points[1].users == 256);
         for p in &points {
             assert!(p.events > 0, "the measured window popped events");
@@ -220,11 +241,14 @@ mod tests {
     #[test]
     fn smoke_result_shape_and_labels() {
         let ctx = ExperimentContext::fast(64);
-        let (result, timings, metrics) = run_profiled(&ctx, false);
+        let (result, timings, metrics, hists) = run_profiled(&ctx, false);
         assert!(!result.full_ladder);
         assert_eq!(result.points.len(), SMOKE_LADDER.len());
         assert_eq!(timings.len(), 2 * SMOKE_LADDER.len());
         assert_eq!(metrics.experiment, "users_1e6");
+        assert_eq!(hists.experiment, "users_1e6");
+        assert_eq!(hists.points.len(), SMOKE_LADDER.len());
+        assert!(hists.points.iter().any(|p| p.label == "users_1e6/u1000"));
         assert!(timings.iter().any(|t| t.label == "users_1e6/u1000/heap"));
         assert!(timings.iter().any(|t| t.label == "users_1e6/u16000/calendar"));
         assert_eq!(result.speedup_at_max_users, result.points.last().map_or(1.0, |p| p.calendar_speedup));

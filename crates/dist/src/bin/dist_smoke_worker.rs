@@ -1,0 +1,47 @@
+//! A tiny worker binary for the dist crate's own process-level tests.
+//!
+//! Speaks the full protocol (handshake, heartbeats, fault-injection env
+//! hooks) but computes trivial points, so the tests exercise process
+//! supervision — spawn, retry, kill, hang — without dragging the
+//! simulator in. The real worker lives in `repro --worker-agent`.
+
+#![forbid(unsafe_code)]
+
+use readopt_dist::{serve_stdio, PointRunner, WorkerOptions};
+use std::time::Duration;
+
+struct SmokeRunner {
+    ctx: String,
+}
+
+impl PointRunner for SmokeRunner {
+    fn init(&mut self, ctx_json: &str) -> Result<(), String> {
+        if ctx_json.is_empty() {
+            return Err(String::from("empty context"));
+        }
+        self.ctx = ctx_json.to_string();
+        Ok(())
+    }
+
+    fn run(&mut self, experiment: &str, index: u64) -> Result<String, String> {
+        match experiment {
+            "square" => Ok((index * index).to_string()),
+            "ctx-echo" => Ok(format!("{}#{index}", self.ctx)),
+            "slow" => {
+                // Longer than a heartbeat interval, so liveness matters.
+                std::thread::sleep(Duration::from_millis(600));
+                Ok(index.to_string())
+            }
+            "always-fails" => Err(format!("point {index} cannot be computed")),
+            other => Err(format!("unknown experiment {other:?}")),
+        }
+    }
+}
+
+fn main() {
+    let mut runner = SmokeRunner { ctx: String::new() };
+    if let Err(e) = serve_stdio(&mut runner, &WorkerOptions::default()) {
+        eprintln!("dist_smoke_worker: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,93 @@
+//! Distributed sweep service: a coordinator process farming sweep points
+//! out to worker processes over pipes.
+//!
+//! The paper's figures are sweeps over dozens of independent configuration
+//! points; `crates/core`'s thread runner already exploits that inside one
+//! process. This crate adds the *process* axis: a [`coordinator`] forks
+//! worker processes (the `repro` binary re-exec'd with `--worker-agent`),
+//! hands points out over a hand-rolled length-prefixed frame [`proto`]col
+//! on stdin/stdout pipes, and reassembles the streamed results **in
+//! submission order** — so a distributed sweep byte-matches the in-process
+//! `--jobs` runner.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Bit-identical reassembly.** Workers serialize each point's result
+//!    tuple with the same vendored `serde_json` the in-process runner
+//!    would use to write artifacts; f64 values round-trip exactly
+//!    (shortest-representation printing + correctly rounded parsing), so
+//!    the coordinator's reassembled vector is indistinguishable from a
+//!    `--jobs 1` run.
+//! 2. **Preemptible workers, retryable points.** A dead or hung worker
+//!    (pipe EOF, heartbeat timeout, nonzero exit) gets its in-flight
+//!    point reassigned; points are deterministic functions of
+//!    (context, experiment, index), so the retry reproduces the identical
+//!    bytes. Retry and respawn budgets bound the damage of a
+//!    deterministically crashing point.
+//! 3. **No network, no new dependencies.** Frames ride ordinary pipes;
+//!    the protocol is versioned so a stale worker binary is rejected at
+//!    handshake instead of mis-parsing frames.
+//!
+//! The crate is deliberately ignorant of what a "point" computes: workers
+//! implement [`worker::PointRunner`] (in `crates/core`, backed by the
+//! experiment registry) and results travel as opaque JSON payload strings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod coordinator;
+pub mod proto;
+pub mod worker;
+
+pub use coordinator::{run_sweep, CoordinatorConfig, SweepOutcome, WorkerSpec};
+pub use proto::{Msg, PROTOCOL_VERSION};
+pub use worker::{serve, serve_stdio, PointRunner, WorkerOptions};
+
+/// Everything that can go wrong between coordinator and worker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistError {
+    /// An OS-level pipe/process error (spawn failure, broken pipe, …).
+    Io(String),
+    /// A malformed or unexpected frame: truncated length prefix, oversized
+    /// length, unknown tag, undecodable payload, or a message that is
+    /// illegal in the current protocol state.
+    Protocol(String),
+    /// Handshake version mismatch — the worker binary speaks a different
+    /// protocol revision than the coordinator.
+    Version {
+        /// The version this side speaks ([`PROTOCOL_VERSION`]).
+        ours: u32,
+        /// The version the peer announced.
+        theirs: u32,
+    },
+    /// A point failed *deterministically* (the runner returned an error,
+    /// not the worker dying) — retrying cannot help, so the sweep aborts.
+    PointFailed {
+        /// Submission index of the failing point.
+        index: u64,
+        /// The runner's error message.
+        error: String,
+    },
+    /// The sweep could not complete: a point exceeded its retry budget or
+    /// every worker (including respawns) died.
+    Exhausted(String),
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::Io(m) => write!(f, "i/o error: {m}"),
+            DistError::Protocol(m) => write!(f, "protocol error: {m}"),
+            DistError::Version { ours, theirs } => {
+                write!(f, "protocol version mismatch: coordinator v{ours}, worker v{theirs}")
+            }
+            DistError::PointFailed { index, error } => {
+                write!(f, "point {index} failed deterministically: {error}")
+            }
+            DistError::Exhausted(m) => write!(f, "sweep exhausted: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}

@@ -1,0 +1,341 @@
+//! The length-prefixed frame protocol between coordinator and worker.
+//!
+//! Wire format of one frame:
+//!
+//! ```text
+//! +----------------+-----+------------------------+
+//! | u32 LE length  | tag | serde_json payload     |
+//! +----------------+-----+------------------------+
+//!      4 bytes      1 byte     length - 1 bytes
+//! ```
+//!
+//! The length covers the tag byte plus the payload. Payloads are UTF-8
+//! JSON objects (one per message type), so the protocol stays debuggable
+//! with `xxd` and versionable without a schema compiler. A frame longer
+//! than [`MAX_FRAME_LEN`] is rejected before any allocation — a corrupt
+//! or hostile length prefix must not OOM the coordinator.
+//!
+//! Message flow:
+//!
+//! ```text
+//! coordinator                worker
+//!     | -- Hello{version,ctx} -> |       (handshake; worker inits runner)
+//!     | <- Ready{version} ------ |
+//!     | -- Assign{task,exp,i} -> |
+//!     | <- Heartbeat{task} ----- |  (every ~250 ms while computing)
+//!     | <- Result{task,i,json} - |  (or Failed{task,i,error})
+//!     |        ... more assigns ...
+//!     | -- Shutdown -----------> |       (worker exits 0)
+//! ```
+//!
+//! [`read_msg`] distinguishes a *clean* EOF (pipe closed exactly between
+//! frames → `Ok(None)`) from a truncated frame (mid-prefix or mid-body →
+//! [`DistError::Protocol`]): the first is how shutdown looks, the second
+//! is always a worker/coordinator dying mid-write.
+
+use crate::DistError;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// Protocol revision; bumped on any wire-format change. A worker whose
+/// `Hello.version` differs is rejected at handshake.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on one frame's (tag + payload) size: 64 MiB. Generous for
+/// a sweep point's JSON (typically a few KiB) while keeping a corrupt
+/// length prefix from allocating unbounded memory.
+pub const MAX_FRAME_LEN: u32 = 64 << 20;
+
+const TAG_HELLO: u8 = 1;
+const TAG_READY: u8 = 2;
+const TAG_ASSIGN: u8 = 3;
+const TAG_RESULT: u8 = 4;
+const TAG_FAILED: u8 = 5;
+const TAG_HEARTBEAT: u8 = 6;
+const TAG_SHUTDOWN: u8 = 7;
+
+/// Coordinator → worker: handshake. Carries the serialized experiment
+/// context the worker must init its runner with, and the worker's id
+/// (used only for diagnostics and fault-injection targeting).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hello {
+    /// Coordinator's [`PROTOCOL_VERSION`].
+    pub version: u32,
+    /// Coordinator-assigned worker id (unique per spawn, including respawns).
+    pub worker: u32,
+    /// Serialized `ExperimentContext` (opaque to this crate).
+    pub ctx_json: String,
+}
+
+/// Worker → coordinator: handshake acknowledgement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ready {
+    /// Worker's [`PROTOCOL_VERSION`].
+    pub version: u32,
+    /// Echo of the id the coordinator assigned in [`Hello`].
+    pub worker: u32,
+}
+
+/// Coordinator → worker: compute one sweep point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assign {
+    /// Unique assignment id (fresh per attempt, so a late frame from a
+    /// superseded attempt can never be mistaken for the live one).
+    pub task: u64,
+    /// Experiment name in the worker's registry (e.g. `"fig1"`).
+    pub experiment: String,
+    /// Submission index of the point within the experiment's job list.
+    pub index: u64,
+}
+
+/// Worker → coordinator: one point's serialized result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskResult {
+    /// The [`Assign::task`] this answers.
+    pub task: u64,
+    /// Echo of [`Assign::index`].
+    pub index: u64,
+    /// The point's result tuple, serialized with `serde_json` (exact f64
+    /// round-trip, so reassembly is bit-identical).
+    pub payload: String,
+    /// Wall-clock milliseconds the point took on the worker (profiling
+    /// only; never byte-compared).
+    pub wall_ms: f64,
+}
+
+/// Worker → coordinator: the point's runner returned an error. This is a
+/// *deterministic* failure (the worker is healthy) — the coordinator
+/// aborts the sweep rather than retrying a computation that cannot
+/// succeed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskFailed {
+    /// The [`Assign::task`] this answers.
+    pub task: u64,
+    /// Echo of [`Assign::index`].
+    pub index: u64,
+    /// The runner's error message.
+    pub error: String,
+}
+
+/// Worker → coordinator: liveness while a point computes. Carries the
+/// task id being worked on (diagnostic only — any heartbeat refreshes the
+/// coordinator's timeout).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Heartbeat {
+    /// The task the worker believes it is computing.
+    pub task: u64,
+}
+
+/// One protocol message (externally: tag byte + JSON payload).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// Handshake request (coordinator → worker).
+    Hello(Hello),
+    /// Handshake acknowledgement (worker → coordinator).
+    Ready(Ready),
+    /// Point assignment (coordinator → worker).
+    Assign(Assign),
+    /// Point result (worker → coordinator).
+    Result(TaskResult),
+    /// Deterministic point failure (worker → coordinator).
+    Failed(TaskFailed),
+    /// Liveness signal (worker → coordinator).
+    Heartbeat(Heartbeat),
+    /// Graceful stop (coordinator → worker).
+    Shutdown,
+}
+
+impl Msg {
+    fn tag(&self) -> u8 {
+        match self {
+            Msg::Hello(_) => TAG_HELLO,
+            Msg::Ready(_) => TAG_READY,
+            Msg::Assign(_) => TAG_ASSIGN,
+            Msg::Result(_) => TAG_RESULT,
+            Msg::Failed(_) => TAG_FAILED,
+            Msg::Heartbeat(_) => TAG_HEARTBEAT,
+            Msg::Shutdown => TAG_SHUTDOWN,
+        }
+    }
+
+    fn encode_payload(&self) -> Result<String, DistError> {
+        let encoded = match self {
+            Msg::Hello(m) => serde_json::to_string(m),
+            Msg::Ready(m) => serde_json::to_string(m),
+            Msg::Assign(m) => serde_json::to_string(m),
+            Msg::Result(m) => serde_json::to_string(m),
+            Msg::Failed(m) => serde_json::to_string(m),
+            Msg::Heartbeat(m) => serde_json::to_string(m),
+            Msg::Shutdown => Ok(String::from("{}")),
+        };
+        encoded.map_err(|e| DistError::Protocol(format!("encode frame payload: {e}")))
+    }
+}
+
+/// Writes one frame. The caller flushes (workers flush after every frame
+/// so the coordinator never waits on a buffered result).
+pub fn write_msg<W: Write + ?Sized>(w: &mut W, msg: &Msg) -> Result<(), DistError> {
+    let payload = msg.encode_payload()?;
+    let frame_len = u32::try_from(1 + payload.len())
+        .map_err(|_| DistError::Protocol(format!("frame too large: {} bytes", payload.len())))?;
+    if frame_len > MAX_FRAME_LEN {
+        return Err(DistError::Protocol(format!(
+            "frame too large: {frame_len} bytes (max {MAX_FRAME_LEN})"
+        )));
+    }
+    let io = |e: std::io::Error| DistError::Io(format!("write frame: {e}"));
+    w.write_all(&frame_len.to_le_bytes()).map_err(io)?;
+    w.write_all(&[msg.tag()]).map_err(io)?;
+    w.write_all(payload.as_bytes()).map_err(io)
+}
+
+/// Reads one frame. `Ok(None)` means the peer closed the pipe cleanly at
+/// a frame boundary; every malformed encoding (truncated prefix or body,
+/// zero or oversized length, unknown tag, bad UTF-8/JSON) is a
+/// [`DistError::Protocol`].
+pub fn read_msg<R: Read + ?Sized>(r: &mut R) -> Result<Option<Msg>, DistError> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < 4 {
+        match r.read(&mut prefix[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(DistError::Protocol(format!(
+                    "truncated length prefix: {filled} of 4 bytes"
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(DistError::Io(format!("read length prefix: {e}"))),
+        }
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len == 0 {
+        return Err(DistError::Protocol(String::from("zero-length frame")));
+    }
+    if len > MAX_FRAME_LEN {
+        return Err(DistError::Protocol(format!(
+            "oversized frame: {len} bytes (max {MAX_FRAME_LEN})"
+        )));
+    }
+    let mut frame = vec![0u8; len as usize];
+    r.read_exact(&mut frame).map_err(|e| match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => {
+            DistError::Protocol(format!("truncated frame body: expected {len} bytes"))
+        }
+        _ => DistError::Io(format!("read frame body: {e}")),
+    })?;
+    let payload = std::str::from_utf8(&frame[1..])
+        .map_err(|e| DistError::Protocol(format!("frame payload is not UTF-8: {e}")))?;
+    let msg = match frame[0] {
+        TAG_HELLO => Msg::Hello(decode(payload)?),
+        TAG_READY => Msg::Ready(decode(payload)?),
+        TAG_ASSIGN => Msg::Assign(decode(payload)?),
+        TAG_RESULT => Msg::Result(decode(payload)?),
+        TAG_FAILED => Msg::Failed(decode(payload)?),
+        TAG_HEARTBEAT => Msg::Heartbeat(decode(payload)?),
+        TAG_SHUTDOWN => Msg::Shutdown,
+        other => return Err(DistError::Protocol(format!("unknown frame tag {other}"))),
+    };
+    Ok(Some(msg))
+}
+
+fn decode<T: Deserialize>(payload: &str) -> Result<T, DistError> {
+    serde_json::from_str(payload)
+        .map_err(|e| DistError::Protocol(format!("bad frame payload: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip(msg: Msg) {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, &msg).expect("encode");
+        let back = read_msg(&mut Cursor::new(&buf)).expect("decode");
+        assert_eq!(back, Some(msg));
+    }
+
+    #[test]
+    fn every_message_roundtrips() {
+        roundtrip(Msg::Hello(Hello {
+            version: PROTOCOL_VERSION,
+            worker: 3,
+            ctx_json: String::from("{\"seed\":42}"),
+        }));
+        roundtrip(Msg::Ready(Ready { version: PROTOCOL_VERSION, worker: 3 }));
+        roundtrip(Msg::Assign(Assign { task: 9, experiment: String::from("fig1"), index: 17 }));
+        roundtrip(Msg::Result(TaskResult {
+            task: 9,
+            index: 17,
+            payload: String::from("[1.5,{\"x\":2}]"),
+            wall_ms: 12.25,
+        }));
+        roundtrip(Msg::Failed(TaskFailed {
+            task: 9,
+            index: 17,
+            error: String::from("unknown experiment"),
+        }));
+        roundtrip(Msg::Heartbeat(Heartbeat { task: 9 }));
+        roundtrip(Msg::Shutdown);
+    }
+
+    #[test]
+    fn consecutive_frames_and_clean_eof() {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, &Msg::Heartbeat(Heartbeat { task: 1 })).expect("encode");
+        write_msg(&mut buf, &Msg::Shutdown).expect("encode");
+        let mut cur = Cursor::new(&buf);
+        assert_eq!(read_msg(&mut cur).expect("first"), Some(Msg::Heartbeat(Heartbeat { task: 1 })));
+        assert_eq!(read_msg(&mut cur).expect("second"), Some(Msg::Shutdown));
+        assert_eq!(read_msg(&mut cur).expect("eof"), None, "clean EOF at frame boundary");
+    }
+
+    #[test]
+    fn truncated_length_prefix_is_rejected() {
+        let mut cur = Cursor::new(&[0x05u8, 0x00][..]);
+        let err = read_msg(&mut cur).expect_err("2 of 4 prefix bytes");
+        assert!(matches!(err, DistError::Protocol(ref m) if m.contains("truncated length prefix")));
+    }
+
+    #[test]
+    fn truncated_body_is_rejected() {
+        let mut buf = Vec::new();
+        write_msg(&mut buf, &Msg::Heartbeat(Heartbeat { task: 1 })).expect("encode");
+        buf.truncate(buf.len() - 3);
+        let err = read_msg(&mut Cursor::new(&buf)).expect_err("short body");
+        assert!(matches!(err, DistError::Protocol(ref m) if m.contains("truncated frame body")));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_allocating() {
+        let mut cur = Cursor::new(&[0xFFu8, 0xFF, 0xFF, 0xFF][..]);
+        let err = read_msg(&mut cur).expect_err("4 GiB frame");
+        assert!(matches!(err, DistError::Protocol(ref m) if m.contains("oversized frame")));
+    }
+
+    #[test]
+    fn zero_length_and_unknown_tag_are_rejected() {
+        let mut cur = Cursor::new(&[0x00u8, 0x00, 0x00, 0x00][..]);
+        assert!(matches!(
+            read_msg(&mut cur).expect_err("zero length"),
+            DistError::Protocol(ref m) if m.contains("zero-length")
+        ));
+        // length 3, tag 0xEE, payload "{}"
+        let mut cur = Cursor::new(&[0x03u8, 0x00, 0x00, 0x00, 0xEE, b'{', b'}'][..]);
+        assert!(matches!(
+            read_msg(&mut cur).expect_err("bad tag"),
+            DistError::Protocol(ref m) if m.contains("unknown frame tag 238")
+        ));
+    }
+
+    #[test]
+    fn garbage_payload_is_rejected() {
+        // length 4, tag RESULT, payload "nope" (not JSON for TaskResult)
+        let mut bytes = vec![0x05u8, 0x00, 0x00, 0x00, TAG_RESULT];
+        bytes.extend_from_slice(b"nope");
+        let err = read_msg(&mut Cursor::new(&bytes)).expect_err("bad json");
+        assert!(matches!(err, DistError::Protocol(ref m) if m.contains("bad frame payload")));
+    }
+}

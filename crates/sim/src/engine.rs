@@ -4,6 +4,7 @@
 use crate::config::SimConfig;
 use crate::event::{EventQueueKind, UserId};
 use crate::filetype::{FileTypeConfig, OpKind};
+use crate::hist::{LatencyReservoir, TestHist};
 use crate::measure::ThroughputMeter;
 use crate::metrics::{AllocGauges, EngineCounters, StorageMetrics, TestMetrics};
 use crate::results::{FragReport, PerfReport, SuiteReport};
@@ -36,6 +37,11 @@ fn small_u32(n: usize) -> u32 {
         // simlint::allow(r3, "counts here are bounded by the configured file/user/type populations, far below u32")
         .unwrap_or_else(|_| unreachable!("population count exceeds u32"))
 }
+
+/// Cap on the exact per-operation latency buffer: enough for every paper
+/// sweep, exceeded only by the million-user rungs (which is what the
+/// dropped-sample counter and the log-bucketed reservoir are for).
+const LATENCY_SAMPLE_CAP: usize = 200_000;
 
 /// What a single event step produced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,8 +98,16 @@ pub struct Simulation {
     stabilize_tolerance_pct: f64,
     max_intervals: usize,
     max_allocation_ops: u64,
-    /// Per-operation latencies collected during the current measurement.
+    /// Per-operation latencies collected during the current measurement
+    /// (exact samples, capped at [`LATENCY_SAMPLE_CAP`]).
     latencies: Vec<f64>,
+    /// Samples the cap clipped from `latencies` since the last measurement
+    /// reset — surfaced through [`Simulation::latency_hist`] so truncated
+    /// p99s are visible instead of silent.
+    dropped_latencies: u64,
+    /// Log-bucketed companion reservoir: absorbs *every* sample (no cap)
+    /// at O(1) cost for the `*.hist.json` percentile artifact.
+    hist: LatencyReservoir,
     /// Scratch buffer for `transfer`'s extent-map lookups, reused across
     /// operations so the per-op hot path allocates nothing.
     runs_scratch: Vec<Extent>,
@@ -160,9 +174,12 @@ impl Simulation {
             max_intervals: config.max_intervals,
             max_allocation_ops: config.max_allocation_ops,
             // Pre-sized so steady-state measurement never reallocates: the
-            // latency cap is 200k entries but typical runs stay well under
-            // 16k, and push() doubling takes care of the outliers.
+            // latency cap is LATENCY_SAMPLE_CAP entries but typical runs
+            // stay well under 16k, and push() doubling takes care of the
+            // outliers.
             latencies: Vec::with_capacity(16 * 1024),
+            dropped_latencies: 0,
+            hist: LatencyReservoir::new(),
             runs_scratch: Vec::new(),
             realloc_scratch: Vec::new(),
             counters: EngineCounters::default(),
@@ -403,8 +420,8 @@ impl Simulation {
     /// None of this draws RNG, so running it after `decide`'s think draw is
     /// arithmetically identical to the legacy interleaving.
     fn commit_direct(&mut self, d: &Decided, meter: Option<&mut ThroughputMeter>) {
-        if d.op_ran && self.latencies.len() < 200_000 {
-            self.latencies.push(d.completion.since(d.t).as_ms());
+        if d.op_ran {
+            self.record_latency(d.completion.since(d.t).as_ms());
         }
         if let Some((begin, end, bytes)) = self.pending_span.take() {
             if let Some(m) = meter {
@@ -412,6 +429,35 @@ impl Simulation {
             }
         }
         self.queue.schedule(d.completion + SimDuration::from_ms(d.think_ms), d.user);
+    }
+
+    /// Records one completed operation's issue→completion latency: into
+    /// the exact buffer while it has room (the `PerfReport` percentiles),
+    /// counting overflow instead of silently clipping, and into the
+    /// uncapped log-bucketed reservoir (the `*.hist.json` percentiles).
+    /// The single home of the sample cap — both the serial and the
+    /// pipelined commit paths go through here.
+    fn record_latency(&mut self, latency_ms: f64) {
+        if self.latencies.len() < LATENCY_SAMPLE_CAP {
+            self.latencies.push(latency_ms);
+        } else {
+            self.dropped_latencies += 1;
+        }
+        self.hist.record_ms(latency_ms);
+    }
+
+    /// Resets the latency measurement state (exact buffer, overflow count,
+    /// bucketed reservoir) at the start of a test.
+    fn reset_latencies(&mut self) {
+        self.latencies.clear();
+        self.dropped_latencies = 0;
+        self.hist.reset();
+    }
+
+    /// Log-bucketed latency snapshot of the samples recorded since the
+    /// last measurement reset, labelled with the test name. Pure read.
+    pub fn latency_hist(&self, test: &str) -> TestHist {
+        self.hist.snapshot(test, self.dropped_latencies)
     }
 
     /// Executes one operation against one file. Returns (outcome,
@@ -634,6 +680,7 @@ impl Simulation {
     /// delete, and create operations … As soon as the first allocation
     /// request fails, the external and internal fragmentation are computed."
     pub fn run_allocation_test(&mut self) -> FragReport {
+        self.reset_latencies();
         self.schedule_users();
         let start_ops = self.ops;
         loop {
@@ -708,7 +755,7 @@ impl Simulation {
         self.schedule_users();
         let disk_full_before = self.disk_full_events;
         let ops_before = self.ops;
-        self.latencies.clear();
+        self.reset_latencies();
         let mut meter = ThroughputMeter::new(self.clock, self.interval);
         // The pipelined path needs real parallelism (≥ 2 workers, capped at
         // the shard count and the u64 routing mask) and a storage layout
@@ -979,8 +1026,8 @@ impl Simulation {
     /// numbering matches the serial loop's).
     fn commit_effect(&mut self, rec: &EventRec, meter: &mut ThroughputMeter) {
         let completion = rec.end;
-        if rec.op_ran && self.latencies.len() < 200_000 {
-            self.latencies.push(completion.since(rec.t).as_ms());
+        if rec.op_ran {
+            self.record_latency(completion.since(rec.t).as_ms());
         }
         if rec.bytes > 0 {
             meter.add_span(rec.begin.min(completion), completion, rec.bytes);

@@ -46,6 +46,7 @@ pub mod config;
 pub mod engine;
 pub mod event;
 pub mod filetype;
+pub mod hist;
 pub mod measure;
 pub mod metrics;
 pub mod results;
@@ -58,6 +59,7 @@ pub use config::SimConfig;
 pub use engine::Simulation;
 pub use event::{Event, EventQueue, EventQueueKind, UserId};
 pub use filetype::{FileTypeConfig, OpKind};
+pub use hist::{HistBucket, LatencyReservoir, TestHist};
 pub use measure::{percentile_ms, percentile_of_sorted_ms, ThroughputMeter};
 pub use metrics::{AllocGauges, DiskPhaseMetrics, EngineCounters, StorageMetrics, TestMetrics};
 pub use results::{FragReport, PerfReport, SuiteReport};

@@ -6,9 +6,11 @@
 # compares them against the 2-job run — the observability layer must be
 # deterministic at any worker count — a third run at --shards 2
 # byte-compares again: the sharded engine must be results-invariant in
-# the shard count too — and a fourth run at --event-queue calendar
+# the shard count too — a fourth run at --event-queue calendar
 # byte-compares once more: the calendar-queue backend must be
-# results-invariant in the queue structure. The smoke run's timing profile
+# results-invariant in the queue structure — and a fifth run at
+# --workers 2 byte-compares the distributed coordinator/worker path
+# against the in-process runner. The smoke run's timing profile
 # (per-experiment wall clock, per-sweep-point breakdown, and the measured
 # metrics-snapshot overhead) is snapshotted into BENCH_runner.json at the
 # repo root; the lint report is snapshotted into target/check/simlint.json.
@@ -57,6 +59,8 @@ for exp in fig1 fig2 table4; do
         || { echo "ERROR: $exp metrics sidecar differs between --jobs 2 and --jobs 1"; exit 1; }
     cmp "target/check/$exp.json" "target/check-j1/$exp.json" \
         || { echo "ERROR: $exp results differ between --jobs 2 and --jobs 1"; exit 1; }
+    cmp "target/check/$exp.hist.json" "target/check-j1/$exp.hist.json" \
+        || { echo "ERROR: $exp latency histograms differ between --jobs 2 and --jobs 1"; exit 1; }
 done
 echo "   sidecars byte-identical across job counts"
 
@@ -73,6 +77,8 @@ for exp in fig1 fig2 table4; do
         || { echo "ERROR: $exp metrics sidecar differs between --shards 1 and --shards 2"; exit 1; }
     cmp "target/check-j1/$exp.json" "target/check-s2/$exp.json" \
         || { echo "ERROR: $exp results differ between --shards 1 and --shards 2"; exit 1; }
+    cmp "target/check-j1/$exp.hist.json" "target/check-s2/$exp.hist.json" \
+        || { echo "ERROR: $exp latency histograms differ between --shards 1 and --shards 2"; exit 1; }
 done
 echo "   results byte-identical across shard counts"
 
@@ -90,14 +96,41 @@ for exp in fig1 fig2 table4; do
         || { echo "ERROR: $exp metrics sidecar differs between heap and calendar event queues"; exit 1; }
     cmp "target/check-j1/$exp.json" "target/check-cal/$exp.json" \
         || { echo "ERROR: $exp results differ between heap and calendar event queues"; exit 1; }
+    cmp "target/check-j1/$exp.hist.json" "target/check-cal/$exp.hist.json" \
+        || { echo "ERROR: $exp latency histograms differ between heap and calendar event queues"; exit 1; }
 done
 echo "   results byte-identical across event-queue backends"
+
+echo "== distributed determinism (re-run at --workers 2, byte-compare) =="
+# The coordinator hands the same sweep points to forked worker processes
+# over the frame protocol and reassembles results in sweep order, so
+# results, metrics sidecars, and latency histograms must all byte-match
+# the in-process --jobs 1 run.
+mkdir -p target/check-w2
+cargo run --release -q -p readopt-core --bin repro -- \
+    fig1 fig2 table4 --scale 64 --intervals 4 --workers 2 \
+    --json target/check-w2 > /dev/null
+for exp in fig1 fig2 table4; do
+    cmp "target/check-j1/$exp.metrics.json" "target/check-w2/$exp.metrics.json" \
+        || { echo "ERROR: $exp metrics sidecar differs between --workers 2 and --jobs 1"; exit 1; }
+    cmp "target/check-j1/$exp.json" "target/check-w2/$exp.json" \
+        || { echo "ERROR: $exp results differ between --workers 2 and --jobs 1"; exit 1; }
+    cmp "target/check-j1/$exp.hist.json" "target/check-w2/$exp.hist.json" \
+        || { echo "ERROR: $exp latency histograms differ between --workers 2 and --jobs 1"; exit 1; }
+done
+echo "   results byte-identical between worker processes and in-process run"
 
 echo "== allocator microbench (bitmap vs btree backends) =="
 cargo run --release -q -p readopt-bench --bin alloc_bench -- \
     --json target/check/alloc_bench.json
 
 echo "== perf regression gate (warn-only, +25% vs committed baselines) =="
+# Fold the --workers 2 leg's dist/* rows into the smoke profile first so
+# the distributed timings are gated (per point, warn-only) and land in
+# BENCH_runner.json alongside the in-process history.
+cargo run --release -q -p readopt-bench --bin perf_gate -- \
+    --merge-runner target/check/profile.json \
+    target/check/profile.json target/check-w2/profile.json
 # Baselines come from the committed snapshots (HEAD), never the working
 # tree: comparing against a file this script is about to overwrite would
 # let one slow run silently become the next run's baseline. A snapshot

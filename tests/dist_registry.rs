@@ -1,0 +1,89 @@
+//! The distributed-sweep registry's contract, in-process: every registered
+//! experiment enumerates a deterministic point list, `run_point` payloads
+//! are byte-stable (a retried point reproduces the identical frame), and
+//! the distributed entry point falls back to in-process threads — with
+//! identical results — when no worker can be spawned.
+
+use readopt::experiments::metrics::{PointHist, PointMetrics};
+use readopt::experiments::{distreg, table4, ExperimentContext};
+
+fn ctx() -> ExperimentContext {
+    let mut ctx = ExperimentContext::fast(64).with_jobs(1);
+    ctx.max_intervals = 4;
+    ctx
+}
+
+#[test]
+fn run_point_payloads_match_the_in_process_sweep() {
+    let ctx = ctx();
+    assert_eq!(distreg::point_count(&ctx, "table4"), Some(15));
+    let (t4, _, metrics, hists) = table4::run_profiled(&ctx);
+
+    // table4 enumerates (range count, workload) row-major: index 0 is
+    // SC at 1 range, index 4 is TP at 2 ranges, index 14 is TS at 5.
+    for (index, expected, label) in [
+        (0u64, t4.rows[0].sc, "table4/SC/r1"),
+        (4, t4.rows[1].tp, "table4/TP/r2"),
+        (14, t4.rows[4].ts, "table4/TS/r5"),
+    ] {
+        let payload = distreg::run_point(&ctx, "table4", index).expect("point runs");
+        let (value, pm, ph): (f64, PointMetrics, PointHist) =
+            serde_json::from_str(&payload).expect("payload parses as the job tuple");
+        assert_eq!(value, expected, "point {index} must equal the in-process cell");
+        assert_eq!(pm.label, label);
+        assert_eq!(ph.label, label);
+        let i = usize::try_from(index).unwrap();
+        assert_eq!(
+            serde_json::to_string(&pm).unwrap(),
+            serde_json::to_string(&metrics.points[i]).unwrap(),
+            "point {index} metrics must be byte-identical to the in-process sidecar"
+        );
+        assert_eq!(
+            serde_json::to_string(&ph).unwrap(),
+            serde_json::to_string(&hists.points[i]).unwrap(),
+            "point {index} histogram must be byte-identical to the in-process sidecar"
+        );
+    }
+}
+
+#[test]
+fn run_point_is_byte_stable_across_attempts() {
+    // The retry guarantee: recomputing a point (as the coordinator does
+    // after a worker death) yields the identical payload bytes.
+    let ctx = ctx();
+    let first = distreg::run_point(&ctx, "fig6", 3).unwrap();
+    let second = distreg::run_point(&ctx, "fig6", 3).unwrap();
+    assert_eq!(first, second);
+}
+
+#[test]
+fn unknown_experiments_and_indices_fail_cleanly() {
+    let ctx = ctx();
+    assert!(distreg::run_point(&ctx, "users_1e6", 0).is_err(), "unregistered");
+    assert!(distreg::run_point(&ctx, "table4", 15).is_err(), "past the end");
+    assert_eq!(distreg::point_count(&ctx, "users_1e6"), None);
+}
+
+#[test]
+fn unspawnable_workers_fall_back_to_identical_in_process_results() {
+    // Point the worker binary at `/bin/false`: every spawn handshake dies
+    // at EOF, the coordinator exhausts its respawn budget, and
+    // run_jobs_ctx must fall back to the thread runner with the same
+    // bytes an undistributed context produces.
+    let reference = table4::run_profiled(&ctx());
+    std::env::set_var(distreg::WORKER_BIN_ENV, "/bin/false");
+    let distributed = table4::run_profiled(&ctx().with_workers(2));
+    std::env::remove_var(distreg::WORKER_BIN_ENV);
+    assert_eq!(
+        serde_json::to_string(&reference.0).unwrap(),
+        serde_json::to_string(&distributed.0).unwrap()
+    );
+    assert_eq!(
+        serde_json::to_string(&reference.2).unwrap(),
+        serde_json::to_string(&distributed.2).unwrap()
+    );
+    assert_eq!(
+        serde_json::to_string(&reference.3).unwrap(),
+        serde_json::to_string(&distributed.3).unwrap()
+    );
+}

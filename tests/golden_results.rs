@@ -94,19 +94,19 @@ fn check_golden<T: Serialize>(name: &str, result: &T) {
 
 #[test]
 fn fig1_matches_golden_snapshot() {
-    let (result, _, _) = fig1::run_profiled(&ctx());
+    let (result, _, _, _) = fig1::run_profiled(&ctx());
     check_golden("fig1", &result);
 }
 
 #[test]
 fn fig2_matches_golden_snapshot() {
-    let (result, _, _) = fig2::run_profiled(&ctx());
+    let (result, _, _, _) = fig2::run_profiled(&ctx());
     check_golden("fig2", &result);
 }
 
 #[test]
 fn table4_matches_golden_snapshot() {
-    let (result, _, _) = table4::run_profiled(&ctx());
+    let (result, _, _, _) = table4::run_profiled(&ctx());
     check_golden("table4", &result);
 }
 

@@ -103,31 +103,41 @@ fn assert_metrics_invariants(m: &ExperimentMetrics) {
 #[test]
 fn decomposition_holds_across_drivers() {
     let ctx = ctx_with_jobs(2);
-    let (_, _, m4) = fig4::run_profiled(&ctx);
+    let (_, _, m4, _) = fig4::run_profiled(&ctx);
     assert_metrics_invariants(&m4);
-    let (_, _, m5) = fig5::run_profiled(&ctx);
+    let (_, _, m5, _) = fig5::run_profiled(&ctx);
     assert_metrics_invariants(&m5);
-    let (_, _, m3) = table3::run_profiled(&ctx);
+    let (_, _, m3, _) = table3::run_profiled(&ctx);
     assert_metrics_invariants(&m3);
-    let (_, _, md) = diag::run_profiled(&ctx);
+    let (_, _, md, _) = diag::run_profiled(&ctx);
     assert_metrics_invariants(&md);
 }
 
 #[test]
 fn sidecars_are_byte_identical_across_worker_counts() {
-    let (_, _, seq) = table3::run_profiled(&ctx_with_jobs(1));
-    let (_, _, par) = table3::run_profiled(&ctx_with_jobs(4));
+    let (_, _, seq, seq_h) = table3::run_profiled(&ctx_with_jobs(1));
+    let (_, _, par, par_h) = table3::run_profiled(&ctx_with_jobs(4));
     assert_eq!(
         serde_json::to_string(&seq).unwrap(),
         serde_json::to_string(&par).unwrap(),
         "table3 sidecar must not depend on the worker count"
     );
-    let (_, _, seq) = diag::run_profiled(&ctx_with_jobs(1));
-    let (_, _, par) = diag::run_profiled(&ctx_with_jobs(4));
+    assert_eq!(
+        serde_json::to_string(&seq_h).unwrap(),
+        serde_json::to_string(&par_h).unwrap(),
+        "table3 histogram sidecar must not depend on the worker count"
+    );
+    let (_, _, seq, seq_h) = diag::run_profiled(&ctx_with_jobs(1));
+    let (_, _, par, par_h) = diag::run_profiled(&ctx_with_jobs(4));
     assert_eq!(
         serde_json::to_string(&seq).unwrap(),
         serde_json::to_string(&par).unwrap(),
         "diag sidecar must not depend on the worker count"
+    );
+    assert_eq!(
+        serde_json::to_string(&seq_h).unwrap(),
+        serde_json::to_string(&par_h).unwrap(),
+        "diag histogram sidecar must not depend on the worker count"
     );
 }
 

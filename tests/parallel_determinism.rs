@@ -29,8 +29,10 @@ fn fig1_results_are_bit_identical_at_any_job_count() {
     // test fast; the sweep machinery is identical for the full grid.
     let workloads = [WorkloadKind::Timesharing, WorkloadKind::Supercomputer];
     let configs = [(2usize, 1u64, true), (3, 2, false)];
-    let (seq, seq_timings, seq_metrics) = fig1::run_sweep(&ctx_with_jobs(1), &workloads, &configs);
-    let (par, par_timings, par_metrics) = fig1::run_sweep(&ctx_with_jobs(4), &workloads, &configs);
+    let (seq, seq_timings, seq_metrics, seq_hists) =
+        fig1::run_sweep(&ctx_with_jobs(1), &workloads, &configs);
+    let (par, par_timings, par_metrics, par_hists) =
+        fig1::run_sweep(&ctx_with_jobs(4), &workloads, &configs);
     assert_eq!(
         serde_json::to_string(&seq).unwrap(),
         serde_json::to_string(&par).unwrap(),
@@ -40,6 +42,11 @@ fn fig1_results_are_bit_identical_at_any_job_count() {
         serde_json::to_string(&seq_metrics).unwrap(),
         serde_json::to_string(&par_metrics).unwrap(),
         "fig1 metrics sidecar bytes must not depend on the job count"
+    );
+    assert_eq!(
+        serde_json::to_string(&seq_hists).unwrap(),
+        serde_json::to_string(&par_hists).unwrap(),
+        "fig1 latency-histogram sidecar bytes must not depend on the job count"
     );
     // Timings differ run to run, but the labels (and their order) must not.
     let labels = |ts: &[readopt::experiments::runner::JobTiming]| {
@@ -55,8 +62,8 @@ fn fig2_results_are_bit_identical_at_any_job_count() {
     // tests per point); one workload × two configs suffices.
     let workloads = [WorkloadKind::Timesharing];
     let configs = [(2usize, 1u64, true), (5, 1, true)];
-    let (seq, _, seq_metrics) = fig2::run_sweep(&ctx_with_jobs(1), &workloads, &configs);
-    let (par, _, par_metrics) = fig2::run_sweep(&ctx_with_jobs(4), &workloads, &configs);
+    let (seq, _, seq_metrics, seq_hists) = fig2::run_sweep(&ctx_with_jobs(1), &workloads, &configs);
+    let (par, _, par_metrics, par_hists) = fig2::run_sweep(&ctx_with_jobs(4), &workloads, &configs);
     assert_eq!(
         serde_json::to_string(&seq).unwrap(),
         serde_json::to_string(&par).unwrap(),
@@ -66,6 +73,11 @@ fn fig2_results_are_bit_identical_at_any_job_count() {
         serde_json::to_string(&seq_metrics).unwrap(),
         serde_json::to_string(&par_metrics).unwrap(),
         "fig2 metrics sidecar bytes must not depend on the job count"
+    );
+    assert_eq!(
+        serde_json::to_string(&seq_hists).unwrap(),
+        serde_json::to_string(&par_hists).unwrap(),
+        "fig2 latency-histogram sidecar bytes must not depend on the job count"
     );
     assert_eq!(seq.points.len(), 2);
     // Each performance point snapshots both tests, in execution order.
@@ -87,8 +99,8 @@ fn fig3_and_table4_agree_across_job_counts() {
         serde_json::to_string(&f3_seq_m).unwrap(),
         serde_json::to_string(&f3_par_m).unwrap()
     );
-    let (t4_seq, _, t4_seq_m) = table4::run_profiled(&ctx_with_jobs(1));
-    let (t4_par, _, t4_par_m) = table4::run_profiled(&ctx_with_jobs(3));
+    let (t4_seq, _, t4_seq_m, t4_seq_h) = table4::run_profiled(&ctx_with_jobs(1));
+    let (t4_par, _, t4_par_m, t4_par_h) = table4::run_profiled(&ctx_with_jobs(3));
     assert_eq!(
         serde_json::to_string(&t4_seq).unwrap(),
         serde_json::to_string(&t4_par).unwrap()
@@ -96,6 +108,10 @@ fn fig3_and_table4_agree_across_job_counts() {
     assert_eq!(
         serde_json::to_string(&t4_seq_m).unwrap(),
         serde_json::to_string(&t4_par_m).unwrap()
+    );
+    assert_eq!(
+        serde_json::to_string(&t4_seq_h).unwrap(),
+        serde_json::to_string(&t4_par_h).unwrap()
     );
 }
 
@@ -109,12 +125,14 @@ fn fig2_results_are_bit_identical_at_any_shard_count() {
     // also fan sweep points across 2 runner threads.
     let workloads = [WorkloadKind::Timesharing];
     let configs = [(2usize, 1u64, true), (5, 1, true)];
-    let (seq, _, seq_metrics) = fig2::run_sweep(&ctx_with_jobs(1), &workloads, &configs);
+    let (seq, _, seq_metrics, seq_hists) = fig2::run_sweep(&ctx_with_jobs(1), &workloads, &configs);
     let seq_bytes = serde_json::to_string(&seq).unwrap();
     let seq_metrics_bytes = serde_json::to_string(&seq_metrics).unwrap();
+    let seq_hists_bytes = serde_json::to_string(&seq_hists).unwrap();
     for shards in [2usize, 4, 7] {
         let ctx = ctx_with_jobs(2).with_shards(shards).with_shard_workers(2);
-        let (sharded, _, sharded_metrics) = fig2::run_sweep(&ctx, &workloads, &configs);
+        let (sharded, _, sharded_metrics, sharded_hists) =
+            fig2::run_sweep(&ctx, &workloads, &configs);
         assert_eq!(
             seq_bytes,
             serde_json::to_string(&sharded).unwrap(),
@@ -124,6 +142,11 @@ fn fig2_results_are_bit_identical_at_any_shard_count() {
             seq_metrics_bytes,
             serde_json::to_string(&sharded_metrics).unwrap(),
             "fig2 metrics sidecar bytes must not depend on the shard count ({shards} shards)"
+        );
+        assert_eq!(
+            seq_hists_bytes,
+            serde_json::to_string(&sharded_hists).unwrap(),
+            "fig2 latency-histogram bytes must not depend on the shard count ({shards} shards)"
         );
     }
 }
@@ -135,9 +158,9 @@ fn fig1_results_are_bit_identical_under_sharding() {
     // sharded queue — fig1 pins that the allocation path is also invariant.
     let workloads = [WorkloadKind::Timesharing];
     let configs = [(3usize, 2u64, false)];
-    let (seq, _, seq_metrics) = fig1::run_sweep(&ctx_with_jobs(1), &workloads, &configs);
+    let (seq, _, seq_metrics, seq_hists) = fig1::run_sweep(&ctx_with_jobs(1), &workloads, &configs);
     let ctx = ctx_with_jobs(1).with_shards(4).with_shard_workers(2);
-    let (sharded, _, sharded_metrics) = fig1::run_sweep(&ctx, &workloads, &configs);
+    let (sharded, _, sharded_metrics, sharded_hists) = fig1::run_sweep(&ctx, &workloads, &configs);
     assert_eq!(
         serde_json::to_string(&seq).unwrap(),
         serde_json::to_string(&sharded).unwrap()
@@ -145,6 +168,10 @@ fn fig1_results_are_bit_identical_under_sharding() {
     assert_eq!(
         serde_json::to_string(&seq_metrics).unwrap(),
         serde_json::to_string(&sharded_metrics).unwrap()
+    );
+    assert_eq!(
+        serde_json::to_string(&seq_hists).unwrap(),
+        serde_json::to_string(&sharded_hists).unwrap()
     );
 }
 
@@ -157,15 +184,16 @@ fn fig2_results_are_bit_identical_on_the_calendar_backend() {
     use readopt::sim::EventQueueKind;
     let workloads = [WorkloadKind::Timesharing];
     let configs = [(2usize, 1u64, true), (5, 1, true)];
-    let (seq, _, seq_metrics) = fig2::run_sweep(&ctx_with_jobs(1), &workloads, &configs);
+    let (seq, _, seq_metrics, seq_hists) = fig2::run_sweep(&ctx_with_jobs(1), &workloads, &configs);
     let seq_bytes = serde_json::to_string(&seq).unwrap();
     let seq_metrics_bytes = serde_json::to_string(&seq_metrics).unwrap();
+    let seq_hists_bytes = serde_json::to_string(&seq_hists).unwrap();
     for (jobs, shards, workers) in [(1usize, 1usize, 0usize), (2, 4, 2)] {
         let ctx = ctx_with_jobs(jobs)
             .with_shards(shards)
             .with_shard_workers(workers)
             .with_event_queue(EventQueueKind::Calendar);
-        let (cal, _, cal_metrics) = fig2::run_sweep(&ctx, &workloads, &configs);
+        let (cal, _, cal_metrics, cal_hists) = fig2::run_sweep(&ctx, &workloads, &configs);
         assert_eq!(
             seq_bytes,
             serde_json::to_string(&cal).unwrap(),
@@ -178,6 +206,12 @@ fn fig2_results_are_bit_identical_on_the_calendar_backend() {
             "fig2 metrics sidecar bytes must not depend on the event-queue backend \
              (jobs={jobs}, shards={shards})"
         );
+        assert_eq!(
+            seq_hists_bytes,
+            serde_json::to_string(&cal_hists).unwrap(),
+            "fig2 latency-histogram bytes must not depend on the event-queue backend \
+             (jobs={jobs}, shards={shards})"
+        );
     }
 }
 
@@ -188,9 +222,9 @@ fn fig1_results_are_bit_identical_on_the_calendar_backend() {
     use readopt::sim::EventQueueKind;
     let workloads = [WorkloadKind::Timesharing];
     let configs = [(3usize, 2u64, false)];
-    let (seq, _, seq_metrics) = fig1::run_sweep(&ctx_with_jobs(1), &workloads, &configs);
+    let (seq, _, seq_metrics, seq_hists) = fig1::run_sweep(&ctx_with_jobs(1), &workloads, &configs);
     let ctx = ctx_with_jobs(1).with_event_queue(EventQueueKind::Calendar);
-    let (cal, _, cal_metrics) = fig1::run_sweep(&ctx, &workloads, &configs);
+    let (cal, _, cal_metrics, cal_hists) = fig1::run_sweep(&ctx, &workloads, &configs);
     assert_eq!(
         serde_json::to_string(&seq).unwrap(),
         serde_json::to_string(&cal).unwrap()
@@ -198,6 +232,10 @@ fn fig1_results_are_bit_identical_on_the_calendar_backend() {
     assert_eq!(
         serde_json::to_string(&seq_metrics).unwrap(),
         serde_json::to_string(&cal_metrics).unwrap()
+    );
+    assert_eq!(
+        serde_json::to_string(&seq_hists).unwrap(),
+        serde_json::to_string(&cal_hists).unwrap()
     );
 }
 
