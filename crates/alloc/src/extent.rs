@@ -23,7 +23,7 @@ use crate::policy::Policy;
 use crate::types::{AllocError, Extent, FileHints, FileId};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
+use serde::{de_field, Deserialize, Serialize, Value};
 
 /// Free-extent search strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -35,7 +35,7 @@ pub enum FitStrategy {
 }
 
 /// One file's state under the extent policy.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct EFile {
     map: FileMap,
     /// This file's extent size in units, fixed at creation.
@@ -255,6 +255,92 @@ impl<M: FreeMap> Policy for ExtentPolicy<M> {
         let f = self.file(file)?;
         Ok(f.map.total_units().div_ceil(f.extent_units) as usize)
     }
+
+    fn checkpoint_state(&self) -> Option<Value> {
+        // Only the dynamic state: config fields are reconstructed by the
+        // resuming caller. Propagates `None` from backends (the BTree
+        // reference map) that opt out of checkpointing.
+        let free = self.free.checkpoint_state()?;
+        Some(Value::Object(vec![
+            ("free".to_string(), free),
+            ("rng".to_string(), self.rng.state().to_value()),
+            ("files".to_string(), self.files.to_value()),
+            ("free_slots".to_string(), self.free_slots.to_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, snapshot: &Value) -> Result<(), String> {
+        let rng_words: Vec<u64> = de_field(snapshot, "rng").map_err(|e| e.to_string())?;
+        let rng_state: [u64; 4] = rng_words
+            .try_into()
+            .map_err(|_| "rng snapshot must hold exactly 4 words".to_string())?;
+        if rng_state == [0u64; 4] {
+            return Err("rng snapshot has the unreachable all-zero state".into());
+        }
+        let files: Vec<Option<EFile>> = de_field(snapshot, "files").map_err(|e| e.to_string())?;
+        let free_slots: Vec<u32> = de_field(snapshot, "free_slots").map_err(|e| e.to_string())?;
+        let free_snap = snapshot.get("free").ok_or("extent snapshot missing the free map")?;
+        let mut free = M::new();
+        free.restore_state(free_snap)?;
+
+        // Slot bookkeeping: free_slots must name exactly the dead slots.
+        let dead = files.iter().filter(|f| f.is_none()).count();
+        if free_slots.len() != dead {
+            return Err(format!(
+                "free_slots lists {} slots but {dead} file slots are dead",
+                free_slots.len()
+            ));
+        }
+        let mut seen = vec![false; files.len()];
+        for &s in &free_slots {
+            match files.get(s as usize) {
+                None => return Err(format!("free slot {s} out of range")),
+                Some(Some(_)) => return Err(format!("free slot {s} names a live file")),
+                Some(None) => {}
+            }
+            if std::mem::replace(&mut seen[s as usize], true) {
+                return Err(format!("free slot {s} listed twice"));
+            }
+        }
+
+        // Per-file sanity, then space conservation: the free runs and the
+        // data extents together must perfectly tile [0, capacity) — any
+        // overlap, gap, or out-of-bounds extent breaks the tiling.
+        let mut marks: Vec<(u64, u64)> =
+            free.collect_runs().iter().map(|e| (e.start, e.end())).collect();
+        for f in files.iter().flatten() {
+            if f.extent_units == 0 {
+                return Err("file with a zero extent size".into());
+            }
+            let units: u64 = f.map.extents().iter().map(|e| e.len).sum();
+            if units != f.map.total_units() {
+                return Err("file map total disagrees with its extents".into());
+            }
+            for w in f.map.extents().windows(2) {
+                if w[0].abuts(&w[1]) {
+                    return Err("file map holds unmerged adjacent extents".into());
+                }
+            }
+            marks.extend(f.map.extents().iter().map(|e| (e.start, e.end())));
+        }
+        marks.sort_unstable();
+        let mut cursor = 0u64;
+        for &(start, end) in &marks {
+            if start != cursor || end <= start {
+                return Err(format!("allocation state does not tile the disk at unit {cursor}"));
+            }
+            cursor = end;
+        }
+        if cursor != self.capacity {
+            return Err(format!("allocation state covers {cursor} of {} units", self.capacity));
+        }
+
+        self.free = free;
+        self.rng = SmallRng::from_state(rng_state);
+        self.files = files;
+        self.free_slots = free_slots;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -377,6 +463,64 @@ mod tests {
         assert_eq!(p.free_units(), free_before);
         assert_eq!(p.allocated_units(f).unwrap(), 80);
         p.check_invariants();
+    }
+
+    #[test]
+    fn checkpoint_resumes_identical_decisions() {
+        let mut p = policy(FitStrategy::FirstFit);
+        let a = p.create(&hints(8 * 1024)).unwrap();
+        let b = p.create(&hints(64 * 1024)).unwrap();
+        p.extend(a, 40).unwrap();
+        p.extend(b, 200).unwrap();
+        p.truncate(b, 30).unwrap();
+        p.delete(a).unwrap();
+        let snapshot = p.checkpoint_state().unwrap();
+        let mut q = policy(FitStrategy::FirstFit);
+        q.restore_state(&snapshot).unwrap();
+        q.check_invariants();
+        assert_eq!(q.free_units(), p.free_units());
+        assert_eq!(q.live_files(), p.live_files());
+        // Every subsequent decision — slot reuse, extent-size draw, and
+        // placement — matches the original policy exactly.
+        for _ in 0..20 {
+            let fp = p.create(&hints(8 * 1024)).unwrap();
+            let fq = q.create(&hints(8 * 1024)).unwrap();
+            assert_eq!(fp, fq);
+            assert_eq!(p.file_extent_units(fp), q.file_extent_units(fq));
+            assert_eq!(p.extend(fp, 12), q.extend(fq, 12));
+        }
+        assert_eq!(p.frag_gauges(), q.frag_gauges());
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_snapshots() {
+        let mut p = policy(FitStrategy::FirstFit);
+        let f = p.create(&hints(8 * 1024)).unwrap();
+        p.extend(f, 20).unwrap();
+        let snapshot = p.checkpoint_state().unwrap();
+        let tamper = |key: &str, v: Value| {
+            let Value::Object(mut fields) = snapshot.clone() else { unreachable!() };
+            fields.iter_mut().find(|(k, _)| k == key).unwrap().1 = v;
+            Value::Object(fields)
+        };
+        let mut q = policy(FitStrategy::FirstFit);
+        // A live slot listed as free.
+        let err = q.restore_state(&tamper("free_slots", vec![f.0].to_value())).unwrap_err();
+        assert!(err.contains("free_slots") || err.contains("live"), "{err}");
+        // Dropping the files breaks space conservation (tiling).
+        let empty: Vec<Option<super::EFile>> = Vec::new();
+        let err = q.restore_state(&tamper("files", empty.to_value())).unwrap_err();
+        assert!(err.contains("tile") || err.contains("covers"), "{err}");
+        // The unreachable all-zero rng state.
+        let err = q.restore_state(&tamper("rng", vec![0u64; 4].to_value())).unwrap_err();
+        assert!(err.contains("all-zero"), "{err}");
+        // A failed restore leaves the target untouched.
+        assert_eq!(q.free_units(), q.capacity_units());
+        assert!(q.live_files().is_empty());
+        // The BTree reference backend opts out of checkpointing entirely.
+        let r: ExtentPolicy<crate::freespace::BTreeFreeSpaceMap> =
+            ExtentPolicy::new(100, &[8], FitStrategy::FirstFit, 0.0, 1024, 1);
+        assert!(r.checkpoint_state().is_none());
     }
 
     #[test]

@@ -17,6 +17,7 @@
 
 use crate::bitmap::FreeBitmap;
 use crate::types::Extent;
+use serde::{Deserialize, Serialize, Value};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Debug;
 
@@ -44,6 +45,19 @@ pub trait FreeMap: Debug + Clone + Send {
     fn allocate_at(&mut self, start: u64, len: u64) -> Option<Extent>;
     /// True when `[start, start + len)` is entirely free.
     fn is_free(&self, start: u64, len: u64) -> bool;
+    /// Every maximal free run in address order, collected. Used by
+    /// checkpoint validation (never on the allocation hot path).
+    fn collect_runs(&self) -> Vec<Extent>;
+    /// Checkpoint snapshot of the map's state, when the backend supports
+    /// checkpointing. The default reports `None` (unsupported).
+    fn checkpoint_state(&self) -> Option<Value> {
+        None
+    }
+    /// Replaces this map's state with a [`FreeMap::checkpoint_state`]
+    /// snapshot, validating it first; on error the map is left unchanged.
+    fn restore_state(&mut self, _snapshot: &Value) -> Result<(), String> {
+        Err("this free-map backend does not support checkpointing".into())
+    }
     /// Debug invariant check.
     fn check_invariants(&self);
 }
@@ -272,6 +286,22 @@ impl FreeMap for FreeSpaceMap {
     fn is_free(&self, start: u64, len: u64) -> bool {
         FreeSpaceMap::is_free(self, start, len)
     }
+    fn collect_runs(&self) -> Vec<Extent> {
+        self.runs().collect()
+    }
+    fn checkpoint_state(&self) -> Option<Value> {
+        // The by_len index is derived data; the bitmap alone is the truth.
+        Some(self.bits.to_value())
+    }
+    fn restore_state(&mut self, snapshot: &Value) -> Result<(), String> {
+        // FreeBitmap's deserializer validates word count, ghost bits, and
+        // the popcount before handing anything back.
+        let bits = FreeBitmap::from_value(snapshot).map_err(|e| e.to_string())?;
+        self.bits = bits;
+        let runs: Vec<(u64, u64)> = self.runs().map(|e| (e.len, e.start)).collect();
+        self.by_len = runs.into_iter().collect();
+        Ok(())
+    }
     fn check_invariants(&self) {
         FreeSpaceMap::check_invariants(self)
     }
@@ -474,6 +504,9 @@ impl FreeMap for BTreeFreeSpaceMap {
     }
     fn is_free(&self, start: u64, len: u64) -> bool {
         BTreeFreeSpaceMap::is_free(self, start, len)
+    }
+    fn collect_runs(&self) -> Vec<Extent> {
+        self.runs().collect()
     }
     fn check_invariants(&self) {
         BTreeFreeSpaceMap::check_invariants(self)
@@ -694,6 +727,35 @@ mod tests {
         m.allocate_at(90, 10).unwrap();
         let runs: Vec<Extent> = m.runs().collect();
         assert_eq!(runs, vec![Extent::new(0, 20), Extent::new(50, 40)]);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_restores_runs_and_rejects_corruption() {
+        let mut m = FreeSpaceMap::with_capacity(300);
+        m.allocate_at(20, 30).unwrap();
+        m.allocate_at(90, 10).unwrap();
+        m.allocate_first_fit(5).unwrap();
+        let snapshot = FreeMap::checkpoint_state(&m).unwrap();
+        let mut restored = FreeSpaceMap::new();
+        FreeMap::restore_state(&mut restored, &snapshot).unwrap();
+        assert_eq!(restored.collect_runs(), FreeMap::collect_runs(&m));
+        assert_eq!(restored.free_units(), m.free_units());
+        restored.check_invariants();
+        // Restored maps make identical allocation decisions.
+        assert_eq!(restored.allocate_best_fit(7), m.allocate_best_fit(7));
+        // A tampered snapshot (free_count off by one) is rejected and the
+        // target map keeps its previous state.
+        let Value::Object(mut fields) = snapshot else { panic!("bitmap serializes as an object") };
+        let count = fields.iter_mut().find(|(k, _)| k == "free_count").unwrap();
+        count.1 = Value::U64(1);
+        let mut intact = FreeSpaceMap::with_capacity(64);
+        let err = FreeMap::restore_state(&mut intact, &Value::Object(fields)).unwrap_err();
+        assert!(err.contains("free_count"), "{err}");
+        assert_eq!(intact.free_units(), 64, "failed restore must not mutate");
+        // The reference backend opts out of checkpointing.
+        let b = BTreeFreeSpaceMap::with_capacity(10);
+        assert!(FreeMap::checkpoint_state(&b).is_none());
+        assert!(FreeMap::restore_state(&mut BTreeFreeSpaceMap::new(), &Value::Null).is_err());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //!   varies.
 
 use crate::context::ExperimentContext;
-use crate::metrics::{ExperimentMetrics, PointMetrics};
+use crate::metrics::{split3, ExperimentHist, ExperimentMetrics, PointHist, PointMetrics};
 use crate::report::{bytes, pct, TextTable};
 use crate::runner::{self, Job, JobTiming};
 use readopt_alloc::{FitStrategy, PolicyConfig};
@@ -50,10 +50,11 @@ pub fn run_raid(ctx: &ExperimentContext) -> RaidAblation {
 }
 
 /// As [`run_raid`], also returning per-layout wall-clock timings and the
-/// observability sidecar.
+/// observability sidecars (metrics + latency histograms, whose per-test
+/// `dropped` counts feed the run profile's overflow accounting).
 pub fn run_raid_profiled(
     ctx: &ExperimentContext,
-) -> (RaidAblation, Vec<JobTiming>, ExperimentMetrics) {
+) -> (RaidAblation, Vec<JobTiming>, ExperimentMetrics, ExperimentHist) {
     let ctx = *ctx;
     let jobs = [
         ArrayLayout::Striped,
@@ -71,7 +72,11 @@ pub fn run_raid_profiled(
             let cfg = lctx.sim_config(wl, policy);
             let mut sim = readopt_sim::Simulation::new(&cfg, lctx.seed);
             let app = sim.run_application_test();
+            // Hist snapshots are pure reads taken before the next test's
+            // latency reset, so the reports stay bit-identical.
+            let h_app = sim.latency_hist("application");
             let seq = sim.run_sequential_test();
+            let h_seq = sim.latency_hist("sequential");
             let amp = sim.storage().stats().write_amplification();
             let tm = sim.metrics_snapshot("performance", sim.now().as_ms());
             let row = RaidRow {
@@ -81,13 +86,23 @@ pub fn run_raid_profiled(
                 sequential_pct: seq.throughput_pct,
                 write_amplification: amp,
             };
-            (row, PointMetrics::new(format!("ablation-raid/{layout:?}"), vec![tm]))
+            let label = format!("ablation-raid/{layout:?}");
+            (
+                row,
+                PointMetrics::new(label.clone(), vec![tm]),
+                PointHist::new(label, vec![h_app, h_seq]),
+            )
         })
     })
     .collect();
     let out = runner::run_jobs(ctx.jobs, jobs);
-    let (rows, metrics) = out.results.into_iter().unzip();
-    (RaidAblation { rows }, out.timings, ExperimentMetrics::new("ablation_raid", metrics))
+    let (rows, metrics, hists) = split3(out.results);
+    (
+        RaidAblation { rows },
+        out.timings,
+        ExperimentMetrics::new("ablation_raid", metrics),
+        ExperimentHist::new("ablation_raid", hists),
+    )
 }
 
 impl fmt::Display for RaidAblation {
@@ -131,10 +146,10 @@ pub fn run_stripe_unit(ctx: &ExperimentContext) -> StripeAblation {
 }
 
 /// As [`run_stripe_unit`], also returning per-point wall-clock timings and
-/// the observability sidecar.
+/// the observability sidecars.
 pub fn run_stripe_unit_profiled(
     ctx: &ExperimentContext,
-) -> (StripeAblation, Vec<JobTiming>, ExperimentMetrics) {
+) -> (StripeAblation, Vec<JobTiming>, ExperimentMetrics, ExperimentHist) {
     let ctx = *ctx;
     let jobs = [8 * 1024u64, 12 * 1024, 24 * 1024, 72 * 1024, 96 * 1024]
         .into_iter()
@@ -145,20 +160,26 @@ pub fn run_stripe_unit_profiled(
                 let mut lctx = ctx;
                 lctx.array.stripe_unit_bytes = su;
                 let wl = WorkloadKind::Supercomputer;
-                let ((app, seq), tms) =
-                    lctx.run_performance_metered(wl, PolicyConfig::paper_restricted());
+                let ((app, seq), tms, hs) =
+                    lctx.run_performance_observed(wl, PolicyConfig::paper_restricted());
                 let row = StripeRow {
                     stripe_unit_bytes: su,
                     sequential_pct: seq.throughput_pct,
                     application_pct: app.throughput_pct,
                 };
-                (row, PointMetrics::new(format!("ablation-stripe/{}K", su / 1024), tms))
+                let label = format!("ablation-stripe/{}K", su / 1024);
+                (row, PointMetrics::new(label.clone(), tms), PointHist::new(label, hs))
             })
         })
         .collect();
     let out = runner::run_jobs(ctx.jobs, jobs);
-    let (rows, metrics) = out.results.into_iter().unzip();
-    (StripeAblation { rows }, out.timings, ExperimentMetrics::new("ablation_stripe", metrics))
+    let (rows, metrics, hists) = split3(out.results);
+    (
+        StripeAblation { rows },
+        out.timings,
+        ExperimentMetrics::new("ablation_stripe", metrics),
+        ExperimentHist::new("ablation_stripe", hists),
+    )
 }
 
 impl fmt::Display for StripeAblation {
@@ -197,10 +218,10 @@ pub fn run_file_mix(ctx: &ExperimentContext) -> FileMixAblation {
 }
 
 /// As [`run_file_mix`], also returning per-mix wall-clock timings and the
-/// observability sidecar.
+/// observability sidecars.
 pub fn run_file_mix_profiled(
     ctx: &ExperimentContext,
-) -> (FileMixAblation, Vec<JobTiming>, ExperimentMetrics) {
+) -> (FileMixAblation, Vec<JobTiming>, ExperimentMetrics, ExperimentHist) {
     let ctx = *ctx;
     let jobs = [0.05f64, 0.15, 0.30, 0.50]
         .into_iter()
@@ -222,24 +243,29 @@ pub fn run_file_mix_profiled(
                 let mut sim = readopt_sim::Simulation::new(&cfg, ctx.seed);
                 let frag = sim.run_allocation_test();
                 let tm = sim.metrics_snapshot("allocation", sim.now().as_ms());
+                let hist = sim.latency_hist("allocation");
                 let row = FileMixRow {
                     small_share,
                     internal_pct: frag.internal_pct,
                     external_pct: frag.external_pct,
                 };
+                let label = format!("ablation-file-mix/{:.0}pct", 100.0 * small_share);
                 (
                     row,
-                    PointMetrics::new(
-                        format!("ablation-file-mix/{:.0}pct", 100.0 * small_share),
-                        vec![tm],
-                    ),
+                    PointMetrics::new(label.clone(), vec![tm]),
+                    PointHist::new(label, vec![hist]),
                 )
             })
         })
         .collect();
     let out = runner::run_jobs(ctx.jobs, jobs);
-    let (rows, metrics) = out.results.into_iter().unzip();
-    (FileMixAblation { rows }, out.timings, ExperimentMetrics::new("ablation_file_mix", metrics))
+    let (rows, metrics, hists) = split3(out.results);
+    (
+        FileMixAblation { rows },
+        out.timings,
+        ExperimentMetrics::new("ablation_file_mix", metrics),
+        ExperimentHist::new("ablation_file_mix", hists),
+    )
 }
 
 impl fmt::Display for FileMixAblation {
@@ -290,10 +316,10 @@ pub fn run_reallocation(ctx: &ExperimentContext) -> ReallocAblation {
 }
 
 /// As [`run_reallocation`], also returning per-workload wall-clock timings
-/// and the observability sidecar.
+/// and the observability sidecars.
 pub fn run_reallocation_profiled(
     ctx: &ExperimentContext,
-) -> (ReallocAblation, Vec<JobTiming>, ExperimentMetrics) {
+) -> (ReallocAblation, Vec<JobTiming>, ExperimentMetrics, ExperimentHist) {
     let ctx = *ctx;
     let jobs = WorkloadKind::all()
         .into_iter()
@@ -302,11 +328,13 @@ pub fn run_reallocation_profiled(
                 let cfg = ctx.sim_config(wl, PolicyConfig::paper_buddy());
                 let mut sim = readopt_sim::Simulation::new(&cfg, ctx.seed);
                 let _ = sim.run_application_test();
+                let h_app = sim.latency_hist("application");
                 let before = sim.fragmentation_report(0);
                 let moved = sim.run_reallocation().expect("buddy has a reallocator");
                 let after = sim.fragmentation_report(0);
                 sim.policy().check_invariants();
                 let seq = sim.run_sequential_test();
+                let h_seq = sim.latency_hist("sequential");
                 let tm = sim.metrics_snapshot("performance", sim.now().as_ms());
                 let row = ReallocRow {
                     workload: wl.short_name().to_string(),
@@ -317,13 +345,23 @@ pub fn run_reallocation_profiled(
                     sequential_after_pct: seq.throughput_pct,
                     units_moved: moved,
                 };
-                (row, PointMetrics::new(format!("ablation-realloc/{}", wl.short_name()), vec![tm]))
+                let label = format!("ablation-realloc/{}", wl.short_name());
+                (
+                    row,
+                    PointMetrics::new(label.clone(), vec![tm]),
+                    PointHist::new(label, vec![h_app, h_seq]),
+                )
             })
         })
         .collect();
     let out = runner::run_jobs(ctx.jobs, jobs);
-    let (rows, metrics) = out.results.into_iter().unzip();
-    (ReallocAblation { rows }, out.timings, ExperimentMetrics::new("ablation_realloc", metrics))
+    let (rows, metrics, hists) = split3(out.results);
+    (
+        ReallocAblation { rows },
+        out.timings,
+        ExperimentMetrics::new("ablation_realloc", metrics),
+        ExperimentHist::new("ablation_realloc", hists),
+    )
 }
 
 impl fmt::Display for ReallocAblation {
@@ -376,10 +414,10 @@ pub fn run_ffs_comparison(ctx: &ExperimentContext) -> FfsAblation {
 }
 
 /// As [`run_ffs_comparison`], also returning per-policy wall-clock timings
-/// and the observability sidecar.
+/// and the observability sidecars.
 pub fn run_ffs_comparison_profiled(
     ctx: &ExperimentContext,
-) -> (FfsAblation, Vec<JobTiming>, ExperimentMetrics) {
+) -> (FfsAblation, Vec<JobTiming>, ExperimentMetrics, ExperimentHist) {
     let ctx = *ctx;
     let wl = WorkloadKind::Timesharing;
     let policies = [
@@ -392,9 +430,10 @@ pub fn run_ffs_comparison_profiled(
         .map(|(name, policy)| {
             let point_label = format!("ablation-ffs/{name}");
             Job::new(format!("ablation-ffs/{name}"), move || {
-                let (frag, tm_alloc) = ctx.run_allocation_metered(wl, policy.clone());
-                let ((app, seq), mut tms) = ctx.run_performance_metered(wl, policy);
+                let (frag, tm_alloc, h_alloc) = ctx.run_allocation_observed(wl, policy.clone());
+                let ((app, seq), mut tms, mut hs) = ctx.run_performance_observed(wl, policy);
                 tms.insert(0, tm_alloc);
+                hs.insert(0, h_alloc);
                 let row = FfsRow {
                     policy: name,
                     internal_pct: frag.internal_pct,
@@ -402,13 +441,22 @@ pub fn run_ffs_comparison_profiled(
                     application_pct: app.throughput_pct,
                     sequential_pct: seq.throughput_pct,
                 };
-                (row, PointMetrics::new(point_label, tms))
+                (
+                    row,
+                    PointMetrics::new(point_label.clone(), tms),
+                    PointHist::new(point_label, hs),
+                )
             })
         })
         .collect();
     let out = runner::run_jobs(ctx.jobs, jobs);
-    let (rows, metrics) = out.results.into_iter().unzip();
-    (FfsAblation { rows }, out.timings, ExperimentMetrics::new("ablation_ffs", metrics))
+    let (rows, metrics, hists) = split3(out.results);
+    (
+        FfsAblation { rows },
+        out.timings,
+        ExperimentMetrics::new("ablation_ffs", metrics),
+        ExperimentHist::new("ablation_ffs", hists),
+    )
 }
 
 impl fmt::Display for FfsAblation {
@@ -455,15 +503,22 @@ pub fn run_degraded_raid(ctx: &ExperimentContext) -> DegradedRaidAblation {
 
 /// As [`run_degraded_raid`], timed through the runner as a single job (the
 /// four service-time probes share one array model and are not worth
-/// splitting).
+/// splitting). No simulation runs, so the histogram sidecar carries one
+/// empty point (nothing sampled, nothing dropped).
 pub fn run_degraded_raid_profiled(
     ctx: &ExperimentContext,
-) -> (DegradedRaidAblation, Vec<JobTiming>, ExperimentMetrics) {
+) -> (DegradedRaidAblation, Vec<JobTiming>, ExperimentMetrics, ExperimentHist) {
     let ctx = *ctx;
     let jobs = vec![Job::new("ablation-degraded-raid/probes", move || degraded_raid_probes(&ctx))];
     let mut out = runner::run_jobs(ctx.jobs, jobs);
     let (row, metrics) = out.results.remove(0);
-    (row, out.timings, ExperimentMetrics::new("ablation_degraded_raid", vec![metrics]))
+    let hists = vec![PointHist::new("ablation-degraded-raid/probes".to_string(), Vec::new())];
+    (
+        row,
+        out.timings,
+        ExperimentMetrics::new("ablation_degraded_raid", vec![metrics]),
+        ExperimentHist::new("ablation_degraded_raid", hists),
+    )
 }
 
 fn degraded_raid_probes(ctx: &ExperimentContext) -> (DegradedRaidAblation, PointMetrics) {
@@ -557,10 +612,10 @@ pub fn run_disk_generations(ctx: &ExperimentContext) -> DiskGenAblation {
 }
 
 /// As [`run_disk_generations`], also returning per-cell wall-clock timings
-/// and the observability sidecar.
+/// and the observability sidecars.
 pub fn run_disk_generations_profiled(
     ctx: &ExperimentContext,
-) -> (DiskGenAblation, Vec<JobTiming>, ExperimentMetrics) {
+) -> (DiskGenAblation, Vec<JobTiming>, ExperimentMetrics, ExperimentHist) {
     use readopt_disk::DiskGeometry;
     let ctx = *ctx;
     // Keep the 2001 system at a few GB even for full-scale contexts (its
@@ -587,7 +642,7 @@ pub fn run_disk_generations_profiled(
                     let mut gctx = ctx;
                     gctx.array.geometry = geometry;
                     gctx.array.stripe_unit_bytes = stripe;
-                    let ((app, seq), tms) = gctx.run_performance_metered(wl, policy);
+                    let ((app, seq), tms, hs) = gctx.run_performance_observed(wl, policy);
                     let row = DiskGenRow {
                         generation: generation.to_string(),
                         workload: wl.short_name().to_string(),
@@ -595,14 +650,23 @@ pub fn run_disk_generations_profiled(
                         sequential_pct: seq.throughput_pct,
                         application_pct: app.throughput_pct,
                     };
-                    (row, PointMetrics::new(point_label, tms))
+                    (
+                        row,
+                        PointMetrics::new(point_label.clone(), tms),
+                        PointHist::new(point_label, hs),
+                    )
                 }));
             }
         }
     }
     let out = runner::run_jobs(ctx.jobs, jobs);
-    let (rows, metrics) = out.results.into_iter().unzip();
-    (DiskGenAblation { rows }, out.timings, ExperimentMetrics::new("ablation_disk_gen", metrics))
+    let (rows, metrics, hists) = split3(out.results);
+    (
+        DiskGenAblation { rows },
+        out.timings,
+        ExperimentMetrics::new("ablation_disk_gen", metrics),
+        ExperimentHist::new("ablation_disk_gen", hists),
+    )
 }
 
 impl fmt::Display for DiskGenAblation {
@@ -749,5 +813,36 @@ mod tests {
         for r in &ab.rows {
             assert!(r.internal_pct >= 0.0 && r.external_pct >= 0.0);
         }
+    }
+
+    /// The regression this pins: the `repro` ablations profile used to
+    /// hardcode `dropped_latency_samples: 0` because the ablation drivers
+    /// returned no histograms at all — reservoir overflow in any ablation
+    /// was silently reported as "every percentile exact". Every profiled
+    /// ablation now returns an [`ExperimentHist`] whose per-test `dropped`
+    /// counts the profile sums, and a tiny reservoir must surface them.
+    #[test]
+    fn ablation_hists_carry_real_drop_counts() {
+        let ctx = ExperimentContext::fast(64).with_latency_cap(4);
+        let (ab, _, _, hist) = run_file_mix_profiled(&ctx);
+        assert_eq!(hist.experiment, "ablation_file_mix");
+        assert_eq!(hist.points.len(), ab.rows.len(), "one hist point per mix");
+        assert!(
+            hist.dropped_samples() > 0,
+            "a 4-sample reservoir must overflow during the allocation test"
+        );
+        for p in &hist.points {
+            let point_drops: u64 = p.tests.iter().map(|t| t.dropped).sum();
+            assert!(point_drops > 0, "{}: no drops recorded", p.label);
+        }
+        // The summed number is exactly the per-point aggregate — the value
+        // the run profile now reports instead of the hardcoded zero.
+        let total: u64 =
+            hist.points.iter().flat_map(|p| p.tests.iter()).map(|t| t.dropped).sum();
+        assert_eq!(hist.dropped_samples(), total);
+
+        // And an uncapped context keeps every ablation percentile exact.
+        let (_, _, _, uncapped) = run_file_mix_profiled(&ExperimentContext::fast(64));
+        assert_eq!(uncapped.dropped_samples(), 0);
     }
 }

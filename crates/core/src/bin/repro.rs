@@ -46,8 +46,8 @@ use readopt_core::metrics::{cross_check_table, wren_iv_cross_check, ExperimentHi
 use readopt_core::report::TextTable;
 use readopt_core::runner::{self, JobTiming};
 use readopt_core::{
-    ablations, diag, distreg, fig1, fig2, fig3, fig4, fig5, fig6, shard_scaling, table1, table2,
-    table3, table4, users_scale, ExperimentContext, ExperimentMetrics,
+    ablations, diag, distreg, fig1, fig2, fig3, fig4, fig5, fig6, shard_scaling, storex, table1,
+    table2, table3, table4, users_scale, ExperimentContext, ExperimentMetrics,
 };
 use readopt_sim::EventQueueKind;
 use serde::Serialize;
@@ -65,6 +65,8 @@ struct Options {
     event_queue: EventQueueKind,
     users_full: bool,
     json_dir: Option<String>,
+    store: Option<String>,
+    export: bool,
     explain: bool,
 }
 
@@ -156,6 +158,8 @@ fn parse_args() -> Result<Options, String> {
         event_queue: EventQueueKind::Heap,
         users_full: false,
         json_dir: None,
+        store: None,
+        export: false,
         explain: false,
     };
     let mut args = std::env::args().skip(1);
@@ -226,6 +230,12 @@ fn parse_args() -> Result<Options, String> {
             "--json" => {
                 opts.json_dir = Some(args.next().ok_or("--json needs a directory")?);
             }
+            "--store" => {
+                opts.store = Some(args.next().ok_or("--store needs a file path")?);
+            }
+            "export" => {
+                opts.export = true;
+            }
             "--explain" => {
                 opts.explain = true;
             }
@@ -243,12 +253,57 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn write_json<T: Serialize>(dir: &Option<String>, name: &str, value: &T) {
+    if dir.is_none() && !storex::active() {
+        return;
+    }
+    // A resumed store's recorded artifact wins over re-serializing: the
+    // wall-clock-carrying artifacts (profile, the scaling studies) could
+    // not reproduce their recorded bytes, and the sidecar on disk must
+    // stay byte-identical to what `repro export` regenerates.
+    let json = match storex::lookup_artifact(name) {
+        Some(stored) => stored,
+        None => {
+            let fresh = serde_json::to_string_pretty(value).expect("serialize result");
+            storex::record_artifact(name, &fresh).unwrap_or_else(|e| {
+                eprintln!("error: results store: {e}");
+                std::process::exit(2);
+            });
+            fresh
+        }
+    };
     let Some(dir) = dir else { return };
     std::fs::create_dir_all(dir).expect("create json dir");
     let path = format!("{dir}/{name}.json");
-    let json = serde_json::to_string_pretty(value).expect("serialize result");
     std::fs::write(&path, json).expect("write json");
     eprintln!("  wrote {path}");
+}
+
+/// The canonical run-configuration fingerprint stored as the `.rrs` meta
+/// record. Results-invariant knobs (`jobs`, `workers`, `shards`,
+/// `shard_workers`, `event_queue`) are normalized out — the whole point
+/// of the store is that a sweep killed under `--jobs 8` can resume under
+/// `--workers 2` and still produce the same bytes — while everything
+/// results-affecting (array scale, seed, intervals, latency cap, the
+/// users ladder) stays in and is enforced on resume.
+fn store_meta_json(ctx: &ExperimentContext, opts: &Options) -> String {
+    #[derive(Serialize)]
+    struct StoreMeta {
+        context: ExperimentContext,
+        users_full: bool,
+        users_ladder: String,
+    }
+    let mut c = *ctx;
+    c.jobs = 1;
+    c.workers = 0;
+    c.shards = 1;
+    c.shard_workers = 0;
+    c.event_queue = EventQueueKind::Heap;
+    let meta = StoreMeta {
+        context: c,
+        users_full: opts.users_full,
+        users_ladder: std::env::var(users_scale::LADDER_ENV).unwrap_or_default(),
+    };
+    serde_json::to_string(&meta).expect("serialize store meta")
 }
 
 /// The end-of-run runner report: where the wall-clock went, slowest sweep
@@ -300,12 +355,33 @@ fn main() {
                 eprintln!("error: {e}\n");
             }
             eprintln!(
-                "usage: repro [EXPERIMENT ...] [--scale N] [--seed S] [--intervals K] [--jobs J] [--workers W] [--shards S] [--event-queue heap|calendar] [--users-full] [--json DIR] [--explain]\n\
-                 experiments: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 table4 fig6 ablations diag shard_scaling users_1e6 all"
+                "usage: repro [EXPERIMENT ...] [--scale N] [--seed S] [--intervals K] [--jobs J] [--workers W] [--shards S] [--event-queue heap|calendar] [--users-full] [--store FILE] [--json DIR] [--explain]\n\
+                 experiments: table1 table2 table3 fig1 fig2 fig3 fig4 fig5 table4 fig6 ablations diag shard_scaling users_1e6 all\n\
+                 repro export --store FILE --json DIR: regenerate the JSON artifacts of a finished store (no simulation runs)"
             );
             std::process::exit(if e == "help" { 0 } else { 2 });
         }
     };
+
+    if opts.export {
+        let (Some(store), Some(dir)) = (&opts.store, &opts.json_dir) else {
+            eprintln!("error: repro export needs both --store FILE and --json DIR");
+            std::process::exit(2);
+        };
+        match storex::export(std::path::Path::new(store), std::path::Path::new(dir)) {
+            Ok(names) => {
+                for name in &names {
+                    eprintln!("  wrote {dir}/{name}.json");
+                }
+                println!("exported {} artifacts from {store} to {dir}", names.len());
+                std::process::exit(0);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
 
     let jobs = opts.jobs.unwrap_or_else(runner::default_jobs);
     let mut ctx = if opts.scale <= 1 {
@@ -321,6 +397,17 @@ fn main() {
         ctx.max_intervals = k;
     }
     ctx = ctx.with_event_queue(opts.event_queue).with_workers(opts.workers);
+
+    if let Some(store) = &opts.store {
+        match storex::open(std::path::Path::new(store), &store_meta_json(&ctx, &opts)) {
+            Ok(0) => eprintln!("  [store] writing {store}"),
+            Ok(n) => eprintln!("  [store] resumed {store} with {n} recovered point records"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
 
     println!(
         "readopt repro — array: {} disks, {:.2} GB usable (scale 1/{}), seed {}, {} jobs, {} shards, {} queue{}\n",
@@ -437,15 +524,23 @@ fn main() {
     if wants("ablations") {
         let t0 = Instant::now();
         let mut timings = Vec::new();
+        // Summed from the real per-ablation histogram sidecars — this used
+        // to be hardcoded to 0 because the ablation drivers returned no
+        // histograms, silently reporting overflowed reservoirs as exact.
+        let mut dropped: u64 = 0;
         macro_rules! ablation {
             ($json_name:literal, $body:expr) => {{
-                let (result, t, metrics) = $body;
+                let (result, t, metrics, hists) = $body;
                 println!("{result}");
                 if opts.explain && !metrics.points.is_empty() {
                     println!("{}", metrics.phase_table());
                 }
                 write_json(&opts.json_dir, $json_name, &result);
                 write_json(&opts.json_dir, concat!($json_name, ".metrics"), &metrics);
+                if !hists.points.is_empty() {
+                    write_json(&opts.json_dir, concat!($json_name, ".hist"), &hists);
+                }
+                dropped += hists.dropped_samples();
                 timings.extend(t);
             }};
         }
@@ -460,7 +555,7 @@ fn main() {
         profiles.push(ExperimentProfile {
             experiment: "ablations".to_string(),
             wall_s: t0.elapsed().as_secs_f64(),
-            dropped_latency_samples: 0,
+            dropped_latency_samples: dropped,
             points: timings,
         });
         let _ = std::io::stdout().flush();
@@ -485,4 +580,17 @@ fn main() {
         experiments: profiles,
     };
     write_json(&opts.json_dir, "profile", &profile);
+
+    match storex::finish() {
+        Ok(true) => {
+            if let Some(store) = &opts.store {
+                eprintln!("  [store] sealed {store}");
+            }
+        }
+        Ok(false) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
 }

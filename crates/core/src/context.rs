@@ -37,6 +37,13 @@ pub struct ExperimentContext {
     /// `crates/dist`): 0 or 1 means in-process threads (`jobs`), ≥ 2 forks
     /// that many worker agents. Results are bit-identical either way.
     pub workers: usize,
+    /// Override for the per-test exact-latency reservoir cap (0 keeps the
+    /// simulator's 200 k default). Shrinking it forces sample drops — the
+    /// reservoir then degrades to histogram-derived percentiles and the
+    /// drop counts surface in every profile — so tests can exercise the
+    /// overflow accounting without recording millions of operations.
+    /// Results-affecting: percentile fields change once samples drop.
+    pub latency_sample_cap: usize,
 }
 
 impl ExperimentContext {
@@ -51,6 +58,7 @@ impl ExperimentContext {
             shard_workers: 0,
             event_queue: EventQueueKind::Heap,
             workers: 0,
+            latency_sample_cap: 0,
         }
     }
 
@@ -66,6 +74,7 @@ impl ExperimentContext {
             shard_workers: 0,
             event_queue: EventQueueKind::Heap,
             workers: 0,
+            latency_sample_cap: 0,
         }
     }
 
@@ -106,6 +115,12 @@ impl ExperimentContext {
         self
     }
 
+    /// With a smaller exact-latency reservoir (0 restores the default).
+    pub fn with_latency_cap(mut self, cap: usize) -> Self {
+        self.latency_sample_cap = cap;
+        self
+    }
+
     /// Builds the simulation configuration for one (workload, policy) pair.
     pub fn sim_config(&self, workload: WorkloadKind, policy: PolicyConfig) -> SimConfig {
         let types = workload.build(self.array.capacity_bytes());
@@ -123,6 +138,9 @@ impl ExperimentContext {
             self.shard_workers.min(cfg.shards)
         };
         cfg.event_queue = self.event_queue;
+        if self.latency_sample_cap > 0 {
+            cfg.latency_sample_cap = self.latency_sample_cap;
+        }
         cfg
     }
 

@@ -107,7 +107,23 @@ where
             ),
         }
     }
-    runner::run_jobs(ctx.jobs, list)
+    let out = runner::run_jobs(ctx.jobs, list);
+    // Registered sweeps mirror every point into the open results store in
+    // submission order, re-serializing with the exact same serializer the
+    // worker agents use — so the store bytes are identical between the
+    // in-process and distributed paths. (The dist path streams its
+    // worker-serialized payloads instead; a fallback after a partial
+    // distributed run re-records the already-streamed prefix, which the
+    // store verifies byte-for-byte rather than duplicating.)
+    if supports(experiment) && crate::storex::active() {
+        for (i, result) in out.results.iter().enumerate() {
+            let payload = serde_json::to_string(result)
+                .unwrap_or_else(|e| panic!("serialize {experiment} point {i}: {e}"));
+            crate::storex::record(experiment, i as u64, &payload)
+                .unwrap_or_else(|e| panic!("results store: {e}"));
+        }
+    }
+    out
 }
 
 fn run_dist<T: Deserialize>(
@@ -135,8 +151,24 @@ fn run_dist<T: Deserialize>(
         env: Vec::new(),
     };
     let cfg = CoordinatorConfig::new(ctx.workers);
-    let outcome = readopt_dist::run_sweep(&spec, &cfg, &ctx_json, experiment, list.len())
-        .map_err(|e| e.to_string())?;
+    // The coordinator streams each payload as soon as the done-prefix is
+    // contiguous, so the store grows in sweep order even while later
+    // points are still in flight; a store append failure is parked and
+    // surfaced after the sweep (the in-process fallback then re-records
+    // with byte verification).
+    let stream_err: std::sync::Mutex<Option<String>> = std::sync::Mutex::new(None);
+    let on_point = |i: usize, payload: &str| {
+        if let Err(e) = crate::storex::record(experiment, i as u64, payload) {
+            let mut slot = stream_err.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            slot.get_or_insert(e);
+        }
+    };
+    let outcome =
+        readopt_dist::run_sweep_with(&spec, &cfg, &ctx_json, experiment, list.len(), &on_point)
+            .map_err(|e| e.to_string())?;
+    if let Some(e) = stream_err.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner) {
+        return Err(format!("results store: {e}"));
+    }
 
     let mut results = Vec::with_capacity(list.len());
     for (i, payload) in outcome.payloads.iter().enumerate() {

@@ -48,6 +48,7 @@ pub mod metrics;
 pub mod report;
 pub mod runner;
 pub mod shard_scaling;
+pub mod storex;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -1,0 +1,254 @@
+//! Process-global binary results-store session (`repro --store FILE`).
+//!
+//! The experiment drivers and the `repro` binary both need to append to
+//! the same `.rrs` file from wherever a result materializes — the
+//! in-process runner, the distributed coordinator's streaming callback,
+//! the `users_1e6` ladder, the artifact writer — so the open store lives
+//! behind one mutex-guarded global session for the life of the run.
+//!
+//! Three record families share the file, all addressed by
+//! `(experiment, index)`:
+//!
+//! * **sweep points** — `experiment` is the registered experiment name,
+//!   `index` its submission order, and the payload the exact
+//!   `serde_json::to_string` bytes of the point result (identical
+//!   between the in-process and worker-process paths by the determinism
+//!   contract, so the store bytes are too);
+//! * **ladder points** — `users_1e6` appends one record per
+//!   (rung, backend) with only deterministic content, which is what lets
+//!   a killed run skip completed rungs on resume;
+//! * **artifacts** — `experiment` is `artifact/<name>` with index 0 and
+//!   the payload the exact pretty-JSON bytes `--json` writes to
+//!   `<name>.json`, which makes [`export`] a pure byte copy: the
+//!   regenerated sidecars are byte-identical to the originals by
+//!   construction.
+//!
+//! Opening an existing store resumes it: the valid record prefix is
+//! recovered (a torn trailing frame is truncated away), the meta record
+//! is checked against the current run configuration, and re-recorded
+//! points are verified to match the recovered bytes instead of being
+//! appended twice. A record that *disagrees* with its recorded bytes is
+//! a hard error — it means the store was written under a different
+//! configuration than the meta claims.
+
+use readopt_store::{StoreReader, StoreWriter};
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::{Mutex, PoisonError};
+
+/// Experiment-name prefix for whole-artifact records (`artifact/<name>`
+/// at index 0, payload = the exact `<name>.json` bytes).
+pub const ARTIFACT_PREFIX: &str = "artifact/";
+
+struct Session {
+    writer: StoreWriter,
+    /// Payload by id for every record already in the file — recovered on
+    /// resume, or appended earlier in this run.
+    seen: BTreeMap<(String, u64), String>,
+}
+
+static SESSION: Mutex<Option<Session>> = Mutex::new(None);
+
+fn lock() -> std::sync::MutexGuard<'static, Option<Session>> {
+    SESSION.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Opens (or resumes) the global store session. Returns the number of
+/// point records recovered from an interrupted previous run (0 for a
+/// fresh store).
+///
+/// `meta_json` is the canonical run-configuration fingerprint; resuming
+/// a store whose meta record disagrees is an error — records produced
+/// under a different configuration must never be mixed into one store.
+pub fn open(path: &Path, meta_json: &str) -> Result<usize, String> {
+    let mut guard = lock();
+    if guard.is_some() {
+        return Err(String::from("results store already open in this process"));
+    }
+    let (writer, recovered_count) = if path.exists() {
+        let (writer, recovered) =
+            StoreWriter::resume(path).map_err(|e| format!("resume {}: {e}", path.display()))?;
+        match recovered.meta_json.as_deref() {
+            Some(existing) if existing == meta_json => {
+                let seen: BTreeMap<(String, u64), String> = recovered
+                    .points
+                    .into_iter()
+                    .map(|p| ((p.experiment, p.index), p.payload))
+                    .collect();
+                let n = seen.len();
+                *guard = Some(Session { writer, seen });
+                return Ok(n);
+            }
+            Some(_) => {
+                return Err(format!(
+                    "store {} was written under a different run configuration \
+                     (meta record mismatch); pass a fresh --store path",
+                    path.display()
+                ));
+            }
+            // The previous run died before the meta record landed:
+            // nothing recoverable, start the file over.
+            None => {
+                drop(writer);
+                let w = StoreWriter::create(path, meta_json)
+                    .map_err(|e| format!("create {}: {e}", path.display()))?;
+                (w, 0)
+            }
+        }
+    } else {
+        let w = StoreWriter::create(path, meta_json)
+            .map_err(|e| format!("create {}: {e}", path.display()))?;
+        (w, 0)
+    };
+    *guard = Some(Session { writer, seen: BTreeMap::new() });
+    Ok(recovered_count)
+}
+
+/// Whether a store session is open (records will be appended).
+pub fn active() -> bool {
+    lock().is_some()
+}
+
+/// Appends one record, or verifies it against the already-stored bytes.
+/// A no-op when no session is open.
+pub fn record(experiment: &str, index: u64, payload: &str) -> Result<(), String> {
+    let mut guard = lock();
+    let Some(session) = guard.as_mut() else { return Ok(()) };
+    let id = (experiment.to_string(), index);
+    if let Some(stored) = session.seen.get(&id) {
+        if stored == payload {
+            return Ok(());
+        }
+        return Err(format!(
+            "store record {experiment}[{index}] diverged from the stored bytes \
+             ({} vs {} bytes) — the store was not produced by this configuration",
+            stored.len(),
+            payload.len()
+        ));
+    }
+    session
+        .writer
+        .append_point(experiment, index, payload)
+        .map_err(|e| format!("append {experiment}[{index}]: {e}"))?;
+    session.seen.insert(id, payload.to_string());
+    Ok(())
+}
+
+/// Records a whole JSON artifact (the exact bytes `--json` writes to
+/// `<name>.json`). A no-op when no session is open.
+pub fn record_artifact(name: &str, json: &str) -> Result<(), String> {
+    record(&format!("{ARTIFACT_PREFIX}{name}"), 0, json)
+}
+
+/// The stored payload for `(experiment, index)`, if the (possibly
+/// resumed) session already holds it. `None` when inactive or absent.
+pub fn lookup(experiment: &str, index: u64) -> Option<String> {
+    let guard = lock();
+    let session = guard.as_ref()?;
+    session.seen.get(&(experiment.to_string(), index)).cloned()
+}
+
+/// The stored bytes of artifact `name`, if the session already holds
+/// them (i.e. the artifact landed before a previous run was killed). A
+/// resumed run prefers these over re-serializing: wall-clock-carrying
+/// artifacts (`profile`, the scaling studies) could not re-produce the
+/// recorded bytes, and the sidecar on disk must match what [`export`]
+/// regenerates.
+pub fn lookup_artifact(name: &str) -> Option<String> {
+    lookup(&format!("{ARTIFACT_PREFIX}{name}"), 0)
+}
+
+/// Seals and closes the session (writes the index block and footer).
+/// Returns whether a session was actually open.
+pub fn finish() -> Result<bool, String> {
+    let mut guard = lock();
+    let Some(session) = guard.take() else { return Ok(false) };
+    session.writer.finish().map_err(|e| format!("finish store: {e}"))?;
+    Ok(true)
+}
+
+/// Regenerates the JSON artifacts of a *finished* store into `dir`:
+/// every `artifact/<name>` record becomes `dir/<name>.json` with the
+/// exact payload bytes. Returns the artifact names written, in store
+/// order.
+pub fn export(store: &Path, dir: &Path) -> Result<Vec<String>, String> {
+    let mut reader =
+        StoreReader::open(store).map_err(|e| format!("open {}: {e}", store.display()))?;
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let ids: Vec<(String, u64)> = reader.point_ids().to_vec();
+    let mut written = Vec::new();
+    for (experiment, index) in ids {
+        let Some(name) = experiment.strip_prefix(ARTIFACT_PREFIX) else { continue };
+        if name.is_empty() || name.contains(['/', '\\']) {
+            return Err(format!("store holds an unsafe artifact name {name:?}"));
+        }
+        let payload = reader
+            .point(&experiment, index)
+            .map_err(|e| format!("read {experiment}: {e}"))?;
+        let path = dir.join(format!("{name}.json"));
+        std::fs::write(&path, payload).map_err(|e| format!("write {}: {e}", path.display()))?;
+        written.push(name.to_string());
+    }
+    Ok(written)
+}
+
+/// The meta record (canonical run configuration) of a finished store.
+pub fn read_meta(store: &Path) -> Result<String, String> {
+    let mut reader =
+        StoreReader::open(store).map_err(|e| format!("open {}: {e}", store.display()))?;
+    reader.meta_json().map_err(|e| format!("read meta: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("storex-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    /// The global session forces the suite's storex tests to run as one
+    /// scenario: open → record → verify-dedupe → finish → export.
+    #[test]
+    fn session_roundtrip_dedupe_and_export() {
+        let dir = tmp("session");
+        let store = dir.join("run.rrs");
+        assert!(!active());
+        assert_eq!(lookup("fig1", 0), None, "inactive lookup is None");
+        record("fig1", 0, "dropped").expect("inactive record is a no-op");
+
+        assert_eq!(open(&store, "{\"seed\":1}").expect("open"), 0);
+        assert!(active());
+        assert!(open(&store, "{\"seed\":1}").unwrap_err().contains("already open"));
+        record("fig1", 0, "{\"x\":1}").expect("append");
+        record("fig1", 1, "{\"x\":2}").expect("append");
+        record_artifact("fig1", "{\n  \"rows\": []\n}").expect("artifact");
+        // Re-recording identical bytes dedupes; diverging bytes are fatal.
+        record("fig1", 0, "{\"x\":1}").expect("same bytes verify");
+        assert!(record("fig1", 0, "{\"x\":9}").unwrap_err().contains("diverged"));
+        assert_eq!(lookup("fig1", 1).as_deref(), Some("{\"x\":2}"));
+        assert!(finish().expect("finish"));
+        assert!(!finish().expect("idempotent"), "second finish is a no-op");
+        assert!(!active());
+
+        // Export regenerates exactly the artifact records.
+        let out = dir.join("json");
+        let names = export(&store, &out).expect("export");
+        assert_eq!(names, ["fig1"]);
+        let json = std::fs::read_to_string(out.join("fig1.json")).expect("read export");
+        assert_eq!(json, "{\n  \"rows\": []\n}");
+        assert_eq!(read_meta(&store).expect("meta"), "{\"seed\":1}");
+
+        // Resume with matching meta recovers the records; a different
+        // meta is rejected.
+        assert!(open(&store, "{\"seed\":2}").unwrap_err().contains("different run"));
+        assert_eq!(open(&store, "{\"seed\":1}").expect("resume"), 3);
+        assert_eq!(lookup("fig1", 0).as_deref(), Some("{\"x\":1}"));
+        record("fig1", 0, "{\"x\":1}").expect("recovered bytes verify");
+        assert!(finish().expect("finish resumed store"));
+    }
+}

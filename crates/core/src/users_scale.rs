@@ -22,9 +22,12 @@ use crate::report::TextTable;
 use crate::runner::{self, Job, JobTiming};
 use readopt_alloc::{ExtentConfig, FitStrategy, PolicyConfig};
 use readopt_disk::SimDuration;
-use readopt_sim::{EventQueueKind, FileTypeConfig, PerfReport, SimConfig, Simulation, TestHist};
+use readopt_sim::{
+    CheckpointSpec, EventQueueKind, FileTypeConfig, PerfReport, SimConfig, Simulation, TestHist,
+};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::path::Path;
 
 /// The user counts CI visits (in order, ascending).
 pub const SMOKE_LADDER: [u32; 3] = [1_000, 4_000, 16_000];
@@ -32,6 +35,44 @@ pub const SMOKE_LADDER: [u32; 3] = [1_000, 4_000, 16_000];
 /// The full ladder (`repro --users-full`): adds the rungs where queue cost
 /// dominates, topping out at the family's namesake million users.
 pub const FULL_LADDER: [u32; 5] = [1_000, 4_000, 16_000, 100_000, 1_000_000];
+
+/// Environment override for the ladder: comma-separated user counts
+/// (e.g. `REPRO_USERS_LADDER=64,256`). Results-affecting, so it is part
+/// of the store's meta fingerprint. Used by the kill/resume tests to run
+/// the full checkpoint machinery on a rung that takes milliseconds.
+pub const LADDER_ENV: &str = "REPRO_USERS_LADDER";
+
+/// Directory for mid-rung engine checkpoints. When set, each
+/// (rung, backend) application test runs checkpointed: a serde snapshot
+/// of the full engine state lands in
+/// `$REPRO_CKPT_DIR/users_<users>_<backend>.ckpt` every
+/// [`CKPT_EVERY_ENV`] steps, a killed run resumes from it bit-identically,
+/// and the file is removed when the rung completes.
+pub const CKPT_DIR_ENV: &str = "REPRO_CKPT_DIR";
+
+/// Steps between checkpoint snapshots (default 5000).
+pub const CKPT_EVERY_ENV: &str = "REPRO_CKPT_EVERY";
+
+/// Fault injection for the kill/resume tests: exit with
+/// [`readopt_sim::CHECKPOINT_KILL_EXIT`] after the N-th snapshot write.
+/// Unset it on the resuming run, or the resume kills itself again.
+pub const CKPT_KILL_ENV: &str = "REPRO_CKPT_KILL";
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+/// The [`LADDER_ENV`] ladder, if set and well-formed.
+pub fn ladder_from_env() -> Option<Vec<u32>> {
+    let raw = std::env::var(LADDER_ENV).ok()?;
+    let rungs: Option<Vec<u32>> = raw
+        .split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(|t| t.parse().ok())
+        .collect();
+    rungs.filter(|r| !r.is_empty())
+}
 
 /// One rung's measurement: the same simulation on both backends.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -90,11 +131,21 @@ fn point_config(ctx: &ExperimentContext, users: u32, kind: EventQueueKind) -> Si
 /// test exercises the disk model, not the queue). The latency histogram
 /// rides along so the backend-equality assertion covers the full latency
 /// distribution, not just the headline report.
-fn run_point(cfg: SimConfig, seed: u64) -> (PerfReport, u64, TestHist) {
+///
+/// With a [`CheckpointSpec`], the application test runs checkpointed:
+/// identical results (the snapshot writes are pure), but a killed run
+/// resumes mid-test from the last snapshot instead of starting over —
+/// the property that makes a preempted million-user rung cheap to retry.
+fn run_point(cfg: SimConfig, seed: u64, ckpt: Option<&CheckpointSpec>) -> (PerfReport, u64, TestHist) {
     let mut sim = Simulation::new(&cfg, seed.wrapping_add(1));
     sim.reset_counters();
     sim.storage_reset_for_probe();
-    let report = sim.run_application_test();
+    let report = match ckpt {
+        Some(spec) => sim
+            .run_application_test_checkpointed(spec)
+            .unwrap_or_else(|e| panic!("checkpointed rung {}: {e}", spec.path.display())),
+        None => sim.run_application_test(),
+    };
     let events = sim.engine_counters().events;
     let hist = sim.latency_hist("application");
     (report, events, hist)
@@ -113,7 +164,12 @@ pub fn run_profiled(
     ctx: &ExperimentContext,
     full: bool,
 ) -> (UsersScale, Vec<JobTiming>, ExperimentMetrics, ExperimentHist) {
-    let ladder: &[u32] = if full { &FULL_LADDER } else { &SMOKE_LADDER };
+    let env_ladder = ladder_from_env();
+    let ladder: &[u32] = match &env_ladder {
+        Some(l) => l,
+        None if full => &FULL_LADDER,
+        None => &SMOKE_LADDER,
+    };
     let (points, timings, hists) = run_ladder(ctx, ladder);
     let speedup = points.last().map_or(1.0, |p| p.calendar_speedup);
     let result = UsersScale { full_ladder: full, points, speedup_at_max_users: speedup };
@@ -127,14 +183,24 @@ pub fn run_profiled(
 
 /// Runs an explicit ladder (tests use a tiny one). Each rung runs heap
 /// first, then calendar, and asserts the two runs are bit-identical.
+///
+/// When the global results store is open, every completed
+/// (rung, backend) appends a `users_1e6` point record holding only the
+/// deterministic outcome triple (report, event count, latency histogram)
+/// — never wall-clock — and a rung already recorded (a resumed run)
+/// is deserialized from the store instead of re-simulated. Combined
+/// with [`CKPT_DIR_ENV`] engine checkpoints this makes a killed ladder
+/// resumable at two granularities: completed rungs skip entirely, the
+/// interrupted rung restarts mid-test.
 pub fn run_ladder(
     ctx: &ExperimentContext,
     ladder: &[u32],
 ) -> (Vec<UsersScalePoint>, Vec<JobTiming>, Vec<PointHist>) {
+    let ckpt_dir = std::env::var(CKPT_DIR_ENV).ok();
     let mut points: Vec<UsersScalePoint> = Vec::new();
     let mut timings: Vec<JobTiming> = Vec::new();
     let mut hists: Vec<PointHist> = Vec::new();
-    for &users in ladder {
+    for (rung, &users) in ladder.iter().enumerate() {
         let mut walls = [0.0f64; 2];
         let mut outcomes: Vec<(PerfReport, u64, TestHist)> = Vec::new();
         for (i, kind) in [EventQueueKind::Heap, EventQueueKind::Calendar].into_iter().enumerate() {
@@ -145,15 +211,44 @@ pub fn run_ladder(
                 EventQueueKind::Calendar => "calendar",
             };
             let label = format!("users_1e6/u{users}/{backend}");
+            let record_index = (2 * rung + i) as u64;
+            if let Some(stored) = crate::storex::lookup("users_1e6", record_index) {
+                // Completed before the previous run was killed: trust the
+                // stored bytes (they were verified on append) and skip the
+                // simulation. The wall column reads 0 — timing is the one
+                // thing a resumed run cannot reproduce.
+                let outcome: (PerfReport, u64, TestHist) = serde_json::from_str(&stored)
+                    .unwrap_or_else(|e| panic!("corrupt store record {label}: {e}"));
+                eprintln!("  [store] users_1e6: {label} recovered, skipping the rerun");
+                outcomes.push(outcome);
+                timings.push(JobTiming { label, wall_ms: 0.0 });
+                continue;
+            }
+            let ckpt = ckpt_dir.as_ref().map(|dir| CheckpointSpec {
+                path: Path::new(dir).join(format!("users_{users}_{backend}.ckpt")),
+                every_steps: env_u64(CKPT_EVERY_ENV).unwrap_or(5_000),
+                kill_after: env_u64(CKPT_KILL_ENV),
+                config_fingerprint: serde_json::to_string(&cfg)
+                    .unwrap_or_else(|e| panic!("serialize rung config: {e}")),
+            });
             // One job through the runner (sequentially: one job, one
             // thread) so the wall-clock comes from the same
             // instrumentation as every other experiment's profile.
-            let out = runner::run_jobs(1, vec![Job::new(label, move || run_point(cfg, seed))]);
+            let out = runner::run_jobs(
+                1,
+                vec![Job::new(label, move || run_point(cfg, seed, ckpt.as_ref()))],
+            );
             let outcome = out.results.into_iter().next();
             let timing = out.timings.into_iter().next();
             let (Some(outcome), Some(timing)) = (outcome, timing) else {
                 continue;
             };
+            if crate::storex::active() {
+                let payload = serde_json::to_string(&outcome)
+                    .unwrap_or_else(|e| panic!("serialize rung outcome: {e}"));
+                crate::storex::record("users_1e6", record_index, &payload)
+                    .unwrap_or_else(|e| panic!("results store: {e}"));
+            }
             walls[i] = timing.wall_ms / 1e3;
             outcomes.push(outcome);
             timings.push(timing);

@@ -15,6 +15,7 @@ use crate::geometry::DiskGeometry;
 use crate::request::{IoKind, IoRequest, IoSpan, PiecePlan, ShardableStorage, Storage};
 use crate::stats::StorageStats;
 use crate::time::SimTime;
+use serde::{de_field, Serialize, Value};
 
 /// A contiguous physical run on one disk, in bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -201,6 +202,53 @@ impl Storage for StripedArray {
         // exactly one disk, so pieces can be serviced independently.
         Some(self)
     }
+
+    fn checkpoint_state(&self) -> Option<Value> {
+        if self.disks.len() != self.nmembers {
+            // Disks are out with sharded-execution workers; no coherent
+            // snapshot exists until they come back.
+            return None;
+        }
+        Some(Value::Object(vec![
+            (
+                "disks".to_string(),
+                Value::Array(self.disks.iter().map(Disk::checkpoint_state).collect()),
+            ),
+            ("logical".to_string(), self.stats.to_value()),
+        ]))
+    }
+
+    fn restore_state(&mut self, snapshot: &Value) -> Result<(), String> {
+        if self.disks.len() != self.nmembers {
+            return Err("cannot restore while member disks are taken".into());
+        }
+        let Some(Value::Array(disk_snaps)) = snapshot.get("disks") else {
+            return Err("array snapshot missing the per-disk states".into());
+        };
+        if disk_snaps.len() != self.nmembers {
+            return Err(format!(
+                "snapshot holds {} disks, array has {}",
+                disk_snaps.len(),
+                self.nmembers
+            ));
+        }
+        let logical: StorageStats = de_field(snapshot, "logical").map_err(|e| e.to_string())?;
+        if logical.per_disk.len() != self.nmembers {
+            return Err(format!(
+                "logical stats cover {} disks, array has {}",
+                logical.per_disk.len(),
+                self.nmembers
+            ));
+        }
+        // Validate every member against its geometry before committing any.
+        let mut disks = self.disks.clone();
+        for (disk, snap) in disks.iter_mut().zip(disk_snaps) {
+            disk.restore_checkpoint_state(snap)?;
+        }
+        self.disks = disks;
+        self.stats = logical;
+        Ok(())
+    }
 }
 
 impl ShardableStorage for StripedArray {
@@ -342,6 +390,33 @@ mod tests {
         a.reset_stats();
         assert_eq!(a.stats().combined().requests, 0);
         assert_eq!(a.stats().logical_reads, 0);
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_and_validates_shape() {
+        let mut a = array();
+        a.submit(SimTime::ZERO, &IoRequest::read(0, 8 * 24));
+        a.submit(SimTime::ZERO, &IoRequest::write(8 * 24, 4));
+        let snap = a.checkpoint_state().unwrap();
+        let mut r = array();
+        r.restore_state(&snap).unwrap();
+        assert_eq!(r.stats(), a.stats());
+        assert_eq!(r.next_idle(), a.next_idle());
+        // Identical future behavior after restore.
+        let s1 = a.submit(SimTime::ZERO, &IoRequest::read(17, 40));
+        let s2 = r.submit(SimTime::ZERO, &IoRequest::read(17, 40));
+        assert_eq!(s1, s2);
+        assert_eq!(r.stats(), a.stats());
+        // A snapshot from a differently-sized array is rejected.
+        let mut small = StripedArray::new(DiskGeometry::wren_iv(), 4, 24 * KB, KB);
+        let err = small.restore_state(&snap).unwrap_err();
+        assert!(err.contains("8 disks"), "{err}");
+        // No snapshot while the disks are out with sharded workers.
+        let taken = a.take_disks();
+        assert!(Storage::checkpoint_state(&a).is_none());
+        assert!(a.restore_state(&snap).is_err());
+        a.restore_disks(taken);
+        assert!(Storage::checkpoint_state(&a).is_some());
     }
 
     #[test]

@@ -97,6 +97,10 @@ struct Shared {
     slots: Vec<Option<(String, f64)>>,
     attempts: Vec<u32>,
     done: usize,
+    /// Length of the contiguous done-prefix already handed to the
+    /// streaming observer — results stream strictly in submission order,
+    /// each exactly once, no matter which worker finished when.
+    streamed: usize,
     retries: u64,
     respawns_left: u32,
     live_slots: usize,
@@ -134,6 +138,23 @@ pub fn run_sweep(
     experiment: &str,
     points: usize,
 ) -> Result<SweepOutcome, DistError> {
+    run_sweep_with(spec, cfg, ctx_json, experiment, points, &|_, _| {})
+}
+
+/// As [`run_sweep`], additionally streaming each completed payload to
+/// `on_point(index, payload)` **in submission order** as soon as the
+/// contiguous prefix of the sweep is done. A crashed-and-retried point
+/// streams exactly once (the committed attempt); a sweep that later
+/// aborts has streamed only a clean prefix — which is exactly what an
+/// append-only results store can resume from.
+pub fn run_sweep_with(
+    spec: &WorkerSpec,
+    cfg: &CoordinatorConfig,
+    ctx_json: &str,
+    experiment: &str,
+    points: usize,
+    on_point: &(dyn Fn(usize, &str) + Sync),
+) -> Result<SweepOutcome, DistError> {
     if points == 0 {
         return Ok(SweepOutcome {
             payloads: Vec::new(),
@@ -149,6 +170,7 @@ pub fn run_sweep(
             slots: (0..points).map(|_| None).collect(),
             attempts: vec![0; points],
             done: 0,
+            streamed: 0,
             retries: 0,
             respawns_left: cfg.max_respawns,
             live_slots: fleet,
@@ -163,7 +185,17 @@ pub fn run_sweep(
     std::thread::scope(|scope| {
         for _ in 0..fleet {
             scope.spawn(|| {
-                supervise(&coord, spec, cfg, ctx_json, experiment, &next_worker_id, &spawned, &next_task);
+                supervise(
+                    &coord,
+                    spec,
+                    cfg,
+                    ctx_json,
+                    experiment,
+                    &next_worker_id,
+                    &spawned,
+                    &next_task,
+                    on_point,
+                );
             });
         }
     });
@@ -208,6 +240,7 @@ fn supervise(
     next_worker_id: &AtomicU32,
     spawned: &AtomicU32,
     next_task: &AtomicU64,
+    on_point: &(dyn Fn(usize, &str) + Sync),
 ) {
     let mut conn: Option<Conn> = None;
     let mut first_spawn_free = true;
@@ -270,6 +303,15 @@ fn supervise(
                 if st.slots[index].is_none() {
                     st.slots[index] = Some((payload, wall_ms));
                     st.done += 1;
+                }
+                // Stream the newly contiguous done-prefix, in order, under
+                // the lock (appends are cheap; holding it keeps the order
+                // and exactly-once guarantees trivially true).
+                loop {
+                    let i = st.streamed;
+                    let Some(Some((payload, _))) = st.slots.get(i) else { break };
+                    on_point(i, payload);
+                    st.streamed = i + 1;
                 }
                 coord.wake.notify_all();
             }

@@ -40,7 +40,7 @@ pub mod coordinator;
 pub mod proto;
 pub mod worker;
 
-pub use coordinator::{run_sweep, CoordinatorConfig, SweepOutcome, WorkerSpec};
+pub use coordinator::{run_sweep, run_sweep_with, CoordinatorConfig, SweepOutcome, WorkerSpec};
 pub use proto::{Msg, PROTOCOL_VERSION};
 pub use worker::{serve, serve_stdio, PointRunner, WorkerOptions};
 

@@ -51,6 +51,11 @@ pub struct SimConfig {
     /// knob: both backends pop in the identical `(time, seq, user)` order,
     /// so results are bit-identical either way.
     pub event_queue: EventQueueKind,
+    /// How many raw per-request latencies the engine retains for exact
+    /// percentile computation. Beyond the cap, samples still land in the
+    /// bounded latency histogram (which then supplies the percentiles), so
+    /// long runs keep correct tails at constant memory.
+    pub latency_sample_cap: usize,
 }
 
 impl SimConfig {
@@ -70,6 +75,7 @@ impl SimConfig {
             shards: 1,
             shard_workers: 0,
             event_queue: EventQueueKind::Heap,
+            latency_sample_cap: 200_000,
         }
     }
 
@@ -93,6 +99,9 @@ impl SimConfig {
         }
         if self.shards == 0 {
             return Err("shards must be at least 1".into());
+        }
+        if self.latency_sample_cap == 0 {
+            return Err("latency_sample_cap must be at least 1".into());
         }
         Ok(())
     }
@@ -143,6 +152,15 @@ mod tests {
         let mut c = config();
         c.shards = 0;
         assert!(c.validate().is_err(), "zero shards is rejected");
+    }
+
+    #[test]
+    fn latency_cap_defaults_and_validates() {
+        let c = config();
+        assert_eq!(c.latency_sample_cap, 200_000, "paper runs keep 200k exact samples");
+        let mut c = config();
+        c.latency_sample_cap = 0;
+        assert!(c.validate().is_err(), "zero cap would record no latencies at all");
     }
 
     #[test]

@@ -38,10 +38,9 @@ fn small_u32(n: usize) -> u32 {
         .unwrap_or_else(|_| unreachable!("population count exceeds u32"))
 }
 
-/// Cap on the exact per-operation latency buffer: enough for every paper
-/// sweep, exceeded only by the million-user rungs (which is what the
-/// dropped-sample counter and the log-bucketed reservoir are for).
-const LATENCY_SAMPLE_CAP: usize = 200_000;
+mod checkpoint;
+
+pub use checkpoint::{CheckpointSpec, CHECKPOINT_KILL_EXIT};
 
 /// What a single event step produced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,8 +97,13 @@ pub struct Simulation {
     stabilize_tolerance_pct: f64,
     max_intervals: usize,
     max_allocation_ops: u64,
+    /// Cap on the exact latency buffer, copied from
+    /// [`SimConfig::latency_sample_cap`]: enough for every paper sweep,
+    /// exceeded only by the million-user rungs (which is what the
+    /// dropped-sample counter and the log-bucketed reservoir are for).
+    latency_sample_cap: usize,
     /// Per-operation latencies collected during the current measurement
-    /// (exact samples, capped at [`LATENCY_SAMPLE_CAP`]).
+    /// (exact samples, capped at `latency_sample_cap`).
     latencies: Vec<f64>,
     /// Samples the cap clipped from `latencies` since the last measurement
     /// reset — surfaced through [`Simulation::latency_hist`] so truncated
@@ -173,8 +177,9 @@ impl Simulation {
             stabilize_tolerance_pct: config.stabilize_tolerance_pct,
             max_intervals: config.max_intervals,
             max_allocation_ops: config.max_allocation_ops,
+            latency_sample_cap: config.latency_sample_cap,
             // Pre-sized so steady-state measurement never reallocates: the
-            // latency cap is LATENCY_SAMPLE_CAP entries but typical runs
+            // latency cap is latency_sample_cap entries but typical runs
             // stay well under 16k, and push() doubling takes care of the
             // outliers.
             latencies: Vec::with_capacity(16 * 1024),
@@ -438,7 +443,7 @@ impl Simulation {
     /// The single home of the sample cap — both the serial and the
     /// pipelined commit paths go through here.
     fn record_latency(&mut self, latency_ms: f64) {
-        if self.latencies.len() < LATENCY_SAMPLE_CAP {
+        if self.latencies.len() < self.latency_sample_cap {
             self.latencies.push(latency_ms);
         } else {
             self.dropped_latencies += 1;
@@ -768,13 +773,44 @@ impl Simulation {
             } else {
                 self.run_perf_serial(mode, &mut meter)
             };
+        self.finish_perf(&meter, stabilized, throughput_pct, ops_before, disk_full_before)
+    }
+
+    /// Final p50/p99 of the current measurement. While the exact buffer
+    /// held every sample it is authoritative (one in-place sort serves both
+    /// percentiles; the buffer is cleared at the start of each measurement
+    /// anyway). Once the cap clipped samples, the buffer is a *prefix* of
+    /// the run — early samples only, which skews tails badly on workloads
+    /// that degrade over time — so the percentiles come from the uncapped
+    /// log-bucketed reservoir instead (≤ 1.6 % relative bucket error).
+    fn final_percentiles(&mut self) -> (f64, f64) {
+        if self.dropped_latencies > 0 {
+            (
+                self.hist.percentile_us(0.50) as f64 / 1000.0,
+                self.hist.percentile_us(0.99) as f64 / 1000.0,
+            )
+        } else {
+            self.latencies.sort_by(f64::total_cmp);
+            let p50 = crate::measure::percentile_of_sorted_ms(&self.latencies, 0.50);
+            let p99 = crate::measure::percentile_of_sorted_ms(&self.latencies, 0.99);
+            (p50, p99)
+        }
+    }
+
+    /// The shared epilogue of every performance run (plain and
+    /// checkpointed): fragmentation probe, final percentiles, and the
+    /// assembled report.
+    fn finish_perf(
+        &mut self,
+        meter: &ThroughputMeter,
+        stabilized: bool,
+        throughput_pct: f64,
+        ops_before: u64,
+        disk_full_before: u64,
+    ) -> PerfReport {
         let end = self.clock.max(meter.last_span_end());
         let frag = self.fragmentation_report(0);
-        // One in-place sort serves every percentile of this report; the
-        // buffer is cleared at the start of each measurement anyway.
-        self.latencies.sort_by(f64::total_cmp);
-        let p50 = crate::measure::percentile_of_sorted_ms(&self.latencies, 0.50);
-        let p99 = crate::measure::percentile_of_sorted_ms(&self.latencies, 0.99);
+        let (p50, p99) = self.final_percentiles();
         PerfReport {
             throughput_pct,
             max_bandwidth_mb_s: self.max_bw * 1000.0 / (1024.0 * 1024.0),
@@ -1253,6 +1289,48 @@ mod tests {
             counts[0],
             counts[1]
         );
+    }
+
+    /// Regression for the clipped-percentile bug: once the exact latency
+    /// buffer hit its cap, p50/p99 were computed over the *prefix* of the
+    /// run that fit — so a workload that degrades after the cap reported
+    /// tails from its healthy early phase. The fix switches to the uncapped
+    /// log-bucketed reservoir whenever samples were dropped.
+    #[test]
+    fn clipped_latency_tail_comes_from_the_reservoir() {
+        let mut c = small_config(small_extent_policy());
+        c.latency_sample_cap = 100;
+        let mut sim = Simulation::new(&c, 50);
+        sim.reset_latencies();
+        // 100 fast samples fill the exact buffer, then 900 slow ones
+        // overflow: the run degrades *after* the cap, precisely the case
+        // the clipped prefix used to hide.
+        for _ in 0..100 {
+            sim.record_latency(1.0);
+        }
+        for _ in 0..900 {
+            sim.record_latency(250.0);
+        }
+        assert_eq!(sim.dropped_latencies, 900);
+        // The old path — percentiles over the clipped prefix — would have
+        // reported a 1 ms p99 for a run whose true p99 is 250 ms.
+        let mut prefix = sim.latencies.clone();
+        prefix.sort_by(f64::total_cmp);
+        assert_eq!(crate::measure::percentile_of_sorted_ms(&prefix, 0.99), 1.0);
+        // The fixed path: the reservoir absorbed every sample, so the tail
+        // is right (to within its 1.6 % bucket error; exact here because
+        // all clipped samples are identical).
+        let (p50, p99) = sim.final_percentiles();
+        assert!((p50 - 250.0).abs() <= 250.0 / 32.0, "p50 {p50}");
+        assert!((p99 - 250.0).abs() <= 250.0 / 32.0, "p99 {p99}");
+        // Under the cap, the exact buffer stays authoritative.
+        sim.reset_latencies();
+        for i in 0..50u8 {
+            sim.record_latency(f64::from(i));
+        }
+        assert_eq!(sim.dropped_latencies, 0);
+        let (p50, p99) = sim.final_percentiles();
+        assert_eq!((p50, p99), (24.0, 49.0), "exact nearest-rank when nothing dropped");
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod state;
 
 pub use calendar::{CalendarQueue, EventArena, EventHandle, EventRecord};
 pub use config::SimConfig;
-pub use engine::Simulation;
+pub use engine::{CheckpointSpec, Simulation, CHECKPOINT_KILL_EXIT};
 pub use event::{Event, EventQueue, EventQueueKind, UserId};
 pub use filetype::{FileTypeConfig, OpKind};
 pub use hist::{HistBucket, LatencyReservoir, TestHist};

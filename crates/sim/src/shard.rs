@@ -129,6 +129,58 @@ impl ShardedEventQueue {
         }
         ev
     }
+
+    /// Drains every pending event in global merge order, returning the
+    /// `(time, seq, user)` entries plus the global sequence counter — the
+    /// checkpoint form of the queue. The calendar backend is not cloneable
+    /// (its bucket cursor is lazy), so a checkpoint empties the queue and
+    /// the caller immediately rebuilds it via [`Self::restore_entries`].
+    pub fn drain_entries(&mut self) -> (Vec<(SimTime, u64, u32)>, u64) {
+        let mut out = Vec::with_capacity(self.len);
+        while let Some(i) = self.min_shard() {
+            let key = self.shards[i].peek_key();
+            if let (Some((time, seq)), Some(ev)) = (key, self.shards[i].pop()) {
+                self.len -= 1;
+                out.push((time, seq, ev.user.0));
+            }
+        }
+        (out, self.seq)
+    }
+
+    /// Refills the queue from a [`Self::drain_entries`] snapshot,
+    /// preserving each entry's original sequence stamp so the merge order
+    /// (ties included) is exactly what it was when the snapshot was taken.
+    /// Entries must arrive in strictly ascending `(time, seq)` order (the
+    /// drain order) with every stamp below `next_seq`; anything else means
+    /// the snapshot is corrupt.
+    pub fn restore_entries(
+        &mut self,
+        entries: &[(SimTime, u64, u32)],
+        next_seq: u64,
+    ) -> Result<(), String> {
+        if !self.is_empty() {
+            return Err("restoring into a non-empty event queue".into());
+        }
+        // Validate everything first: a failed restore must leave the queue
+        // untouched, not half-filled.
+        let mut prev: Option<(SimTime, u64)> = None;
+        for &(time, seq, _) in entries {
+            if seq >= next_seq {
+                return Err(format!("event seq {seq} at or past the counter {next_seq}"));
+            }
+            if prev.is_some_and(|p| p >= (time, seq)) {
+                return Err(format!("event entries out of merge order at seq {seq}"));
+            }
+            prev = Some((time, seq));
+        }
+        for &(time, seq, user) in entries {
+            let shard = self.shard_of(UserId(user));
+            self.shards[shard].schedule_with_seq(time, UserId(user), seq);
+            self.len += 1;
+        }
+        self.seq = next_seq;
+        Ok(())
+    }
 }
 
 /// One per-disk piece of one decided event, as shipped to a worker.
@@ -551,6 +603,73 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Draining to checkpoint form and restoring must reproduce the exact
+    /// pop order — ties included — at any shard count, including a restore
+    /// into a queue with a *different* shard count (checkpoints are
+    /// shard-count-portable because the seq stamps are global).
+    #[test]
+    fn drain_restore_roundtrip_preserves_merge_order() {
+        for (from_shards, to_shards) in [(1usize, 1usize), (4, 4), (4, 7), (7, 2)] {
+            let mut q = ShardedEventQueue::new(from_shards);
+            for i in 0u64..100 {
+                q.schedule(t((i * 2654435761) % 6 * 50), UserId((i % 13) as u32));
+            }
+            // Pop a few first so the snapshot is mid-run, not pristine.
+            for _ in 0..17 {
+                q.pop();
+            }
+            let mut reference = Vec::new();
+            {
+                let mut probe = ShardedEventQueue::new(from_shards);
+                let (entries, seq) = q.drain_entries();
+                probe.restore_entries(&entries, seq).expect("restore probe");
+                while let Some(e) = probe.pop() {
+                    reference.push((e.time, e.user.0));
+                }
+                probe.restore_entries(&entries, seq).expect("restore again");
+                q.restore_entries(&entries, seq).expect("restore original");
+            }
+            let (entries, seq) = q.drain_entries();
+            assert_eq!(entries.len(), 83);
+            let mut restored = ShardedEventQueue::new(to_shards);
+            restored.restore_entries(&entries, seq).expect("restore");
+            assert_eq!(restored.len(), 83);
+            let mut order = Vec::new();
+            while let Some(e) = restored.pop() {
+                order.push((e.time, e.user.0));
+            }
+            assert_eq!(order, reference, "{from_shards} -> {to_shards} shards");
+            // New schedules continue the global seq stream after the old
+            // counter, so they tie-break *after* restored entries.
+            let mut restored = ShardedEventQueue::new(to_shards);
+            restored.restore_entries(&entries, seq).expect("restore");
+            restored.schedule(SimTime::ZERO, UserId(1));
+            let first = restored.pop().map(|e| (e.time, e.user.0));
+            assert_eq!(first, Some((SimTime::ZERO, 1)), "time still dominates seq");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_snapshots() {
+        let mut q = ShardedEventQueue::new(3);
+        q.schedule(t(10), UserId(0));
+        q.schedule(t(5), UserId(1));
+        let (entries, seq) = q.drain_entries();
+        assert_eq!(entries[0].0, t(5), "drain order is merge order");
+        // Non-empty target.
+        let mut busy = ShardedEventQueue::new(3);
+        busy.schedule(t(1), UserId(0));
+        assert!(busy.restore_entries(&entries, seq).is_err());
+        // Seq at/past the counter.
+        let mut fresh = ShardedEventQueue::new(3);
+        assert!(fresh.restore_entries(&entries, 1).is_err());
+        // Out of merge order.
+        let mut swapped = entries.clone();
+        swapped.swap(0, 1);
+        assert!(fresh.restore_entries(&swapped, seq).is_err());
+        assert!(fresh.is_empty(), "failed restore leaves nothing committed");
     }
 
     #[test]

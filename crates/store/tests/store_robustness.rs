@@ -1,0 +1,220 @@
+//! Robustness suite for the `.rrs` store: every class of damage the
+//! format claims to survive or reject is exercised against real files —
+//! truncation at arbitrary byte boundaries, bit-flipped record CRCs,
+//! corrupted and oversized index blocks, stale version headers, and the
+//! writer's resume-after-kill path.
+
+use readopt_store::{RecoveredStore, StoreError, StoreReader, StoreWriter, FOOTER_LEN, MAGIC};
+use std::path::{Path, PathBuf};
+
+fn tmp(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_TARGET_TMPDIR")).join(name)
+}
+
+/// Builds a finished store with `n` points per experiment and returns its
+/// path.
+fn build(name: &str, experiments: &[&str], n: u64) -> PathBuf {
+    let path = tmp(name);
+    let mut w = StoreWriter::create(&path, r#"{"run":"test"}"#).expect("create");
+    for exp in experiments {
+        for i in 0..n {
+            let payload = format!(r#"[{i},"{exp}",{}]"#, i * 10);
+            w.append_point(exp, i, &payload).expect("append");
+        }
+    }
+    w.finish().expect("finish");
+    path
+}
+
+fn expect_corrupt(res: Result<StoreReader, StoreError>, what: &str) {
+    match res {
+        Err(StoreError::Corrupt(_)) => {}
+        other => panic!("{what}: expected Corrupt, got {other:?}"),
+    }
+}
+
+#[test]
+fn roundtrip_reads_every_point_in_o1() {
+    let path = build("roundtrip.rrs", &["fig1", "table4"], 5);
+    let mut r = StoreReader::open(&path).expect("open");
+    assert_eq!(r.len(), 10);
+    assert_eq!(r.meta_json().expect("meta"), r#"{"run":"test"}"#);
+    // Random-access order, not append order.
+    assert_eq!(r.point("table4", 3).expect("t4/3"), r#"[3,"table4",30]"#);
+    assert_eq!(r.point("fig1", 0).expect("f1/0"), r#"[0,"fig1",0]"#);
+    assert_eq!(r.point("fig1", 4).expect("f1/4"), r#"[4,"fig1",40]"#);
+    assert!(matches!(r.point("fig9", 0), Err(StoreError::NotFound(_))));
+    assert!(matches!(r.point("fig1", 5), Err(StoreError::NotFound(_))));
+    let ids = r.point_ids().to_vec();
+    assert_eq!(ids[0], (String::from("fig1"), 0));
+    assert_eq!(ids[9], (String::from("table4"), 4));
+}
+
+#[test]
+fn truncated_file_rejected_strictly_but_prefix_recovers() {
+    let path = build("truncate.rrs", &["fig1"], 8);
+    let full = std::fs::read(&path).unwrap();
+
+    // Chop the footer plus a few bytes of the index: strict open must
+    // refuse; recover must still return all 8 points.
+    let cut = tmp("truncate-cut.rrs");
+    std::fs::write(&cut, &full[..full.len() - usize::try_from(FOOTER_LEN).unwrap() - 3]).unwrap();
+    expect_corrupt(StoreReader::open(&cut), "footer gone");
+    let rec = StoreReader::recover(&cut).expect("recover");
+    assert_eq!(rec.points.len(), 8);
+    assert!(!rec.complete, "index was damaged, so the file reads as unfinished");
+
+    // Truncate mid-record (simulating a kill during an append): the torn
+    // record is dropped, every earlier record survives.
+    let third_point_end = rec.points[2].offset + rec.points[2].total_len;
+    let torn = tmp("truncate-torn.rrs");
+    std::fs::write(&torn, &full[..usize::try_from(third_point_end).unwrap() + 5]).unwrap();
+    expect_corrupt(StoreReader::open(&torn), "torn record");
+    let rec = StoreReader::recover(&torn).expect("recover torn");
+    assert_eq!(rec.points.len(), 3, "valid prefix = the three intact records");
+    assert_eq!(rec.valid_len, third_point_end);
+    assert_eq!(rec.points[2].payload, r#"[2,"fig1",20]"#);
+
+    // Truncate inside the header: nothing is recoverable.
+    let stub = tmp("truncate-stub.rrs");
+    std::fs::write(&stub, &full[..10]).unwrap();
+    assert!(matches!(StoreReader::recover(&stub), Err(StoreError::Corrupt(_))));
+}
+
+#[test]
+fn bit_flipped_record_crc_rejected() {
+    let path = build("bitflip.rrs", &["fig2"], 4);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let rec = StoreReader::recover(&path).expect("recover clean");
+
+    // Flip one payload bit in the second point record.
+    let mid = usize::try_from(rec.points[1].offset).unwrap() + 9;
+    bytes[mid] ^= 0x01;
+    let flipped = tmp("bitflip-mut.rrs");
+    std::fs::write(&flipped, &bytes).unwrap();
+
+    // The index still opens (it is intact), but reading the damaged point
+    // fails its frame CRC; recovery stops at the flip.
+    let mut r = StoreReader::open(&flipped).expect("index intact");
+    assert_eq!(r.point("fig2", 0).expect("point 0 untouched"), r#"[0,"fig2",0]"#);
+    assert!(matches!(r.point("fig2", 1), Err(StoreError::Corrupt(_))), "flipped point");
+    let rec = StoreReader::recover(&flipped).expect("recover");
+    assert_eq!(rec.points.len(), 1, "prefix ends before the flipped record");
+}
+
+#[test]
+fn corrupted_and_oversized_index_blocks_rejected() {
+    let path = build("badindex.rrs", &["fig1"], 3);
+    let clean = std::fs::read(&path).unwrap();
+    let rec = StoreReader::recover(&path).expect("recover");
+    let index_start = usize::try_from(rec.valid_len).unwrap();
+
+    // Flip a byte inside the index body: CRC mismatch on open.
+    let mut bytes = clean.clone();
+    bytes[index_start + 10] ^= 0xFF;
+    let p = tmp("badindex-crc.rrs");
+    std::fs::write(&p, &bytes).unwrap();
+    expect_corrupt(StoreReader::open(&p), "index CRC");
+
+    // Oversized length prefix on the index record (beyond MAX_BODY_LEN):
+    // rejected as corruption, never attempted as an allocation.
+    let mut bytes = clean.clone();
+    bytes[index_start..index_start + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    let p = tmp("badindex-oversized.rrs");
+    std::fs::write(&p, &bytes).unwrap();
+    expect_corrupt(StoreReader::open(&p), "oversized index length");
+
+    // Footer pointing into the middle of a record: frame check fails.
+    let mut bytes = clean.clone();
+    let footer_start = bytes.len() - usize::try_from(FOOTER_LEN).unwrap();
+    let bogus = u64::try_from(index_start - 7).unwrap();
+    bytes[footer_start..footer_start + 8].copy_from_slice(&bogus.to_le_bytes());
+    bytes[footer_start + 8..footer_start + 12]
+        .copy_from_slice(&readopt_store::crc32(&bogus.to_le_bytes()).to_le_bytes());
+    let p = tmp("badindex-offset.rrs");
+    std::fs::write(&p, &bytes).unwrap();
+    expect_corrupt(StoreReader::open(&p), "misaimed index offset");
+
+    // An index entry whose offset/length escape the record region: build
+    // a store whose (single-entry) index is rewritten with a huge length.
+    let mut bytes = clean;
+    // entry layout after count(8): exp_len(2) exp(4) index(8) offset(8) len(8)
+    let entry_len_at = index_start + 4 + 1 + 8 + 2 + 4 + 8 + 8;
+    bytes[entry_len_at..entry_len_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+    // reseal the index body CRC so only the entry bounds check can object
+    let body_len =
+        u32::from_le_bytes(bytes[index_start..index_start + 4].try_into().unwrap()) as usize;
+    let crc = readopt_store::crc32(&bytes[index_start + 4..index_start + 4 + body_len]);
+    bytes[index_start + 4 + body_len..index_start + 4 + body_len + 4]
+        .copy_from_slice(&crc.to_le_bytes());
+    let p = tmp("badindex-bounds.rrs");
+    std::fs::write(&p, &bytes).unwrap();
+    expect_corrupt(StoreReader::open(&p), "out-of-bounds index entry");
+}
+
+#[test]
+fn stale_version_header_rejected() {
+    let path = build("version.rrs", &["fig1"], 2);
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[8..12].copy_from_slice(&7u32.to_le_bytes());
+    let p = tmp("version-stale.rrs");
+    std::fs::write(&p, &bytes).unwrap();
+    assert!(matches!(StoreReader::open(&p), Err(StoreError::Version { found: 7 })));
+    assert!(matches!(StoreReader::recover(&p), Err(StoreError::Version { found: 7 })));
+
+    // Not an .rrs file at all.
+    bytes[..8].copy_from_slice(b"NOTMAGIC");
+    let p = tmp("version-magic.rrs");
+    std::fs::write(&p, &bytes).unwrap();
+    expect_corrupt(StoreReader::open(&p), "bad magic");
+    assert_ne!(&MAGIC, b"NOTMAGIC");
+}
+
+#[test]
+fn resume_truncates_torn_tail_and_rebuilds_identical_bytes() {
+    // Reference: an uninterrupted run.
+    let reference = build("resume-ref.rrs", &["fig1"], 6);
+
+    // Interrupted run: same first four points, then a torn fifth record
+    // and no index/footer (the writer was killed mid-append).
+    let killed = tmp("resume-killed.rrs");
+    {
+        let mut w = StoreWriter::create(&killed, r#"{"run":"test"}"#).expect("create");
+        for i in 0..4u64 {
+            let payload = format!(r#"[{i},"fig1",{}]"#, i * 10);
+            w.append_point("fig1", i, &payload).expect("append");
+        }
+        // no finish(): simulates the kill
+    }
+    let mut bytes = std::fs::read(&killed).unwrap();
+    bytes.extend_from_slice(&[0x21, 0x00, 0x00, 0x00, 0x02, 0x05]); // torn frame
+    std::fs::write(&killed, &bytes).unwrap();
+
+    // Resume: the torn tail is truncated, the four intact points are
+    // recovered, and appending the remaining two + finish() must produce
+    // a byte-identical file to the uninterrupted reference.
+    let (mut w, rec): (StoreWriter, RecoveredStore) = StoreWriter::resume(&killed).expect("resume");
+    assert_eq!(rec.points.len(), 4);
+    assert!(!rec.complete);
+    assert_eq!(rec.meta_json.as_deref(), Some(r#"{"run":"test"}"#));
+    assert_eq!(w.points_written(), 4);
+    for i in 4..6u64 {
+        let payload = format!(r#"[{i},"fig1",{}]"#, i * 10);
+        w.append_point("fig1", i, &payload).expect("append tail");
+    }
+    w.finish().expect("finish");
+    assert_eq!(
+        std::fs::read(&killed).unwrap(),
+        std::fs::read(&reference).unwrap(),
+        "resumed store must be byte-identical to the uninterrupted one"
+    );
+
+    // Resuming a *finished* store drops only index + footer and keeps all
+    // points; finishing again restores the identical bytes.
+    let (w2, rec2) = StoreWriter::resume(&reference).expect("resume finished");
+    assert!(rec2.complete);
+    assert_eq!(rec2.points.len(), 6);
+    w2.finish().expect("refinish");
+    let again = std::fs::read(&reference).unwrap();
+    assert_eq!(again, std::fs::read(&killed).unwrap());
+}

@@ -27,6 +27,20 @@ pub struct Xoshiro256PlusPlus {
     s: [u64; 4],
 }
 
+impl Xoshiro256PlusPlus {
+    /// The raw 256-bit generator state, for checkpoint serialization.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a [`Self::state`] snapshot. The all-zero
+    /// state is the one point xoshiro256++ can never reach (and never
+    /// leaves); callers restoring untrusted snapshots must reject it.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Xoshiro256PlusPlus { s }
+    }
+}
+
 impl RngCore for Xoshiro256PlusPlus {
     fn next_u64(&mut self) -> u64 {
         let result = self.s[0]

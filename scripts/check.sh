@@ -50,10 +50,13 @@ cargo run --release -p readopt-core --bin repro -- \
     fig1 fig2 table4 shard_scaling users_1e6 --scale 64 --intervals 4 --jobs 2 --json target/check
 
 echo "== sidecar determinism (re-run at 1 job, byte-compare) =="
+# This run also writes the binary results store so the export leg below
+# can regenerate its sidecars from the .rrs bytes alone.
 mkdir -p target/check-j1
+rm -f target/check/run.rrs
 cargo run --release -q -p readopt-core --bin repro -- \
     fig1 fig2 table4 --scale 64 --intervals 4 --jobs 1 --json target/check-j1 \
-    > /dev/null
+    --store target/check/run.rrs > /dev/null
 for exp in fig1 fig2 table4; do
     cmp "target/check/$exp.metrics.json" "target/check-j1/$exp.metrics.json" \
         || { echo "ERROR: $exp metrics sidecar differs between --jobs 2 and --jobs 1"; exit 1; }
@@ -119,6 +122,22 @@ for exp in fig1 fig2 table4; do
         || { echo "ERROR: $exp latency histograms differ between --workers 2 and --jobs 1"; exit 1; }
 done
 echo "   results byte-identical between worker processes and in-process run"
+
+echo "== results store (repro export, byte-compare against the sidecars) =="
+# `repro export` regenerates every JSON sidecar from the sealed .rrs
+# written during the 1-job leg. Artifact records hold the exact bytes
+# write_json produced, so even profile.json (wall-clock) must round-trip
+# byte-identically — any drift means the store and the sidecars diverged.
+rm -rf target/check-export
+cargo run --release -q -p readopt-core --bin repro -- \
+    export --store target/check/run.rrs --json target/check-export > /dev/null
+for f in target/check-j1/*.json; do
+    cmp "$f" "target/check-export/$(basename "$f")" \
+        || { echo "ERROR: $(basename "$f") regenerated from the store differs"; exit 1; }
+done
+[ "$(ls target/check-j1/*.json | wc -l)" = "$(ls target/check-export/*.json | wc -l)" ] \
+    || { echo "ERROR: store export wrote a different artifact set"; exit 1; }
+echo "   store export byte-identical to the original sidecars"
 
 echo "== allocator microbench (bitmap vs btree backends) =="
 cargo run --release -q -p readopt-bench --bin alloc_bench -- \
